@@ -1,0 +1,22 @@
+"""A1 — anatomy of a fork: which mechanism carries the cost."""
+
+import pytest
+
+from repro.bench.simbench import a1_ablation
+
+MIB = 1 << 20
+
+
+def test_ablation_shape(benchmark):
+    rows = benchmark.pedantic(a1_ablation, args=(512 * MIB,),
+                              rounds=3, warmup_rounds=1, iterations=1)
+    cost = {r["variant"]: r["fork_ns"] for r in rows}
+    full = cost["full model"]
+    # PTE copying is the dominant term: removing it cuts > 1/3 of cost.
+    assert cost["no PTE-copy cost"] < 0.67 * full
+    # Write-protecting the parent is the second-largest term.
+    assert cost["no write-protect cost"] < full
+    # Eager copy (no COW) is dramatically worse — why BSD added COW.
+    assert cost["eager copy (no COW)"] > 5 * full
+    # Huge pages divide the page-table walk by the 512x size ratio.
+    assert cost["2 MiB huge pages"] < full / 50

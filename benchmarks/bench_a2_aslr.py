@@ -1,0 +1,16 @@
+"""A2 — ASLR inheritance: fork children share the parent's layout."""
+
+from repro.bench.simbench import a2_aslr
+
+
+def test_layout_inheritance(benchmark):
+    rows = benchmark.pedantic(a2_aslr, args=(16,), rounds=3,
+                              warmup_rounds=1, iterations=1)
+    by_mechanism = {r["mechanism"]: r for r in rows}
+    fork = by_mechanism["fork"]
+    assert fork["identical_to_parent"] == fork["children"]
+    assert fork["entropy_bits"] == 0.0
+    for fresh in ("spawn", "xproc"):
+        row = by_mechanism[fresh]
+        assert row["identical_to_parent"] == 0
+        assert row["entropy_bits"] > 0.0

@@ -1,0 +1,17 @@
+"""A3 — fork emulated on an explicit-construction kernel (WSL story)."""
+
+from repro.bench.simbench import a3_emulation
+
+MIB = 1 << 20
+
+
+def test_emulation_tax(benchmark):
+    rows = benchmark.pedantic(a3_emulation, args=([64 * MIB],),
+                              rounds=3, warmup_rounds=1, iterations=1)
+    (row,) = rows
+    # The emulation pays eager copies: an order of magnitude slower...
+    assert row["slowdown"] > 10
+    # ...and consumes real memory for every resident parent page, where
+    # native COW fork consumes none at fork time.
+    assert row["native_rss_growth_pages"] == 0
+    assert row["emulated_rss_growth_pages"] >= (64 * MIB) // 4096

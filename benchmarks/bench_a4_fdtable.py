@@ -1,0 +1,14 @@
+"""A4 — creation cost vs parent descriptor count."""
+
+from repro.bench.simbench import a4_fdtable
+
+
+def test_fd_scaling_shape(benchmark):
+    rows = benchmark.pedantic(a4_fdtable, args=((0, 1024, 16384),),
+                              rounds=3, warmup_rounds=1, iterations=1)
+    by_fds = {r["fds"]: r["results"] for r in rows}
+    # fork and spawn inherit the table: cost grows with fd count.
+    assert by_fds[16384]["fork"] > 2 * by_fds[0]["fork"]
+    assert by_fds[16384]["spawn"] > by_fds[0]["spawn"]
+    # The cross-process API grants nothing by default: flat.
+    assert by_fds[16384]["xproc"] == by_fds[0]["xproc"]

@@ -1,0 +1,35 @@
+"""F2 — VM-lock contention: fork/fault traffic does not scale.
+
+Benchmarks the discrete-event simulation and asserts the claim's shape:
+throughput under one address-space lock is flat in thread count, while
+per-VMA locking scales near-linearly.
+"""
+
+import pytest
+
+from repro.bench.simbench import f2_scaling
+from repro.sim.locks import simulate_contention
+
+THREADS = [1, 4, 16, 32]
+
+
+@pytest.mark.parametrize("threads", THREADS)
+def test_contention_sim(benchmark, threads):
+    result = benchmark.pedantic(
+        simulate_contention, args=(threads, 200, 950.0, 2000.0),
+        kwargs={"num_locks": 1, "num_cpus": threads},
+        rounds=5, warmup_rounds=1, iterations=1)
+    benchmark.extra_info["ops_per_sec"] = result.throughput_ops_per_sec
+
+
+def test_shape_single_lock_saturates():
+    rows = f2_scaling((1, 4, 16, 32), ops_per_thread=100)
+    one_lock = [r["one_lock_ops_per_sec"] for r in rows]
+    per_vma = [r["per_vma_ops_per_sec"] for r in rows]
+    # One lock: within 2x of flat from 4 to 32 threads.
+    assert one_lock[-1] < 2 * one_lock[1]
+    # Per-VMA: at least 4x better than the single lock at 32 threads.
+    assert per_vma[-1] > 4 * one_lock[-1]
+    # Fork stall grows with thread count.
+    stalls = [r["fork_stall_ns"] for r in rows]
+    assert stalls[-1] > stalls[1] > stalls[0]

@@ -1,0 +1,25 @@
+"""F1a — Figure 1 on the real OS: creation latency vs parent dirty size.
+
+Each benchmark creates one trivial child (``/bin/true``) and waits for
+it, with the benchmarking process holding a given amount of dirty
+anonymous ballast.  The paper's claim: the fork line grows with ballast,
+the spawn lines do not.
+"""
+
+import pytest
+
+from repro.bench.ballast import Ballast
+
+MIB = 1 << 20
+SIZES = [1 * MIB, 16 * MIB, 64 * MIB, 256 * MIB]
+MECHANISMS = ["fork_exec", "fork_only", "posix_spawn", "forkserver"]
+
+
+@pytest.mark.parametrize("size", SIZES,
+                         ids=[f"{s >> 20}MiB" for s in SIZES])
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_creation_vs_ballast(benchmark, workloads, mechanism, size):
+    operation = workloads.mechanisms()[mechanism]
+    with Ballast(size):
+        benchmark.pedantic(operation, rounds=8, warmup_rounds=2,
+                           iterations=1)

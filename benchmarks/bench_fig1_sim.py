@@ -1,0 +1,44 @@
+"""F1b — Figure 1 in the simulator, extended to the paper's 8 GiB.
+
+The simulator is deterministic, so what pytest-benchmark measures here
+is the *harness* cost of computing the virtual-time answer; the answer
+itself (printed by ``python -m repro.bench run fig1-sim``) is exact.
+These benches assert the paper's shape on every run.
+"""
+
+import pytest
+
+from repro.bench.simbench import _machine, _parent_with_ballast, creation_ns
+
+MIB = 1 << 20
+GIB = 1 << 30
+SIZES = [1 * MIB, 256 * MIB, 8 * GIB]
+MECHANISMS = ["fork", "vfork", "spawn", "xproc"]
+
+
+@pytest.mark.parametrize("size", SIZES,
+                         ids=[f"{s >> 20}MiB" for s in SIZES])
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_sim_creation(benchmark, mechanism, size):
+    def build_and_create():
+        kernel = _machine()
+        _, thread = _parent_with_ballast(kernel, size)
+        return creation_ns(kernel, thread, mechanism)
+
+    virtual_ns = benchmark.pedantic(build_and_create, rounds=3,
+                                    warmup_rounds=1, iterations=1)
+    benchmark.extra_info["virtual_ns"] = virtual_ns
+
+
+def test_shape_fork_grows_spawn_flat():
+    """The figure's headline shape, asserted rather than eyeballed."""
+    def cost(mechanism, size):
+        kernel = _machine()
+        _, thread = _parent_with_ballast(kernel, size)
+        return creation_ns(kernel, thread, mechanism)
+
+    fork_small, fork_big = cost("fork", 1 * MIB), cost("fork", 8 * GIB)
+    spawn_small, spawn_big = cost("spawn", 1 * MIB), cost("spawn", 8 * GIB)
+    assert fork_big > 100 * fork_small          # fork scales with size
+    assert spawn_big == pytest.approx(spawn_small)  # spawn does not
+    assert fork_big > 50 * spawn_big            # the multi-GiB gap

@@ -1,0 +1,19 @@
+"""T1 — the POSIX special-case audit (a count, not a latency).
+
+pytest-benchmark times the audit for completeness; the assertions are
+the reproduction: the counts must match the paper's claims.
+"""
+
+from repro.apisurface import audit
+
+
+def test_audit_counts(benchmark):
+    counts = benchmark(audit.summary)
+    assert 23 <= counts["fork_special_cases"] <= 30
+    assert counts["exec_special_cases"] >= 10
+    assert counts["total_state_items"] >= counts["fork_special_cases"]
+
+
+def test_render_table(benchmark):
+    text = benchmark(audit.render_table)
+    assert "special cases" in text

@@ -1,0 +1,22 @@
+"""T3 — fork forces memory overcommit.
+
+Asserts the experiment's defining outcome in every overcommit mode and
+benchmarks the (simulated) machine construction it rides on.
+"""
+
+from repro.bench.simbench import t3_overcommit
+
+
+def test_overcommit_outcomes(benchmark):
+    rows = benchmark.pedantic(t3_overcommit, rounds=3, warmup_rounds=1,
+                              iterations=1)
+    by_mode = {r["mode"]: r for r in rows}
+    # Strict accounting: the big parent cannot fork but can spawn.
+    assert by_mode["never"]["fork"] == "ENOMEM"
+    assert by_mode["never"]["spawn"] == "ok"
+    # Permissive modes admit the fork by promising memory they may lack.
+    assert by_mode["heuristic"]["fork"] == "ok"
+    assert by_mode["always"]["fork"] == "ok"
+    # The admitted fork roughly doubles the commit charge.
+    assert (by_mode["heuristic"]["committed_pages_peak"]
+            > 1.9 * by_mode["never"]["committed_pages_peak"])

@@ -1,0 +1,32 @@
+"""T4 — fork does not compose: deadlock scenarios and analyzer rates."""
+
+from repro.bench.experiments.exp_compose import (SAFE_CORPUS, UNSAFE_CORPUS,
+                                                 _run_scenario)
+import textwrap
+
+from repro.analysis import lint_source
+
+
+def test_fork_deadlocks_spawn_does_not(benchmark):
+    outcome = benchmark.pedantic(_run_scenario, args=("fork",),
+                                 rounds=3, warmup_rounds=1, iterations=1)
+    assert outcome == "deadlock"
+    assert _run_scenario("spawn") == "ok"
+    assert _run_scenario("fork", discipline=True) == "ok"
+
+
+def test_analyzer_detection_rates(benchmark):
+    def scan_corpus():
+        caught = sum(
+            bool(lint_source(textwrap.dedent(code),
+                             name).by_severity("warning"))
+            for name, code in UNSAFE_CORPUS.items())
+        false_pos = sum(
+            bool(lint_source(textwrap.dedent(code),
+                             name).by_severity("warning"))
+            for name, code in SAFE_CORPUS.items())
+        return caught, false_pos
+
+    caught, false_pos = benchmark(scan_corpus)
+    assert caught == len(UNSAFE_CORPUS)   # zero false negatives on corpus
+    assert false_pos == 0                  # zero false positives on corpus

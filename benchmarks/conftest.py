@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark drivers.
+
+Benchmarks run at reduced sizes by default so ``pytest benchmarks/
+--benchmark-only`` finishes in minutes; set ``REPRO_BENCH_MAX_MB`` (real
+OS) for the full Figure-1 sweep, and use ``python -m repro.bench run
+<id>`` for the complete experiment outputs.
+"""
+
+import pytest
+
+from repro.bench.workloads import Workloads
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    """One Workloads registry (and forkserver) for the whole session.
+
+    Started before any ballast fixture allocates, so the forkserver
+    helper stays pristine — the property the mechanism depends on.
+    """
+    with Workloads() as registry:
+        registry.start_forkserver()
+        yield registry

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Auditing a codebase for fork hazards with the static analyzer.
+
+Writes a small, realistically-buggy worker module to a temp directory,
+lints it, prints the findings, then shows the fixed version coming back
+clean.  The same analyzer is available as the ``repro-lint`` CLI
+(``repro-lint --list-rules`` explains every check).
+
+Run with ``python examples/lint_fork_hazards.py``.
+"""
+
+import tempfile
+import textwrap
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+BUGGY_WORKER = '''
+    """A worker launcher with four classic fork bugs."""
+    import os
+    import random
+    import threading
+
+
+    def start_metrics_thread():
+        threading.Thread(target=lambda: None, daemon=True).start()
+
+
+    def launch_worker(job):
+        start_metrics_thread()
+        with open("/tmp/launch.log", "a") as log:
+            log.write(f"launching {job}\\n")
+            pid = os.fork()                  # F001, F003, F004...
+            if pid == 0:
+                print(f"worker {job} starting")   # F005
+                token = random.random()           # F008
+                run_job(job, token)               # F006: never exits
+        return pid
+'''
+
+FIXED_WORKER = '''
+    """The same launcher, rewritten around posix_spawn."""
+    import os
+
+
+    def launch_worker(job):
+        with open("/tmp/launch.log", "a") as log:
+            log.write(f"launching {job}\\n")
+        return os.posix_spawn(
+            "/usr/bin/env",
+            ["env", "python3", "-m", "worker", str(job)],
+            dict(os.environ))
+'''
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        buggy = Path(tmp) / "buggy_worker.py"
+        fixed = Path(tmp) / "fixed_worker.py"
+        buggy.write_text(textwrap.dedent(BUGGY_WORKER))
+        fixed.write_text(textwrap.dedent(FIXED_WORKER))
+
+        print("=== linting the buggy launcher ===")
+        report = lint_paths([str(buggy)])
+        print(report.render_text())
+
+        print("\n=== linting the spawn-based rewrite ===")
+        report = lint_paths([str(fixed)])
+        print(report.render_text())
+        assert not report.findings, "the rewrite should be clean"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""A miniature shell built entirely on the spawn API.
+
+The original justification for fork was "it makes the shell easy": fork,
+customise the child, exec.  This shell supports pipelines, output/input
+redirection, environment assignments and exit-status reporting — and
+never calls fork.  Every child customisation is a declarative file
+action or spawn attribute.
+
+Run a script of commands::
+
+    python examples/mini_shell.py
+
+or interactively::
+
+    python examples/mini_shell.py -i
+"""
+
+import os
+import shlex
+import sys
+
+from repro.core import Pipeline, ProcessBuilder
+from repro.errors import ReproError
+
+
+class MiniShell:
+    """Parse-and-run for a useful subset of shell syntax.
+
+    Supported: ``cmd args | cmd args``, ``> file`` / ``>> file`` /
+    ``< file`` on the ends of a pipeline, leading ``NAME=value``
+    assignments, and ``cd``.
+    """
+
+    def __init__(self):
+        self.env_overrides = {}
+        self.last_status = 0
+
+    def run_line(self, line: str) -> int:
+        """Execute one command line; returns its exit status."""
+        line = line.strip()
+        if not line or line.startswith("#"):
+            return self.last_status
+        tokens = shlex.split(line)
+        tokens, assignments = self._take_assignments(tokens)
+        if not tokens:
+            self.env_overrides.update(assignments)
+            return 0
+        if tokens[0] == "cd":
+            os.chdir(tokens[1] if len(tokens) > 1
+                     else os.environ.get("HOME", "/"))
+            return 0
+        stages, stdin_path, stdout_path, append = self._split(tokens)
+        self.last_status = self._execute(stages, assignments, stdin_path,
+                                         stdout_path, append)
+        return self.last_status
+
+    @staticmethod
+    def _take_assignments(tokens):
+        assignments = {}
+        rest = list(tokens)
+        while rest and "=" in rest[0] and not rest[0].startswith("="):
+            name, _, value = rest[0].partition("=")
+            if not name.isidentifier():
+                break
+            assignments[name] = value
+            rest.pop(0)
+        return rest, assignments
+
+    @staticmethod
+    def _split(tokens):
+        """Split on ``|`` and peel redirections off the ends."""
+        stages, current = [], []
+        stdin_path = stdout_path = None
+        append = False
+        it = iter(range(len(tokens)))
+        index = 0
+        while index < len(tokens):
+            token = tokens[index]
+            if token == "|":
+                stages.append(current)
+                current = []
+            elif token in (">", ">>"):
+                append = token == ">>"
+                index += 1
+                stdout_path = tokens[index]
+            elif token == "<":
+                index += 1
+                stdin_path = tokens[index]
+            else:
+                current.append(token)
+            index += 1
+        stages.append(current)
+        del it
+        return stages, stdin_path, stdout_path, append
+
+    def _execute(self, stages, assignments, stdin_path, stdout_path,
+                 append) -> int:
+        env = dict(os.environ)
+        env.update(self.env_overrides)
+        env.update(assignments)
+        if len(stages) == 1:
+            builder = ProcessBuilder(*stages[0]).env(env)
+            if stdin_path:
+                builder.stdin_from_file(stdin_path)
+            if stdout_path:
+                builder.stdout_to_file(stdout_path, append=append)
+            return builder.spawn().wait()
+        # Pipelines: redirect the outer ends via temp wiring.
+        if stdin_path or stdout_path:
+            # Wrap the ends in /bin/cat stages for brevity of this demo.
+            if stdin_path:
+                stages = [["/bin/cat", stdin_path]] + stages
+            result = Pipeline(stages).run()
+            if stdout_path:
+                mode = "ab" if append else "wb"
+                with open(stdout_path, mode) as sink:
+                    sink.write(result.stdout)
+            else:
+                sys.stdout.buffer.write(result.stdout)
+            return result.returncodes[-1]
+        result = Pipeline(stages).run()
+        sys.stdout.buffer.write(result.stdout)
+        return result.returncodes[-1]
+
+
+DEMO_SCRIPT = """
+# a classic pipeline:
+ls / | grep -c .
+# redirections:
+echo shell without fork > /tmp/minishell.out
+cat < /tmp/minishell.out
+# per-command environment:
+GREETING=hello sh -c 'echo $GREETING world'
+# exit statuses propagate:
+sh -c 'exit 3'
+"""
+
+
+def main() -> None:
+    shell = MiniShell()
+    if "-i" in sys.argv[1:]:
+        while True:
+            try:
+                line = input("minish$ ")
+            except EOFError:
+                break
+            try:
+                status = shell.run_line(line)
+                if status:
+                    print(f"[exit {status}]")
+            except (ReproError, OSError) as err:
+                print(f"minish: {err}")
+        return
+    for line in DEMO_SCRIPT.strip().splitlines():
+        print(f"minish$ {line}")
+        try:
+            status = shell.run_line(line)
+            if status:
+                print(f"[exit {status}]")
+        except (ReproError, OSError) as err:
+            print(f"minish: {err}")
+
+
+if __name__ == "__main__":
+    main()

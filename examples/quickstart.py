@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: the spawn API in five snippets.
+
+Run with ``python examples/quickstart.py``.  Everything here goes through
+:mod:`repro.core` — the library's answer to "what should I call instead
+of fork?" — and touches no fork-unsafe state.
+"""
+
+from repro.core import Pipeline, ProcessBuilder, assess, is_fork_safe, run
+
+
+def one_liner() -> None:
+    """The 90% case: run a program, capture stdout."""
+    code, out = run("/bin/echo", "hello from posix_spawn")
+    print(f"1. run(): exit={code} stdout={out!r}")
+
+
+def builder_with_redirections() -> None:
+    """Declarative stdio: no fork, no child-side fixup code."""
+    builder = (ProcessBuilder("/bin/sh", "-c", "echo to-stdout; echo to-stderr >&2")
+               .stdout_to_pipe()
+               .stderr_to_stdout())
+    child = builder.spawn()
+    merged = builder.io.read_stdout()
+    child.wait()
+    print(f"2. builder: merged output {merged!r} via {child.strategy}")
+
+
+def feeding_a_child() -> None:
+    """Piped stdin and stdout around a real filter."""
+    builder = (ProcessBuilder("/usr/bin/tr", "a-z", "A-Z")
+               .stdin_from_pipe()
+               .stdout_to_pipe())
+    child = builder.spawn()
+    builder.io.write_stdin(b"shouting now")
+    builder.io.close_stdin()
+    print(f"3. tr says: {builder.io.read_stdout()!r} (exit {child.wait()})")
+
+
+def shell_style_pipeline() -> None:
+    """ls | grep | wc — the workload fork was invented for, fork-free."""
+    result = Pipeline([
+        ["/bin/ls", "/"],
+        ["/bin/grep", "-v", "proc"],
+        ["/usr/bin/wc", "-l"],
+    ]).run()
+    print(f"4. pipeline: {result.stdout.strip().decode()} non-proc root "
+          f"entries, stage codes {result.returncodes}")
+
+
+def audit_before_forking() -> None:
+    """If you *must* fork, at least know whether it is safe right now."""
+    hazards = assess()
+    verdict = "safe" if is_fork_safe() else "UNSAFE"
+    print(f"5. fork-safety audit: {verdict}, "
+          f"{len(hazards)} hazard(s): {[h.kind for h in hazards]}")
+
+
+def main() -> None:
+    one_liner()
+    builder_with_redirections()
+    feeding_a_child()
+    shell_style_pipeline()
+    audit_before_forking()
+
+
+if __name__ == "__main__":
+    main()

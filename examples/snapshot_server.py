@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""The one fork use case the paper concedes: consistent snapshots.
+
+Redis's BGSAVE forks so the child can serialize a frozen copy of the
+dataset while the parent keeps serving writes — copy-on-write gives the
+child a consistent point-in-time view essentially for free.  The paper
+acknowledges this, then points out the fine print: every parent write
+during the snapshot breaks a COW page, so worst case the snapshot
+*doubles* memory, and the fork itself stalls the server in proportion
+to dataset size.
+
+This example runs the whole story in the simulated kernel and prints
+the fine print as numbers:
+
+* the snapshot child sees the pre-fork value of every key, even ones
+  the parent overwrites mid-snapshot (consistency: the free lunch);
+* the parent's writes during the snapshot show up as COW page copies
+  (the memory bill, proportional to write traffic);
+* the fork pause is measured against the dataset size (the latency
+  bill, the paper's Figure 1 in miniature).
+
+Run with ``python examples/snapshot_server.py``.
+"""
+
+from repro.bench.stats import format_bytes, format_ns
+from repro.sim import Kernel, MIB, PAGE_SIZE, SimConfig
+
+DATASET_BYTES = 64 * MIB
+KEYS = 32            # sample keys spread across the dataset
+WRITES_DURING_SNAPSHOT = 12
+
+
+def main() -> None:
+    kernel = Kernel(SimConfig(total_ram=512 * MIB))
+    report = {}
+
+    def server(sys):
+        # The "database": one value per page, page index = key.
+        base = yield sys.mmap(DATASET_BYTES)
+        yield sys.populate(base, DATASET_BYTES, value=("gen", 0))
+        stride = DATASET_BYTES // KEYS
+
+        def key_addr(key):
+            return base + key * stride
+
+        for key in range(KEYS):
+            yield sys.poke(key_addr(key), ("key", key, "gen", 0))
+
+        t0 = yield sys.clock()
+        before = kernel.counters.snapshot()
+
+        def snapshot_child(sys2):
+            # Serialize the frozen view (here: verify it is frozen).
+            for key in range(KEYS):
+                value = yield sys2.peek(key_addr(key))
+                if value != ("key", key, "gen", 0):
+                    yield sys2.exit(1)
+            yield sys2.exit(0)
+
+        snapshot_pid = yield sys.fork(snapshot_child)
+        t1 = yield sys.clock()
+        report["fork_pause_ns"] = t1 - t0
+        report["fork_work"] = kernel.counters.delta(before)
+
+        # Keep serving writes while the snapshot runs.
+        during = kernel.counters.snapshot()
+        for key in range(WRITES_DURING_SNAPSHOT):
+            yield sys.poke(key_addr(key), ("key", key, "gen", 1))
+        report["write_work"] = kernel.counters.delta(during)
+
+        _, status = yield sys.waitpid(snapshot_pid)
+        report["snapshot_consistent"] = status == 0
+
+        # After the snapshot: the parent's new values are intact.
+        fresh = yield sys.peek(key_addr(0))
+        report["parent_kept_writes"] = fresh == ("key", 0, "gen", 1)
+        yield sys.exit(0)
+
+    kernel.register_program("/sbin/init", server)
+    kernel.run_program("/sbin/init")
+
+    fork_work = report["fork_work"]
+    write_work = report["write_work"]
+    print(f"dataset: {format_bytes(DATASET_BYTES)} "
+          f"({DATASET_BYTES // PAGE_SIZE} pages)")
+    print(f"1. consistency: snapshot child saw every pre-fork value: "
+          f"{report['snapshot_consistent']}; parent kept its new values: "
+          f"{report['parent_kept_writes']}")
+    print(f"2. latency bill: the fork paused the server for "
+          f"{format_ns(report['fork_pause_ns'])} "
+          f"({fork_work.ptes_copied} PTEs copied, "
+          f"{fork_work.ptes_writeprotected} pages write-protected, "
+          f"{fork_work.pages_copied} pages copied — COW copies nothing "
+          f"up front)")
+    print(f"3. memory bill: {WRITES_DURING_SNAPSHOT} parent writes during "
+          f"the snapshot broke {write_work.cow_breaks} COW pages "
+          f"({write_work.pages_copied} page copies) — worst case the "
+          f"whole dataset duplicates under write-heavy load")
+
+
+if __name__ == "__main__":
+    main()

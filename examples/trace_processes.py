@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""strace for the simulated kernel: where does a fork-heavy run spend time?
+
+Attaches a :class:`repro.sim.Tracer` to a machine running a small build
+system (a parent forking/spawning compile jobs), prints the
+``strace -c``-style summary, and writes a Chrome trace-event file you
+can load in chrome://tracing or https://ui.perfetto.dev.
+
+Run with ``python examples/trace_processes.py``.
+"""
+
+from repro.bench.stats import format_ns
+from repro.sim import Kernel, MIB, SimConfig, Tracer
+
+JOBS = 6
+
+
+def main() -> None:
+    kernel = Kernel(SimConfig(total_ram=512 * MIB))
+
+    def compile_job(sys, name):
+        # A "compiler": map some working memory, chew, write output.
+        addr = yield sys.mmap(8 * MIB)
+        yield sys.populate(addr, 8 * MIB, value=f"ast-{name}")
+        yield sys.compute(150_000)
+        fd = yield sys.open(f"/tmp/{name}.o", "wc")
+        yield sys.write(fd, f"object code for {name}".encode())
+        yield sys.exit(0)
+    kernel.register_program("/bin/cc", compile_job)
+
+    def make(sys):
+        # Half the jobs through fork+exec (the old way), half spawned.
+        addr = yield sys.mmap(256 * MIB)      # the build system's heap
+        yield sys.populate(addr, 256 * MIB)
+        pids = []
+        for number in range(JOBS):
+            name = f"unit{number}"
+            if number % 2 == 0:
+                def forked_child(sys2, target=name):
+                    yield sys2.execve("/bin/cc", argv=(target,))
+                pid = yield sys.fork(forked_child)
+            else:
+                pid = yield sys.spawn("/bin/cc", argv=(name,))
+            pids.append(pid)
+        for pid in pids:
+            _, status = yield sys.waitpid(pid)
+            if status:
+                yield sys.exit(status)
+        yield sys.exit(0)
+    kernel.register_program("/bin/make", make)
+
+    tracer = Tracer().attach(kernel)
+    status = kernel.run_program("/bin/make")
+    trace = tracer.detach()
+
+    print(f"build exited {status}; traced {len(trace)} syscalls, "
+          f"{format_ns(trace.total_ns())} of virtual kernel time\n")
+    print(trace.summary_table())
+
+    forks = trace.for_syscall("fork")
+    spawns = trace.for_syscall("spawn")
+    if forks and spawns:
+        fork_avg = sum(e.duration_ns for e in forks) / len(forks)
+        spawn_avg = sum(e.duration_ns for e in spawns) / len(spawns)
+        print(f"\nper-child creation: fork {format_ns(fork_avg)} "
+              f"(copies the 256 MiB build heap) vs spawn "
+              f"{format_ns(spawn_avg)} — the trace shows Figure 1 "
+              f"hiding inside an ordinary build")
+
+    out_path = "/tmp/repro_trace.json"
+    trace.to_chrome_json(out_path)
+    print(f"\nChrome trace written to {out_path} "
+          f"(load it in chrome://tracing or ui.perfetto.dev)")
+
+
+if __name__ == "__main__":
+    main()

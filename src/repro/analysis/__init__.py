@@ -1,0 +1,16 @@
+"""Static analyzer for fork-unsafe Python code.
+
+Use :func:`lint_source` / :func:`lint_file` / :func:`lint_paths`
+programmatically, or the ``repro-lint`` CLI (:mod:`repro.analysis.cli`).
+Rules live in :mod:`repro.analysis.checks`; each maps one hazard from
+the paper onto a checkable AST pattern.
+"""
+
+from .linter import lint_file, lint_paths, lint_source
+from .report import Finding, Report, SEVERITIES
+from .rules import ModuleContext, Rule, all_rules, get_rule
+
+__all__ = [
+    "Finding", "ModuleContext", "Report", "Rule", "SEVERITIES",
+    "all_rules", "get_rule", "lint_file", "lint_paths", "lint_source",
+]

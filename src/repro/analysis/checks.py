@@ -1,0 +1,380 @@
+"""The analyzer's rules: each one operationalises a paper argument.
+
+F001–F011 map directly onto the hazards "A fork() in the road" catalogues:
+threads (F001), buffered I/O (F005), composition in libraries (F003),
+children that wander on with cloned state (F006), duplicated secrets and
+PRNG state (F008/F009), and the fork-where-spawn-would-do pattern the
+paper wants migrated (F011).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .forkflow import (branch_calls, child_execs, child_exits,
+                       find_fork_sites, inside_main_guard)
+from .report import Finding
+from .rules import ModuleContext, Rule, rule
+
+
+@rule
+class ForkWithThreads(Rule):
+    """fork() in a module that also creates threads.
+
+    Only the calling thread exists in the child; any lock another thread
+    held at fork time is held forever there.  This is the paper's
+    headline composition failure.
+    """
+
+    ID = "F001"
+    SEVERITY = "error"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.uses_threads():
+            return
+        for call in module.fork_calls():
+            yield self.finding(
+                module, call,
+                "os.fork() in a module that creates threads: locks held "
+                "by other threads are held forever in the child")
+
+
+@rule
+class ForkWithoutExec(Rule):
+    """fork() in a module that never execs.
+
+    The child keeps running Python with a cloned heap, descriptors and
+    signal state — the mode where every inherited hazard applies.  Often
+    what the author wants is multiprocessing's spawn method or a worker
+    protocol.
+    """
+
+    ID = "F002"
+    SEVERITY = "warning"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.has_exec_call() or "os.posix_spawn" in module.calls:
+            return
+        for call in module.fork_calls():
+            yield self.finding(
+                module, call,
+                "os.fork() with no exec anywhere in the module: the child "
+                "continues with cloned interpreter state")
+
+
+@rule
+class ForkInLibrary(Rule):
+    """fork() outside a ``__main__`` guard: a library forking its caller.
+
+    A library cannot know whether its caller has threads, buffered
+    output, or signal handlers — forking on their behalf is exactly the
+    non-composition the paper describes.
+    """
+
+    ID = "F003"
+    SEVERITY = "warning"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for call in module.fork_calls():
+            if not inside_main_guard(call, module):
+                yield self.finding(
+                    module, call,
+                    "os.fork() outside `if __name__ == '__main__'`: a "
+                    "library must not fork on its caller's behalf")
+
+
+@rule
+class ForkInsideOpenFile(Rule):
+    """fork() under ``with open(...)``: buffered writes duplicate.
+
+    Both processes own a copy of the user-space buffer; both flush it at
+    close, doubling output — the oldest fork surprise in the book.
+    """
+
+    ID = "F004"
+    SEVERITY = "warning"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        fork_ids = set(map(id, module.fork_calls()))
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.With):
+                continue
+            opens_file = any(
+                isinstance(item.context_expr, ast.Call)
+                and module.callee_name(item.context_expr) in ("open",
+                                                              "io.open")
+                for item in node.items)
+            if not opens_file:
+                continue
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Call) and id(inner) in fork_ids:
+                    yield self.finding(
+                        module, inner,
+                        "os.fork() inside `with open(...)`: unflushed "
+                        "buffered data is duplicated into the child and "
+                        "flushed twice")
+
+
+@rule
+class StdioInChild(Rule):
+    """The child branch writes via buffered stdio before exec/exit."""
+
+    ID = "F005"
+    SEVERITY = "warning"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for site in find_fork_sites(module):
+            if not site.has_child_branch:
+                continue
+            for name in branch_calls(site.child_body, module):
+                if name in ("print", "sys.stdout.write", "sys.stderr.write"):
+                    yield self.finding(
+                        module, site.test_node,
+                        f"child branch calls {name}: buffered stdio in a "
+                        f"forked child interleaves and double-flushes; "
+                        f"write to a raw fd instead")
+                    break
+
+
+@rule
+class ChildFallsThrough(Rule):
+    """The child branch neither execs nor exits.
+
+    Control flows out of the `if pid == 0:` arm and the child executes
+    the parent's code — double side effects, double network traffic.
+    """
+
+    ID = "F006"
+    SEVERITY = "error"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for site in find_fork_sites(module):
+            if not site.has_child_branch or not site.child_body:
+                continue
+            if child_execs(site.child_body, module):
+                continue
+            if child_exits(site.child_body, module):
+                continue
+            yield self.finding(
+                module, site.test_node,
+                "forked child branch neither execs nor exits: control "
+                "falls through into parent-only code")
+
+
+@rule
+class MultiprocessingForkMethod(Rule):
+    """Explicitly selecting multiprocessing's fork start method."""
+
+    ID = "F007"
+    SEVERITY = "warning"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for call in (module.calls_to("multiprocessing.set_start_method")
+                     + module.calls_to("multiprocessing.get_context")):
+            for arg in call.args[:1]:
+                if isinstance(arg, ast.Constant) and arg.value == "fork":
+                    yield self.finding(
+                        module, call,
+                        "multiprocessing start method 'fork' inherits every "
+                        "hazard of the parent into workers; prefer 'spawn' "
+                        "or 'forkserver'")
+
+
+@rule
+class PrngAcrossFork(Rule):
+    """fork() in a module using random/secrets without child reseed."""
+
+    ID = "F008"
+    SEVERITY = "warning"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        uses_random = bool(module.calls_matching("random."))
+        if not uses_random or not module.fork_calls():
+            return
+        reseeds = {id(c) for c in module.calls_to("random.seed")}
+        for site in find_fork_sites(module):
+            child_reseeds = any(
+                id(node) in reseeds
+                for stmt in site.child_body for node in ast.walk(stmt))
+            if not child_reseeds:
+                yield self.finding(
+                    module, site.fork_call,
+                    "PRNG state is duplicated by fork: parent and child "
+                    "will generate identical 'random' streams unless the "
+                    "child reseeds")
+
+
+@rule
+class TlsAcrossFork(Rule):
+    """fork() in a module using ssl: session state duplicates.
+
+    Two processes sharing one TLS session's keys and sequence numbers
+    corrupt the connection (and share secrets the child may not need) —
+    the paper's security example.
+    """
+
+    ID = "F009"
+    SEVERITY = "error"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if "ssl" not in module.imported_modules:
+            return
+        for call in module.fork_calls():
+            yield self.finding(
+                module, call,
+                "os.fork() in a module using ssl: TLS session state and "
+                "key material are duplicated into the child")
+
+
+@rule
+class PreexecFn(Rule):
+    """subprocess's ``preexec_fn`` runs Python between fork and exec."""
+
+    ID = "F010"
+    SEVERITY = "warning"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for call in (module.calls_to("subprocess.Popen")
+                     + module.calls_to("subprocess.run")
+                     + module.calls_to("subprocess.call")
+                     + module.calls_to("subprocess.check_output")):
+            for kw in call.keywords:
+                if kw.arg == "preexec_fn" and not (
+                        isinstance(kw.value, ast.Constant)
+                        and kw.value.value is None):
+                    yield self.finding(
+                        module, call,
+                        "preexec_fn runs arbitrary Python in the forked "
+                        "child (documented as unsafe with threads); use "
+                        "file actions / start_new_session instead")
+
+
+@rule
+class ForkResultDiscarded(Rule):
+    """``os.fork()`` whose pid is thrown away.
+
+    With the return value discarded there is no branch: both processes
+    continue down the same code path, the child cannot be waited for
+    (zombie), and every later side effect happens twice.
+    """
+
+    ID = "F012"
+    SEVERITY = "error"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        fork_ids = set(map(id, module.fork_calls()))
+        for node in ast.walk(module.tree):
+            if (isinstance(node, ast.Expr)
+                    and isinstance(node.value, ast.Call)
+                    and id(node.value) in fork_ids):
+                yield self.finding(
+                    module, node,
+                    "os.fork() result discarded: parent and child run the "
+                    "same code and the child can never be reaped")
+
+
+@rule
+class SocketAcrossFork(Rule):
+    """fork() in a module that creates sockets.
+
+    An inherited socket is shared kernel state: both processes can read
+    from (and race on) the same connection, and the connection stays
+    open until *both* close it — the server-side sibling of the pipe
+    EOF bug.
+    """
+
+    ID = "F013"
+    SEVERITY = "warning"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        creates_socket = bool(
+            module.calls_to("socket.socket")
+            or module.calls_to("socket.create_connection")
+            or module.calls_to("socket.create_server")
+            or module.calls_matching("socketserver."))
+        if not creates_socket:
+            return
+        for call in module.fork_calls():
+            yield self.finding(
+                module, call,
+                "os.fork() in a module that creates sockets: inherited "
+                "sockets are shared with the child (racing reads, "
+                "connections held open until both sides close)")
+
+
+@rule
+class ForkInAsync(Rule):
+    """fork() inside an ``async def``: the event loop forks with you.
+
+    The child inherits the running loop's selector, timer heap and
+    pending callbacks; both processes then service the same watched
+    descriptors.  asyncio explicitly does not support this.
+    """
+
+    ID = "F014"
+    SEVERITY = "error"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        fork_ids = set(map(id, module.fork_calls()))
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Call) and id(inner) in fork_ids:
+                    yield self.finding(
+                        module, inner,
+                        f"os.fork() inside async function "
+                        f"{node.name!r}: the child inherits the event "
+                        f"loop's selector and timers; asyncio does not "
+                        f"support fork")
+
+
+@rule
+class ForkInLoopWithoutWait(Rule):
+    """fork() inside a loop with no wait anywhere: the zombie herd.
+
+    Every child that exits before being waited on sticks around as a
+    zombie holding a pid; in a loop that is resource exhaustion on a
+    timer (and the accidental shape of a fork bomb).
+    """
+
+    ID = "F015"
+    SEVERITY = "error"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        reaps = (module.calls_to("os.wait") + module.calls_to("os.waitpid")
+                 + module.calls_to("os.wait3")
+                 + module.calls_to("os.wait4"))
+        if reaps:
+            return
+        fork_ids = set(map(id, module.fork_calls()))
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.For, ast.While, ast.AsyncFor)):
+                continue
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Call) and id(inner) in fork_ids:
+                    yield self.finding(
+                        module, inner,
+                        "os.fork() in a loop with no wait()/waitpid() in "
+                        "the module: exited children accumulate as "
+                        "zombies (and the loop is one bug from a fork "
+                        "bomb)")
+
+
+@rule
+class SpawnWouldDo(Rule):
+    """fork immediately followed by exec: the paper's migration target."""
+
+    ID = "F011"
+    SEVERITY = "info"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for site in find_fork_sites(module):
+            if site.has_child_branch and child_execs(site.child_body,
+                                                     module):
+                yield self.finding(
+                    module, site.fork_call,
+                    "fork+exec pair detected: os.posix_spawn (or "
+                    "repro.core.ProcessBuilder) expresses this without "
+                    "cloning the parent")

@@ -1,0 +1,69 @@
+"""``repro-lint``: command-line front end for the fork-safety analyzer.
+
+Usage::
+
+    repro-lint PATH [PATH...]          # text report, exit 1 on warnings+
+    repro-lint --json PATH             # machine-readable
+    repro-lint --min-severity error .  # only errors gate the exit code
+    repro-lint --explain F001          # what a rule means
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .linter import lint_paths
+from .report import SEVERITIES
+from .rules import all_rules, get_rule
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Static analyzer for fork-unsafe Python code "
+                    "(the hazards of 'A fork() in the road', as a linter).")
+    parser.add_argument("paths", nargs="*", help="files or directories")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a JSON report")
+    parser.add_argument("--min-severity", choices=SEVERITIES,
+                        default="warning",
+                        help="lowest severity that fails the run "
+                             "(default: warning)")
+    parser.add_argument("--select", action="append", metavar="RULE",
+                        help="run only these rule ids (repeatable)")
+    parser.add_argument("--explain", metavar="RULE",
+                        help="print a rule's documentation and exit")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list every rule and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_cls in all_rules():
+            first_line = (rule_cls.__doc__ or "").strip().splitlines()[0]
+            print(f"{rule_cls.ID}  {rule_cls.SEVERITY:8s} {first_line}")
+        return 0
+    if args.explain:
+        rule_cls = get_rule(args.explain)
+        if rule_cls is None:
+            print(f"no such rule: {args.explain}", file=sys.stderr)
+            return 2
+        print(f"{rule_cls.ID} ({rule_cls.SEVERITY})")
+        print(rule_cls.__doc__ or "(no documentation)")
+        return 0
+    if not args.paths:
+        print("nothing to lint (pass paths, or --list-rules)",
+              file=sys.stderr)
+        return 2
+    report = lint_paths(args.paths, only_rules=args.select)
+    print(report.render_json() if args.json else report.render_text())
+    gating = report.by_severity(args.min_severity)
+    return 1 if gating else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""Control-flow helpers: finding fork call sites and their child branches.
+
+The classic fork idiom is::
+
+    pid = os.fork()
+    if pid == 0:
+        ...child...
+    else:
+        ...parent...
+
+These helpers statically match that shape (and its ``if pid:`` mirror) so
+rules can reason about what the *child* does — whether it execs, exits,
+or wanders back into the parent's code with cloned state.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .rules import ModuleContext
+
+
+@dataclass
+class ForkSite:
+    """One matched fork idiom."""
+
+    fork_call: ast.Call
+    pid_name: Optional[str]          # variable holding fork's result
+    test_node: Optional[ast.If]      # the branch on the pid, if found
+    child_body: List[ast.stmt]       # statements executed in the child
+
+    @property
+    def has_child_branch(self) -> bool:
+        return self.test_node is not None
+
+
+def _assigned_name(stmt: ast.stmt, call: ast.Call) -> Optional[str]:
+    """``pid`` from ``pid = os.fork()`` when ``call`` is that fork."""
+    if isinstance(stmt, ast.Assign) and stmt.value is call:
+        if len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Name):
+            return stmt.targets[0].id
+    return None
+
+
+def _child_branch(if_node: ast.If, pid_name: str) -> Optional[List[ast.stmt]]:
+    """Which arm of ``if_node`` runs in the child, if decidable."""
+    test = if_node.test
+    # `if pid == 0:` / `if 0 == pid:` -> body is the child.
+    if isinstance(test, ast.Compare) and len(test.ops) == 1:
+        left, (comparator,) = test.left, test.comparators
+        names = {n.id for n in (left, comparator) if isinstance(n, ast.Name)}
+        zeros = [n for n in (left, comparator)
+                 if isinstance(n, ast.Constant) and n.value == 0]
+        if pid_name in names and zeros:
+            if isinstance(test.ops[0], ast.Eq):
+                return if_node.body
+            if isinstance(test.ops[0], (ast.NotEq, ast.Gt)):
+                return if_node.orelse
+    # `if pid:` -> orelse is the child; `if not pid:` -> body.
+    if isinstance(test, ast.Name) and test.id == pid_name:
+        return if_node.orelse
+    if (isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not)
+            and isinstance(test.operand, ast.Name)
+            and test.operand.id == pid_name):
+        return if_node.body
+    return None
+
+
+def find_fork_sites(module: ModuleContext) -> List[ForkSite]:
+    """Match every ``os.fork`` call with its pid branch where possible.
+
+    Each fork call yields exactly one site.  A call is visible from
+    every enclosing statement list, so candidates are deduplicated by
+    call identity, preferring the match that recovered the pid variable
+    and its branch.
+    """
+    best: dict = {}
+    fork_calls = set(map(id, module.fork_calls()))
+
+    def better(new: ForkSite, old: Optional[ForkSite]) -> bool:
+        if old is None:
+            return True
+        score_new = (new.pid_name is not None, new.has_child_branch)
+        score_old = (old.pid_name is not None, old.has_child_branch)
+        return score_new > score_old
+
+    for parent in ast.walk(module.tree):
+        body = getattr(parent, "body", None)
+        if not isinstance(body, list):
+            continue
+        for index, stmt in enumerate(body):
+            for call in ast.walk(stmt):
+                if isinstance(call, ast.Call) and id(call) in fork_calls:
+                    pid_name = _assigned_name(stmt, call)
+                    test_node = None
+                    child_body: List[ast.stmt] = []
+                    if pid_name is not None:
+                        for later in body[index + 1:]:
+                            if isinstance(later, ast.If):
+                                branch = _child_branch(later, pid_name)
+                                if branch is not None:
+                                    test_node = later
+                                    child_body = branch
+                                break
+                    site = ForkSite(call, pid_name, test_node, child_body)
+                    if better(site, best.get(id(call))):
+                        best[id(call)] = site
+    return list(best.values())
+
+
+def branch_calls(body: List[ast.stmt], module: ModuleContext) -> List[str]:
+    """Resolved callee names for every call in a statement list."""
+    names = []
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                name = module.callee_name(node)
+                if name is not None:
+                    names.append(name)
+    return names
+
+
+def child_execs(body: List[ast.stmt], module: ModuleContext) -> bool:
+    """Whether the child branch reaches an ``exec*`` call."""
+    return any(name.startswith("os.exec") or name.startswith("os.posix_spawn")
+               for name in branch_calls(body, module))
+
+
+def child_exits(body: List[ast.stmt], module: ModuleContext) -> bool:
+    """Whether the child branch terminates (``os._exit``/``sys.exit``)."""
+    names = branch_calls(body, module)
+    if any(n in ("os._exit", "sys.exit", "exit") for n in names):
+        return True
+    return any(isinstance(stmt, (ast.Raise, ast.Return)) for stmt in body)
+
+
+def inside_main_guard(node: ast.AST, module: ModuleContext) -> bool:
+    """Whether ``node`` sits under ``if __name__ == "__main__":``."""
+    for candidate in ast.walk(module.tree):
+        if not isinstance(candidate, ast.If):
+            continue
+        test = candidate.test
+        if (isinstance(test, ast.Compare)
+                and isinstance(test.left, ast.Name)
+                and test.left.id == "__name__"):
+            for inner in ast.walk(candidate):
+                if inner is node:
+                    return True
+    return False

@@ -1,0 +1,86 @@
+"""Findings and reports for the fork-safety analyzer."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+SEVERITIES = ("info", "warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One fork-safety diagnostic at a source location."""
+
+    rule_id: str
+    severity: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+
+    def format(self) -> str:
+        """Classic compiler-style one-liner."""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.severity} [{self.rule_id}] {self.message}")
+
+
+@dataclass
+class Report:
+    """All findings from one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    def extend(self, findings) -> None:
+        self.findings.extend(findings)
+
+    def sorted(self) -> List[Finding]:
+        """Findings ordered by path, then line, then rule."""
+        return sorted(self.findings,
+                      key=lambda f: (f.path, f.line, f.rule_id))
+
+    def by_severity(self, minimum: str = "info") -> List[Finding]:
+        """Findings at or above ``minimum`` severity."""
+        if minimum not in SEVERITIES:
+            raise ValueError(f"bad severity {minimum!r}")
+        floor = SEVERITIES.index(minimum)
+        return [f for f in self.sorted()
+                if SEVERITIES.index(f.severity) >= floor]
+
+    def counts(self) -> dict:
+        """``{severity: count}`` including zeroes."""
+        out = {s: 0 for s in SEVERITIES}
+        for finding in self.findings:
+            out[finding.severity] += 1
+        return out
+
+    @property
+    def worst_severity(self) -> Optional[str]:
+        """The highest severity present, or ``None`` when clean."""
+        present = [SEVERITIES.index(f.severity) for f in self.findings]
+        return SEVERITIES[max(present)] if present else None
+
+    def render_text(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [f.format() for f in self.sorted()]
+        counts = self.counts()
+        summary = (f"{self.files_scanned} file(s) scanned: "
+                   f"{counts['error']} error(s), "
+                   f"{counts['warning']} warning(s), "
+                   f"{counts['info']} info")
+        return "\n".join(lines + [summary])
+
+    def render_json(self) -> str:
+        """Machine-readable report."""
+        return json.dumps({
+            "files_scanned": self.files_scanned,
+            "counts": self.counts(),
+            "findings": [
+                {"rule": f.rule_id, "severity": f.severity,
+                 "message": f.message, "path": f.path,
+                 "line": f.line, "col": f.col}
+                for f in self.sorted()
+            ],
+        }, indent=2)

@@ -1,0 +1,139 @@
+"""Rule plumbing for the fork-safety analyzer.
+
+A rule is a class with an ``ID``, a default ``SEVERITY``, a docstring
+(shown by ``repro-lint --explain``) and a ``check(module)`` method taking
+a :class:`ModuleContext` and yielding :class:`~repro.analysis.report.Finding`
+objects.  Rules register themselves via the :func:`rule` decorator.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Type
+
+from .report import Finding
+
+_REGISTRY: Dict[str, Type["Rule"]] = {}
+
+
+def rule(cls: Type["Rule"]) -> Type["Rule"]:
+    """Class decorator: add a rule to the global registry."""
+    if not getattr(cls, "ID", None):
+        raise ValueError(f"rule {cls.__name__} has no ID")
+    if cls.ID in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.ID}")
+    _REGISTRY[cls.ID] = cls
+    return cls
+
+
+def all_rules() -> List[Type["Rule"]]:
+    """Registered rules, by id."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Optional[Type["Rule"]]:
+    """Look one rule up by id."""
+    return _REGISTRY.get(rule_id)
+
+
+class ModuleContext:
+    """One parsed module plus the indexes every rule wants.
+
+    Indexing once per file keeps each rule a simple query instead of a
+    fresh AST walk: ``calls`` maps dotted callee names (``os.fork``,
+    ``threading.Thread``) to call nodes, with ``from``-imports resolved
+    through ``alias_of``.
+    """
+
+    def __init__(self, tree: ast.Module, source: str, path: str):
+        self.tree = tree
+        self.source = source
+        self.path = path
+        self.lines = source.splitlines()
+        self.alias_of: Dict[str, str] = {}   # local name -> dotted origin
+        self.calls: Dict[str, List[ast.Call]] = {}
+        self.imported_modules: set = set()
+        self._index()
+
+    # -- index construction ------------------------------------------------
+
+    def _index(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    self.alias_of[local] = alias.name
+                    self.imported_modules.add(alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                self.imported_modules.add(node.module.split(".")[0])
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.alias_of[local] = f"{node.module}.{alias.name}"
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Call):
+                name = self.callee_name(node)
+                if name is not None:
+                    self.calls.setdefault(name, []).append(node)
+
+    def callee_name(self, call: ast.Call) -> Optional[str]:
+        """The dotted origin of a call's callee, if statically known."""
+        return self._dotted(call.func)
+
+    def _dotted(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return self.alias_of.get(node.id, node.id)
+        if isinstance(node, ast.Attribute):
+            base = self._dotted(node.value)
+            return f"{base}.{node.attr}" if base else None
+        return None
+
+    # -- common queries ------------------------------------------------------
+
+    def calls_to(self, dotted: str) -> List[ast.Call]:
+        """Every call whose callee resolves to ``dotted``."""
+        return list(self.calls.get(dotted, ()))
+
+    def calls_matching(self, prefix: str) -> List[ast.Call]:
+        """Every call whose resolved callee starts with ``prefix``."""
+        out = []
+        for name, nodes in self.calls.items():
+            if name == prefix or name.startswith(prefix):
+                out.extend(nodes)
+        return out
+
+    def fork_calls(self) -> List[ast.Call]:
+        """Direct ``os.fork()`` call sites."""
+        return self.calls_to("os.fork")
+
+    def has_exec_call(self) -> bool:
+        """Whether any ``os.exec*`` variant is called."""
+        return any(name.startswith("os.exec") for name in self.calls)
+
+    def uses_threads(self) -> bool:
+        """Whether the module creates threads (directly or via pools)."""
+        return bool(self.calls_to("threading.Thread")
+                    or self.calls_matching(
+                        "concurrent.futures.ThreadPoolExecutor")
+                    or self.calls_to("ThreadPoolExecutor"))
+
+
+class Rule:
+    """Base class for analyzer rules."""
+
+    ID = ""
+    SEVERITY = "warning"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleContext, node: ast.AST,
+                message: str, severity: Optional[str] = None) -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(
+            rule_id=self.ID,
+            severity=severity or self.SEVERITY,
+            message=message,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+        )

@@ -1,0 +1,16 @@
+"""The POSIX fork/exec semantics catalog and its audit queries.
+
+Reproduces the paper's "~25 special cases in POSIX fork" claim as a
+regenerable count over encoded spec text (experiment T1).
+"""
+
+from .audit import (categories, entries, exec_special_cases,
+                    fork_special_cases, hazards, render_table,
+                    simulator_coverage, special_case_table, summary)
+from .catalog import CATALOG, StateEntry
+
+__all__ = [
+    "CATALOG", "StateEntry", "categories", "entries",
+    "exec_special_cases", "fork_special_cases", "hazards", "render_table",
+    "simulator_coverage", "special_case_table", "summary",
+]

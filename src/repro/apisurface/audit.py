@@ -1,0 +1,89 @@
+"""Audit queries over the POSIX fork/exec catalog (experiment T1)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .catalog import CATALOG, StateEntry
+
+
+def entries(category: Optional[str] = None) -> List[StateEntry]:
+    """Catalog entries, optionally restricted to one category."""
+    if category is None:
+        return list(CATALOG)
+    return [e for e in CATALOG if e.category == category]
+
+
+def categories() -> List[str]:
+    """Every category, in catalog order, deduplicated."""
+    seen: List[str] = []
+    for entry in CATALOG:
+        if entry.category not in seen:
+            seen.append(entry.category)
+    return seen
+
+
+def fork_special_cases() -> List[StateEntry]:
+    """Entries where fork deviates from 'the child is a copy'.
+
+    ``len()`` of this is the paper's headline count (~25).
+    """
+    return [e for e in CATALOG if e.fork_special]
+
+
+def exec_special_cases() -> List[StateEntry]:
+    """Entries where exec deviates from 'a fresh image replaces all'."""
+    return [e for e in CATALOG if e.exec_special]
+
+
+def hazards() -> List[StateEntry]:
+    """Entries carrying an explicit hazard note."""
+    return [e for e in CATALOG if e.hazard]
+
+
+def simulator_coverage() -> Tuple[List[StateEntry], List[StateEntry]]:
+    """``(implemented, not_implemented)`` against :mod:`repro.sim`."""
+    done = [e for e in CATALOG if e.sim_module]
+    todo = [e for e in CATALOG if not e.sim_module]
+    return done, todo
+
+
+def summary() -> Dict[str, int]:
+    """Headline numbers for the T1 table."""
+    done, _ = simulator_coverage()
+    return {
+        "total_state_items": len(CATALOG),
+        "fork_special_cases": len(fork_special_cases()),
+        "exec_special_cases": len(exec_special_cases()),
+        "documented_hazards": len(hazards()),
+        "simulated_items": len(done),
+    }
+
+
+def special_case_table() -> List[Tuple[str, str, str]]:
+    """``(category, name, fork_behavior)`` rows for every special case."""
+    return [(e.category, e.name, e.fork_behavior)
+            for e in fork_special_cases()]
+
+
+def render_table(width: int = 78) -> str:
+    """The T1 listing as fixed-width text."""
+    lines = [
+        f"POSIX fork() special cases: {len(fork_special_cases())} "
+        f"(of {len(CATALOG)} catalogued state items)",
+        "-" * width,
+    ]
+    for category in categories():
+        specials = [e for e in entries(category) if e.fork_special]
+        if not specials:
+            continue
+        lines.append(f"{category} ({len(specials)}):")
+        for entry in specials:
+            lines.append(f"  {entry.name}: {entry.fork_behavior}")
+    counts = summary()
+    lines.append("-" * width)
+    lines.append(
+        f"exec special cases: {counts['exec_special_cases']}; "
+        f"documented hazards: {counts['documented_hazards']}; "
+        f"implemented in repro.sim: {counts['simulated_items']}")
+    return "\n".join(lines)

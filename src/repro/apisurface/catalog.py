@@ -1,0 +1,367 @@
+"""A machine-readable catalog of POSIX fork/exec state semantics.
+
+The paper's "fork is no longer simple" argument rests on a count: the
+POSIX.1 specification of ``fork()`` has accumulated roughly **25 special
+cases** in how the parent's state is (or pointedly is not) copied into
+the child — file locks, timers, asynchronous I/O, message queues,
+tracing, and so on — plus a parallel list of rules at ``exec``.
+
+This module encodes those rules as data, one :class:`StateEntry` per item
+of process state, so the claim is auditable rather than anecdotal:
+experiment T1 regenerates the count and the listing from here.  Entries
+follow POSIX.1-2017 (XSH 3, ``fork`` and ``exec`` DESCRIPTION sections);
+``fork_special`` marks state that deviates from the naive "child is a
+copy of the parent" story, ``exec_special`` the analogous deviations from
+"a fresh image replaces everything".
+
+``sim_module`` records which part of :mod:`repro.sim` implements the
+behaviour, making the catalog double as the simulator's conformance
+checklist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class StateEntry:
+    """One item of process state and its fork/exec treatment."""
+
+    name: str
+    category: str
+    fork_behavior: str
+    fork_special: bool
+    exec_behavior: str
+    exec_special: bool
+    hazard: str = ""
+    sim_module: Optional[str] = None
+
+
+CATALOG: Tuple[StateEntry, ...] = (
+    # ----------------------------------------------------------------- files
+    StateEntry(
+        name="file descriptors",
+        category="files",
+        fork_behavior="each descriptor duplicated; both refer to the SAME "
+                      "open file description (offset and status shared)",
+        fork_special=True,
+        exec_behavior="remain open unless FD_CLOEXEC is set",
+        exec_special=True,
+        hazard="shared offsets interleave I/O; descriptors leak into "
+               "exec'd programs by default",
+        sim_module="repro.sim.fdtable"),
+    StateEntry(
+        name="close-on-exec flags",
+        category="files",
+        fork_behavior="copied per descriptor",
+        fork_special=False,
+        exec_behavior="flagged descriptors are closed",
+        exec_special=True,
+        sim_module="repro.sim.fdtable"),
+    StateEntry(
+        name="open directory streams",
+        category="files",
+        fork_behavior="copied; may share stream positioning with the "
+                      "parent (unspecified)",
+        fork_special=True,
+        exec_behavior="closed",
+        exec_special=True,
+        sim_module=None),
+    StateEntry(
+        name="advisory record locks (fcntl F_SETLK)",
+        category="files",
+        fork_behavior="NOT inherited: the child holds no locks",
+        fork_special=True,
+        exec_behavior="preserved across exec",
+        exec_special=False,
+        hazard="a child believing it holds the parent's lock corrupts "
+               "the locked file",
+        sim_module=None),
+    StateEntry(
+        name="asynchronous I/O operations (aio_*)",
+        category="files",
+        fork_behavior="NOT inherited: outstanding operations belong to "
+                      "the parent only",
+        fork_special=True,
+        exec_behavior="unspecified whether they are cancelled",
+        exec_special=True,
+        sim_module=None),
+    StateEntry(
+        name="message queue descriptors (mq_*)",
+        category="files",
+        fork_behavior="copied, referring to the same open queue "
+                      "descriptions",
+        fork_special=True,
+        exec_behavior="closed",
+        exec_special=True,
+        sim_module=None),
+
+    # ---------------------------------------------------------------- memory
+    StateEntry(
+        name="address space / MAP_PRIVATE mappings",
+        category="memory",
+        fork_behavior="logically copied (copy-on-write everywhere real)",
+        fork_special=False,
+        exec_behavior="entire address space replaced by the new image",
+        exec_special=False,
+        sim_module="repro.sim.addrspace"),
+    StateEntry(
+        name="MAP_SHARED mappings",
+        category="memory",
+        fork_behavior="NOT snapshotted: parent and child keep sharing "
+                      "the same pages",
+        fork_special=True,
+        exec_behavior="unmapped",
+        exec_special=False,
+        sim_module="repro.sim.shm"),
+    StateEntry(
+        name="memory locks (mlock/mlockall)",
+        category="memory",
+        fork_behavior="NOT inherited",
+        fork_special=True,
+        exec_behavior="released",
+        exec_special=False,
+        sim_module=None),
+    StateEntry(
+        name="address-space layout (ASLR bases)",
+        category="memory",
+        fork_behavior="identical to the parent: no fresh randomisation",
+        fork_special=True,
+        exec_behavior="freshly randomised",
+        exec_special=False,
+        hazard="the paper's Blind-ROP point: forked workers share the "
+               "parent's layout, so crash-probing one reveals all",
+        sim_module="repro.sim.addrspace"),
+
+    # --------------------------------------------------------------- threads
+    StateEntry(
+        name="threads",
+        category="threads",
+        fork_behavior="ONLY the calling thread is replicated; all others "
+                      "vanish mid-operation",
+        fork_special=True,
+        exec_behavior="all threads other than the caller are destroyed",
+        exec_special=True,
+        hazard="locks held by vanished threads are held forever in the "
+               "child",
+        sim_module="repro.sim.process"),
+    StateEntry(
+        name="mutex/condition-variable memory",
+        category="threads",
+        fork_behavior="copied as ordinary memory, INCLUDING held state",
+        fork_special=True,
+        exec_behavior="gone with the old image",
+        exec_special=False,
+        hazard="the fork-with-threads deadlock (experiment T4)",
+        sim_module="repro.sim.process"),
+    StateEntry(
+        name="robust mutex list",
+        category="threads",
+        fork_behavior="NOT inherited by the child",
+        fork_special=True,
+        exec_behavior="gone with the old image",
+        exec_special=False,
+        sim_module=None),
+    StateEntry(
+        name="thread-specific data (pthread keys)",
+        category="threads",
+        fork_behavior="the surviving thread keeps its values; no "
+                      "destructors run for vanished threads",
+        fork_special=True,
+        exec_behavior="gone with the old image",
+        exec_special=False,
+        sim_module=None),
+    StateEntry(
+        name="pthread_atfork handlers",
+        category="threads",
+        fork_behavior="prepare/parent/child handlers run around the fork "
+                      "(the consistency band-aid)",
+        fork_special=True,
+        exec_behavior="gone with the old image",
+        exec_special=False,
+        sim_module="repro.core.atfork"),
+
+    # --------------------------------------------------------------- signals
+    StateEntry(
+        name="signal dispositions",
+        category="signals",
+        fork_behavior="inherited (handlers point at the same code)",
+        fork_special=False,
+        exec_behavior="caught signals RESET to default; ignored signals "
+                      "stay ignored",
+        exec_special=True,
+        sim_module="repro.sim.signals"),
+    StateEntry(
+        name="signal mask",
+        category="signals",
+        fork_behavior="inherited",
+        fork_special=False,
+        exec_behavior="preserved across exec",
+        exec_special=True,
+        sim_module="repro.sim.signals"),
+    StateEntry(
+        name="pending signals",
+        category="signals",
+        fork_behavior="CLEARED: the child starts with an empty pending set",
+        fork_special=True,
+        exec_behavior="preserved across exec",
+        exec_special=True,
+        sim_module="repro.sim.signals"),
+    StateEntry(
+        name="alternate signal stack (sigaltstack)",
+        category="signals",
+        fork_behavior="inherited (same addresses, which COW makes distinct)",
+        fork_special=False,
+        exec_behavior="disabled in the new image",
+        exec_special=True,
+        sim_module=None),
+
+    # ---------------------------------------------------------------- timers
+    StateEntry(
+        name="pending alarms (alarm)",
+        category="timers",
+        fork_behavior="CLEARED in the child",
+        fork_special=True,
+        exec_behavior="preserved across exec",
+        exec_special=True,
+        sim_module=None),
+    StateEntry(
+        name="interval timers (setitimer)",
+        category="timers",
+        fork_behavior="RESET in the child",
+        fork_special=True,
+        exec_behavior="preserved across exec",
+        exec_special=True,
+        sim_module=None),
+    StateEntry(
+        name="POSIX per-process timers (timer_create)",
+        category="timers",
+        fork_behavior="NOT inherited",
+        fork_special=True,
+        exec_behavior="deleted",
+        exec_special=False,
+        sim_module=None),
+    StateEntry(
+        name="CPU-time clocks",
+        category="timers",
+        fork_behavior="RESET: the child's CPU clock starts at zero",
+        fork_special=True,
+        exec_behavior="preserved (same process)",
+        exec_special=False,
+        sim_module=None),
+    StateEntry(
+        name="tms_* process times",
+        category="timers",
+        fork_behavior="RESET to zero in the child",
+        fork_special=True,
+        exec_behavior="preserved",
+        exec_special=False,
+        sim_module=None),
+
+    # ------------------------------------------------------------------- ipc
+    StateEntry(
+        name="semaphore adjustments (semadj)",
+        category="ipc",
+        fork_behavior="CLEARED in the child",
+        fork_special=True,
+        exec_behavior="preserved",
+        exec_special=False,
+        sim_module=None),
+    StateEntry(
+        name="System V shared memory attachments",
+        category="ipc",
+        fork_behavior="inherited (attached segments remain attached)",
+        fork_special=True,
+        exec_behavior="detached",
+        exec_special=False,
+        sim_module="repro.sim.shm"),
+    StateEntry(
+        name="named semaphores (sem_open)",
+        category="ipc",
+        fork_behavior="references inherited, shared with the parent",
+        fork_special=True,
+        exec_behavior="closed",
+        exec_special=False,
+        sim_module=None),
+
+    # -------------------------------------------------------------- identity
+    StateEntry(
+        name="process ID / parent process ID",
+        category="identity",
+        fork_behavior="child gets a unique pid; ppid is the parent",
+        fork_special=True,
+        exec_behavior="unchanged",
+        exec_special=False,
+        sim_module="repro.sim.process"),
+    StateEntry(
+        name="process group, session, controlling terminal",
+        category="identity",
+        fork_behavior="inherited",
+        fork_special=False,
+        exec_behavior="unchanged",
+        exec_special=False,
+        sim_module=None),
+    StateEntry(
+        name="real/effective user and group IDs",
+        category="identity",
+        fork_behavior="inherited",
+        fork_special=False,
+        exec_behavior="unchanged unless set-user-ID/set-group-ID bits "
+                      "apply",
+        exec_special=True,
+        sim_module=None),
+    StateEntry(
+        name="working directory, root directory, umask",
+        category="identity",
+        fork_behavior="inherited",
+        fork_special=False,
+        exec_behavior="unchanged",
+        exec_special=False,
+        sim_module="repro.sim.process"),
+
+    # ------------------------------------------------------------ accounting
+    StateEntry(
+        name="resource utilisation (getrusage)",
+        category="accounting",
+        fork_behavior="RESET to zero in the child",
+        fork_special=True,
+        exec_behavior="preserved",
+        exec_special=False,
+        sim_module=None),
+    StateEntry(
+        name="resource limits (setrlimit)",
+        category="accounting",
+        fork_behavior="inherited",
+        fork_special=False,
+        exec_behavior="preserved",
+        exec_special=False,
+        sim_module=None),
+    StateEntry(
+        name="nice value / scheduling attributes",
+        category="accounting",
+        fork_behavior="inherited (per-policy details unspecified)",
+        fork_special=True,
+        exec_behavior="preserved",
+        exec_special=False,
+        sim_module=None),
+
+    # ----------------------------------------------------------------- debug
+    StateEntry(
+        name="tracing state (ptrace/trace)",
+        category="debug",
+        fork_behavior="NOT inherited: the child is not being traced",
+        fork_special=True,
+        exec_behavior="implementation-defined (may detach or stop)",
+        exec_special=True,
+        sim_module=None),
+    StateEntry(
+        name="floating-point environment",
+        category="debug",
+        fork_behavior="inherited",
+        fork_special=False,
+        exec_behavior="reset to default",
+        exec_special=True,
+        sim_module=None),
+)

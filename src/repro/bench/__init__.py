@@ -1,0 +1,20 @@
+"""The measurement harness: timers, ballast, workloads, experiments.
+
+``python -m repro.bench list`` shows every regenerable paper artifact;
+``python -m repro.bench run <id>`` regenerates one.
+"""
+
+from .ballast import Ballast, default_sizes, resident_bytes
+from .calibrate import (Calibration, calibrated_cost_model,
+                        calibration_from_points, measure_fork_line)
+from .render import render_series_chart, render_table
+from .stats import Summary, format_bytes, format_ns, percentile, speedup
+from .timing import measure
+from .workloads import Workloads
+
+__all__ = [
+    "Ballast", "Calibration", "calibrated_cost_model",
+    "calibration_from_points", "measure_fork_line", "Summary", "Workloads", "default_sizes", "format_bytes",
+    "format_ns", "measure", "percentile", "render_series_chart",
+    "render_table", "resident_bytes", "speedup",
+]

@@ -1,0 +1,134 @@
+"""Calibrating the simulator's cost model against this machine.
+
+DESIGN.md §6: the simulator counts work and a :class:`CostModel` prices
+it; the default constants approximate commodity x86.  This module fits
+the two constants that matter for Figure 1 against *measured* fork
+latencies on the host:
+
+* the **per-page slope** — how many nanoseconds each additional dirty
+  parent page adds to a fork (split between ``pte_copy_ns`` and
+  ``pte_writeprotect_ns`` in their default proportion);
+* the **fixed floor** — fork's size-independent cost
+  (``fixed_fork_ns``).
+
+The fit is ordinary least squares over ``fork_only`` medians at a sweep
+of ballast sizes (``fork_only`` isolates the fork syscall: the child
+exits before exec, so no loader noise enters the slope).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import BenchError
+from ..sim.params import PAGE_SIZE, CostModel
+from .ballast import Ballast
+from .workloads import Workloads
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """A fitted fork cost line: ``ns = fixed + per_page * pages``."""
+
+    fixed_ns: float
+    per_page_ns: float
+    sizes: Tuple[int, ...]
+    medians_ns: Tuple[float, ...]
+    r_squared: float
+
+    def predict_ns(self, dirty_bytes: int) -> float:
+        """Predicted fork latency for a parent of ``dirty_bytes``."""
+        return self.fixed_ns + self.per_page_ns * (dirty_bytes / PAGE_SIZE)
+
+
+def fit_line(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float, float]:
+    """OLS fit ``y = a + b*x``; returns ``(a, b, r_squared)``."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise BenchError("need at least two (x, y) points")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise BenchError("degenerate fit: all x identical")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_res = sum((y - (intercept + slope * x)) ** 2
+                 for x, y in zip(xs, ys))
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r_squared = 1.0 - (ss_res / ss_tot if ss_tot else 0.0)
+    return intercept, slope, r_squared
+
+
+def calibration_from_points(sizes: Sequence[int],
+                            medians_ns: Sequence[float]) -> Calibration:
+    """Fit a :class:`Calibration` from already-measured points."""
+    pages = [size / PAGE_SIZE for size in sizes]
+    fixed, per_page, r_squared = fit_line(pages, list(medians_ns))
+    return Calibration(fixed_ns=max(fixed, 0.0),
+                       per_page_ns=max(per_page, 0.0),
+                       sizes=tuple(sizes),
+                       medians_ns=tuple(float(m) for m in medians_ns),
+                       r_squared=r_squared)
+
+
+def measure_fork_line(sizes: Optional[Sequence[int]] = None, *,
+                      repeats: int = 12,
+                      max_seconds: float = 6.0) -> Calibration:
+    """Measure ``fork_only`` at a size sweep on this machine and fit it."""
+    sizes = list(sizes) if sizes is not None else [
+        16 << 20, 64 << 20, 128 << 20, 256 << 20]
+    medians: List[float] = []
+    with Workloads() as workloads:
+        for size in sizes:
+            with Ballast(size):
+                summary = workloads.measure_mechanism(
+                    "fork_only", repeats=repeats, max_seconds=max_seconds)
+            medians.append(summary.median)
+    return calibration_from_points(sizes, medians)
+
+
+def calibrated_cost_model(calibration: Calibration,
+                          base: Optional[CostModel] = None) -> CostModel:
+    """A cost model whose fork line matches the measured one.
+
+    The measured per-page slope is split between PTE copying and
+    write-protecting in the base model's own proportion, so ablations
+    keep their relative meaning; the measured floor replaces
+    ``fixed_fork_ns``.
+    """
+    base = base if base is not None else CostModel()
+    base_per_page = base.pte_copy_ns + base.pte_writeprotect_ns
+    if base_per_page <= 0:
+        raise BenchError("base model has no per-page fork cost to scale")
+    scale = calibration.per_page_ns / base_per_page
+    return replace(
+        base,
+        pte_copy_ns=base.pte_copy_ns * scale,
+        pte_writeprotect_ns=base.pte_writeprotect_ns * scale,
+        fixed_fork_ns=calibration.fixed_ns,
+    )
+
+
+def compare_real_vs_sim(calibration: Calibration,
+                        model: CostModel) -> List[dict]:
+    """Per-size rows: measured median vs the calibrated model's fork cost.
+
+    The model side is computed analytically (pages × per-page + floor),
+    which is exactly what the simulator charges for a fork of that many
+    dirty pages.
+    """
+    rows = []
+    per_page = model.pte_copy_ns + model.pte_writeprotect_ns
+    for size, median in zip(calibration.sizes, calibration.medians_ns):
+        pages = size / PAGE_SIZE
+        sim_ns = model.fixed_fork_ns + pages * per_page
+        rows.append({
+            "ballast_bytes": size,
+            "real_ns": median,
+            "sim_ns": sim_ns,
+            "ratio": sim_ns / median if median else float("inf"),
+        })
+    return rows

@@ -1,0 +1,74 @@
+"""``repro-bench`` / ``python -m repro.bench``: run the paper's artifacts.
+
+Usage::
+
+    repro-bench list                 # every experiment and what it maps to
+    repro-bench run fig1-sim         # one experiment, full settings
+    repro-bench run fig1-real --quick
+    repro-bench run all --quick      # everything, reduced settings
+    repro-bench run t1-api --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from ..errors import BenchError
+from .experiments import base
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the figures and tables of "
+                    "'A fork() in the road' (HotOS 2019).")
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list experiments")
+    runner = sub.add_parser("run", help="run one experiment (or 'all')")
+    runner.add_argument("experiment",
+                        help="experiment id from 'list', or 'all'")
+    runner.add_argument("--quick", action="store_true",
+                        help="reduced sizes/repeats for smoke runs")
+    runner.add_argument("--json", action="store_true",
+                        help="emit rows as JSON instead of tables")
+    return parser
+
+
+def _run_one(experiment_id: str, quick: bool, as_json: bool) -> None:
+    result = base.run(experiment_id, quick=quick)
+    if as_json:
+        print(json.dumps(result.as_dict(), indent=2, default=str))
+        return
+    print(f"== {result.experiment_id}: {result.title} ==")
+    print(result.text)
+    if result.notes:
+        print(f"\nnotes: {result.notes}")
+    print()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list" or args.command is None:
+        print(f"{'id':14s} {'paper artifact':22s} title")
+        for experiment in base.all_experiments():
+            print(f"{experiment.experiment_id:14s} "
+                  f"{experiment.paper_artifact:22s} {experiment.title}")
+        return 0
+    if args.command == "run":
+        targets = ([e.experiment_id for e in base.all_experiments()]
+                   if args.experiment == "all" else [args.experiment])
+        try:
+            for experiment_id in targets:
+                _run_one(experiment_id, args.quick, args.json)
+        except BenchError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        return 0
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

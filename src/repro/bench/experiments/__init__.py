@@ -1,0 +1,11 @@
+"""One module per paper artifact; importing the package registers all."""
+
+from . import (exp_calibrate, exp_compose, exp_fig1, exp_scaling,  # noqa: F401
+               exp_tables)
+from .base import (Experiment, ExperimentResult, all_experiments, get,
+                   register, run)
+
+__all__ = [
+    "Experiment", "ExperimentResult", "all_experiments", "get", "register",
+    "run",
+]

@@ -1,0 +1,77 @@
+"""Experiment registry: every paper artifact is a named, runnable unit."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ...errors import BenchError
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's output: rows of data plus rendered text."""
+
+    experiment_id: str
+    title: str
+    rows: List[dict]
+    text: str
+    notes: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "id": self.experiment_id,
+            "title": self.title,
+            "rows": self.rows,
+            "notes": self.notes,
+        }
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment: metadata plus its runner."""
+
+    experiment_id: str
+    title: str
+    paper_artifact: str
+    runner: Callable[..., ExperimentResult]
+    quick_kwargs: dict = field(default_factory=dict)
+
+
+_REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(experiment_id: str, title: str, paper_artifact: str,
+             quick_kwargs: Optional[dict] = None):
+    """Decorator: register ``runner`` under ``experiment_id``."""
+    def decorate(runner):
+        if experiment_id in _REGISTRY:
+            raise BenchError(f"duplicate experiment id {experiment_id}")
+        _REGISTRY[experiment_id] = Experiment(
+            experiment_id, title, paper_artifact, runner,
+            dict(quick_kwargs or {}))
+        return runner
+    return decorate
+
+
+def get(experiment_id: str) -> Experiment:
+    """Look up one experiment (BenchError if unknown)."""
+    experiment = _REGISTRY.get(experiment_id)
+    if experiment is None:
+        raise BenchError(
+            f"unknown experiment {experiment_id!r}; have {sorted(_REGISTRY)}")
+    return experiment
+
+
+def all_experiments() -> List[Experiment]:
+    """Every registered experiment, by id."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def run(experiment_id: str, *, quick: bool = False,
+        **kwargs) -> ExperimentResult:
+    """Run one experiment; ``quick=True`` applies its reduced settings."""
+    experiment = get(experiment_id)
+    effective = dict(experiment.quick_kwargs) if quick else {}
+    effective.update(kwargs)
+    return experiment.runner(**effective)

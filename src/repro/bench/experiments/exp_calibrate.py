@@ -1,0 +1,43 @@
+"""The calibration loop promised in DESIGN.md §6.
+
+Measures fork's cost line on this machine, fits the simulator's two
+Figure-1 constants to it, and reports how well the calibrated model
+tracks reality at the measured sizes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..calibrate import (calibrated_cost_model, compare_real_vs_sim,
+                         measure_fork_line)
+from ..render import render_table
+from ..stats import format_bytes, format_ns
+from .base import ExperimentResult, register
+
+
+@register("calibrate", "Fit the cost model to this machine's fork line",
+          "DESIGN.md §6",
+          quick_kwargs={"sizes": [16 << 20, 64 << 20], "repeats": 6})
+def run_calibrate(sizes: Optional[List[int]] = None,
+                  repeats: int = 12) -> ExperimentResult:
+    """Measure, fit, and report real-vs-calibrated fork latency."""
+    calibration = measure_fork_line(sizes, repeats=repeats)
+    model = calibrated_cost_model(calibration)
+    rows = compare_real_vs_sim(calibration, model)
+    table = render_table(
+        ["parent dirty size", "measured fork", "calibrated model",
+         "model/real"],
+        [[format_bytes(r["ballast_bytes"]), format_ns(r["real_ns"]),
+          format_ns(r["sim_ns"]), f"{r['ratio']:.3f}"] for r in rows],
+        title="Calibration: measured fork line vs fitted cost model")
+    notes = (f"fitted floor {format_ns(calibration.fixed_ns)}, "
+             f"{calibration.per_page_ns:.1f} ns per dirty page "
+             f"(R^2={calibration.r_squared:.3f}); pass the returned "
+             f"model via SimConfig(cost_model=...) to run fig1-sim in "
+             f"this machine's units.")
+    result_rows = [{"fixed_ns": calibration.fixed_ns,
+                    "per_page_ns": calibration.per_page_ns,
+                    "r_squared": calibration.r_squared}] + rows
+    return ExperimentResult("calibrate", "Cost-model calibration",
+                            result_rows, table, notes)

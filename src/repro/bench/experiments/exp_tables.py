@@ -1,0 +1,76 @@
+"""Tables T1–T3: the API-surface count, the microbenchmark, overcommit."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...apisurface import audit
+from ..render import render_table
+from ..simbench import t2_micro_sim, t3_overcommit
+from ..stats import format_bytes, format_ns
+from ..workloads import Workloads
+from .base import ExperimentResult, register
+
+
+@register("t1-api", "POSIX fork special-case count", "'25 special cases'")
+def run_t1_api() -> ExperimentResult:
+    """Regenerate the paper's API-surface claim from the catalog."""
+    counts = audit.summary()
+    rows = [dict(category=c, name=n, fork_behavior=b)
+            for c, n, b in audit.special_case_table()]
+    text = audit.render_table()
+    notes = (f"{counts['fork_special_cases']} fork special cases encoded "
+             f"(paper says ~25); {counts['exec_special_cases']} at exec.")
+    return ExperimentResult("t1-api", "POSIX fork/exec special cases",
+                            rows, text, notes)
+
+
+@register("t2-micro", "Minimal-process creation latency", "prose claim",
+          quick_kwargs={"repeats": 6})
+def run_t2_micro(repeats: int = 25,
+                 real_mechanisms: Optional[List[str]] = None
+                 ) -> ExperimentResult:
+    """Every mechanism from an empty parent: real OS and simulator."""
+    real_mechanisms = real_mechanisms or [
+        "fork_only", "fork_exec", "posix_spawn", "subprocess", "forkserver"]
+    with Workloads() as workloads:
+        workloads.start_forkserver()
+        real = {name: workloads.measure_mechanism(name, repeats=repeats)
+                for name in real_mechanisms}
+    sim = t2_micro_sim()
+    rows = []
+    for name, summary in real.items():
+        rows.append({"side": "real", "mechanism": name,
+                     "median_ns": summary.median, "p95_ns": summary.p95})
+    for name, ns in sim.items():
+        rows.append({"side": "sim", "mechanism": name,
+                     "median_ns": ns, "p95_ns": ns})
+    table = render_table(
+        ["side", "mechanism", "median", "p95"],
+        [[r["side"], r["mechanism"], format_ns(r["median_ns"]),
+          format_ns(r["p95_ns"])] for r in rows],
+        title="T2: trivial-child creation latency, minimal parent")
+    fastest_real = min(real, key=lambda n: real[n].median)
+    notes = (f"fastest real mechanism from an empty parent: {fastest_real}; "
+             f"the ordering inverts as the parent grows (see fig1-real).")
+    return ExperimentResult("t2-micro", "Creation microbenchmark", rows,
+                            table, notes)
+
+
+@register("t3-overcommit", "fork forces overcommit", "prose claim")
+def run_t3_overcommit(parent_fraction: float = 0.75) -> ExperimentResult:
+    """fork vs spawn of a 75%-of-RAM parent under each overcommit mode."""
+    raw = t3_overcommit(parent_fraction=parent_fraction)
+    table = render_table(
+        ["overcommit mode", "parent size", "fork", "spawn",
+         "peak committed pages"],
+        [[r["mode"], format_bytes(r["parent_bytes"]), r["fork"], r["spawn"],
+          r["committed_pages_peak"]] for r in raw],
+        title="T3: creating a child of a large parent")
+    strict = next(r for r in raw if r["mode"] == "never")
+    notes = ("under strict accounting fork of the large parent fails "
+             f"({strict['fork']}) while spawn succeeds ({strict['spawn']}): "
+             "to keep fork working, systems must overpromise memory — "
+             "the paper's 'fork encourages overcommit'.")
+    return ExperimentResult("t3-overcommit", "Overcommit experiment", raw,
+                            table, notes)

@@ -1,0 +1,116 @@
+"""Text rendering: fixed-width tables and log-scale ASCII charts.
+
+The harness reports the same way the paper does — a figure and tables —
+except in a terminal.  Charts are log-log, because Figure 1's whole
+story (one line grows, one stays flat) lives on a log axis.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence
+
+from ..errors import BenchError
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None) -> str:
+    """A boxless fixed-width table; right-aligns numeric-looking cells."""
+    if not headers:
+        raise BenchError("table needs headers")
+    cells = [[str(c) for c in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise BenchError(
+                f"row width {len(row)} != header width {len(headers)}")
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def is_numeric(text: str) -> bool:
+        return bool(text) and (text[0].isdigit() or text[0] in "-+.")
+
+    def fmt(row: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(row):
+            if is_numeric(cell):
+                parts.append(cell.rjust(widths[index]))
+            else:
+                parts.append(cell.ljust(widths[index]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
+
+
+def render_series_chart(x_values: Sequence[float],
+                        series: Dict[str, Sequence[float]], *,
+                        width: int = 64, height: int = 18,
+                        x_label: str = "x", y_label: str = "y",
+                        title: Optional[str] = None) -> str:
+    """Log-log scatter chart of several named series.
+
+    Each series gets a marker character; collisions print the later
+    series' marker.  Positive values only (it is a log chart).
+    """
+    if not x_values or not series:
+        raise BenchError("chart needs data")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise BenchError(f"series {name!r} length mismatch")
+        if any(v <= 0 for v in ys):
+            raise BenchError(f"series {name!r} has non-positive values")
+    if any(x <= 0 for x in x_values):
+        raise BenchError("x values must be positive on a log chart")
+
+    markers = "*o+x#@%&"
+    all_y = [v for ys in series.values() for v in ys]
+    y_lo, y_hi = math.log10(min(all_y)), math.log10(max(all_y))
+    x_lo, x_hi = math.log10(min(x_values)), math.log10(max(x_values))
+    y_span = (y_hi - y_lo) or 1.0
+    x_span = (x_hi - x_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, ys) in enumerate(sorted(series.items())):
+        marker = markers[index % len(markers)]
+        for x, y in zip(x_values, ys):
+            col = int((math.log10(x) - x_lo) / x_span * (width - 1))
+            row = int((math.log10(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}"
+        for i, name in enumerate(sorted(series)))
+    lines.append(f"[{y_label}, log scale]   {legend}")
+    top = 10 ** y_hi
+    bottom = 10 ** y_lo
+    for row_index, row in enumerate(grid):
+        prefix = "  "
+        if row_index == 0:
+            prefix = f"{_short(top):>8} "
+        elif row_index == height - 1:
+            prefix = f"{_short(bottom):>8} "
+        else:
+            prefix = " " * 9
+        lines.append(prefix + "|" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(f"{'':9}{_short(10 ** x_lo)} ... {_short(10 ** x_hi)}"
+                 f"  [{x_label}, log scale]")
+    return "\n".join(lines)
+
+
+def _short(value: float) -> str:
+    """Compact magnitude label for chart axes."""
+    for threshold, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.3g}{suffix}"
+    if abs(value) >= 1:
+        return f"{value:.3g}"
+    return f"{value:.2g}"

@@ -1,0 +1,322 @@
+"""Simulator-side experiments: deterministic versions of every figure.
+
+The simulator's clock is a cost model over counted work, so one run per
+configuration yields an *exact* number — no repeats, no noise.  These
+drivers use :meth:`repro.sim.kernel.Kernel.timed_call` to price single
+syscalls the way the trampoline would.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from ..errors import BenchError, SimMemoryError
+from ..sim.kernel import Kernel
+from ..sim.locks import fork_stall_ns, simulate_contention
+from ..sim.params import GIB, MIB, CostModel, SimConfig
+from ..sim.syscalls.base import Park
+
+IDLE = "/bin/idle"
+TRIVIAL = "/bin/true"
+
+#: The Figure-1b sweep: 1 MiB to 8 GiB, the range the paper measured.
+DEFAULT_SIM_SIZES = [1 * MIB, 4 * MIB, 16 * MIB, 64 * MIB, 256 * MIB,
+                     1 * GIB, 2 * GIB, 4 * GIB, 8 * GIB]
+
+SIM_MECHANISMS = ("fork", "vfork", "spawn", "xproc", "zygote")
+
+
+def _machine(config: Optional[SimConfig] = None) -> Kernel:
+    kernel = Kernel(config if config is not None else
+                    SimConfig(total_ram=32 * GIB))
+    kernel.register_program(IDLE, lambda sys: iter(()))
+    kernel.register_program(TRIVIAL, lambda sys: iter(()))
+    return kernel
+
+
+def _parent_with_ballast(kernel: Kernel, nbytes: int):
+    proc = kernel.spawn_root(IDLE)
+    thread = proc.main_thread()
+    if nbytes:
+        (addr, _), = [kernel.timed_call(thread, "mmap", nbytes)]
+        kernel.timed_call(thread, "populate", addr, nbytes)
+    return proc, thread
+
+
+def _cleanup_child(kernel: Kernel, pid: int) -> None:
+    child = kernel.find_process(pid)
+    if child is not None and child.alive:
+        kernel.exit_process(child, 0)
+
+
+def _zygote_thread(kernel: Kernel):
+    """The machine's warm template process (created once per kernel).
+
+    The Android model: a small process with the runtime preloaded sits
+    idle; new "programs" are forks of *it* (no exec, no image load) that
+    specialise in place.  Its cost is fork-of-a-small-parent — flat,
+    and cheaper than spawn's image-load fixed cost.
+    """
+    template = getattr(kernel, "_zygote_process", None)
+    if template is None:
+        template = kernel.spawn_root(TRIVIAL)
+        kernel._zygote_process = template
+    return template.main_thread()
+
+
+def creation_ns(kernel: Kernel, thread, mechanism: str) -> float:
+    """Virtual nanoseconds to create one trivial child via ``mechanism``."""
+    trivial_main = lambda sys: iter(())  # noqa: E731 - tiny child body
+    if mechanism == "zygote":
+        zygote = _zygote_thread(kernel)
+        pid, elapsed = kernel.timed_call(zygote, "fork", trivial_main)
+        _cleanup_child(kernel, pid)
+        return elapsed
+    if mechanism == "fork":
+        pid, elapsed = kernel.timed_call(thread, "fork", trivial_main)
+        _cleanup_child(kernel, pid)
+        return elapsed
+    if mechanism == "vfork":
+        try:
+            kernel.timed_call(thread, "vfork", trivial_main)
+        except Park:
+            elapsed = kernel._last_call_ns
+            child_pid = max(kernel.processes)
+            _cleanup_child(kernel, child_pid)
+            thread.state = "ready"  # undo the park; the driver owns time
+            thread.pending_call = None
+            thread.wake_result = None
+            return elapsed
+        raise BenchError("vfork did not park the parent")
+    if mechanism == "spawn":
+        pid, elapsed = kernel.timed_call(thread, "spawn", TRIVIAL)
+        _cleanup_child(kernel, pid)
+        return elapsed
+    if mechanism == "xproc":
+        handle, ns_create = kernel.timed_call(thread, "xproc_create")
+        pid, ns_start = kernel.timed_call(thread, "xproc_start", handle,
+                                          TRIVIAL)
+        _cleanup_child(kernel, pid)
+        return ns_create + ns_start
+    raise BenchError(f"unknown mechanism {mechanism!r}; "
+                     f"have {SIM_MECHANISMS}")
+
+
+def fig1_sim(sizes: Optional[List[int]] = None,
+             mechanisms=SIM_MECHANISMS,
+             config: Optional[SimConfig] = None) -> List[dict]:
+    """Figure 1 in the simulator: creation time vs parent dirty size."""
+    rows = []
+    for size in (sizes if sizes is not None else DEFAULT_SIM_SIZES):
+        kernel = _machine(config)
+        _, thread = _parent_with_ballast(kernel, size)
+        results = {m: creation_ns(kernel, thread, m) for m in mechanisms}
+        rows.append({"ballast_bytes": size, "results": results})
+    return rows
+
+
+def t2_micro_sim(mechanisms=SIM_MECHANISMS) -> Dict[str, float]:
+    """Minimal-parent creation cost per mechanism (Table T2, sim side)."""
+    out = {}
+    for mechanism in mechanisms:
+        kernel = _machine()
+        _, thread = _parent_with_ballast(kernel, 0)
+        out[mechanism] = creation_ns(kernel, thread, mechanism)
+    return out
+
+
+def f2_scaling(thread_counts=(1, 2, 4, 8, 16, 32), *,
+               ops_per_thread: int = 200,
+               config: Optional[SimConfig] = None) -> List[dict]:
+    """Fault throughput vs threads under one VM lock vs per-VMA locks.
+
+    The critical-section length is the cost model's fault service time,
+    so the simulation and the kernel price the same mechanism
+    consistently.  Also reports the work stalled behind one concurrent
+    fork of a 1 GiB parent (the paper's "fork stalls the process").
+    """
+    cfg = config if config is not None else SimConfig()
+    cost = cfg.cost_model
+    critical = cost.fault_ns + cost.vm_lock_ns
+    parallel = 2_000.0  # user-mode work between faults
+    fork_walk = (1 * GIB // cfg.page_size) * (cost.pte_copy_ns
+                                              + cost.pte_writeprotect_ns)
+    rows = []
+    for threads in thread_counts:
+        single = simulate_contention(threads, ops_per_thread, critical,
+                                     parallel, num_locks=1,
+                                     num_cpus=cfg.num_cpus or threads)
+        pervma = simulate_contention(threads, ops_per_thread, critical,
+                                     parallel, num_locks=threads,
+                                     num_cpus=max(cfg.num_cpus, threads))
+        rows.append({
+            "threads": threads,
+            "one_lock_ops_per_sec": single.throughput_ops_per_sec,
+            "per_vma_ops_per_sec": pervma.throughput_ops_per_sec,
+            "one_lock_mean_wait_ns": single.mean_wait_ns,
+            "fork_stall_ns": fork_stall_ns(
+                fork_walk, threads, fault_rate_per_sec=50_000,
+                fault_ns=cost.fault_ns),
+        })
+    return rows
+
+
+def t3_overcommit(parent_fraction: float = 0.75,
+                  total_ram: int = 4 * GIB) -> List[dict]:
+    """fork vs spawn of a large parent under each overcommit mode."""
+    rows = []
+    ballast = int(total_ram * parent_fraction)
+    for mode in ("always", "heuristic", "never"):
+        kernel = _machine(SimConfig(total_ram=total_ram, overcommit=mode))
+        _, thread = _parent_with_ballast(kernel, ballast)
+        try:
+            pid, _ = kernel.timed_call(thread, "fork", lambda sys: iter(()))
+            _cleanup_child(kernel, pid)
+            fork_outcome = "ok"
+        except SimMemoryError:
+            fork_outcome = "ENOMEM"
+        try:
+            pid, _ = kernel.timed_call(thread, "spawn", TRIVIAL)
+            _cleanup_child(kernel, pid)
+            spawn_outcome = "ok"
+        except SimMemoryError:
+            spawn_outcome = "ENOMEM"
+        rows.append({
+            "mode": mode,
+            "parent_bytes": ballast,
+            "fork": fork_outcome,
+            "spawn": spawn_outcome,
+            "committed_pages_peak": kernel.commit.peak_committed,
+        })
+    return rows
+
+
+def a1_ablation(size: int = 1 * GIB) -> List[dict]:
+    """Where fork's cost lives: remove one mechanism's price at a time."""
+    variants = [
+        ("full model", SimConfig(total_ram=32 * GIB)),
+        ("no PTE-copy cost", SimConfig(
+            total_ram=32 * GIB,
+            cost_model=CostModel().without(pte_copy_ns=True))),
+        ("no write-protect cost", SimConfig(
+            total_ram=32 * GIB,
+            cost_model=CostModel().without(pte_writeprotect_ns=True))),
+        ("no TLB/IPI cost", SimConfig(
+            total_ram=32 * GIB,
+            cost_model=CostModel().without(tlb_shootdown_ns=True,
+                                           ipi_ns=True,
+                                           tlb_flush_ns=True))),
+        ("eager copy (no COW)", SimConfig(total_ram=32 * GIB,
+                                          cow_enabled=False)),
+        ("2 MiB huge pages", SimConfig(total_ram=32 * GIB,
+                                       page_size=2 * MIB)),
+    ]
+    rows = []
+    for label, config in variants:
+        kernel = _machine(config)
+        _, thread = _parent_with_ballast(kernel, size)
+        rows.append({
+            "variant": label,
+            "fork_ns": creation_ns(kernel, thread, "fork"),
+        })
+    return rows
+
+
+def a3_emulation(sizes: Optional[List[int]] = None) -> List[dict]:
+    """Native COW fork vs fork emulated on explicit construction (A3).
+
+    The WSL/Zircon story: a kernel without native fork must emulate it
+    through its explicit interfaces, paying an eager page copy per
+    resident page and forfeiting COW sharing.  Reports cost and the
+    post-creation resident set for both.
+    """
+    rows = []
+    for size in (sizes if sizes is not None else
+                 [16 * MIB, 64 * MIB, 256 * MIB, 1 * GIB]):
+        # Native fork.
+        kernel = _machine()
+        parent, thread = _parent_with_ballast(kernel, size)
+        rss_before = kernel.allocator.used_frames
+        pid, native_ns = kernel.timed_call(thread, "fork",
+                                           lambda sys: iter(()))
+        native_rss_growth = kernel.allocator.used_frames - rss_before
+        _cleanup_child(kernel, pid)
+        # Emulated fork on a fresh, identical machine.
+        kernel = _machine()
+        parent, thread = _parent_with_ballast(kernel, size)
+        rss_before = kernel.allocator.used_frames
+        pid, emulated_ns = kernel.timed_call(thread, "fork_emulated",
+                                             lambda sys: iter(()))
+        emulated_rss_growth = kernel.allocator.used_frames - rss_before
+        _cleanup_child(kernel, pid)
+        rows.append({
+            "ballast_bytes": size,
+            "native_ns": native_ns,
+            "emulated_ns": emulated_ns,
+            "slowdown": emulated_ns / native_ns,
+            "native_rss_growth_pages": native_rss_growth,
+            "emulated_rss_growth_pages": emulated_rss_growth,
+        })
+    return rows
+
+
+def a4_fdtable(fd_counts=(0, 64, 1024, 16384)) -> List[dict]:
+    """Creation cost vs parent descriptor count (A4).
+
+    fork and posix_spawn both duplicate the descriptor table (POSIX says
+    the child inherits it), so both scale with fd count; the
+    cross-process API grants only what the parent names, so it is flat.
+    A server holding tens of thousands of sockets pays this on every
+    fork.
+    """
+    rows = []
+    for nfds in fd_counts:
+        kernel = _machine()
+        proc, thread = _parent_with_ballast(kernel, 0)
+        kernel.vfs.write_file("/tmp/filler", b"")
+        for _ in range(nfds):
+            kernel.timed_call(thread, "open", "/tmp/filler", "r")
+        results = {}
+        for mechanism in ("fork", "spawn", "xproc"):
+            results[mechanism] = creation_ns(kernel, thread, mechanism)
+        rows.append({"fds": nfds, "results": results})
+    return rows
+
+
+def a2_aslr(children: int = 32) -> List[dict]:
+    """Layout inheritance per creation API (the security argument).
+
+    For each mechanism, create ``children`` processes from one parent
+    and report how many share the parent's exact layout and the entropy
+    (log2 of distinct layouts observed).
+    """
+    rows = []
+    for mechanism in ("fork", "spawn", "xproc"):
+        kernel = _machine()
+        parent, thread = _parent_with_ballast(kernel, 0)
+        parent_layout = parent.addrspace.layout_signature()
+        layouts = []
+        for _ in range(children):
+            if mechanism == "fork":
+                pid, _ = kernel.timed_call(thread, "fork",
+                                           lambda sys: iter(()))
+            elif mechanism == "spawn":
+                pid, _ = kernel.timed_call(thread, "spawn", TRIVIAL)
+            else:
+                handle, _ = kernel.timed_call(thread, "xproc_create")
+                pid, _ = kernel.timed_call(thread, "xproc_start", handle,
+                                           TRIVIAL)
+            child = kernel.find_process(pid)
+            layouts.append(child.addrspace.layout_signature())
+            _cleanup_child(kernel, pid)
+        identical = sum(1 for layout in layouts if layout == parent_layout)
+        distinct = len(set(layouts))
+        rows.append({
+            "mechanism": mechanism,
+            "children": children,
+            "identical_to_parent": identical,
+            "distinct_layouts": distinct,
+            "entropy_bits": math.log2(distinct) if distinct else 0.0,
+        })
+    return rows

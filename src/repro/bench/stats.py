@@ -1,0 +1,118 @@
+"""Robust summary statistics for latency samples.
+
+Process-creation latencies are right-skewed (page-cache misses, scheduler
+noise), so the harness reports medians and percentiles rather than means,
+with the mean kept for cross-checking.  Everything is plain arithmetic on
+a list of floats — no numpy dependency here, so the stats are usable from
+the forkserver-measuring child processes too.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import BenchError
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile (``fraction`` in [0, 1])."""
+    if not samples:
+        raise BenchError("percentile of no samples")
+    if not 0.0 <= fraction <= 1.0:
+        raise BenchError(f"fraction {fraction} outside [0, 1]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high or ordered[low] == ordered[high]:
+        # Second condition avoids float round-off pushing the
+        # interpolation a ULP outside [low, high] when both ends agree.
+        return ordered[low]
+    weight = position - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Summary of one sample set (nanoseconds unless stated otherwise)."""
+
+    n: int
+    median: float
+    mean: float
+    stdev: float
+    p05: float
+    p95: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "Summary":
+        """Summarise ``samples`` (at least one required)."""
+        if not samples:
+            raise BenchError("no samples to summarise")
+        values = list(map(float, samples))
+        n = len(values)
+        mean = sum(values) / n
+        variance = (sum((v - mean) ** 2 for v in values) / (n - 1)
+                    if n > 1 else 0.0)
+        return cls(
+            n=n,
+            median=percentile(values, 0.5),
+            mean=mean,
+            stdev=math.sqrt(variance),
+            p05=percentile(values, 0.05),
+            p95=percentile(values, 0.95),
+            minimum=min(values),
+            maximum=max(values),
+        )
+
+    def scaled(self, factor: float) -> "Summary":
+        """The same distribution with every statistic scaled."""
+        return Summary(self.n, self.median * factor, self.mean * factor,
+                       self.stdev * factor, self.p05 * factor,
+                       self.p95 * factor, self.minimum * factor,
+                       self.maximum * factor)
+
+    def as_dict(self) -> dict:
+        return {
+            "n": self.n, "median": self.median, "mean": self.mean,
+            "stdev": self.stdev, "p05": self.p05, "p95": self.p95,
+            "min": self.minimum, "max": self.maximum,
+        }
+
+
+def format_ns(ns: float) -> str:
+    """Human scale: 1234 -> '1.23us', 2.5e6 -> '2.50ms'."""
+    if ns < 0:
+        return "-" + format_ns(-ns)
+    if ns < 1e3:
+        return f"{ns:.0f}ns"
+    if ns < 1e6:
+        return f"{ns / 1e3:.2f}us"
+    if ns < 1e9:
+        return f"{ns / 1e6:.2f}ms"
+    return f"{ns / 1e9:.3f}s"
+
+
+def format_bytes(nbytes: float) -> str:
+    """Human scale for byte counts (binary units)."""
+    units = ["B", "KiB", "MiB", "GiB", "TiB"]
+    value = float(nbytes)
+    for unit in units:
+        if abs(value) < 1024.0 or unit == units[-1]:
+            if unit == "B":
+                return f"{value:.0f}{unit}"
+            return f"{value:.1f}{unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def speedup(baseline: float, contender: float) -> float:
+    """How many times faster ``contender`` is than ``baseline``."""
+    if contender <= 0:
+        raise BenchError("non-positive contender time")
+    return baseline / contender

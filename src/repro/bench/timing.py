@@ -1,0 +1,49 @@
+"""Measurement loop: warmup, repeats, and outlier-resistant summaries."""
+
+from __future__ import annotations
+
+import gc
+import time
+from typing import Callable, Optional
+
+from ..errors import BenchError
+from .stats import Summary
+
+
+def measure(operation: Callable[[], None], *, repeats: int = 30,
+            warmup: int = 3, disable_gc: bool = True,
+            max_seconds: Optional[float] = None) -> Summary:
+    """Time ``operation`` ``repeats`` times; returns a :class:`Summary` in ns.
+
+    The garbage collector is paused around each timed call so a
+    coincidental collection does not land inside a sample (it is run
+    *between* samples instead, where it can do no harm).  ``max_seconds``
+    caps total measurement time for expensive configurations — at least
+    three samples are always taken.
+    """
+    if repeats < 1:
+        raise BenchError("need at least one repeat")
+    for _ in range(warmup):
+        operation()
+    samples = []
+    deadline = (time.perf_counter() + max_seconds
+                if max_seconds is not None else None)
+    gc_was_enabled = gc.isenabled()
+    try:
+        for index in range(repeats):
+            if disable_gc and gc_was_enabled:
+                gc.collect()
+                gc.disable()
+            start = time.perf_counter_ns()
+            operation()
+            elapsed = time.perf_counter_ns() - start
+            if disable_gc and gc_was_enabled:
+                gc.enable()
+            samples.append(float(elapsed))
+            if (deadline is not None and index >= 2
+                    and time.perf_counter() > deadline):
+                break
+    finally:
+        if gc_was_enabled and not gc.isenabled():
+            gc.enable()
+    return Summary.from_samples(samples)

@@ -1,0 +1,143 @@
+"""Real-OS process-creation workloads: the measured side of Figure 1.
+
+Each workload creates one trivial child (``/bin/true``) and waits for it,
+through a different mechanism:
+
+* ``fork_exec`` — ``os.fork`` + ``os.execv``: the traditional pair.
+* ``fork_only`` — ``os.fork`` + immediate ``os._exit`` in the child:
+  isolates the fork syscall itself (no exec, no loader).
+* ``posix_spawn`` — ``os.posix_spawn``.
+* ``subprocess`` — the stdlib (itself vfork/posix_spawn-based).
+* ``forkserver`` — a request to a pre-started pristine helper.
+
+All of them measure creation *plus wait*, which is what an application
+observes; ``fork_only`` children exit before exec so the pair
+(``fork_exec`` − ``fork_only``) brackets the exec cost.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+from typing import Callable, Dict, List, Optional
+
+from ..core.forkserver import ForkServer
+from ..errors import BenchError
+from .ballast import Ballast
+from .stats import Summary
+from .timing import measure
+
+TRIVIAL_CHILD = "/bin/true"
+
+
+def _fork_exec_once() -> None:
+    pid = os.fork()
+    if pid == 0:
+        try:
+            os.execv(TRIVIAL_CHILD, [TRIVIAL_CHILD])
+        except BaseException:
+            os._exit(127)
+    os.waitpid(pid, 0)
+
+
+def _fork_only_once() -> None:
+    pid = os.fork()
+    if pid == 0:
+        os._exit(0)
+    os.waitpid(pid, 0)
+
+
+def _posix_spawn_once() -> None:
+    pid = os.posix_spawn(TRIVIAL_CHILD, [TRIVIAL_CHILD], {})
+    os.waitpid(pid, 0)
+
+
+def _subprocess_once() -> None:
+    subprocess.run([TRIVIAL_CHILD], check=True)
+
+
+class Workloads:
+    """The mechanism registry, owning the shared forkserver."""
+
+    def __init__(self):
+        self._forkserver: Optional[ForkServer] = None
+
+    def close(self) -> None:
+        if self._forkserver is not None:
+            self._forkserver.stop()
+            self._forkserver = None
+
+    def __enter__(self) -> "Workloads":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _forkserver_once(self) -> None:
+        if self._forkserver is None:
+            # Started lazily but BEFORE ballast in the sweep below, so
+            # the helper stays small — that is the whole trick.
+            self._forkserver = ForkServer().start()
+        child = self._forkserver.spawn([TRIVIAL_CHILD])
+        child.wait(timeout=30)
+
+    def start_forkserver(self) -> None:
+        """Start the helper now (call before allocating ballast)."""
+        if self._forkserver is None:
+            self._forkserver = ForkServer().start()
+
+    def mechanisms(self) -> Dict[str, Callable[[], None]]:
+        """Name -> one-shot creation callable."""
+        return {
+            "fork_exec": _fork_exec_once,
+            "fork_only": _fork_only_once,
+            "posix_spawn": _posix_spawn_once,
+            "subprocess": _subprocess_once,
+            "forkserver": self._forkserver_once,
+        }
+
+    def measure_mechanism(self, name: str, *, repeats: int = 20,
+                          max_seconds: float = 10.0) -> Summary:
+        """Latency summary for one mechanism at the current memory size."""
+        mechanisms = self.mechanisms()
+        if name not in mechanisms:
+            raise BenchError(
+                f"unknown mechanism {name!r}; have {sorted(mechanisms)}")
+        return measure(mechanisms[name], repeats=repeats, warmup=2,
+                       max_seconds=max_seconds)
+
+    def measure_with_fds(self, name: str, nfds: int, *, repeats: int = 15,
+                         max_seconds: float = 6.0) -> Summary:
+        """Latency of one mechanism while holding ``nfds`` open files.
+
+        The descriptor-table dimension of creation cost: fork copies
+        every entry.  Descriptors are opened on ``/dev/null`` and closed
+        before returning.
+        """
+        fds = [os.open(os.devnull, os.O_RDONLY) for _ in range(nfds)]
+        try:
+            return self.measure_mechanism(name, repeats=repeats,
+                                          max_seconds=max_seconds)
+        finally:
+            for fd in fds:
+                os.close(fd)
+
+    def sweep(self, sizes: List[int], names: Optional[List[str]] = None, *,
+              repeats: int = 15, max_seconds: float = 8.0) -> List[dict]:
+        """The Figure-1 grid: ballast size × mechanism -> Summary.
+
+        Returns one row per size: ``{"ballast_bytes": n, "results":
+        {name: Summary}}``.  The forkserver is started before any
+        ballast exists, exactly as a real application would.
+        """
+        names = names or ["fork_exec", "posix_spawn", "forkserver"]
+        self.start_forkserver()
+        rows = []
+        for size in sizes:
+            with Ballast(size):
+                results = {}
+                for name in names:
+                    results[name] = self.measure_mechanism(
+                        name, repeats=repeats, max_seconds=max_seconds)
+                rows.append({"ballast_bytes": size, "results": results})
+        return rows

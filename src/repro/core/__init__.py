@@ -1,0 +1,35 @@
+"""The paper's constructive contribution: a spawn-first process API.
+
+Highlights:
+
+* :class:`ProcessBuilder` / :func:`run` — fluent spawn API over
+  ``posix_spawn`` (default), fork+exec, or the stdlib.
+* :class:`Pipeline` — shell-style composition without fork.
+* :class:`ForkServer` — the zygote pattern: fork a pristine helper, not
+  the real parent.
+* :mod:`repro.core.safety` — audit whether forking is safe right now;
+  :mod:`repro.core.atfork` — the pthread_atfork discipline.
+"""
+
+from .attrs import SpawnAttributes
+from .atfork import AtForkRegistry, fork_with_handlers, register
+from .file_actions import FileActions
+from .forkserver import ForkServer
+from .pipeline import Pipeline, PipelineResult
+from .pool import SpawnPool, callable_spec
+from .result import ChildProcess
+from .safety import Hazard, assess, guarded_fork, is_fork_safe
+from .spawn import ProcessBuilder, SpawnedIO, run
+from .strategies import (STRATEGIES, ForkExecStrategy, PosixSpawnStrategy,
+                         Strategy, SubprocessStrategy,
+                         pick_default_strategy)
+
+__all__ = [
+    "AtForkRegistry", "ChildProcess", "FileActions", "ForkExecStrategy",
+    "ForkServer", "Hazard", "Pipeline", "PipelineResult",
+    "PosixSpawnStrategy", "ProcessBuilder", "STRATEGIES", "SpawnAttributes",
+    "SpawnPool",
+    "SpawnedIO", "Strategy", "SubprocessStrategy", "assess",
+    "fork_with_handlers", "guarded_fork", "is_fork_safe",
+    "callable_spec", "pick_default_strategy", "register", "run",
+]

@@ -1,0 +1,119 @@
+"""Declarative file actions: what the child's descriptor table should be.
+
+``posix_spawn``'s file-action list is the paper's answer to fork's
+implicit descriptor inheritance: instead of mutating a forked copy of the
+parent (racing against other threads creating descriptors), the parent
+*declares* the opens, dups and closes to perform in the child, atomically
+with process creation.
+
+:class:`FileActions` builds such a list once and renders it two ways:
+as ``os.posix_spawn`` file-action tuples, and as a callable that applies
+the same actions between ``fork`` and ``exec`` — so every strategy in
+:mod:`repro.core.strategies` honours one description.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+from ..errors import SpawnError
+
+
+class FileActions:
+    """An ordered list of descriptor actions to perform in the child.
+
+    Actions run in the order added, matching POSIX semantics (order is
+    visible: an ``open`` at fd 1 followed by ``dup2(1, 2)`` differs from
+    the reverse).
+    """
+
+    def __init__(self):
+        self._actions: List[Tuple] = []
+
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def add_open(self, fd: int, path: str, flags: int = os.O_RDONLY,
+                 mode: int = 0o644) -> "FileActions":
+        """Open ``path`` at exactly ``fd`` in the child."""
+        if fd < 0:
+            raise SpawnError(f"negative fd {fd}")
+        self._actions.append(("open", fd, os.fspath(path), flags, mode))
+        return self
+
+    def add_dup2(self, from_fd: int, to_fd: int) -> "FileActions":
+        """Make ``to_fd`` an alias of ``from_fd`` in the child."""
+        if from_fd < 0 or to_fd < 0:
+            raise SpawnError("negative fd in dup2")
+        self._actions.append(("dup2", from_fd, to_fd))
+        return self
+
+    def add_close(self, fd: int) -> "FileActions":
+        """Close ``fd`` in the child."""
+        if fd < 0:
+            raise SpawnError(f"negative fd {fd}")
+        self._actions.append(("close", fd))
+        return self
+
+    def actions(self) -> List[Tuple]:
+        """The raw action tuples, in order (a copy)."""
+        return list(self._actions)
+
+    # -- renderings -----------------------------------------------------
+
+    def as_posix_spawn(self) -> List[Tuple]:
+        """The list ``os.posix_spawn(file_actions=...)`` expects."""
+        rendered = []
+        for action in self._actions:
+            kind = action[0]
+            if kind == "open":
+                _, fd, path, flags, mode = action
+                rendered.append((os.POSIX_SPAWN_OPEN, fd, path, flags, mode))
+            elif kind == "dup2":
+                _, from_fd, to_fd = action
+                rendered.append((os.POSIX_SPAWN_DUP2, from_fd, to_fd))
+            else:
+                _, fd = action
+                rendered.append((os.POSIX_SPAWN_CLOSE, fd))
+        return rendered
+
+    def apply_in_child(self) -> None:
+        """Perform the actions directly (between fork and exec).
+
+        Must only run in a freshly forked child: it mutates the calling
+        process's descriptor table.
+        """
+        for action in self._actions:
+            kind = action[0]
+            if kind == "open":
+                _, fd, path, flags, mode = action
+                opened = os.open(path, flags, mode)
+                if opened != fd:
+                    os.dup2(opened, fd)
+                    os.close(opened)
+                os.set_inheritable(fd, True)
+            elif kind == "dup2":
+                _, from_fd, to_fd = action
+                if from_fd != to_fd:
+                    os.dup2(from_fd, to_fd)
+                else:
+                    os.set_inheritable(fd_keep := from_fd, True)
+            else:
+                _, fd = action
+                os.close(fd)
+
+    def describe(self) -> List[str]:
+        """Human-readable action descriptions (for logs and tests)."""
+        out = []
+        for action in self._actions:
+            if action[0] == "open":
+                out.append(f"open fd {action[1]} <- {action[2]}")
+            elif action[0] == "dup2":
+                out.append(f"dup2 {action[1]} -> {action[2]}")
+            else:
+                out.append(f"close fd {action[1]}")
+        return out
+
+    def __repr__(self):
+        return f"<FileActions [{'; '.join(self.describe())}]>"

@@ -1,0 +1,242 @@
+"""A forkserver: fork from a pristine template, not from the real parent.
+
+This is the mitigation the paper credits to Android's zygote and
+``multiprocessing``'s ``forkserver`` start method: since fork's cost and
+hazards both scale with the *parent*, keep a tiny, single-threaded,
+nothing-mapped helper process around and ask *it* to fork.  The parent's
+gigabytes of heap and threads never matter; the helper's do, and it has
+none.
+
+The server is spawned once (via ``posix_spawn``, naturally) running a
+self-contained Python script.  The control channel is a Unix-domain
+socket pair carrying length-prefixed JSON; stdio descriptors travel
+alongside spawn requests as SCM_RIGHTS ancillary data, so children can be
+wired into pipelines exactly like directly spawned ones.
+"""
+
+from __future__ import annotations
+
+import array
+import json
+import os
+import socket
+import struct
+import sys
+import threading
+from typing import Dict, Optional, Sequence
+
+from ..errors import SpawnError
+from .result import ChildProcess
+
+_LEN = struct.Struct("!I")
+
+#: The helper's entire program.  Deliberately dependency-free: it must
+#: stay importable-nothing so its fork cost is the floor, not the
+#: parent's.
+_SERVER_SOURCE = r"""
+import array, json, os, socket, struct, sys
+
+LEN = struct.Struct("!I")
+sock = socket.socket(fileno=int(sys.argv[1]))
+
+def recv_exact(n):
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise SystemExit(0)
+        buf += chunk
+    return buf
+
+def recv_request():
+    fds = array.array("i")
+    msg, ancdata, flags, addr = sock.recvmsg(
+        LEN.size, socket.CMSG_LEN(16 * array.array("i").itemsize))
+    if not msg:
+        raise SystemExit(0)
+    for level, ctype, data in ancdata:
+        if level == socket.SOL_SOCKET and ctype == socket.SCM_RIGHTS:
+            fds.frombytes(data[:len(data) - len(data) % fds.itemsize])
+    if len(msg) < LEN.size:
+        msg += recv_exact(LEN.size - len(msg))
+    (length,) = LEN.unpack(msg)
+    body = recv_exact(length)
+    return json.loads(body), list(fds)
+
+def send_reply(obj):
+    body = json.dumps(obj).encode()
+    sock.sendall(LEN.pack(len(body)) + body)
+
+while True:
+    request, fds = recv_request()
+    op = request["op"]
+    if op == "ping":
+        send_reply({"ok": True})
+    elif op == "shutdown":
+        send_reply({"ok": True})
+        break
+    elif op == "spawn":
+        pid = os.fork()
+        if pid == 0:
+            try:
+                for target, fd in enumerate(fds):  # stdio triple
+                    os.dup2(fd, target)
+                for fd in fds:
+                    if fd > 2:
+                        os.close(fd)
+                if request.get("cwd"):
+                    os.chdir(request["cwd"])
+                env = request.get("env")
+                argv = request["argv"]
+                os.execvpe(argv[0], argv,
+                           env if env is not None else os.environ)
+            except BaseException:
+                os._exit(127)
+        for fd in fds:
+            os.close(fd)
+        send_reply({"pid": pid})
+    elif op == "wait":
+        flags = 0 if request["block"] else os.WNOHANG
+        try:
+            reaped, status = os.waitpid(request["pid"], flags)
+        except ChildProcessError:
+            send_reply({"error": "ECHILD"})
+            continue
+        send_reply({"status": status if reaped else None})
+    else:
+        send_reply({"error": "bad op"})
+"""
+
+
+class ForkServer:
+    """Handle on one running forkserver helper.
+
+    Start it early — before the parent grows threads and ballast — and
+    every later :meth:`spawn` costs a fork *of the helper*, not of you.
+    Usable as a context manager.
+    """
+
+    def __init__(self):
+        self._sock: Optional[socket.socket] = None
+        self._pid: Optional[int] = None
+        self._lock = threading.Lock()
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._sock is not None
+
+    def start(self) -> "ForkServer":
+        """Launch the helper (idempotent)."""
+        if self.running:
+            return self
+        ours, theirs = socket.socketpair(socket.AF_UNIX, socket.SOCK_STREAM)
+        os.set_inheritable(theirs.fileno(), True)
+        self._pid = os.posix_spawn(
+            sys.executable,
+            [sys.executable, "-c", _SERVER_SOURCE, str(theirs.fileno())],
+            dict(os.environ))
+        theirs.close()
+        self._sock = ours
+        try:
+            if self._roundtrip({"op": "ping"}).get("ok") is not True:
+                raise SpawnError("forkserver failed its first ping")
+        except Exception:
+            self.stop()
+            raise
+        return self
+
+    def stop(self) -> None:
+        """Shut the helper down and reap it."""
+        if self._sock is not None:
+            try:
+                self._roundtrip({"op": "shutdown"})
+            except Exception:
+                pass
+            self._sock.close()
+            self._sock = None
+        if self._pid is not None:
+            try:
+                os.waitpid(self._pid, 0)
+            except ChildProcessError:
+                pass
+            self._pid = None
+
+    def __enter__(self) -> "ForkServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- protocol ----------------------------------------------------------
+
+    def _require_sock(self) -> socket.socket:
+        if self._sock is None:
+            raise SpawnError("forkserver is not running (call start())")
+        return self._sock
+
+    def _send(self, obj: dict, fds: Sequence[int] = ()) -> None:
+        sock = self._require_sock()
+        body = json.dumps(obj).encode()
+        header = _LEN.pack(len(body))
+        if fds:
+            ancdata = [(socket.SOL_SOCKET, socket.SCM_RIGHTS,
+                        array.array("i", list(fds)).tobytes())]
+            sock.sendmsg([header], ancdata)
+        else:
+            sock.sendall(header)
+        sock.sendall(body)
+
+    def _recv(self) -> dict:
+        sock = self._require_sock()
+        header = b""
+        while len(header) < _LEN.size:
+            chunk = sock.recv(_LEN.size - len(header))
+            if not chunk:
+                raise SpawnError("forkserver hung up")
+            header += chunk
+        (length,) = _LEN.unpack(header)
+        body = b""
+        while len(body) < length:
+            chunk = sock.recv(length - len(body))
+            if not chunk:
+                raise SpawnError("forkserver hung up mid-reply")
+            body += chunk
+        return json.loads(body)
+
+    def _roundtrip(self, obj: dict, fds: Sequence[int] = ()) -> dict:
+        with self._lock:
+            self._send(obj, fds)
+            return self._recv()
+
+    # -- the user-facing operations ------------------------------------------
+
+    def spawn(self, argv: Sequence[str], *,
+              env: Optional[Dict[str, str]] = None,
+              cwd: Optional[str] = None,
+              stdin: int = 0, stdout: int = 1, stderr: int = 2) -> ChildProcess:
+        """Ask the helper to fork+exec ``argv``; returns a handle.
+
+        ``stdin``/``stdout``/``stderr`` are descriptors *in this
+        process*; they are shipped to the helper as SCM_RIGHTS and become
+        the child's fds 0-2 — the explicit-grant model, like the spawn
+        API's file actions.
+        """
+        if not argv:
+            raise SpawnError("empty argv")
+        reply = self._roundtrip(
+            {"op": "spawn", "argv": [os.fspath(a) for a in argv],
+             "env": env, "cwd": cwd},
+            fds=(stdin, stdout, stderr))
+        if "pid" not in reply:
+            raise SpawnError(f"forkserver refused spawn: {reply}")
+        return ChildProcess(reply["pid"], argv=argv, strategy="forkserver",
+                            reaper=self._reap)
+
+    def _reap(self, pid: int, flags: int) -> Optional[int]:
+        reply = self._roundtrip(
+            {"op": "wait", "pid": pid, "block": flags == 0})
+        if "error" in reply:
+            raise SpawnError(f"forkserver wait({pid}): {reply['error']}")
+        return reply["status"]

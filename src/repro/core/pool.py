@@ -1,0 +1,221 @@
+"""A process pool that never forks: ``multiprocessing.Pool``, spawned.
+
+Python's ``multiprocessing`` defaults to fork on Linux — the single
+biggest source of fork-with-threads incidents in the ecosystem, and the
+reason the paper names fork's "convenience" a trap.  This pool
+demonstrates the alternative end to end:
+
+* workers are **spawned** (``posix_spawn`` of a fresh interpreter), so
+  they inherit no locks, no threads, no open descriptors beyond their
+  request/response pipes;
+* tasks name an **importable function** (``module:qualname``), the same
+  restriction multiprocessing's own spawn method imposes — what cannot
+  be pickled through a fresh process was fork-dependent state all along;
+* arguments and results travel as pickles over explicit pipes.
+
+The public surface is deliberately small: :meth:`SpawnPool.submit`,
+:meth:`SpawnPool.map`, context-manager lifetime.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import sys
+from typing import Any, Callable, Iterable, List, Sequence
+
+from ..errors import SpawnError
+from .result import ChildProcess
+from .spawn import ProcessBuilder
+
+_LEN = struct.Struct("!I")
+
+#: The worker's whole program: read length-prefixed pickled requests on
+#: stdin, import the named callable, reply with (ok, payload) pickles.
+_WORKER_SOURCE = r"""
+import importlib, pickle, struct, sys, traceback
+
+LEN = struct.Struct("!I")
+stdin = sys.stdin.buffer
+stdout = sys.stdout.buffer
+
+def read_exact(n):
+    data = b""
+    while len(data) < n:
+        chunk = stdin.read(n - len(data))
+        if not chunk:
+            raise SystemExit(0)
+        data += chunk
+    return data
+
+while True:
+    header = stdin.read(LEN.size)
+    if not header:
+        break
+    if len(header) < LEN.size:
+        header += read_exact(LEN.size - len(header))
+    (length,) = LEN.unpack(header)
+    spec, args, kwargs = pickle.loads(read_exact(length))
+    try:
+        module_name, _, qualname = spec.partition(":")
+        target = importlib.import_module(module_name)
+        for part in qualname.split("."):
+            target = getattr(target, part)
+        reply = (True, target(*args, **kwargs))
+    except BaseException as exc:  # noqa: BLE001 - report, don't die
+        reply = (False, "".join(traceback.format_exception_only(exc)))
+    payload = pickle.dumps(reply)
+    stdout.write(LEN.pack(len(payload)) + payload)
+    stdout.flush()
+"""
+
+
+def callable_spec(func: Callable) -> str:
+    """``module:qualname`` for an importable callable.
+
+    Raises :class:`SpawnError` for lambdas, locals, and other objects a
+    fresh interpreter could not re-import — the exact things that only
+    ever "worked" because fork cloned them.
+    """
+    module = getattr(func, "__module__", None)
+    qualname = getattr(func, "__qualname__", None)
+    if not module or not qualname or "<" in qualname:
+        raise SpawnError(
+            f"{func!r} is not importable (lambda/local?); a spawned "
+            f"worker cannot receive it")
+    return f"{module}:{qualname}"
+
+
+class _Worker:
+    """One spawned interpreter plus its request/response pipes."""
+
+    def __init__(self):
+        builder = (ProcessBuilder(sys.executable, "-c", _WORKER_SOURCE)
+                   .stdin_from_pipe()
+                   .stdout_to_pipe())
+        self.child: ChildProcess = builder.spawn()
+        self.stdin_fd = builder.io.stdin_fd
+        self.stdout_fd = builder.io.stdout_fd
+        self.busy = False
+
+    def call(self, spec: str, args: tuple, kwargs: dict) -> Any:
+        request = pickle.dumps((spec, args, kwargs))
+        os.write(self.stdin_fd, _LEN.pack(len(request)) + request)
+        header = self._read_exact(_LEN.size)
+        (length,) = _LEN.unpack(header)
+        ok, payload = pickle.loads(self._read_exact(length))
+        if not ok:
+            raise SpawnError(f"worker task failed: {payload.strip()}")
+        return payload
+
+    def _read_exact(self, n: int) -> bytes:
+        data = b""
+        while len(data) < n:
+            chunk = os.read(self.stdout_fd, n - len(data))
+            if not chunk:
+                raise SpawnError(
+                    f"worker pid {self.child.pid} died mid-reply "
+                    f"(exit {self.child.poll()})")
+            data += chunk
+        return data
+
+    def close(self) -> None:
+        for fd in (self.stdin_fd, self.stdout_fd):
+            if fd is not None:
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+        self.stdin_fd = self.stdout_fd = None
+        self.child.wait(timeout=10)
+
+
+class SpawnPool:
+    """A pool of spawned (never forked) Python workers.
+
+    Usage::
+
+        with SpawnPool(4) as pool:
+            squares = pool.map(math.sqrt, [1, 4, 9])
+
+    Scheduling is round-robin over idle workers; :meth:`map` dispatches
+    one task batch per worker at a time.  The pool is synchronous by
+    design (results return in order) — its purpose is the creation
+    semantics, not a futures framework.
+    """
+
+    def __init__(self, workers: int = 2):
+        if workers < 1:
+            raise SpawnError("need at least one worker")
+        self._workers: List[_Worker] = [_Worker() for _ in range(workers)]
+        self._next = 0
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self._workers)
+
+    def close(self) -> None:
+        """Shut every worker down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            worker.close()
+
+    def __enter__(self) -> "SpawnPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise SpawnError("pool is closed")
+
+    # -- work -------------------------------------------------------------
+
+    def submit(self, func: Callable, *args, **kwargs) -> Any:
+        """Run one call on the next worker; returns its result."""
+        self._require_open()
+        spec = callable_spec(func)
+        worker = self._workers[self._next % len(self._workers)]
+        self._next += 1
+        return worker.call(spec, args, kwargs)
+
+    def map(self, func: Callable, items: Iterable[Any]) -> List[Any]:
+        """``[func(item) for item in items]`` across the workers.
+
+        Items are dealt round-robin in batches of pool size; results
+        come back in input order.
+        """
+        self._require_open()
+        spec = callable_spec(func)
+        items = list(items)
+        results: List[Any] = [None] * len(items)
+        for start in range(0, len(items), len(self._workers)):
+            batch = items[start:start + len(self._workers)]
+            # Send the whole batch before reading any reply, so the
+            # workers run concurrently.
+            for offset, item in enumerate(batch):
+                worker = self._workers[offset]
+                request = pickle.dumps((spec, (item,), {}))
+                os.write(worker.stdin_fd,
+                         _LEN.pack(len(request)) + request)
+            for offset in range(len(batch)):
+                worker = self._workers[offset]
+                header = worker._read_exact(_LEN.size)
+                (length,) = _LEN.unpack(header)
+                ok, payload = pickle.loads(worker._read_exact(length))
+                if not ok:
+                    raise SpawnError(f"worker task failed: "
+                                     f"{payload.strip()}")
+                results[start + offset] = payload
+        return results
+
+    def worker_pids(self) -> Sequence[int]:
+        """The workers' pids (for tests and monitoring)."""
+        return [w.child.pid for w in self._workers]

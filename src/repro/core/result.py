@@ -1,0 +1,119 @@
+"""Child-process handles: wait, poll, signal, without global state.
+
+A :class:`ChildProcess` wraps a pid the library created.  It reaps
+exactly once (``waitpid`` results are cached), exposes the decoded exit
+status, and distinguishes normal exit from signal death — the plumbing
+every strategy shares.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from typing import Optional
+
+from ..errors import SpawnError
+
+
+class ChildProcess:
+    """A handle on one spawned child.
+
+    ``reaper`` abstracts who calls ``waitpid``: children created by the
+    forkserver are the *server's* children, so their statuses come back
+    over the control channel instead of from the host kernel.
+    """
+
+    def __init__(self, pid: int, *, argv=(), strategy: str = "?",
+                 reaper=None):
+        self.pid = pid
+        self.argv = tuple(argv)
+        self.strategy = strategy
+        self._reaper = reaper
+        self._status: Optional[int] = None  # raw waitpid status, once known
+
+    # -- status decoding -------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """Whether the child is known to have terminated."""
+        return self._status is not None
+
+    @property
+    def returncode(self) -> Optional[int]:
+        """Exit code, negative signal number, or ``None`` if running.
+
+        Follows the ``subprocess`` convention: ``-N`` means "killed by
+        signal N".
+        """
+        if self._status is None:
+            return None
+        if os.WIFSIGNALED(self._status):
+            return -os.WTERMSIG(self._status)
+        return os.WEXITSTATUS(self._status)
+
+    # -- reaping ----------------------------------------------------------
+
+    def _waitpid(self, flags: int) -> bool:
+        """One waitpid attempt; returns True if the child was reaped."""
+        if self._reaper is not None:
+            status = self._reaper(self.pid, flags)
+            if status is None:
+                return False
+            self._status = status
+            return True
+        try:
+            pid, status = os.waitpid(self.pid, flags)
+        except ChildProcessError:
+            raise SpawnError(
+                f"pid {self.pid} is not our child (already reaped?)")
+        if pid == 0:
+            return False
+        self._status = status
+        return True
+
+    def poll(self) -> Optional[int]:
+        """Non-blocking status check; returns the returncode or ``None``."""
+        if self._status is None:
+            self._waitpid(os.WNOHANG)
+        return self.returncode
+
+    def wait(self, timeout: Optional[float] = None) -> int:
+        """Block until the child exits; returns the returncode.
+
+        With a ``timeout`` the wait polls (there is no portable timed
+        waitpid) and raises :class:`SpawnError` on expiry.
+        """
+        if self._status is not None:
+            return self.returncode
+        if timeout is None:
+            self._waitpid(0)
+            return self.returncode
+        deadline = time.monotonic() + timeout
+        delay = 0.0005
+        while time.monotonic() < deadline:
+            if self._waitpid(os.WNOHANG):
+                return self.returncode
+            time.sleep(delay)
+            delay = min(delay * 2, 0.05)
+        raise SpawnError(f"timeout waiting for pid {self.pid}")
+
+    # -- signalling --------------------------------------------------------
+
+    def send_signal(self, signum: int) -> None:
+        """Send a signal; a no-op if the child already finished."""
+        if self._status is not None:
+            return
+        os.kill(self.pid, signum)
+
+    def terminate(self) -> None:
+        """SIGTERM the child."""
+        self.send_signal(signal.SIGTERM)
+
+    def kill(self) -> None:
+        """SIGKILL the child."""
+        self.send_signal(signal.SIGKILL)
+
+    def __repr__(self):
+        state = (f"rc={self.returncode}" if self.finished else "running")
+        return (f"<ChildProcess pid={self.pid} via {self.strategy} {state}>")

@@ -1,0 +1,255 @@
+"""The high-level spawn API: what programs should call instead of fork.
+
+:class:`ProcessBuilder` is the library's front door — a fluent builder
+over argv, environment, stdio wiring, file actions and attributes that
+launches through any registered strategy (``posix_spawn`` by default,
+per the paper's recommendation) and returns a
+:class:`~repro.core.result.ChildProcess`.
+
+    >>> from repro.core import ProcessBuilder
+    >>> child = (ProcessBuilder("/bin/echo", "hello")
+    ...          .stdout_to_devnull()
+    ...          .spawn())
+    >>> child.wait()
+    0
+
+The builder owns the descriptors it creates (pipes, opened files) and
+closes the parent-side leftovers after launch, so the EOF-forever pipe
+bug cannot be written through this API.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SpawnError
+from .attrs import SpawnAttributes
+from .file_actions import FileActions
+from .result import ChildProcess
+from .strategies import STRATEGIES, Strategy, pick_default_strategy
+
+
+class SpawnedIO:
+    """Parent-side endpoints of a spawned child's piped stdio."""
+
+    def __init__(self, stdin_fd: Optional[int], stdout_fd: Optional[int],
+                 stderr_fd: Optional[int]):
+        self.stdin_fd = stdin_fd
+        self.stdout_fd = stdout_fd
+        self.stderr_fd = stderr_fd
+
+    def write_stdin(self, data: bytes) -> int:
+        """Write to the child's stdin pipe."""
+        if self.stdin_fd is None:
+            raise SpawnError("child stdin is not a pipe")
+        return os.write(self.stdin_fd, data)
+
+    def close_stdin(self) -> None:
+        """Close the stdin pipe (the child sees EOF)."""
+        if self.stdin_fd is not None:
+            os.close(self.stdin_fd)
+            self.stdin_fd = None
+
+    def read_stdout(self, limit: int = 1 << 20) -> bytes:
+        """Drain the child's stdout pipe to EOF (up to ``limit``)."""
+        return self._drain(self.stdout_fd, limit)
+
+    def read_stderr(self, limit: int = 1 << 20) -> bytes:
+        """Drain the child's stderr pipe to EOF (up to ``limit``)."""
+        return self._drain(self.stderr_fd, limit)
+
+    @staticmethod
+    def _drain(fd: Optional[int], limit: int) -> bytes:
+        if fd is None:
+            raise SpawnError("that stream is not a pipe")
+        chunks: List[bytes] = []
+        remaining = limit
+        while remaining > 0:
+            chunk = os.read(fd, min(65536, remaining))
+            if not chunk:
+                break
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        """Close every remaining parent-side endpoint."""
+        for attr in ("stdin_fd", "stdout_fd", "stderr_fd"):
+            fd = getattr(self, attr)
+            if fd is not None:
+                os.close(fd)
+                setattr(self, attr, None)
+
+
+class ProcessBuilder:
+    """Fluent construction of one child process.
+
+    All mutators return ``self``; :meth:`spawn` performs the launch.  A
+    builder is single-shot: the descriptors it opens belong to the one
+    child it spawns.
+    """
+
+    def __init__(self, *argv: str):
+        if not argv:
+            raise SpawnError("ProcessBuilder needs an argv")
+        self._argv: List[str] = [os.fspath(a) for a in argv]
+        self._attrs = SpawnAttributes()
+        self._actions = FileActions()
+        self._strategy: Optional[Strategy] = None
+        # (child_fd, parent_fd) pairs to close after launch / hand back.
+        self._child_side_fds: List[int] = []
+        self._io = SpawnedIO(None, None, None)
+        self._spawned = False
+
+    # -- argv and environment ---------------------------------------------
+
+    def arg(self, *more: str) -> "ProcessBuilder":
+        """Append arguments."""
+        self._argv.extend(os.fspath(a) for a in more)
+        return self
+
+    def env(self, mapping: Dict[str, str]) -> "ProcessBuilder":
+        """Replace the child's environment."""
+        self._attrs.env = dict(mapping)
+        return self
+
+    def env_add(self, **vars: str) -> "ProcessBuilder":
+        """Extend the (inherited or replaced) environment."""
+        base = self._attrs.effective_env()
+        base.update(vars)
+        self._attrs.env = base
+        return self
+
+    def cwd(self, path: str) -> "ProcessBuilder":
+        """Set the child's working directory."""
+        self._attrs.cwd = os.fspath(path)
+        return self
+
+    def new_process_group(self) -> "ProcessBuilder":
+        """Give the child its own process group (job control)."""
+        self._attrs.new_process_group = True
+        return self
+
+    def reset_signals(self) -> "ProcessBuilder":
+        """Default every signal disposition in the child."""
+        self._attrs.reset_signals = True
+        return self
+
+    # -- stdio wiring ----------------------------------------------------
+
+    def _pipe_for(self, child_fd: int, child_gets: str) -> int:
+        read_fd, write_fd = os.pipe()
+        if child_gets == "read":
+            child_side, parent_side = read_fd, write_fd
+        else:
+            child_side, parent_side = write_fd, read_fd
+        os.set_inheritable(child_side, True)
+        self._actions.add_dup2(child_side, child_fd)
+        self._child_side_fds.append(child_side)
+        return parent_side
+
+    def stdin_from_pipe(self) -> "ProcessBuilder":
+        """Give the child a piped stdin; write via the returned IO."""
+        self._io.stdin_fd = self._pipe_for(0, "read")
+        return self
+
+    def stdout_to_pipe(self) -> "ProcessBuilder":
+        """Capture the child's stdout through a pipe."""
+        self._io.stdout_fd = self._pipe_for(1, "write")
+        return self
+
+    def stderr_to_pipe(self) -> "ProcessBuilder":
+        """Capture the child's stderr through a pipe."""
+        self._io.stderr_fd = self._pipe_for(2, "write")
+        return self
+
+    def stdin_from_file(self, path: str) -> "ProcessBuilder":
+        """Child stdin reads from ``path``."""
+        self._actions.add_open(0, path, os.O_RDONLY)
+        return self
+
+    def stdout_to_file(self, path: str, append: bool = False) -> "ProcessBuilder":
+        """Child stdout writes to ``path`` (created if needed)."""
+        flags = os.O_WRONLY | os.O_CREAT | (os.O_APPEND if append
+                                            else os.O_TRUNC)
+        self._actions.add_open(1, path, flags)
+        return self
+
+    def stderr_to_file(self, path: str, append: bool = False) -> "ProcessBuilder":
+        """Child stderr writes to ``path``."""
+        flags = os.O_WRONLY | os.O_CREAT | (os.O_APPEND if append
+                                            else os.O_TRUNC)
+        self._actions.add_open(2, path, flags)
+        return self
+
+    def stdout_to_devnull(self) -> "ProcessBuilder":
+        """Discard the child's stdout."""
+        self._actions.add_open(1, os.devnull, os.O_WRONLY)
+        return self
+
+    def stderr_to_stdout(self) -> "ProcessBuilder":
+        """Merge the child's stderr into its stdout."""
+        self._actions.add_dup2(1, 2)
+        return self
+
+    def stdout_to_fd(self, fd: int) -> "ProcessBuilder":
+        """Child stdout writes to an existing descriptor (pipelines)."""
+        self._actions.add_dup2(fd, 1)
+        return self
+
+    def stdin_from_fd(self, fd: int) -> "ProcessBuilder":
+        """Child stdin reads from an existing descriptor (pipelines)."""
+        self._actions.add_dup2(fd, 0)
+        return self
+
+    def close_fd(self, fd: int) -> "ProcessBuilder":
+        """Explicitly close a descriptor in the child."""
+        self._actions.add_close(fd)
+        return self
+
+    # -- launch --------------------------------------------------------------
+
+    def strategy(self, name: str) -> "ProcessBuilder":
+        """Force a launch strategy by name (see ``STRATEGIES``)."""
+        if name not in STRATEGIES:
+            raise SpawnError(
+                f"unknown strategy {name!r}; have {sorted(STRATEGIES)}")
+        self._strategy = STRATEGIES[name]
+        return self
+
+    def spawn(self) -> ChildProcess:
+        """Launch the child; parent-side pipe ends stay on :attr:`io`."""
+        if self._spawned:
+            raise SpawnError("this builder already spawned its child")
+        self._spawned = True
+        strategy = self._strategy or pick_default_strategy(self._attrs)
+        try:
+            child = strategy.launch(self._argv, self._actions, self._attrs)
+        finally:
+            for fd in self._child_side_fds:
+                os.close(fd)
+            self._child_side_fds = []
+        child.io = self._io
+        return child
+
+    @property
+    def io(self) -> SpawnedIO:
+        """Parent-side pipe endpoints (also attached to the child handle)."""
+        return self._io
+
+    def __repr__(self):
+        return f"<ProcessBuilder {' '.join(self._argv)!r}>"
+
+
+def run(*argv: str, timeout: Optional[float] = None) -> Tuple[int, bytes]:
+    """Convenience: spawn, capture stdout, wait.
+
+    Returns ``(returncode, stdout_bytes)``.
+    """
+    builder = ProcessBuilder(*argv).stdout_to_pipe()
+    child = builder.spawn()
+    output = builder.io.read_stdout()
+    code = child.wait(timeout=timeout)
+    builder.io.close()
+    return code, output

@@ -1,0 +1,163 @@
+"""Launch strategies: the same spawn request through different syscalls.
+
+Every strategy takes the same ``(argv, FileActions, SpawnAttributes)``
+triple and produces a running child — which is what lets the benchmarks
+compare mechanisms instead of APIs:
+
+* :class:`PosixSpawnStrategy` — ``os.posix_spawn``, the paper's
+  recommended default.  glibc implements it with ``CLONE_VM|CLONE_VFORK``
+  under the hood, so its cost does not grow with the parent.
+* :class:`ForkExecStrategy` — literal ``os.fork`` + apply actions +
+  ``os.execv``: the traditional pair whose cost the paper's Figure 1
+  charges against parent size.
+* :class:`SubprocessStrategy` — the stdlib's ``posix_spawn``/
+  ``vfork``-based runner, as the "what you get today" reference point.
+
+Strategies raise :class:`~repro.errors.SpawnError` for requests they
+cannot express (e.g. plain posix_spawn has no ``cwd`` attribute) instead
+of silently approximating.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+from typing import Optional, Sequence
+
+from ..errors import SpawnError
+from .attrs import SpawnAttributes
+from .file_actions import FileActions
+from .result import ChildProcess
+
+
+def _resolve_executable(argv: Sequence[str]) -> str:
+    """The path to exec for ``argv[0]`` (PATH search when bare)."""
+    if not argv:
+        raise SpawnError("empty argv")
+    exe = os.fspath(argv[0])
+    if os.sep in exe:
+        return exe
+    for directory in os.environ.get("PATH", "/bin:/usr/bin").split(":"):
+        candidate = os.path.join(directory or ".", exe)
+        if os.access(candidate, os.X_OK):
+            return candidate
+    raise SpawnError(f"executable not found on PATH: {exe!r}")
+
+
+class Strategy:
+    """Interface: launch ``argv`` with the given actions and attributes."""
+
+    name = "abstract"
+
+    def launch(self, argv: Sequence[str], actions: FileActions,
+               attrs: SpawnAttributes) -> ChildProcess:
+        raise NotImplementedError
+
+    def available(self) -> bool:
+        """Whether this strategy can work on the host."""
+        return True
+
+
+class PosixSpawnStrategy(Strategy):
+    """``os.posix_spawn`` — constant-cost process creation."""
+
+    name = "posix_spawn"
+
+    def available(self) -> bool:
+        return hasattr(os, "posix_spawn")
+
+    def launch(self, argv, actions, attrs) -> ChildProcess:
+        attrs.validate()
+        if attrs.needs_helper_hop():
+            raise SpawnError(
+                "posix_spawn has no cwd/umask attribute; use the "
+                "fork_exec strategy or drop those attributes")
+        path = _resolve_executable(argv)
+        pid = os.posix_spawn(
+            path, list(argv), attrs.effective_env(),
+            file_actions=actions.as_posix_spawn(),
+            **attrs.posix_spawn_kwargs())
+        return ChildProcess(pid, argv=argv, strategy=self.name)
+
+
+class ForkExecStrategy(Strategy):
+    """Literal ``fork`` + child-side fixups + ``exec``.
+
+    This is the strategy whose latency carries the parent's address
+    space on its back; it exists as the measured baseline and as the
+    fallback for requests posix_spawn cannot express.
+    """
+
+    name = "fork_exec"
+
+    def available(self) -> bool:
+        return hasattr(os, "fork")
+
+    def launch(self, argv, actions, attrs) -> ChildProcess:
+        attrs.validate()
+        path = _resolve_executable(argv)
+        env = attrs.effective_env()
+        pid = os.fork()
+        if pid == 0:
+            # Child: nothing here may touch Python state that another
+            # thread could have held mid-mutation; keep it to syscalls.
+            try:
+                actions.apply_in_child()
+                attrs.apply_in_child()
+                os.execve(path, list(argv), env)
+            except BaseException:
+                os._exit(127)
+        return ChildProcess(pid, argv=argv, strategy=self.name)
+
+
+class SubprocessStrategy(Strategy):
+    """The stdlib's ``subprocess.Popen`` as a reference implementation.
+
+    Only plain requests (no file actions beyond stdio dup2s) are
+    supported; the point of including it is calibration, not features.
+    """
+
+    name = "subprocess"
+
+    def launch(self, argv, actions, attrs) -> ChildProcess:
+        attrs.validate()
+        if len(actions):
+            raise SpawnError(
+                "SubprocessStrategy takes no file actions; use "
+                "ProcessBuilder's stdio helpers with another strategy")
+        proc = subprocess.Popen(
+            list(argv), env=attrs.effective_env(), cwd=attrs.cwd,
+            start_new_session=attrs.new_process_group,
+            restore_signals=attrs.reset_signals)
+
+        def reaper(pid: int, flags: int) -> Optional[int]:
+            rc = proc.poll() if flags else proc.wait()
+            if rc is None:
+                return None
+            return _encode_status(rc)
+
+        return ChildProcess(proc.pid, argv=argv, strategy=self.name,
+                            reaper=reaper)
+
+
+def _encode_status(returncode: int) -> int:
+    """Re-encode a subprocess returncode as a raw waitpid status."""
+    if returncode < 0:
+        return -returncode  # killed by signal N -> low 7 bits
+    return returncode << 8
+
+
+#: Registry used by :class:`repro.core.spawn.ProcessBuilder`.
+STRATEGIES = {
+    PosixSpawnStrategy.name: PosixSpawnStrategy(),
+    ForkExecStrategy.name: ForkExecStrategy(),
+    SubprocessStrategy.name: SubprocessStrategy(),
+}
+
+
+def pick_default_strategy(attrs: SpawnAttributes) -> Strategy:
+    """The paper's policy: spawn by default, fork only when forced."""
+    posix = STRATEGIES["posix_spawn"]
+    if posix.available() and not attrs.needs_helper_hop():
+        return posix
+    return STRATEGIES["fork_exec"]

@@ -1,0 +1,91 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All errors raised by this library derive from :class:`ReproError` so that
+callers can catch everything from one root.  The simulated kernel
+additionally reports POSIX-style failures through :class:`SimOSError`,
+which carries a symbolic errno (``"ENOMEM"``, ``"EBADF"``, ...) so tests
+can assert on the exact failure mode without importing the host's
+``errno`` values.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Root of the library's exception hierarchy."""
+
+
+class SpawnError(ReproError):
+    """A real-OS process could not be created.
+
+    Raised by :mod:`repro.core` when every applicable strategy failed or
+    when the request itself is invalid (e.g. an empty argv).
+    """
+
+
+class ForkSafetyError(ReproError):
+    """A fork-safety invariant was violated.
+
+    Raised by :mod:`repro.core.safety` when a guarded ``fork`` is
+    attempted from an environment the guard considers unsafe (live
+    threads, held locks, dirty stdio buffers) and the policy is
+    ``"raise"``.
+    """
+
+
+class SimError(ReproError):
+    """Root for simulated-kernel errors that are *not* syscall failures.
+
+    These indicate misuse of the simulator API (e.g. operating on a dead
+    process object) rather than an error a simulated program could
+    legitimately observe.
+    """
+
+
+class SimOSError(SimError):
+    """A simulated syscall failed with a POSIX-style error.
+
+    Attributes:
+        errno_name: symbolic errno such as ``"ENOMEM"`` or ``"ECHILD"``.
+    """
+
+    def __init__(self, errno_name: str, message: str = ""):
+        self.errno_name = errno_name
+        super().__init__(f"[{errno_name}] {message}" if message else errno_name)
+
+
+class SimMemoryError(SimOSError):
+    """Out of simulated physical memory or commit charge (``ENOMEM``)."""
+
+    def __init__(self, message: str = "out of simulated memory"):
+        super().__init__("ENOMEM", message)
+
+
+class SimSegfault(SimError):
+    """A simulated program touched an unmapped or protected address.
+
+    Mirrors a SIGSEGV delivered for an invalid access.  Carries the
+    faulting address and the kind of access that failed.
+    """
+
+    def __init__(self, address: int, access: str = "read"):
+        self.address = address
+        self.access = access
+        super().__init__(f"segfault: {access} at {address:#x}")
+
+
+class DeadlockError(SimError):
+    """The deterministic scheduler found no runnable task while tasks block.
+
+    This is how the simulator surfaces the paper's fork-with-threads
+    deadlock: the child waits forever on a lock whose owner thread does
+    not exist in the child.
+    """
+
+
+class LintError(ReproError):
+    """The static analyzer could not process an input (bad path, syntax)."""
+
+
+class BenchError(ReproError):
+    """A benchmark harness precondition failed (unknown experiment, ...)."""

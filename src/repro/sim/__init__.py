@@ -1,0 +1,35 @@
+"""Simulated Unix kernel substrate.
+
+Submodules are importable directly (``from repro.sim.addrspace import
+AddressSpace``); the package root re-exports the pieces most users need.
+The one-stop entry point is :class:`repro.sim.kernel.Kernel` — see its
+docstring for the programming model.
+"""
+
+from .addrspace import AddressSpace, ZERO_FRAME
+from .frames import AggregateFrame, Frame, FrameAllocator
+from .fs import VFS, Inode, OpenFileDescription
+from .fdtable import FDTable
+from .kernel import Kernel, ProgramImage, SyscallProxy, SyscallRequest
+from .locks import ContentionResult, fork_stall_ns, simulate_contention
+from .overcommit import CommitPolicy
+from .params import (CostModel, SimConfig, WorkCounters, GIB, KIB, MIB,
+                     PAGE_SIZE, pages_for)
+from .pipes import Pipe
+from .process import Mutex, Process, Thread
+from .shm import ShmBacking
+from .signals import SignalState
+from .tlb import TLBModel
+from .trace import SyscallEvent, Trace, Tracer
+from .vma import VMA, BulkRun
+
+__all__ = [
+    "AddressSpace", "AggregateFrame", "BulkRun", "CommitPolicy",
+    "ContentionResult", "CostModel", "FDTable", "Frame", "FrameAllocator",
+    "GIB", "Inode", "KIB", "Kernel", "MIB", "Mutex", "OpenFileDescription",
+    "PAGE_SIZE", "Pipe", "Process", "ProgramImage", "ShmBacking",
+    "SignalState", "SimConfig", "SyscallEvent", "SyscallProxy",
+    "SyscallRequest", "TLBModel", "Trace", "Tracer",
+    "Thread", "VFS", "VMA", "WorkCounters", "ZERO_FRAME", "fork_stall_ns",
+    "pages_for", "simulate_contention",
+]

@@ -1,0 +1,153 @@
+"""Per-process file-descriptor tables.
+
+The descriptor table is where three of the paper's arguments become
+concrete:
+
+* **fork is insecure by default** — the child inherits *every* open
+  descriptor unless each was opened ``O_CLOEXEC`` (and close-on-exec only
+  helps at exec time, not between fork and exec);
+* **fork doesn't compose** — descriptor leaks across an innocent
+  library's fork are invisible to the caller;
+* **the OFD sharing rule** — fork duplicates descriptor *entries* but
+  shares the open file descriptions behind them, offsets included.
+
+:meth:`FDTable.clone_for_fork` implements exactly the POSIX behaviour and
+charges one ``fd_dup`` of work per entry, so descriptor-heavy parents
+make fork measurably more expensive, as they do in real kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import SimOSError
+from .fs import OpenFileDescription
+from .params import WorkCounters
+
+
+class FDEntry:
+    """One slot in a descriptor table: an OFD reference plus flags."""
+
+    __slots__ = ("ofd", "cloexec")
+
+    def __init__(self, ofd: OpenFileDescription, cloexec: bool = False):
+        self.ofd = ofd
+        self.cloexec = cloexec
+
+
+class FDTable:
+    """A process's descriptor table.
+
+    Owns one OFD reference per entry; closing the table's entry drops the
+    reference.  Descriptor numbers allocate lowest-first, as POSIX
+    requires (programs rely on it for the stdin/stdout/stderr triple).
+    """
+
+    def __init__(self, counters: Optional[WorkCounters] = None):
+        self._entries: Dict[int, FDEntry] = {}
+        self.counters = counters if counters is not None else WorkCounters()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fd: int) -> bool:
+        return fd in self._entries
+
+    def fds(self) -> List[int]:
+        """Open descriptor numbers, ascending."""
+        return sorted(self._entries)
+
+    def _lowest_free(self, floor: int = 0) -> int:
+        fd = floor
+        while fd in self._entries:
+            fd += 1
+        return fd
+
+    def lookup(self, fd: int) -> FDEntry:
+        """The entry for ``fd`` or ``EBADF``."""
+        entry = self._entries.get(fd)
+        if entry is None:
+            raise SimOSError("EBADF", f"fd {fd} is not open")
+        return entry
+
+    def ofd(self, fd: int) -> OpenFileDescription:
+        """The open file description behind ``fd``."""
+        return self.lookup(fd).ofd
+
+    def install(self, ofd: OpenFileDescription, *, cloexec: bool = False,
+                at: Optional[int] = None) -> int:
+        """Adopt one OFD reference into the table; returns the fd.
+
+        The caller transfers its reference (open/pipe hand freshly minted
+        OFDs straight here).  ``at`` forces a slot, closing any previous
+        occupant — ``dup2`` semantics.
+        """
+        if at is None:
+            fd = self._lowest_free()
+        else:
+            if at < 0:
+                raise SimOSError("EBADF", f"negative fd {at}")
+            if at in self._entries:
+                self.close(at)
+            fd = at
+        self._entries[fd] = FDEntry(ofd, cloexec)
+        return fd
+
+    def dup(self, fd: int, *, floor: int = 0, cloexec: bool = False) -> int:
+        """``dup``/``F_DUPFD``: new descriptor, same OFD (offset shared)."""
+        entry = self.lookup(fd)
+        entry.ofd.incref()
+        new_fd = self._lowest_free(floor)
+        self._entries[new_fd] = FDEntry(entry.ofd, cloexec)
+        return new_fd
+
+    def dup2(self, old_fd: int, new_fd: int) -> int:
+        """``dup2``: alias ``old_fd`` at ``new_fd``, closing what was there."""
+        entry = self.lookup(old_fd)
+        if old_fd == new_fd:
+            return new_fd
+        entry.ofd.incref()
+        if new_fd in self._entries:
+            self.close(new_fd)
+        # dup2 clears close-on-exec on the new descriptor (POSIX).
+        self._entries[new_fd] = FDEntry(entry.ofd, cloexec=False)
+        return new_fd
+
+    def set_cloexec(self, fd: int, value: bool = True) -> None:
+        """Set or clear the close-on-exec flag (``FD_CLOEXEC``)."""
+        self.lookup(fd).cloexec = value
+
+    def get_cloexec(self, fd: int) -> bool:
+        """The close-on-exec flag for ``fd``."""
+        return self.lookup(fd).cloexec
+
+    def close(self, fd: int) -> None:
+        """Close one descriptor, dropping its OFD reference."""
+        entry = self._entries.pop(fd, None)
+        if entry is None:
+            raise SimOSError("EBADF", f"fd {fd} is not open")
+        entry.ofd.decref()
+
+    def close_all(self) -> None:
+        """Close every descriptor (process exit)."""
+        for fd in list(self._entries):
+            self.close(fd)
+
+    def clone_for_fork(self) -> "FDTable":
+        """Duplicate the table for a forked child (POSIX fork rules).
+
+        Every entry — *including* close-on-exec ones — is copied; the
+        OFDs behind them are shared, not copied, so offsets remain
+        coupled between parent and child.
+        """
+        child = FDTable(self.counters)
+        for fd, entry in self._entries.items():
+            entry.ofd.incref()
+            child._entries[fd] = FDEntry(entry.ofd, entry.cloexec)
+            self.counters.fd_dups += 1
+        return child
+
+    def apply_exec(self) -> None:
+        """Apply exec semantics: close every close-on-exec descriptor."""
+        for fd in [fd for fd, e in self._entries.items() if e.cloexec]:
+            self.close(fd)

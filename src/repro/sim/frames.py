@@ -1,0 +1,195 @@
+"""Physical memory: frames, aggregate frames, and the frame allocator.
+
+Two representations coexist, for the same reason real performance
+simulators mix them:
+
+* :class:`Frame` — one physical page with a refcount and a page-granular
+  content token.  Used for pages a simulated program actually touches, so
+  copy-on-write correctness is observable (a child's write must not be
+  visible through the parent's mapping).
+
+* :class:`AggregateFrame` — a *run* of ``count`` identical anonymous pages
+  behind a single Python object.  Used when a benchmark dirties gigabytes
+  of ballast: the kernel charges the same work (``count`` page copies,
+  ``count`` PTE writes, ...) without materialising millions of objects.
+  A COW fault on one page of an aggregate *splits* it: the faulted page
+  becomes a private :class:`Frame` and the aggregate shrinks by one.
+
+The allocator accounts both kinds against the same physical-frame budget,
+so out-of-memory behaviour (and the overcommit experiment T3) sees the
+true total.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..errors import SimError, SimMemoryError
+from .params import WorkCounters
+
+
+class Frame:
+    """One physical page frame.
+
+    Attributes:
+        value: the page's content token.  The simulator models content at
+            page granularity: any hashable value a program stores via
+            ``AddressSpace.write``.  ``None`` means zero-filled.
+        refcount: number of PTEs mapping this frame.  COW sharing after
+            fork shows up as ``refcount > 1``.
+    """
+
+    __slots__ = ("index", "value", "refcount")
+    _ids = itertools.count()
+
+    def __init__(self, value=None):
+        self.index = next(self._ids)
+        self.value = value
+        self.refcount = 1
+
+    def __repr__(self):
+        return f"<Frame #{self.index} rc={self.refcount} value={self.value!r}>"
+
+
+class AggregateFrame:
+    """A run of ``count`` uniform anonymous frames behind one object.
+
+    All pages in the run share one content token and one refcount (the
+    number of address spaces mapping the run).  Splitting one page out —
+    because a program wrote to it individually, or a COW fault copied it —
+    decrements ``count``, never ``refcount``.
+    """
+
+    __slots__ = ("index", "count", "value", "refcount")
+    _ids = itertools.count()
+
+    def __init__(self, count: int, value=None):
+        if count <= 0:
+            raise SimError("aggregate frame needs a positive page count")
+        self.index = next(self._ids)
+        self.count = count
+        self.value = value
+        self.refcount = 1
+
+    def __repr__(self):
+        return (f"<AggregateFrame #{self.index} pages={self.count} "
+                f"rc={self.refcount}>")
+
+
+class FrameAllocator:
+    """Allocates frames against a fixed physical budget.
+
+    Every allocation and free is charged to a :class:`WorkCounters`
+    record.  The allocator does not keep a free list — frames are
+    synthetic objects — it only enforces the budget and tracks usage, which
+    is all the experiments need.
+    """
+
+    def __init__(self, total_frames: int, counters: Optional[WorkCounters] = None):
+        if total_frames <= 0:
+            raise SimError("need a positive frame budget")
+        self.total_frames = total_frames
+        self.used_frames = 0
+        self.counters = counters if counters is not None else WorkCounters()
+        self.peak_used = 0
+
+    @property
+    def free_frames(self) -> int:
+        """Frames still available."""
+        return self.total_frames - self.used_frames
+
+    def _charge(self, n: int) -> None:
+        if n > self.free_frames:
+            raise SimMemoryError(
+                f"need {n} frames, only {self.free_frames} of "
+                f"{self.total_frames} free")
+        self.used_frames += n
+        self.peak_used = max(self.peak_used, self.used_frames)
+        self.counters.frames_allocated += n
+
+    def _release(self, n: int) -> None:
+        if n > self.used_frames:
+            raise SimError("double free: releasing more frames than used")
+        self.used_frames -= n
+        self.counters.frames_freed += n
+
+    def alloc(self, value=None) -> Frame:
+        """Allocate one frame holding ``value`` (``None`` = zero page)."""
+        self._charge(1)
+        return Frame(value)
+
+    def alloc_aggregate(self, count: int, value=None) -> AggregateFrame:
+        """Allocate a uniform run of ``count`` frames as one aggregate."""
+        agg = AggregateFrame(count, value)  # validates count first
+        self._charge(count)
+        return agg
+
+    def incref(self, frame) -> None:
+        """Add a mapping reference to a frame or aggregate."""
+        frame.refcount += 1
+
+    def decref(self, frame) -> None:
+        """Drop a mapping reference; frees the memory at zero."""
+        if frame.refcount <= 0:
+            raise SimError(f"refcount underflow on {frame!r}")
+        frame.refcount -= 1
+        if frame.refcount == 0:
+            if isinstance(frame, AggregateFrame):
+                self._release(frame.count)
+                frame.count = 0
+            else:
+                self._release(1)
+
+    def split_aggregate(self, agg: AggregateFrame, pages: int) -> AggregateFrame:
+        """Move ``pages`` out of a sole-owned run into a new aggregate.
+
+        Budget-neutral: the pages change owner, not state.  Used when a
+        VMA split divides a bulk run in two, so each half can later be
+        released independently and exactly.
+        """
+        if agg.refcount != 1:
+            raise SimError("splitting a shared aggregate")
+        if pages <= 0 or pages >= agg.count:
+            raise SimError(
+                f"cannot split {pages} pages out of a {agg.count}-page run")
+        agg.count -= pages
+        return AggregateFrame(pages, agg.value)
+
+    def release_from_aggregate(self, agg: AggregateFrame, pages: int) -> None:
+        """Return ``pages`` of a *sole-owned* run to the free budget.
+
+        Used when an address space unmaps part of a bulk-populated range
+        it does not share with anyone.  Shared runs are never shrunk —
+        their pages are released wholesale when the last reference drops.
+        """
+        if agg.refcount != 1:
+            raise SimError("shrinking a shared aggregate")
+        if pages < 0 or pages > agg.count:
+            raise SimError(
+                f"releasing {pages} pages from a {agg.count}-page run")
+        agg.count -= pages
+        self._release(pages)
+
+    def split_from_aggregate(self, agg: AggregateFrame) -> Frame:
+        """Carve one private page out of an aggregate run.
+
+        The new :class:`Frame` inherits the aggregate's content token.
+        Two cases:
+
+        * Sole owner (``refcount == 1``): the page literally leaves the
+          run — ``count`` shrinks and net physical usage is unchanged.
+        * Shared run (``refcount > 1``): this is a COW break.  The run
+          stays whole because the other sharers still map the original
+          page; the caller gets a net-new physical page.  (If every
+          sharer eventually breaks the same page the original stays
+          charged to the run until the run's refcount reaches zero — a
+          deliberate, documented approximation of per-page refcounts in
+          the bulk path.)
+        """
+        if agg.count <= 0:
+            raise SimError("splitting an empty aggregate")
+        if agg.refcount == 1:
+            agg.count -= 1
+            self._release(1)
+        return self.alloc(agg.value)

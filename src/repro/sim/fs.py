@@ -1,0 +1,336 @@
+"""An in-memory Unix filesystem: inodes, directories, open-file state.
+
+The part of this module the paper actually leans on is
+:class:`OpenFileDescription` (OFD): POSIX specifies that ``fork`` shares
+*open file descriptions* — not just descriptor numbers — between parent
+and child, so the **file offset is shared state** across processes.  That
+is one of fork's composition hazards (two processes appending through an
+inherited descriptor interleave at a shared offset) and one of the
+semantics ``posix_spawn``'s file actions exist to avoid.  The OFD/FD
+split is modelled faithfully; the filesystem around it is a small but
+complete tree (lookup, create, unlink, directories, permissions-free).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SimOSError
+
+#: Seek anchors, matching ``os.SEEK_*``.
+SEEK_SET, SEEK_CUR, SEEK_END = 0, 1, 2
+
+
+class Inode:
+    """A filesystem object: regular file or directory.
+
+    Regular files hold their bytes in ``data``.  For memory mapping, file
+    content is exposed page-by-page through :meth:`page_value` /
+    :meth:`write_page`, using raw ``bytes`` slices as page tokens (shared
+    file mappings store written tokens in ``mmap_pages``, which takes
+    precedence over ``data`` — a simplified unified page cache).
+    """
+
+    _ids = itertools.count(2)  # inode 1 is the root directory
+
+    def __init__(self, kind: str, name_hint: str = "?", ino: Optional[int] = None):
+        if kind not in ("file", "dir", "fifo"):
+            raise SimOSError("EINVAL", f"bad inode kind {kind!r}")
+        self.ino = ino if ino is not None else next(self._ids)
+        self.kind = kind
+        self.name_hint = name_hint
+        self.data = bytearray()
+        self.children: Dict[str, "Inode"] = {}
+        self.nlink = 1
+        self.mmap_pages: Dict[int, object] = {}
+        self.pipe = None  # set for fifos by the kernel
+
+    @property
+    def is_dir(self) -> bool:
+        return self.kind == "dir"
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    # -- mmap backing protocol -----------------------------------------
+
+    def page_value(self, page_index: int, page_size: int = 4096):
+        """Page token for mmap: override if shared-written, else bytes."""
+        if page_index in self.mmap_pages:
+            return self.mmap_pages[page_index]
+        lo = page_index * page_size
+        if lo >= len(self.data):
+            return None
+        return bytes(self.data[lo:lo + page_size])
+
+    def write_page(self, page_index: int, value) -> None:
+        """Store a shared-mapping write (token granularity)."""
+        self.mmap_pages[page_index] = value
+
+    def acquire_mapping(self) -> None:
+        """Mapping refcounts are a no-op for persistent inodes."""
+
+    def release_mapping(self, allocator=None) -> None:
+        """Mapping refcounts are a no-op for persistent inodes."""
+
+    def __repr__(self):
+        return f"<Inode #{self.ino} {self.kind} {self.name_hint!r}>"
+
+
+class OpenFileDescription:
+    """Shared open-file state: inode, offset, status flags.
+
+    This is the object ``dup`` and ``fork`` alias.  ``refcount`` counts
+    file descriptors (across all processes) that point here; the offset
+    mutation seen through one descriptor is seen through all of them —
+    the behaviour :class:`tests <tests.sim.test_fs>` pin down because the
+    paper's composition argument depends on it.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, inode: Inode, readable: bool, writable: bool,
+                 append: bool = False):
+        self.id = next(self._ids)
+        self.inode = inode
+        self.readable = readable
+        self.writable = writable
+        self.append = append
+        self.offset = 0
+        self.refcount = 1
+
+    def incref(self) -> None:
+        self.refcount += 1
+
+    def decref(self) -> None:
+        if self.refcount <= 0:
+            raise SimOSError("EBADF", "open file description over-released")
+        self.refcount -= 1
+        if self.refcount == 0 and self.inode.pipe is not None:
+            self.inode.pipe.endpoint_closed(self)
+
+    def read(self, nbytes: int) -> bytes:
+        """Read up to ``nbytes`` from the shared offset."""
+        if not self.readable:
+            raise SimOSError("EBADF", "not open for reading")
+        if self.inode.pipe is not None:
+            return self.inode.pipe.read(nbytes)
+        data = bytes(self.inode.data[self.offset:self.offset + nbytes])
+        self.offset += len(data)
+        return data
+
+    def write(self, data: bytes) -> int:
+        """Write at the shared offset (or at EOF in append mode)."""
+        if not self.writable:
+            raise SimOSError("EBADF", "not open for writing")
+        if self.inode.pipe is not None:
+            return self.inode.pipe.write(data)
+        if self.append:
+            self.offset = len(self.inode.data)
+        end = self.offset + len(data)
+        if end > len(self.inode.data):
+            self.inode.data.extend(b"\x00" * (end - len(self.inode.data)))
+        self.inode.data[self.offset:end] = data
+        self.offset = end
+        return len(data)
+
+    def seek(self, offset: int, whence: int = SEEK_SET) -> int:
+        """Reposition the shared offset; returns the new position."""
+        if self.inode.pipe is not None:
+            raise SimOSError("ESPIPE", "seek on a pipe")
+        if whence == SEEK_SET:
+            new = offset
+        elif whence == SEEK_CUR:
+            new = self.offset + offset
+        elif whence == SEEK_END:
+            new = len(self.inode.data) + offset
+        else:
+            raise SimOSError("EINVAL", f"bad whence {whence}")
+        if new < 0:
+            raise SimOSError("EINVAL", "negative file offset")
+        self.offset = new
+        return new
+
+    def __repr__(self):
+        return (f"<OFD #{self.id} ino={self.inode.ino} off={self.offset} "
+                f"rc={self.refcount}>")
+
+
+class VFS:
+    """A single-rooted in-memory filesystem tree."""
+
+    def __init__(self):
+        self.root = Inode("dir", "/", ino=1)
+
+    # -- path plumbing ---------------------------------------------------
+
+    @staticmethod
+    def _parts(path: str) -> List[str]:
+        if not path.startswith("/"):
+            raise SimOSError("EINVAL", f"path must be absolute: {path!r}")
+        return [p for p in path.split("/") if p]
+
+    def _walk(self, parts: List[str]) -> Inode:
+        node = self.root
+        for part in parts:
+            if not node.is_dir:
+                raise SimOSError("ENOTDIR", part)
+            child = node.children.get(part)
+            if child is None:
+                raise SimOSError("ENOENT", "/" + "/".join(parts))
+            node = child
+        return node
+
+    def lookup(self, path: str) -> Inode:
+        """Resolve ``path`` to an inode or raise ``ENOENT``."""
+        return self._walk(self._parts(path))
+
+    def exists(self, path: str) -> bool:
+        """Whether ``path`` resolves."""
+        try:
+            self.lookup(path)
+            return True
+        except SimOSError:
+            return False
+
+    def _parent_of(self, path: str) -> Tuple[Inode, str]:
+        parts = self._parts(path)
+        if not parts:
+            raise SimOSError("EINVAL", "operation on /")
+        parent = self._walk(parts[:-1])
+        if not parent.is_dir:
+            raise SimOSError("ENOTDIR", path)
+        return parent, parts[-1]
+
+    # -- tree operations ---------------------------------------------------
+
+    def mkdir(self, path: str) -> Inode:
+        """Create one directory (parents must exist)."""
+        parent, name = self._parent_of(path)
+        if name in parent.children:
+            raise SimOSError("EEXIST", path)
+        node = Inode("dir", name)
+        parent.children[name] = node
+        return node
+
+    def makedirs(self, path: str) -> Inode:
+        """Create a directory and any missing ancestors."""
+        parts = self._parts(path)
+        node = self.root
+        for part in parts:
+            nxt = node.children.get(part)
+            if nxt is None:
+                nxt = Inode("dir", part)
+                node.children[part] = nxt
+            elif not nxt.is_dir:
+                raise SimOSError("ENOTDIR", path)
+            node = nxt
+        return node
+
+    def create(self, path: str, data: bytes = b"") -> Inode:
+        """Create a regular file with ``data`` (parent must exist)."""
+        parent, name = self._parent_of(path)
+        if name in parent.children:
+            raise SimOSError("EEXIST", path)
+        node = Inode("file", name)
+        node.data = bytearray(data)
+        parent.children[name] = node
+        return node
+
+    def unlink(self, path: str) -> None:
+        """Remove a directory entry; open OFDs keep the inode alive."""
+        parent, name = self._parent_of(path)
+        node = parent.children.get(name)
+        if node is None:
+            raise SimOSError("ENOENT", path)
+        if node.is_dir:
+            raise SimOSError("EISDIR", path)
+        del parent.children[name]
+        node.nlink -= 1
+
+    def listdir(self, path: str) -> List[str]:
+        """Names in a directory, sorted."""
+        node = self.lookup(path)
+        if not node.is_dir:
+            raise SimOSError("ENOTDIR", path)
+        return sorted(node.children)
+
+    def rename(self, old_path: str, new_path: str) -> None:
+        """Move a directory entry; replaces a non-directory target."""
+        old_parent, old_name = self._parent_of(old_path)
+        node = old_parent.children.get(old_name)
+        if node is None:
+            raise SimOSError("ENOENT", old_path)
+        new_parent, new_name = self._parent_of(new_path)
+        existing = new_parent.children.get(new_name)
+        if existing is not None:
+            if existing.is_dir:
+                raise SimOSError("EISDIR", new_path)
+            existing.nlink -= 1
+        del old_parent.children[old_name]
+        new_parent.children[new_name] = node
+        node.name_hint = new_name
+
+    def link(self, target_path: str, link_path: str) -> None:
+        """Hard link: a second directory entry for the same inode."""
+        node = self.lookup(target_path)
+        if node.is_dir:
+            raise SimOSError("EISDIR", target_path)
+        parent, name = self._parent_of(link_path)
+        if name in parent.children:
+            raise SimOSError("EEXIST", link_path)
+        parent.children[name] = node
+        node.nlink += 1
+
+    def stat(self, path: str) -> dict:
+        """Inode metadata: ``ino``, ``kind``, ``size``, ``nlink``."""
+        node = self.lookup(path)
+        return {"ino": node.ino, "kind": node.kind, "size": node.size,
+                "nlink": node.nlink}
+
+    # -- opening ----------------------------------------------------------
+
+    def open(self, path: str, mode: str = "r") -> OpenFileDescription:
+        """Open ``path``; mode is a subset of ``{r,w,a,+,c,t}``.
+
+        ``r`` read, ``w`` write, ``a`` append (implies write), ``+`` both,
+        ``c`` create-if-missing, ``t`` truncate.  Returns a fresh OFD with
+        refcount 1; the caller owns the reference.
+        """
+        readable = "r" in mode or "+" in mode
+        writable = "w" in mode or "a" in mode or "+" in mode
+        if not (readable or writable):
+            raise SimOSError("EINVAL", f"bad open mode {mode!r}")
+        try:
+            inode = self.lookup(path)
+        except SimOSError:
+            if "c" not in mode:
+                raise
+            inode = self.create(path)
+        if inode.is_dir and writable:
+            raise SimOSError("EISDIR", path)
+        if "t" in mode:
+            if not writable:
+                raise SimOSError("EINVAL", "truncate without write")
+            inode.data = bytearray()
+            inode.mmap_pages.clear()
+        return OpenFileDescription(inode, readable, writable,
+                                   append=("a" in mode))
+
+    def write_file(self, path: str, data: bytes) -> None:
+        """Convenience: create-or-replace a whole file."""
+        if self.exists(path):
+            inode = self.lookup(path)
+            inode.data = bytearray(data)
+            inode.mmap_pages.clear()
+        else:
+            self.create(path, data)
+
+    def read_file(self, path: str) -> bytes:
+        """Convenience: the whole content of a file."""
+        inode = self.lookup(path)
+        if inode.is_dir:
+            raise SimOSError("EISDIR", path)
+        return bytes(inode.data)

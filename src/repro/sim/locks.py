@@ -1,0 +1,131 @@
+"""Discrete-event model of VM-lock contention: why fork doesn't scale.
+
+The paper's scalability argument: every fork, mmap, munmap and page fault
+in a Linux process serialises on one per-address-space lock (``mmap_sem``),
+so multithreaded address-space-heavy workloads stop scaling — and a
+concurrently forking thread stalls the whole process.  The alternatives
+(per-VMA locks, or processes built through a cross-process API that never
+touches the parent's address space) keep operations independent.
+
+This module simulates exactly that: ``num_threads`` workers, each
+performing ``ops_per_thread`` operations of ``parallel_ns`` lock-free work
+plus ``critical_ns`` inside one of ``num_locks`` locks (chosen round-robin
+per thread), on ``num_cpus`` CPUs.  The event engine is a classic
+future-event list; it reports the makespan and per-lock waiting time, and
+its extremes are provable: with one lock the critical sections serialise,
+with enough locks and CPUs the threads run independently — which is what
+the F2 experiment's curves show.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import SimError
+
+
+@dataclass(frozen=True)
+class ContentionResult:
+    """Outcome of one contention simulation."""
+
+    makespan_ns: float
+    total_wait_ns: float
+    total_ops: int
+    num_threads: int
+
+    @property
+    def throughput_ops_per_sec(self) -> float:
+        """Completed lock-protected operations per simulated second."""
+        if self.makespan_ns == 0:
+            return float("inf")
+        return self.total_ops / (self.makespan_ns / 1e9)
+
+    @property
+    def mean_wait_ns(self) -> float:
+        """Average time an operation spent queued on its lock."""
+        return self.total_wait_ns / self.total_ops if self.total_ops else 0.0
+
+
+@dataclass
+class _Lock:
+    free_at: float = 0.0
+    wait_ns: float = 0.0
+
+
+@dataclass
+class _Cpu:
+    free_at: float = 0.0
+
+
+def simulate_contention(num_threads: int, ops_per_thread: int,
+                        critical_ns: float, parallel_ns: float = 0.0,
+                        num_locks: int = 1,
+                        num_cpus: int = 0) -> ContentionResult:
+    """Simulate lock-contended workers; returns the makespan and waits.
+
+    Each worker alternates ``parallel_ns`` of independent work with a
+    ``critical_ns`` critical section on lock ``thread_index %
+    num_locks``.  ``num_cpus=0`` means one CPU per thread (contention on
+    locks only).  Locks grant in arrival order; CPU time is modelled as
+    the earliest-free CPU (work conserving).
+    """
+    if num_threads < 1 or ops_per_thread < 1:
+        raise SimError("need at least one thread and one op")
+    if critical_ns < 0 or parallel_ns < 0:
+        raise SimError("negative durations")
+    if num_locks < 1:
+        raise SimError("need at least one lock")
+    cpus = [_Cpu() for _ in range(num_cpus if num_cpus else num_threads)]
+    locks = [_Lock() for _ in range(num_locks)]
+
+    # Future-event list: (ready_time, sequence, thread_index, ops_done).
+    events: List = []
+    for t in range(num_threads):
+        heapq.heappush(events, (0.0, t, t, 0))
+    seq = num_threads
+    makespan = 0.0
+    total_ops = 0
+    while events:
+        ready, _, thread_index, done = heapq.heappop(events)
+        # Claim the earliest-free CPU for this op's full service time.
+        cpu = min(cpus, key=lambda c: c.free_at)
+        start = max(ready, cpu.free_at)
+        # Parallel phase runs immediately; the critical phase queues.
+        after_parallel = start + parallel_ns
+        lock = locks[thread_index % num_locks]
+        crit_start = max(after_parallel, lock.free_at)
+        lock.wait_ns += crit_start - after_parallel
+        crit_end = crit_start + critical_ns
+        lock.free_at = crit_end
+        cpu.free_at = crit_end
+        total_ops += 1
+        makespan = max(makespan, crit_end)
+        if done + 1 < ops_per_thread:
+            heapq.heappush(events, (crit_end, seq, thread_index, done + 1))
+            seq += 1
+    return ContentionResult(
+        makespan_ns=makespan,
+        total_wait_ns=sum(lock.wait_ns for lock in locks),
+        total_ops=total_ops,
+        num_threads=num_threads,
+    )
+
+
+def fork_stall_ns(fork_walk_ns: float, num_threads: int,
+                  fault_rate_per_sec: float, fault_ns: float) -> float:
+    """Expected fault-service time stalled behind one fork's VM-lock hold.
+
+    While fork walks the parent's page tables under the address-space
+    lock (``fork_walk_ns``), every fault from the other ``num_threads-1``
+    threads queues.  The expected stalled work is the arrival rate times
+    the hold time times the per-fault cost — the quantity the paper's
+    "fork stalls the whole process" remark describes.
+    """
+    if fork_walk_ns < 0 or fault_rate_per_sec < 0 or fault_ns < 0:
+        raise SimError("negative parameters")
+    if num_threads < 1:
+        raise SimError("need at least one thread")
+    arrivals = fault_rate_per_sec * (fork_walk_ns / 1e9) * (num_threads - 1)
+    return arrivals * fault_ns

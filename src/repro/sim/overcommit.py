@@ -1,0 +1,76 @@
+"""Memory commit accounting: the overcommit policy.
+
+The paper argues fork *forces* overcommit: forking a process that uses
+more than half of RAM is only possible if the kernel promises memory it
+cannot back — because an exec usually follows and discards the copy, the
+promise usually works out, and the OOM killer cleans up when it doesn't.
+
+:class:`CommitPolicy` implements the three Linux modes:
+
+* ``always`` — never refuse; the OOM killer is the backstop.
+* ``heuristic`` — refuse only single requests that exceed physical
+  memory (Linux's default ``overcommit_memory=0`` approximation).
+* ``never`` — strict accounting: the sum of all private-writable
+  commitments must fit in RAM (plus an optional ratio), so a large
+  process cannot fork (experiment T3).
+"""
+
+from __future__ import annotations
+
+from ..errors import SimError, SimMemoryError
+
+
+class CommitPolicy:
+    """Tracks committed pages and arbitrates new commitments.
+
+    One instance per simulated machine.  Address spaces charge pages for
+    private-writable mappings at ``mmap``/``fork`` time and uncharge on
+    unmap/exit; whether a charge can fail depends on the mode.
+    """
+
+    def __init__(self, total_pages: int, mode: str = "heuristic",
+                 ratio: float = 1.0):
+        if mode not in ("always", "heuristic", "never"):
+            raise SimError(f"bad overcommit mode {mode!r}")
+        if total_pages <= 0:
+            raise SimError("need a positive page budget")
+        self.total_pages = total_pages
+        self.mode = mode
+        self.ratio = ratio
+        self.committed_pages = 0
+        self.peak_committed = 0
+        self.refusals = 0
+
+    @property
+    def limit_pages(self) -> int:
+        """Commit limit in strict mode."""
+        return int(self.total_pages * self.ratio)
+
+    def would_admit(self, pages: int) -> bool:
+        """Whether a charge of ``pages`` would succeed right now."""
+        if pages < 0:
+            raise SimError("negative commit charge")
+        if self.mode == "always":
+            return True
+        if self.mode == "heuristic":
+            return pages <= self.total_pages
+        return self.committed_pages + pages <= self.limit_pages
+
+    def charge(self, pages: int) -> None:
+        """Commit ``pages``; raises :class:`SimMemoryError` on refusal."""
+        if not self.would_admit(pages):
+            self.refusals += 1
+            raise SimMemoryError(
+                f"commit of {pages} pages refused "
+                f"({self.committed_pages}/{self.limit_pages} committed, "
+                f"mode={self.mode})")
+        self.committed_pages += pages
+        self.peak_committed = max(self.peak_committed, self.committed_pages)
+
+    def uncharge(self, pages: int) -> None:
+        """Release previously committed pages."""
+        if pages < 0:
+            raise SimError("negative commit uncharge")
+        if pages > self.committed_pages:
+            raise SimError("commit accounting underflow")
+        self.committed_pages -= pages

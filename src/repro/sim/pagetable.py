@@ -1,0 +1,120 @@
+"""Per-address-space page tables.
+
+The simulator keeps a *sparse* page table: a mapping from virtual page
+number (vpn) to :class:`PTE` for every individually-touched page.  Pages
+populated in bulk (benchmark ballast) live in :class:`~repro.sim.vma.BulkRun`
+descriptors on their VMA instead — see :mod:`repro.sim.vma` — so the page
+table stays proportional to the pages a program actually manipulated one
+by one.
+
+Hardware page tables are radix trees; walking and copying them costs real
+time per entry.  We model that cost (``pte_copy_ns`` etc. in the cost
+model) without modelling the tree shape, which no experiment depends on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..errors import SimError
+from .params import WorkCounters
+
+
+class PTE:
+    """A page-table entry: which frame a vpn maps and with what rights.
+
+    ``cow`` marks a page that is mapped read-only *only because* it is
+    copy-on-write shared; a write fault on it duplicates the frame rather
+    than raising a protection error.  ``zero`` marks the global shared
+    zero page (read faults on untouched anonymous memory map it, as Linux
+    does), which is never charged to the frame budget.
+    """
+
+    __slots__ = ("frame", "writable", "cow", "zero")
+
+    def __init__(self, frame, writable: bool, cow: bool = False,
+                 zero: bool = False):
+        self.frame = frame
+        self.writable = writable
+        self.cow = cow
+        self.zero = zero
+
+    def __repr__(self):
+        bits = "".join(
+            b for b, on in (("W", self.writable), ("C", self.cow),
+                            ("Z", self.zero)) if on)
+        return f"<PTE frame={getattr(self.frame, 'index', None)} {bits or '-'}>"
+
+
+class PageTable:
+    """Sparse vpn → :class:`PTE` map with work accounting.
+
+    Every install/update/remove is charged to the shared
+    :class:`WorkCounters` so the cost model can price address-space
+    operations.  The table does not own frame refcounts — the address
+    space does — it is pure mapping state.
+    """
+
+    def __init__(self, counters: Optional[WorkCounters] = None):
+        self._entries: Dict[int, PTE] = {}
+        self.counters = counters if counters is not None else WorkCounters()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._entries
+
+    def get(self, vpn: int) -> Optional[PTE]:
+        """The PTE for ``vpn``, or ``None`` if not present."""
+        return self._entries.get(vpn)
+
+    def install(self, vpn: int, pte: PTE) -> None:
+        """Install a fresh entry; it is an error if one is present."""
+        if vpn in self._entries:
+            raise SimError(f"PTE already present for vpn {vpn}")
+        self._entries[vpn] = pte
+        self.counters.pte_writes += 1
+
+    def update(self, vpn: int, *, frame=None, writable=None, cow=None,
+               zero=None) -> PTE:
+        """Modify an existing entry in place; charges one PTE write."""
+        pte = self._entries.get(vpn)
+        if pte is None:
+            raise SimError(f"no PTE for vpn {vpn}")
+        if frame is not None:
+            pte.frame = frame
+        if writable is not None:
+            pte.writable = writable
+        if cow is not None:
+            pte.cow = cow
+        if zero is not None:
+            pte.zero = zero
+        self.counters.pte_writes += 1
+        return pte
+
+    def remove(self, vpn: int) -> PTE:
+        """Remove and return the entry for ``vpn``."""
+        try:
+            pte = self._entries.pop(vpn)
+        except KeyError:
+            raise SimError(f"no PTE for vpn {vpn}") from None
+        self.counters.pte_writes += 1
+        return pte
+
+    def entries(self) -> Iterator[Tuple[int, PTE]]:
+        """Iterate ``(vpn, pte)`` pairs in vpn order."""
+        for vpn in sorted(self._entries):
+            yield vpn, self._entries[vpn]
+
+    def entries_in(self, start_vpn: int, end_vpn: int) -> Iterator[Tuple[int, PTE]]:
+        """Iterate entries with ``start_vpn <= vpn < end_vpn``."""
+        # The sparse table is small by construction; a filtered scan is
+        # simpler than an ordered index and never shows up in profiles.
+        for vpn in sorted(self._entries):
+            if start_vpn <= vpn < end_vpn:
+                yield vpn, self._entries[vpn]
+
+    def resident_pages(self) -> int:
+        """Entries backed by real memory (excludes zero-page mappings)."""
+        return sum(1 for pte in self._entries.values() if not pte.zero)

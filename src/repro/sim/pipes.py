@@ -1,0 +1,134 @@
+"""Pipes: bounded byte channels with Unix end-of-file and EPIPE rules.
+
+Pipes matter to this reproduction twice over.  They are the plumbing of
+the composition examples (shells, pipelines — the workload fork was
+designed around), and they are fork-semantics hazards in their own right:
+a forgotten inherited write end keeps a pipe's readers from ever seeing
+EOF, a classic fork bug that the spawn API's explicit file actions make
+structurally impossible.
+
+Reads and writes are non-blocking at this layer: they return/raise
+``WouldBlock`` and the scheduler parks the calling thread until the state
+changes.  That keeps the pipe itself free of any scheduling policy.
+"""
+
+from __future__ import annotations
+
+import itertools
+from ..errors import SimOSError
+from .fs import Inode, OpenFileDescription
+
+#: Default pipe capacity, matching Linux's 64 KiB.
+PIPE_BUF_DEFAULT = 65536
+
+
+class WouldBlock(Exception):
+    """The operation cannot progress now; the caller should park.
+
+    Deliberately *not* a :class:`~repro.errors.SimOSError`: simulated
+    programs never see it — the kernel's syscall layer catches it and
+    blocks the thread.
+    """
+
+
+class BrokenPipe(SimOSError):
+    """Write on a pipe with no readers (``EPIPE``, pairs with SIGPIPE)."""
+
+    def __init__(self):
+        super().__init__("EPIPE", "write on a pipe with no readers")
+
+
+class Pipe:
+    """A bounded in-kernel byte buffer with reader/writer endpoint counts.
+
+    End-of-file and broken-pipe semantics follow POSIX exactly:
+
+    * read on empty pipe: ``WouldBlock`` while writers exist, ``b""``
+      (EOF) once every writer closed;
+    * write on full pipe: ``WouldBlock`` while readers exist;
+    * write with no readers: :class:`BrokenPipe` (the kernel layer turns
+      this into SIGPIPE).
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, capacity: int = PIPE_BUF_DEFAULT):
+        if capacity <= 0:
+            raise SimOSError("EINVAL", "pipe capacity must be positive")
+        self.id = next(self._ids)
+        self.capacity = capacity
+        self.buffer = bytearray()
+        self.read_ofds = 0
+        self.write_ofds = 0
+        self.bytes_transferred = 0
+
+    # -- endpoint lifetime -------------------------------------------------
+
+    def make_endpoints(self) -> "tuple[OpenFileDescription, OpenFileDescription]":
+        """Create the ``(read_end, write_end)`` OFD pair for ``pipe()``."""
+        read_inode = Inode("fifo", f"pipe:[{self.id}].r")
+        write_inode = Inode("fifo", f"pipe:[{self.id}].w")
+        read_inode.pipe = self
+        write_inode.pipe = self
+        read_end = OpenFileDescription(read_inode, readable=True,
+                                       writable=False)
+        write_end = OpenFileDescription(write_inode, readable=False,
+                                        writable=True)
+        self.read_ofds += 1
+        self.write_ofds += 1
+        return read_end, write_end
+
+    def endpoint_closed(self, ofd: OpenFileDescription) -> None:
+        """Called by the OFD layer when an endpoint's last ref drops."""
+        if ofd.readable:
+            if self.read_ofds <= 0:
+                raise SimOSError("EBADF", "pipe reader count underflow")
+            self.read_ofds -= 1
+        else:
+            if self.write_ofds <= 0:
+                raise SimOSError("EBADF", "pipe writer count underflow")
+            self.write_ofds -= 1
+
+    # -- data ---------------------------------------------------------------
+
+    @property
+    def readable_now(self) -> bool:
+        """Whether a read would return without blocking."""
+        return bool(self.buffer) or self.write_ofds == 0
+
+    @property
+    def writable_now(self) -> bool:
+        """Whether a write could make progress (or fail fast) right now."""
+        return len(self.buffer) < self.capacity or self.read_ofds == 0
+
+    def read(self, nbytes: int) -> bytes:
+        """Drain up to ``nbytes``; EOF is ``b""``; may raise WouldBlock."""
+        if nbytes < 0:
+            raise SimOSError("EINVAL", "negative read size")
+        if not self.buffer:
+            if self.write_ofds == 0:
+                return b""
+            raise WouldBlock()
+        data = bytes(self.buffer[:nbytes])
+        del self.buffer[:len(data)]
+        return data
+
+    def write(self, data: bytes) -> int:
+        """Append as much of ``data`` as fits; returns bytes accepted.
+
+        Partial writes are allowed (as for a real ``write(2)`` on a pipe
+        larger than the free space); zero free space raises WouldBlock.
+        """
+        if self.read_ofds == 0:
+            raise BrokenPipe()
+        free = self.capacity - len(self.buffer)
+        if free == 0:
+            raise WouldBlock()
+        accepted = data[:free]
+        self.buffer.extend(accepted)
+        self.bytes_transferred += len(accepted)
+        return len(accepted)
+
+    def __repr__(self):
+        return (f"<Pipe #{self.id} buf={len(self.buffer)}/{self.capacity} "
+                f"r={self.read_ofds} w={self.write_ofds}>")

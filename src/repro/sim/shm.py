@@ -1,0 +1,81 @@
+"""Shared-memory backing objects for MAP_SHARED anonymous mappings.
+
+A MAP_SHARED anonymous region must show every sharer the same bytes, no
+matter how it was inherited (fork keeps sharing it; that is the one kind
+of memory fork does *not* snapshot).  Linux backs such regions with an
+internal tmpfs inode; this module is the simulator's equivalent.
+
+Page content lives here, keyed by page index within the object, and every
+mapping of the object reads/writes through it.  Frames are charged to the
+machine's allocator on first write of each page and released when the last
+mapping goes away.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from ..errors import SimError
+from .frames import Frame, FrameAllocator
+
+
+class ShmBacking:
+    """An anonymous shared-memory object (Linux's shmem inode).
+
+    Implements the backing protocol the address space expects of any
+    mappable object: :meth:`page_value`, :meth:`write_page`,
+    :meth:`acquire_mapping`, :meth:`release_mapping`.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, allocator: FrameAllocator, nbytes: int,
+                 name: str = "[shm]"):
+        self.id = next(self._ids)
+        self.allocator = allocator
+        self.nbytes = nbytes
+        self.name = name
+        self.pages: Dict[int, Frame] = {}
+        self.mappings = 0
+        self.dead = False
+
+    def page_value(self, page_index: int):
+        """Content token of one page (``None`` if never written)."""
+        frame = self.pages.get(page_index)
+        return frame.value if frame is not None else None
+
+    def write_page(self, page_index: int, value) -> None:
+        """Write one page; first touch charges a physical frame."""
+        if self.dead:
+            raise SimError("write to a released shm object")
+        frame = self.pages.get(page_index)
+        if frame is None:
+            self.pages[page_index] = self.allocator.alloc(value)
+        else:
+            frame.value = value
+
+    def resident_pages(self) -> int:
+        """Physical pages the object currently holds."""
+        return len(self.pages)
+
+    def acquire_mapping(self) -> None:
+        """Register one more mapping of this object."""
+        if self.dead:
+            raise SimError("mapping a released shm object")
+        self.mappings += 1
+
+    def release_mapping(self, allocator: Optional[FrameAllocator] = None) -> None:
+        """Drop one mapping; the last one frees every page."""
+        if self.mappings <= 0:
+            raise SimError("shm mapping refcount underflow")
+        self.mappings -= 1
+        if self.mappings == 0:
+            for frame in self.pages.values():
+                self.allocator.decref(frame)
+            self.pages.clear()
+            self.dead = True
+
+    def __repr__(self):
+        return (f"<ShmBacking #{self.id} {self.name} "
+                f"pages={len(self.pages)} maps={self.mappings}>")

@@ -1,0 +1,170 @@
+"""Signals: dispositions, masks, pending sets, and the fork/exec rules.
+
+Signals are prime exhibits in the paper's "fork is no longer simple"
+catalogue, because POSIX special-cases them on *both* transitions:
+
+* ``fork``  — the child inherits handlers and mask, but its **pending set
+  is cleared** (a queued SIGTERM does not follow you into the child);
+* ``exec`` — caught signals **reset to default** (the handler functions
+  no longer exist in the new image) while **ignored signals stay
+  ignored** (which is why shells ignore SIGINT around background jobs).
+
+:meth:`SignalState.fork_copy` and :meth:`SignalState.apply_exec` encode
+those rules; the apisurface catalog cites them, and the kernel's delivery
+path consumes :meth:`deliverable` when resuming threads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..errors import SimOSError
+
+# Signal numbers (the classic Linux x86 values, for familiarity).
+SIGHUP = 1
+SIGINT = 2
+SIGQUIT = 3
+SIGKILL = 9
+SIGUSR1 = 10
+SIGSEGV = 11
+SIGUSR2 = 12
+SIGPIPE = 13
+SIGTERM = 15
+SIGCHLD = 17
+SIGCONT = 18
+SIGSTOP = 19
+
+ALL_SIGNALS = frozenset({
+    SIGHUP, SIGINT, SIGQUIT, SIGKILL, SIGUSR1, SIGSEGV, SIGUSR2, SIGPIPE,
+    SIGTERM, SIGCHLD, SIGCONT, SIGSTOP,
+})
+
+#: Signals whose disposition cannot be changed.
+UNCATCHABLE = frozenset({SIGKILL, SIGSTOP})
+
+#: Signals whose default action is to ignore.
+DEFAULT_IGNORED = frozenset({SIGCHLD, SIGCONT})
+
+SIGNAL_NAMES = {
+    SIGHUP: "SIGHUP", SIGINT: "SIGINT", SIGQUIT: "SIGQUIT",
+    SIGKILL: "SIGKILL", SIGUSR1: "SIGUSR1", SIGSEGV: "SIGSEGV",
+    SIGUSR2: "SIGUSR2", SIGPIPE: "SIGPIPE", SIGTERM: "SIGTERM",
+    SIGCHLD: "SIGCHLD", SIGCONT: "SIGCONT", SIGSTOP: "SIGSTOP",
+}
+
+#: Disposition sentinels (callables are also valid dispositions).
+SIG_DFL = "default"
+SIG_IGN = "ignore"
+
+
+def _check_signal(signum: int) -> None:
+    if signum not in ALL_SIGNALS:
+        raise SimOSError("EINVAL", f"bad signal number {signum}")
+
+
+class SignalState:
+    """One process's signal bookkeeping.
+
+    ``handlers`` maps signal number to ``SIG_DFL``, ``SIG_IGN`` or a
+    callable; unlisted signals are at default.  ``mask`` blocks delivery
+    (signals stay pending); ``pending`` holds undelivered signals.
+    """
+
+    def __init__(self):
+        self.handlers: Dict[int, object] = {}
+        self.mask: Set[int] = set()
+        self.pending: Set[int] = set()
+
+    # -- sigaction / sigprocmask ------------------------------------------
+
+    def set_handler(self, signum: int, disposition) -> object:
+        """Install a disposition; returns the previous one."""
+        _check_signal(signum)
+        if signum in UNCATCHABLE and disposition != SIG_DFL:
+            raise SimOSError("EINVAL",
+                             f"{SIGNAL_NAMES[signum]} cannot be caught")
+        previous = self.handlers.get(signum, SIG_DFL)
+        if disposition == SIG_DFL:
+            self.handlers.pop(signum, None)
+        else:
+            self.handlers[signum] = disposition
+        return previous
+
+    def get_handler(self, signum: int):
+        """The current disposition for ``signum``."""
+        _check_signal(signum)
+        return self.handlers.get(signum, SIG_DFL)
+
+    def block(self, signums: Set[int]) -> None:
+        """Add signals to the mask (``SIG_BLOCK``); KILL/STOP never mask."""
+        for s in signums:
+            _check_signal(s)
+        self.mask |= set(signums) - UNCATCHABLE
+
+    def unblock(self, signums: Set[int]) -> None:
+        """Remove signals from the mask (``SIG_UNBLOCK``)."""
+        for s in signums:
+            _check_signal(s)
+        self.mask -= set(signums)
+
+    # -- delivery -----------------------------------------------------------
+
+    def post(self, signum: int) -> None:
+        """Mark a signal pending (the ``kill`` side)."""
+        _check_signal(signum)
+        self.pending.add(signum)
+
+    def is_ignored(self, signum: int) -> bool:
+        """Whether delivery would be a no-op."""
+        handler = self.get_handler(signum)
+        if handler == SIG_IGN:
+            return True
+        return handler == SIG_DFL and signum in DEFAULT_IGNORED
+
+    def deliverable(self) -> Optional[int]:
+        """The next signal that can be acted on, or ``None``.
+
+        Unmasked pending signals only; KILL beats everything else.
+        Ignored signals are consumed (removed from pending) without being
+        reported, as a real kernel quietly discards them.
+        """
+        ready = self.pending - self.mask
+        for signum in sorted(ready):
+            if signum != SIGKILL and self.is_ignored(signum):
+                self.pending.discard(signum)
+        ready = self.pending - self.mask
+        if not ready:
+            return None
+        if SIGKILL in ready:
+            return SIGKILL
+        return min(ready)
+
+    def take(self, signum: int) -> None:
+        """Consume a pending signal that is about to be acted on."""
+        self.pending.discard(signum)
+
+    # -- the POSIX fork/exec special cases ----------------------------------
+
+    def fork_copy(self) -> "SignalState":
+        """Child state at fork: handlers and mask copied, pending cleared."""
+        child = SignalState()
+        child.handlers = dict(self.handlers)
+        child.mask = set(self.mask)
+        # POSIX: "the child process's pending signal set is empty".
+        child.pending = set()
+        return child
+
+    def apply_exec(self) -> None:
+        """State surgery at exec: caught → default, ignored stays ignored.
+
+        The mask and pending set survive exec (another special case the
+        apisurface catalog records).
+        """
+        for signum in list(self.handlers):
+            if self.handlers[signum] != SIG_IGN:
+                del self.handlers[signum]
+
+    def __repr__(self):
+        caught = sorted(SIGNAL_NAMES[s] for s in self.handlers)
+        return (f"<SignalState caught={caught} "
+                f"masked={sorted(self.mask)} pending={sorted(self.pending)}>")

@@ -1,0 +1,17 @@
+"""Syscall handler mixins composing :class:`repro.sim.kernel.Kernel`."""
+
+from .base import EXEC_TRANSFER, EXITED, Park, RETRY
+from .emul import EmulationSyscalls
+from .files import FileSyscalls
+from .memory import MemorySyscalls
+from .procs import ProcessSyscalls
+from .sig import SignalSyscalls
+from .sync import SyncSyscalls
+from .xproc import CrossProcessSyscalls
+
+__all__ = [
+    "CrossProcessSyscalls", "EXEC_TRANSFER", "EXITED", "EmulationSyscalls",
+    "FileSyscalls",
+    "MemorySyscalls", "Park", "ProcessSyscalls", "RETRY", "SignalSyscalls",
+    "SyncSyscalls",
+]

@@ -1,0 +1,120 @@
+"""File and pipe syscalls: open, read, write, dup, pipe, cloexec."""
+
+from __future__ import annotations
+
+from ...errors import SimOSError
+from ..pipes import Pipe, WouldBlock
+from ..signals import SIGPIPE
+from .base import KernelFacet, Park
+
+
+class FileSyscalls(KernelFacet):
+    """open/close/read/write/seek/dup/dup2/pipe/cloexec handlers."""
+
+    def sys_open(self, thread, path: str, mode: str = "r", *,
+                 cloexec: bool = False) -> int:
+        """Open ``path``; returns a descriptor.
+
+        ``cloexec`` models ``O_CLOEXEC`` — the *atomic* form the paper
+        notes had to be retrofitted into every fd-creating call because
+        fork+exec races with concurrent threads.
+        """
+        ofd = self.vfs.open(path, mode)
+        return thread.process.fdtable.install(ofd, cloexec=cloexec)
+
+    def sys_close(self, thread, fd: int) -> int:
+        """Close one descriptor."""
+        thread.process.fdtable.close(fd)
+        return 0
+
+    def sys_read(self, thread, fd: int, nbytes: int) -> bytes:
+        """Read up to ``nbytes``; blocks on an empty pipe with writers."""
+        ofd = thread.process.fdtable.ofd(fd)
+        try:
+            return ofd.read(nbytes)
+        except WouldBlock:
+            pipe = ofd.inode.pipe
+            raise Park(lambda: pipe.readable_now,
+                       f"read(fd={fd}) on empty pipe") from None
+
+    def sys_write(self, thread, fd: int, data: bytes) -> int:
+        """Write ``data``; blocks on a full pipe; EPIPE raises SIGPIPE."""
+        ofd = thread.process.fdtable.ofd(fd)
+        try:
+            return ofd.write(data)
+        except WouldBlock:
+            pipe = ofd.inode.pipe
+            raise Park(lambda: pipe.writable_now,
+                       f"write(fd={fd}) on full pipe") from None
+        except SimOSError as err:
+            if err.errno_name == "EPIPE":
+                thread.process.signals.post(SIGPIPE)
+            raise
+
+    def sys_seek(self, thread, fd: int, offset: int, whence: int = 0) -> int:
+        """Reposition the (shared!) file offset behind ``fd``."""
+        return thread.process.fdtable.ofd(fd).seek(offset, whence)
+
+    def sys_dup(self, thread, fd: int) -> int:
+        """Duplicate a descriptor onto the lowest free slot."""
+        return thread.process.fdtable.dup(fd)
+
+    def sys_dup2(self, thread, old_fd: int, new_fd: int) -> int:
+        """Alias ``old_fd`` at ``new_fd`` (closing any prior occupant)."""
+        return thread.process.fdtable.dup2(old_fd, new_fd)
+
+    def sys_set_cloexec(self, thread, fd: int, value: bool = True) -> int:
+        """Set/clear FD_CLOEXEC — the non-atomic, racy-after-the-fact way."""
+        thread.process.fdtable.set_cloexec(fd, value)
+        return 0
+
+    def sys_pipe(self, thread, *, cloexec: bool = False):
+        """Create a pipe; returns ``(read_fd, write_fd)``."""
+        pipe = Pipe()
+        read_end, write_end = pipe.make_endpoints()
+        table = thread.process.fdtable
+        read_fd = table.install(read_end, cloexec=cloexec)
+        write_fd = table.install(write_end, cloexec=cloexec)
+        return (read_fd, write_fd)
+
+    def sys_poll(self, thread, read_fds=(), write_fds=()):
+        """Block until at least one watched descriptor is ready.
+
+        Returns ``(ready_reads, ready_writes)`` — descriptor lists.
+        Regular files are always ready; pipe ends are ready per the
+        pipe's buffer/EOF state.  The select/poll primitive that lets a
+        single process serve many channels — the architecture the paper
+        prefers over fork-per-connection.
+        """
+        table = thread.process.fdtable
+        for fd in list(read_fds) + list(write_fds):
+            table.lookup(fd)  # EBADF up front, not mid-wait
+
+        def readiness():
+            ready_reads = []
+            for fd in read_fds:
+                entry = table.lookup(fd)
+                pipe = entry.ofd.inode.pipe
+                if pipe is None or pipe.readable_now:
+                    ready_reads.append(fd)
+            ready_writes = []
+            for fd in write_fds:
+                entry = table.lookup(fd)
+                pipe = entry.ofd.inode.pipe
+                if pipe is None or pipe.writable_now:
+                    ready_writes.append(fd)
+            return ready_reads, ready_writes
+
+        ready_reads, ready_writes = readiness()
+        if ready_reads or ready_writes:
+            return (ready_reads, ready_writes)
+        raise Park(lambda: any(readiness()),
+                   f"poll(read={list(read_fds)}, write={list(write_fds)})")
+
+    def sys_fd_count(self, thread) -> int:
+        """How many descriptors the process holds (introspection)."""
+        return len(thread.process.fdtable)
+
+    def sys_fd_list(self, thread):
+        """The open descriptor numbers (introspection)."""
+        return thread.process.fdtable.fds()

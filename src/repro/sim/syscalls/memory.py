@@ -1,0 +1,71 @@
+"""Memory syscalls: mmap, munmap, mprotect, brk, page access, ballast."""
+
+from __future__ import annotations
+
+from .base import KernelFacet
+
+
+class MemorySyscalls(KernelFacet):
+    """Address-space manipulation handlers.
+
+    A :class:`~repro.errors.SimSegfault` raised by the address space is
+    translated by the trampoline into a SIGSEGV, so programs die the way
+    real ones do rather than seeing a Python exception.
+    """
+
+    def sys_mmap(self, thread, length: int, prot: str = "rw", *,
+                 shared: bool = False, addr=None, path=None) -> int:
+        """Map anonymous or file-backed memory; returns the base address."""
+        inode = self.vfs.lookup(path) if path is not None else None
+        vma = thread.process.addrspace.map(length, prot, shared=shared,
+                                           addr=addr, inode=inode,
+                                           name=path or "[anon]")
+        return vma.start
+
+    def sys_munmap(self, thread, addr: int, length: int) -> int:
+        """Unmap ``[addr, addr+length)``."""
+        thread.process.addrspace.unmap(addr, length)
+        return 0
+
+    def sys_mprotect(self, thread, addr: int, length: int, prot: str) -> int:
+        """Change protection on a range."""
+        thread.process.addrspace.protect(addr, length, prot)
+        return 0
+
+    def sys_sbrk(self, thread, delta: int) -> int:
+        """Adjust the heap break; returns the new break."""
+        return thread.process.addrspace.sbrk(delta)
+
+    def sys_poke(self, thread, addr: int, value) -> int:
+        """Store a page token at ``addr`` (the simulator's memory write)."""
+        thread.process.addrspace.write(addr, value)
+        return 0
+
+    def sys_peek(self, thread, addr: int):
+        """Load the page token at ``addr``."""
+        return thread.process.addrspace.read(addr)
+
+    def sys_populate(self, thread, addr: int, nbytes: int, value=None) -> int:
+        """Dirty a range in bulk (benchmark ballast); returns pages touched."""
+        return thread.process.addrspace.populate(addr, nbytes, value)
+
+    def sys_dirty(self, thread, addr: int, nbytes: int, value=None) -> int:
+        """Write every page in a range (COW pages break); returns pages.
+
+        The bulk form of "store to each page of my heap" — what a forked
+        child does to its logically-copied memory, and the operation
+        that makes overcommitted promises come due.
+        """
+        return thread.process.addrspace.dirty(addr, nbytes, value)
+
+    def sys_rss(self, thread) -> int:
+        """Resident set size in bytes (introspection)."""
+        return thread.process.addrspace.resident_bytes()
+
+    def sys_vsz(self, thread) -> int:
+        """Virtual size in bytes (introspection)."""
+        return thread.process.addrspace.virtual_bytes()
+
+    def sys_layout(self, thread):
+        """The address space's ASLR layout signature (experiment A2)."""
+        return thread.process.addrspace.layout_signature()

@@ -1,0 +1,41 @@
+"""Signal syscalls: sigaction, sigprocmask, kill."""
+
+from __future__ import annotations
+
+from ...errors import SimOSError
+from .base import KernelFacet
+
+
+class SignalSyscalls(KernelFacet):
+    """Signal management handlers."""
+
+    def sys_sigaction(self, thread, signum: int, disposition):
+        """Install a disposition; returns the previous one.
+
+        Dispositions are ``"default"``, ``"ignore"``, or a callable
+        invoked as ``handler(signum)`` at delivery.
+        """
+        return thread.process.signals.set_handler(signum, disposition)
+
+    def sys_sigprocmask(self, thread, how: str, signums) -> int:
+        """Block or unblock signals (``how`` is ``"block"``/``"unblock"``)."""
+        signals = thread.process.signals
+        if how == "block":
+            signals.block(set(signums))
+        elif how == "unblock":
+            signals.unblock(set(signums))
+        else:
+            raise SimOSError("EINVAL", f"bad sigprocmask how={how!r}")
+        return 0
+
+    def sys_kill(self, thread, pid: int, signum: int) -> int:
+        """Post a signal to a process."""
+        target = self.find_process(pid)
+        if target is None or not target.alive:
+            raise SimOSError("ESRCH", f"no such process {pid}")
+        target.signals.post(signum)
+        return 0
+
+    def sys_sigpending(self, thread):
+        """The calling process's pending set (introspection)."""
+        return set(thread.process.signals.pending)

@@ -1,0 +1,90 @@
+"""Synchronisation syscalls: process-local mutexes.
+
+Mutex state is process memory (see :class:`repro.sim.process.Mutex`), so
+fork clones held locks into children whose owning threads do not exist —
+the deterministic deadlock of experiment T4.
+"""
+
+from __future__ import annotations
+
+from ...errors import SimOSError
+from ..process import Mutex
+from .base import KernelFacet, Park
+
+
+class SyncSyscalls(KernelFacet):
+    """mutex_create / mutex_lock / mutex_trylock / mutex_unlock."""
+
+    def _mutex(self, thread, mutex_id: int) -> Mutex:
+        mutex = thread.process.mutexes.get(mutex_id)
+        if mutex is None:
+            raise SimOSError("EINVAL", f"no mutex {mutex_id} in process "
+                                       f"{thread.process.pid}")
+        return mutex
+
+    def sys_mutex_create(self, thread) -> int:
+        """Create a mutex; returns its id."""
+        mutex = Mutex()
+        thread.process.mutexes[mutex.id] = mutex
+        return mutex.id
+
+    def sys_mutex_lock(self, thread, mutex_id: int) -> int:
+        """Acquire, blocking while another holder exists.
+
+        The wake predicate looks the mutex up *through the process* on
+        every check, so a lock inherited over fork blocks on the child's
+        cloned copy — whose owner thread is not in the child.  That
+        predicate can never become true: the deadlock detector reports
+        it, reproducing the paper's fork-with-threads hazard.
+        """
+        mutex = self._mutex(thread, mutex_id)
+        if mutex.locked and mutex.owner_tid != thread.tid:
+            process = thread.process
+            raise Park(
+                lambda: not process.mutexes[mutex_id].locked,
+                f"mutex {mutex_id} held by tid {mutex.owner_tid}")
+        if mutex.locked:
+            raise SimOSError("EDEADLK",
+                             f"tid {thread.tid} relocking mutex {mutex_id}")
+        mutex.locked = True
+        mutex.owner_tid = thread.tid
+        return 0
+
+    def sys_mutex_trylock(self, thread, mutex_id: int) -> bool:
+        """Acquire without blocking; returns whether it succeeded."""
+        mutex = self._mutex(thread, mutex_id)
+        if mutex.locked:
+            return False
+        mutex.locked = True
+        mutex.owner_tid = thread.tid
+        return True
+
+    def sys_mutex_unlock(self, thread, mutex_id: int) -> int:
+        """Release a mutex held by the calling thread.
+
+        One deliberate relaxation: if the recorded owner thread does not
+        exist in the calling process — the post-fork orphaned-lock case —
+        any thread may release it.  This models the atfork child-handler
+        recovery idiom (``pthread_mutex_init`` in the child) without a
+        separate re-init call.
+        """
+        mutex = self._mutex(thread, mutex_id)
+        if not mutex.locked:
+            raise SimOSError("EPERM", f"mutex {mutex_id} is not locked")
+        if mutex.owner_tid != thread.tid:
+            owner_exists = any(
+                t.tid == mutex.owner_tid and t.state != "finished"
+                for t in thread.process.threads)
+            if owner_exists:
+                raise SimOSError(
+                    "EPERM",
+                    f"mutex {mutex_id} owned by tid {mutex.owner_tid}, "
+                    f"unlock attempted by tid {thread.tid}")
+        mutex.locked = False
+        mutex.owner_tid = None
+        return 0
+
+    def sys_mutex_holder(self, thread, mutex_id: int):
+        """The owning tid, or ``None`` (introspection for tests)."""
+        mutex = self._mutex(thread, mutex_id)
+        return mutex.owner_tid if mutex.locked else None

@@ -1,0 +1,113 @@
+"""The paper's proposed alternative: a cross-process construction API.
+
+Instead of cloning the caller (fork) or accreting flags onto a monolithic
+spawn call, the paper points to systems like Zircon and ExOS where a new
+process starts **empty** and the parent explicitly builds it through
+handles: map memory into it, install descriptors into it, then start a
+thread.  Nothing is inherited by accident; cost is proportional to what
+you transfer; and the "exotic" fork use cases (preload a cache, set up a
+sandbox) become ordinary sequences of explicit operations.
+
+Handles here are plain integers scoped to the creating process's kernel —
+capability transfer and revocation are out of scope for the experiments,
+which only need the construction cost and inheritance behaviour.
+"""
+
+from __future__ import annotations
+
+from ...errors import SimOSError
+from ..process import Process
+from ..signals import SignalState
+from .base import KernelFacet
+
+
+class CrossProcessSyscalls(KernelFacet):
+    """process_create / xproc_map / xproc_grant_fd / xproc_start."""
+
+    def _embryo(self, handle: int) -> Process:
+        embryo = self._embryos.get(handle)
+        if embryo is None:
+            raise SimOSError("EINVAL", f"bad process handle {handle}")
+        return embryo
+
+    def sys_xproc_create(self, thread, name: str = "xproc") -> int:
+        """Create an empty process; returns a construction handle.
+
+        The embryo has a fresh (fresh-ASLR) address space, an *empty*
+        descriptor table, default signal state, and no threads.  It is
+        invisible to the scheduler until :meth:`sys_xproc_start`.
+        """
+        embryo = Process(self.new_pid(), thread.process.pid, name=name)
+        embryo.addrspace = self.make_address_space(name)
+        self.as_acquire(embryo.addrspace)
+        embryo.fdtable = self.make_fdtable()
+        self.fdt_acquire(embryo.fdtable)
+        embryo.signals = SignalState()
+        handle = self._next_handle
+        self._next_handle += 1
+        self._embryos[handle] = embryo
+        return handle
+
+    def sys_xproc_map(self, thread, handle: int, length: int,
+                      prot: str = "rw") -> int:
+        """Map anonymous memory into the embryo; returns its base address."""
+        embryo = self._embryo(handle)
+        vma = embryo.addrspace.map(length, prot)
+        return vma.start
+
+    def sys_xproc_write(self, thread, handle: int, addr: int, value) -> int:
+        """Write one page token into the embryo's memory.
+
+        This is how a parent preloads exactly the state it means to hand
+        over — the explicit, pay-per-page alternative to inheriting the
+        whole parent image.
+        """
+        self._embryo(handle).addrspace.write(addr, value)
+        return 0
+
+    def sys_xproc_populate(self, thread, handle: int, addr: int,
+                           nbytes: int, value=None) -> int:
+        """Bulk-populate embryo memory (the ballast path)."""
+        return self._embryo(handle).addrspace.populate(addr, nbytes, value)
+
+    def sys_xproc_grant_fd(self, thread, handle: int, parent_fd: int,
+                           child_fd: int) -> int:
+        """Install one of the caller's descriptors into the embryo.
+
+        The single explicit grant replaces fork's inherit-everything: a
+        descriptor the parent does not grant simply does not exist in the
+        child (experiment A2's descriptor-surface comparison).
+        """
+        embryo = self._embryo(handle)
+        ofd = thread.process.fdtable.ofd(parent_fd)
+        ofd.incref()
+        embryo.fdtable.install(ofd, at=child_fd)
+        self.counters.fd_dups += 1
+        return child_fd
+
+    def sys_xproc_start(self, thread, handle: int, path: str,
+                        argv=()) -> int:
+        """Load ``path``'s image and schedule the embryo; returns its pid."""
+        embryo = self._embryos.pop(self._require_handle(handle))
+        image = self.lookup_program(path)
+        self.charge_fixed(self.cost.fixed_spawn_ns)
+        self.build_image(embryo.addrspace, image)
+        embryo.argv = [path, *argv]
+        embryo.name = path.rsplit("/", 1)[-1]
+        self.counters.exec_loads += 1
+        self.adopt(embryo, thread.process)
+        self.attach_thread(embryo, image.func(self.make_proxy(), *argv),
+                           name="main")
+        return embryo.pid
+
+    def sys_xproc_abort(self, thread, handle: int) -> int:
+        """Destroy an embryo without starting it."""
+        embryo = self._embryos.pop(self._require_handle(handle))
+        self.fdt_release(embryo.fdtable)
+        self.as_release(embryo.addrspace)
+        return 0
+
+    def _require_handle(self, handle: int) -> int:
+        if handle not in self._embryos:
+            raise SimOSError("EINVAL", f"bad process handle {handle}")
+        return handle

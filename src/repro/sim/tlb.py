@@ -1,0 +1,80 @@
+"""TLB cost model: local flushes and remote shootdowns.
+
+Fork must write-protect every private writable page in the *parent*, and
+stale writable translations may be cached on any CPU the parent has run
+on — so the kernel broadcasts inter-processor interrupts and each target
+flushes.  This machinery is one of the size-dependent costs the paper
+charges against fork; ``posix_spawn`` never touches the parent's page
+tables and never pays it.
+
+The model tracks which CPUs have each address space active and converts
+invalidations into counted work (``tlb_shootdowns``, ``ipis``,
+``tlb_flushes``).  It does not cache individual translations: no
+experiment depends on hit rates, only on invalidation traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from .params import WorkCounters
+
+
+class TLBModel:
+    """Machine-wide TLB bookkeeping.
+
+    One instance per simulated machine.  Address spaces register the CPUs
+    they are active on; invalidations fan out to those CPUs.
+    """
+
+    def __init__(self, num_cpus: int = 1,
+                 counters: Optional[WorkCounters] = None):
+        self.num_cpus = num_cpus
+        self.counters = counters if counters is not None else WorkCounters()
+        self._active: Dict[int, Set[int]] = {}
+
+    def activate(self, asid: int, cpu: int) -> None:
+        """Record that ``asid`` is (or was recently) active on ``cpu``.
+
+        Mirrors a context switch onto the address space: its translations
+        may now be cached there until the next flush.
+        """
+        self._active.setdefault(asid, set()).add(cpu)
+
+    def deactivate(self, asid: int, cpu: int) -> None:
+        """Record that ``cpu`` no longer caches ``asid`` translations."""
+        cpus = self._active.get(asid)
+        if cpus is not None:
+            cpus.discard(cpu)
+            if not cpus:
+                del self._active[asid]
+
+    def active_cpus(self, asid: int) -> Set[int]:
+        """CPUs that may hold translations for ``asid``."""
+        return set(self._active.get(asid, ()))
+
+    def flush_local(self, asid: int, cpu: int = 0) -> None:
+        """Flush one CPU's translations for ``asid``."""
+        self.counters.tlb_flushes += 1
+        self.deactivate(asid, cpu)
+
+    def shootdown(self, asid: int, initiating_cpu: int = 0) -> int:
+        """Invalidate ``asid`` translations machine-wide.
+
+        The initiating CPU flushes locally; every *other* CPU with the
+        address space active gets an IPI and flushes on receipt.  Returns
+        the number of IPIs sent, which is what the cost model prices.
+        """
+        targets = self.active_cpus(asid)
+        remote = targets - {initiating_cpu}
+        self.counters.tlb_shootdowns += 1
+        self.counters.ipis += len(remote)
+        self.counters.tlb_flushes += len(targets) if targets else 1
+        self._active.pop(asid, None)
+        # The initiator still runs on this address space afterwards.
+        self.activate(asid, initiating_cpu)
+        return len(remote)
+
+    def retire(self, asid: int) -> None:
+        """Forget an address space entirely (process exit)."""
+        self._active.pop(asid, None)

@@ -1,0 +1,442 @@
+"""Per-rule tests: each hazard pattern is caught, each safe variant not."""
+
+import textwrap
+
+from repro.analysis import lint_source
+
+
+def findings_for(code: str, rule_id: str):
+    report = lint_source(textwrap.dedent(code), "probe.py")
+    return [f for f in report.findings if f.rule_id == rule_id]
+
+
+class TestF001ForkWithThreads:
+    def test_fires_on_fork_plus_threads(self):
+        code = """
+        import os, threading
+        threading.Thread(target=print).start()
+        os.fork()
+        """
+        assert findings_for(code, "F001")
+
+    def test_quiet_without_threads(self):
+        assert not findings_for("import os\nos.fork()\n", "F001")
+
+    def test_quiet_with_threads_but_no_fork(self):
+        code = """
+        import threading
+        threading.Thread(target=print).start()
+        """
+        assert not findings_for(code, "F001")
+
+    def test_detects_thread_pool_executor(self):
+        code = """
+        import os
+        from concurrent.futures import ThreadPoolExecutor
+        ThreadPoolExecutor(4)
+        os.fork()
+        """
+        assert findings_for(code, "F001")
+
+    def test_severity_is_error(self):
+        code = "import os, threading\nthreading.Thread()\nos.fork()\n"
+        (finding,) = findings_for(code, "F001")
+        assert finding.severity == "error"
+
+
+class TestF002ForkWithoutExec:
+    def test_fires_without_exec(self):
+        assert findings_for("import os\nos.fork()\n", "F002")
+
+    def test_quiet_when_module_execs(self):
+        code = """
+        import os
+        pid = os.fork()
+        if pid == 0:
+            os.execv("/bin/true", ["true"])
+        """
+        assert not findings_for(code, "F002")
+
+    def test_quiet_when_module_uses_posix_spawn(self):
+        code = """
+        import os
+        os.posix_spawn("/bin/true", ["true"], {})
+        pid = os.fork()
+        """
+        assert not findings_for(code, "F002")
+
+
+class TestF003ForkInLibrary:
+    def test_fires_on_unguarded_fork(self):
+        code = """
+        import os
+        def helper():
+            return os.fork()
+        """
+        assert findings_for(code, "F003")
+
+    def test_quiet_under_main_guard(self):
+        code = """
+        import os
+        if __name__ == "__main__":
+            os.fork()
+        """
+        assert not findings_for(code, "F003")
+
+
+class TestF004ForkInsideOpenFile:
+    def test_fires_inside_with_open(self):
+        code = """
+        import os
+        with open("/tmp/log", "w") as fh:
+            fh.write("header")
+            os.fork()
+        """
+        assert findings_for(code, "F004")
+
+    def test_quiet_outside_with(self):
+        code = """
+        import os
+        with open("/tmp/log", "w") as fh:
+            fh.write("x")
+        os.fork()
+        """
+        assert not findings_for(code, "F004")
+
+    def test_quiet_for_non_open_context(self):
+        code = """
+        import os, threading
+        with threading.Lock():
+            os.fork()
+        """
+        assert not findings_for(code, "F004")
+
+
+class TestF005StdioInChild:
+    def test_fires_on_print_in_child(self):
+        code = """
+        import os
+        pid = os.fork()
+        if pid == 0:
+            print("child")
+            os._exit(0)
+        """
+        assert findings_for(code, "F005")
+
+    def test_quiet_on_raw_write(self):
+        code = """
+        import os
+        pid = os.fork()
+        if pid == 0:
+            os.write(1, b"child")
+            os._exit(0)
+        """
+        assert not findings_for(code, "F005")
+
+
+class TestF006ChildFallsThrough:
+    def test_fires_when_child_continues(self):
+        code = """
+        import os
+        pid = os.fork()
+        if pid == 0:
+            x = compute()
+        cleanup()
+        """
+        assert findings_for(code, "F006")
+
+    def test_quiet_when_child_exits(self):
+        code = """
+        import os
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        """
+        assert not findings_for(code, "F006")
+
+    def test_quiet_when_child_execs(self):
+        code = """
+        import os
+        pid = os.fork()
+        if pid == 0:
+            os.execv("/bin/true", ["true"])
+        """
+        assert not findings_for(code, "F006")
+
+    def test_if_pid_form_child_is_orelse(self):
+        code = """
+        import os
+        pid = os.fork()
+        if pid:
+            parent_work()
+        else:
+            child_work()
+        """
+        assert findings_for(code, "F006")
+
+    def test_not_pid_form_child_is_body(self):
+        code = """
+        import os
+        pid = os.fork()
+        if not pid:
+            os._exit(0)
+        """
+        assert not findings_for(code, "F006")
+
+
+class TestF007MultiprocessingFork:
+    def test_fires_on_set_start_method(self):
+        code = """
+        import multiprocessing
+        multiprocessing.set_start_method("fork")
+        """
+        assert findings_for(code, "F007")
+
+    def test_fires_on_get_context(self):
+        code = """
+        import multiprocessing
+        ctx = multiprocessing.get_context("fork")
+        """
+        assert findings_for(code, "F007")
+
+    def test_quiet_on_spawn_method(self):
+        code = """
+        import multiprocessing
+        multiprocessing.set_start_method("spawn")
+        """
+        assert not findings_for(code, "F007")
+
+
+class TestF008PrngAcrossFork:
+    def test_fires_without_reseed(self):
+        code = """
+        import os, random
+        token = random.random()
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        """
+        assert findings_for(code, "F008")
+
+    def test_quiet_when_child_reseeds(self):
+        code = """
+        import os, random
+        token = random.random()
+        pid = os.fork()
+        if pid == 0:
+            random.seed()
+            os._exit(0)
+        """
+        assert not findings_for(code, "F008")
+
+    def test_quiet_without_random_use(self):
+        assert not findings_for("import os\nos.fork()\n", "F008")
+
+
+class TestF009TlsAcrossFork:
+    def test_fires_with_ssl_import(self):
+        code = """
+        import os, ssl
+        os.fork()
+        """
+        (finding,) = findings_for(code, "F009")
+        assert finding.severity == "error"
+
+    def test_quiet_without_ssl(self):
+        assert not findings_for("import os\nos.fork()\n", "F009")
+
+
+class TestF010PreexecFn:
+    def test_fires_on_preexec_fn(self):
+        code = """
+        import subprocess
+        subprocess.Popen(["ls"], preexec_fn=lambda: None)
+        """
+        assert findings_for(code, "F010")
+
+    def test_quiet_on_explicit_none(self):
+        code = """
+        import subprocess
+        subprocess.Popen(["ls"], preexec_fn=None)
+        """
+        assert not findings_for(code, "F010")
+
+    def test_quiet_without_kwarg(self):
+        code = """
+        import subprocess
+        subprocess.run(["ls"])
+        """
+        assert not findings_for(code, "F010")
+
+
+class TestF011SpawnWouldDo:
+    def test_suggests_spawn_for_fork_exec(self):
+        code = """
+        import os
+        pid = os.fork()
+        if pid == 0:
+            os.execv("/bin/true", ["true"])
+        """
+        (finding,) = findings_for(code, "F011")
+        assert finding.severity == "info"
+        assert "posix_spawn" in finding.message
+
+    def test_quiet_for_fork_without_exec(self):
+        code = """
+        import os
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        """
+        assert not findings_for(code, "F011")
+
+
+class TestImportResolution:
+    def test_aliased_import_is_resolved(self):
+        code = """
+        import os as operating_system
+        operating_system.fork()
+        """
+        assert findings_for(code, "F002")
+
+    def test_from_import_is_resolved(self):
+        code = """
+        from os import fork
+        fork()
+        """
+        assert findings_for(code, "F002")
+
+    def test_unrelated_fork_function_ignored(self):
+        code = """
+        def fork():
+            return "salad"
+        fork()
+        """
+        assert not findings_for(code, "F002")
+
+    def test_one_finding_per_fork_call(self):
+        code = """
+        import os
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        """
+        assert len(findings_for(code, "F002")) == 1
+        assert len(findings_for(code, "F003")) == 1
+
+
+class TestF012ForkResultDiscarded:
+    def test_fires_on_bare_fork(self):
+        code = """
+        import os
+        os.fork()
+        """
+        (finding,) = findings_for(code, "F012")
+        assert finding.severity == "error"
+
+    def test_quiet_when_pid_captured(self):
+        code = """
+        import os
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        """
+        assert not findings_for(code, "F012")
+
+    def test_quiet_when_used_in_expression(self):
+        code = """
+        import os
+        handle_pid(os.fork())
+        """
+        assert not findings_for(code, "F012")
+
+
+class TestF013SocketAcrossFork:
+    def test_fires_with_socket_creation(self):
+        code = """
+        import os, socket
+        s = socket.socket()
+        os.fork()
+        """
+        assert findings_for(code, "F013")
+
+    def test_fires_with_create_connection(self):
+        code = """
+        import os, socket
+        conn = socket.create_connection(("h", 80))
+        os.fork()
+        """
+        assert findings_for(code, "F013")
+
+    def test_quiet_without_sockets(self):
+        assert not findings_for("import os\nos.fork()\n", "F013")
+
+    def test_quiet_socket_without_fork(self):
+        code = """
+        import socket
+        socket.socket()
+        """
+        assert not findings_for(code, "F013")
+
+
+class TestF014ForkInAsync:
+    def test_fires_inside_async_def(self):
+        code = """
+        import os
+
+        async def handler():
+            pid = os.fork()
+        """
+        (finding,) = findings_for(code, "F014")
+        assert finding.severity == "error"
+        assert "handler" in finding.message
+
+    def test_quiet_in_sync_function(self):
+        code = """
+        import os
+
+        def handler():
+            pid = os.fork()
+        """
+        assert not findings_for(code, "F014")
+
+
+class TestF015ForkInLoop:
+    def test_fires_on_unwaited_loop_fork(self):
+        code = """
+        import os
+        for job in jobs:
+            pid = os.fork()
+            if pid == 0:
+                os._exit(0)
+        """
+        (finding,) = findings_for(code, "F015")
+        assert finding.severity == "error"
+
+    def test_fires_in_while_loop(self):
+        code = """
+        import os
+        while True:
+            os.fork()
+        """
+        assert findings_for(code, "F015")
+
+    def test_quiet_when_module_waits(self):
+        code = """
+        import os
+        for job in jobs:
+            pid = os.fork()
+            if pid == 0:
+                os._exit(0)
+            os.waitpid(pid, 0)
+        """
+        assert not findings_for(code, "F015")
+
+    def test_quiet_for_fork_outside_loops(self):
+        code = """
+        import os
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        """
+        assert not findings_for(code, "F015")

@@ -1,0 +1,167 @@
+"""Unit tests for the fork control-flow matcher."""
+
+import ast
+import textwrap
+
+from repro.analysis.forkflow import (branch_calls, child_execs, child_exits,
+                                     find_fork_sites, inside_main_guard)
+from repro.analysis.rules import ModuleContext
+
+
+def module_for(code: str) -> ModuleContext:
+    source = textwrap.dedent(code)
+    return ModuleContext(ast.parse(source), source, "probe.py")
+
+
+class TestSiteMatching:
+    def test_one_site_per_call(self):
+        module = module_for("""
+            import os
+            def a():
+                pid = os.fork()
+            def b():
+                pid = os.fork()
+        """)
+        assert len(find_fork_sites(module)) == 2
+
+    def test_pid_name_recovered(self):
+        module = module_for("""
+            import os
+            child_pid = os.fork()
+        """)
+        (site,) = find_fork_sites(module)
+        assert site.pid_name == "child_pid"
+
+    def test_branch_matched_eq_zero(self):
+        module = module_for("""
+            import os
+            pid = os.fork()
+            if pid == 0:
+                in_child()
+            else:
+                in_parent()
+        """)
+        (site,) = find_fork_sites(module)
+        assert site.has_child_branch
+        assert branch_calls(site.child_body, module) == ["in_child"]
+
+    def test_branch_matched_reversed_comparison(self):
+        module = module_for("""
+            import os
+            pid = os.fork()
+            if 0 == pid:
+                in_child()
+        """)
+        (site,) = find_fork_sites(module)
+        assert branch_calls(site.child_body, module) == ["in_child"]
+
+    def test_truthy_pid_child_is_orelse(self):
+        module = module_for("""
+            import os
+            pid = os.fork()
+            if pid:
+                in_parent()
+            else:
+                in_child()
+        """)
+        (site,) = find_fork_sites(module)
+        assert branch_calls(site.child_body, module) == ["in_child"]
+
+    def test_gt_zero_child_is_orelse(self):
+        module = module_for("""
+            import os
+            pid = os.fork()
+            if pid > 0:
+                in_parent()
+            else:
+                in_child()
+        """)
+        (site,) = find_fork_sites(module)
+        assert branch_calls(site.child_body, module) == ["in_child"]
+
+    def test_unrelated_if_not_matched(self):
+        module = module_for("""
+            import os
+            pid = os.fork()
+            if weather == "sunny":
+                picnic()
+        """)
+        (site,) = find_fork_sites(module)
+        assert not site.has_child_branch
+
+    def test_fork_in_expression_has_no_pid(self):
+        module = module_for("""
+            import os
+            children.append(os.fork())
+        """)
+        (site,) = find_fork_sites(module)
+        assert site.pid_name is None
+        assert not site.has_child_branch
+
+
+class TestChildClassification:
+    def _child_body(self, code):
+        module = module_for(code)
+        (site,) = find_fork_sites(module)
+        return site.child_body, module
+
+    def test_child_execs_true(self):
+        body, module = self._child_body("""
+            import os
+            pid = os.fork()
+            if pid == 0:
+                os.execvp("ls", ["ls"])
+        """)
+        assert child_execs(body, module)
+
+    def test_child_execs_false_for_exit(self):
+        body, module = self._child_body("""
+            import os
+            pid = os.fork()
+            if pid == 0:
+                os._exit(0)
+        """)
+        assert not child_execs(body, module)
+        assert child_exits(body, module)
+
+    def test_return_counts_as_exit(self):
+        module = module_for("""
+            import os
+            def launch():
+                pid = os.fork()
+                if pid == 0:
+                    return run_child()
+                return pid
+        """)
+        (site,) = find_fork_sites(module)
+        assert child_exits(site.child_body, module)
+
+    def test_raise_counts_as_exit(self):
+        body, module = self._child_body("""
+            import os
+            pid = os.fork()
+            if pid == 0:
+                raise SystemExit
+        """)
+        assert child_exits(body, module)
+
+
+class TestMainGuard:
+    def test_inside_guard(self):
+        module = module_for("""
+            import os
+            if __name__ == "__main__":
+                pid = os.fork()
+        """)
+        (call,) = module.fork_calls()
+        assert inside_main_guard(call, module)
+
+    def test_outside_guard(self):
+        module = module_for("""
+            import os
+            pid = os.fork()
+            if __name__ == "__main__":
+                pass
+        """)
+        (call,) = module.fork_calls()
+        assert not inside_main_guard(call, module)

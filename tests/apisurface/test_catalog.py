@@ -1,0 +1,99 @@
+"""Tests for the POSIX fork/exec catalog and its audits (T1)."""
+
+import importlib
+
+import pytest
+
+from repro.apisurface import (CATALOG, StateEntry, categories, entries,
+                              exec_special_cases, fork_special_cases,
+                              hazards, render_table, simulator_coverage,
+                              special_case_table, summary)
+
+
+class TestCatalogIntegrity:
+    def test_names_are_unique(self):
+        names = [e.name for e in CATALOG]
+        assert len(names) == len(set(names))
+
+    def test_every_entry_fully_described(self):
+        for entry in CATALOG:
+            assert entry.name and entry.category
+            assert entry.fork_behavior and entry.exec_behavior
+
+    def test_sim_module_references_resolve(self):
+        # The catalog doubles as the simulator's conformance checklist;
+        # a dangling module name would make that a lie.
+        for entry in CATALOG:
+            if entry.sim_module:
+                importlib.import_module(entry.sim_module)
+
+    def test_shouting_behaviours_are_marked_special(self):
+        # Entries whose behaviour text shouts NOT/CLEARED/RESET/ONLY
+        # must carry the special-case flag.
+        for entry in CATALOG:
+            for marker in ("NOT ", "CLEARED", "RESET", "ONLY "):
+                if marker in entry.fork_behavior:
+                    assert entry.fork_special, entry.name
+
+    def test_entries_are_frozen(self):
+        with pytest.raises(AttributeError):
+            CATALOG[0].name = "mutated"
+
+
+class TestPaperClaims:
+    def test_fork_special_case_count_matches_paper(self):
+        # The paper: "it now lists 25 special cases"; POSIX.1-2017's own
+        # enumeration is in the low-to-mid twenties depending on how one
+        # splits items.  The encoded catalog must land in that band.
+        count = len(fork_special_cases())
+        assert 23 <= count <= 30, count
+
+    def test_exec_also_accumulates_special_cases(self):
+        assert len(exec_special_cases()) >= 10
+
+    def test_known_special_cases_present(self):
+        names = {e.name for e in fork_special_cases()}
+        for expected in ("advisory record locks (fcntl F_SETLK)",
+                         "pending signals",
+                         "threads",
+                         "interval timers (setitimer)",
+                         "asynchronous I/O operations (aio_*)"):
+            assert expected in names
+
+    def test_plain_inherited_state_not_special(self):
+        by_name = {e.name: e for e in CATALOG}
+        assert not by_name["signal mask"].fork_special
+        assert not by_name["resource limits (setrlimit)"].fork_special
+
+    def test_hazards_include_the_deadlock_and_aslr(self):
+        text = " ".join(e.hazard for e in hazards())
+        assert "deadlock" in text
+        assert "layout" in text
+
+
+class TestQueries:
+    def test_entries_filter_by_category(self):
+        for entry in entries("timers"):
+            assert entry.category == "timers"
+
+    def test_categories_cover_all_entries(self):
+        assert {e.category for e in CATALOG} == set(categories())
+
+    def test_summary_counts_consistent(self):
+        counts = summary()
+        assert counts["total_state_items"] == len(CATALOG)
+        assert counts["fork_special_cases"] == len(fork_special_cases())
+        done, todo = simulator_coverage()
+        assert counts["simulated_items"] == len(done)
+        assert len(done) + len(todo) == len(CATALOG)
+
+    def test_special_case_table_rows(self):
+        rows = special_case_table()
+        assert len(rows) == len(fork_special_cases())
+        assert all(len(row) == 3 for row in rows)
+
+    def test_render_table_mentions_count_and_categories(self):
+        text = render_table()
+        assert str(len(fork_special_cases())) in text
+        assert "timers" in text
+        assert "threads" in text

@@ -1,0 +1,132 @@
+"""Tests for the measurement loop, ballast, and renderers."""
+
+import time
+
+import pytest
+
+from repro.bench.ballast import Ballast, default_sizes, resident_bytes
+from repro.bench.render import render_series_chart, render_table
+from repro.bench.timing import measure
+from repro.errors import BenchError
+
+
+class TestMeasure:
+    def test_counts_repeats(self):
+        summary = measure(lambda: None, repeats=10, warmup=1)
+        assert summary.n == 10
+
+    def test_measures_real_sleep(self):
+        summary = measure(lambda: time.sleep(0.002), repeats=4, warmup=0)
+        assert summary.median >= 1.5e6  # at least ~1.5ms in ns
+
+    def test_warmup_calls_happen(self):
+        calls = []
+        measure(lambda: calls.append(1), repeats=2, warmup=3)
+        assert len(calls) == 5
+
+    def test_zero_repeats_rejected(self):
+        with pytest.raises(BenchError):
+            measure(lambda: None, repeats=0)
+
+    def test_max_seconds_truncates(self):
+        summary = measure(lambda: time.sleep(0.01), repeats=1000,
+                          warmup=0, max_seconds=0.05)
+        assert 3 <= summary.n < 1000
+
+    def test_gc_state_restored(self):
+        import gc
+        assert gc.isenabled()
+        measure(lambda: None, repeats=3)
+        assert gc.isenabled()
+
+
+class TestBallast:
+    def test_allocates_and_releases(self):
+        ballast = Ballast(8 << 20)
+        assert not ballast.held
+        with ballast:
+            assert ballast.held
+        assert not ballast.held
+
+    def test_zero_bytes_is_noop(self):
+        with Ballast(0) as ballast:
+            assert not ballast.held
+
+    def test_negative_rejected(self):
+        with pytest.raises(BenchError):
+            Ballast(-1)
+
+    def test_ballast_actually_increases_rss(self):
+        before = resident_bytes()
+        if before is None:
+            pytest.skip("no /proc on this platform")
+        with Ballast(64 << 20):
+            during = resident_bytes()
+            assert during - before > 48 << 20  # pages really were dirtied
+        # (release timing back to the OS is allocator-dependent; no
+        # assertion on the way down.)
+
+    def test_allocate_is_idempotent(self):
+        ballast = Ballast(1 << 20).allocate()
+        chunks = list(ballast._chunks)
+        ballast.allocate()
+        assert ballast._chunks == chunks
+        ballast.release()
+
+    def test_default_sizes_doubling(self):
+        sizes = default_sizes(max_bytes=8 << 20)
+        assert sizes == [1 << 20, 2 << 20, 4 << 20, 8 << 20]
+
+    def test_default_sizes_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_MAX_MB", "4")
+        assert default_sizes() == [1 << 20, 2 << 20, 4 << 20]
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(["name", "value"], [["fork", "10"],
+                                                ["spawn", "2"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "fork" in lines[2]
+
+    def test_numeric_cells_right_aligned(self):
+        text = render_table(["n"], [["5"], ["500"]])
+        lines = text.splitlines()
+        assert lines[-2].endswith("  5") or lines[-2].endswith(" 5")
+
+    def test_title_included(self):
+        assert render_table(["a"], [["1"]], title="T").startswith("T\n")
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(BenchError):
+            render_table(["a", "b"], [["only one"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(BenchError):
+            render_table([], [])
+
+
+class TestRenderChart:
+    def test_series_markers_present(self):
+        text = render_series_chart(
+            [1, 10, 100], {"fork": [10, 100, 1000], "spawn": [5, 5, 5]},
+            x_label="size", y_label="ns")
+        assert "fork" in text and "spawn" in text
+        assert "*" in text and "o" in text
+
+    def test_log_extremes_labelled(self):
+        text = render_series_chart([1, 1000], {"s": [1, 1_000_000]})
+        assert "1M" in text
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(BenchError):
+            render_series_chart([1, 2], {"s": [0, 5]})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(BenchError):
+            render_series_chart([1, 2], {"s": [1.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(BenchError):
+            render_series_chart([], {})

@@ -1,0 +1,167 @@
+"""Tests for the simulator-side experiments: every paper shape holds."""
+
+import math
+
+import pytest
+
+from repro.bench.simbench import (a1_ablation, a2_aslr, creation_ns,
+                                  f2_scaling, fig1_sim, t2_micro_sim,
+                                  t3_overcommit, _machine,
+                                  _parent_with_ballast)
+from repro.errors import BenchError
+
+MIB = 1 << 20
+GIB = 1 << 30
+
+
+class TestFig1Sim:
+    def test_fork_cost_grows_linearly(self):
+        rows = fig1_sim(sizes=[64 * MIB, 256 * MIB, 1 * GIB])
+        forks = [r["results"]["fork"] for r in rows]
+        # Doubling size should roughly double the incremental cost.
+        assert forks[1] > 2.5 * forks[0] / 2  # superlinear vs fixed floor
+        assert forks[2] / forks[1] == pytest.approx(4.0, rel=0.35)
+
+    def test_spawn_flat_across_sizes(self):
+        rows = fig1_sim(sizes=[1 * MIB, 1 * GIB])
+        spawns = [r["results"]["spawn"] for r in rows]
+        assert spawns[0] == pytest.approx(spawns[1])
+
+    def test_vfork_cheapest_everywhere(self):
+        rows = fig1_sim(sizes=[1 * MIB, 256 * MIB])
+        for row in rows:
+            results = row["results"]
+            assert results["vfork"] == min(results.values())
+
+    def test_fork_spawn_gap_at_8gib(self):
+        (row,) = fig1_sim(sizes=[8 * GIB], mechanisms=("fork", "spawn"))
+        assert row["results"]["fork"] > 50 * row["results"]["spawn"]
+
+    def test_determinism(self):
+        first = fig1_sim(sizes=[64 * MIB])
+        second = fig1_sim(sizes=[64 * MIB])
+        assert first[0]["results"] == second[0]["results"]
+
+    def test_unknown_mechanism_rejected(self):
+        kernel = _machine()
+        _, thread = _parent_with_ballast(kernel, 0)
+        with pytest.raises(BenchError):
+            creation_ns(kernel, thread, "teleport")
+
+
+class TestT2Micro:
+    def test_ordering_vfork_fork_spawn(self):
+        costs = t2_micro_sim()
+        assert costs["vfork"] < costs["fork"] < costs["spawn"]
+
+    def test_xproc_close_to_spawn(self):
+        costs = t2_micro_sim()
+        assert costs["xproc"] == pytest.approx(costs["spawn"], rel=0.25)
+
+
+class TestF2Scaling:
+    def test_single_lock_flatlines(self):
+        rows = f2_scaling((4, 32), ops_per_thread=100)
+        assert (rows[1]["one_lock_ops_per_sec"]
+                < 1.5 * rows[0]["one_lock_ops_per_sec"])
+
+    def test_per_vma_scales(self):
+        rows = f2_scaling((4, 32), ops_per_thread=100)
+        assert (rows[1]["per_vma_ops_per_sec"]
+                > 4 * rows[0]["per_vma_ops_per_sec"])
+
+    def test_fork_stall_grows_with_threads(self):
+        rows = f2_scaling((1, 8, 32), ops_per_thread=50)
+        stalls = [r["fork_stall_ns"] for r in rows]
+        assert stalls[0] == 0.0
+        assert stalls[2] > stalls[1] > 0
+
+
+class TestT3Overcommit:
+    def test_strict_fork_fails_spawn_succeeds(self):
+        rows = {r["mode"]: r for r in t3_overcommit()}
+        assert rows["never"]["fork"] == "ENOMEM"
+        assert rows["never"]["spawn"] == "ok"
+
+    def test_permissive_modes_admit_fork(self):
+        rows = {r["mode"]: r for r in t3_overcommit()}
+        assert rows["always"]["fork"] == "ok"
+        assert rows["heuristic"]["fork"] == "ok"
+
+    def test_fork_doubles_commit_charge(self):
+        rows = {r["mode"]: r for r in t3_overcommit()}
+        assert (rows["heuristic"]["committed_pages_peak"]
+                > 1.9 * rows["never"]["committed_pages_peak"])
+
+
+class TestA1Ablation:
+    @pytest.fixture(scope="class")
+    def costs(self):
+        return {r["variant"]: r["fork_ns"]
+                for r in a1_ablation(256 * MIB)}
+
+    def test_pte_copy_dominates(self, costs):
+        assert costs["no PTE-copy cost"] < 0.7 * costs["full model"]
+
+    def test_writeprotect_second(self, costs):
+        saved_wp = costs["full model"] - costs["no write-protect cost"]
+        saved_tlb = costs["full model"] - costs["no TLB/IPI cost"]
+        assert saved_wp > saved_tlb
+
+    def test_eager_copy_much_worse(self, costs):
+        assert costs["eager copy (no COW)"] > 5 * costs["full model"]
+
+    def test_huge_pages_divide_the_walk(self, costs):
+        # 512x fewer PTEs; at this size the size-independent fork floor
+        # dominates the huge-page number, so assert a 20x total win.
+        assert costs["2 MiB huge pages"] < costs["full model"] / 20
+
+
+class TestA2Aslr:
+    def test_fork_inherits_layout_exactly(self):
+        rows = {r["mechanism"]: r for r in a2_aslr(children=12)}
+        assert rows["fork"]["identical_to_parent"] == 12
+        assert rows["fork"]["entropy_bits"] == 0.0
+
+    def test_spawn_and_xproc_randomise(self):
+        rows = {r["mechanism"]: r for r in a2_aslr(children=12)}
+        for mechanism in ("spawn", "xproc"):
+            assert rows[mechanism]["identical_to_parent"] == 0
+            assert rows[mechanism]["distinct_layouts"] == 12
+            assert rows[mechanism]["entropy_bits"] == pytest.approx(
+                math.log2(12))
+
+
+class TestZygote:
+    def test_zygote_flat_in_driver_size(self):
+        rows = fig1_sim(sizes=[1 * MIB, 1 * GIB],
+                        mechanisms=("fork", "zygote"))
+        zygotes = [r["results"]["zygote"] for r in rows]
+        # The template's size is what matters, not the caller's.
+        assert zygotes[0] == pytest.approx(zygotes[1], rel=0.05)
+
+    def test_zygote_beats_spawn(self):
+        costs = t2_micro_sim(mechanisms=("spawn", "zygote"))
+        # No exec/image-load on the zygote path: Android's motivation.
+        assert costs["zygote"] < costs["spawn"]
+
+    def test_zygote_costs_more_than_its_first_fork(self):
+        rows = fig1_sim(sizes=[1 * GIB], mechanisms=("fork", "zygote"))
+        results = rows[0]["results"]
+        # Forking the huge driver costs orders more than the template.
+        assert results["fork"] > 50 * results["zygote"]
+
+
+class TestA4FdTable:
+    def test_fork_scales_with_fds(self):
+        from repro.bench.simbench import a4_fdtable
+        rows = a4_fdtable((0, 4096))
+        costs = {r["fds"]: r["results"] for r in rows}
+        assert costs[4096]["fork"] > costs[0]["fork"]
+        assert costs[4096]["spawn"] > costs[0]["spawn"]
+
+    def test_xproc_flat_in_fds(self):
+        from repro.bench.simbench import a4_fdtable
+        rows = a4_fdtable((0, 4096))
+        costs = {r["fds"]: r["results"] for r in rows}
+        assert costs[4096]["xproc"] == costs[0]["xproc"]

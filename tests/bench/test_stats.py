@@ -1,0 +1,120 @@
+"""Tests for summary statistics and formatting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bench.stats import (Summary, format_bytes, format_ns, percentile,
+                               speedup)
+from repro.errors import BenchError
+
+
+class TestPercentile:
+    def test_median_of_odd(self):
+        assert percentile([1, 2, 3], 0.5) == 2
+
+    def test_median_interpolates_even(self):
+        assert percentile([1, 2, 3, 4], 0.5) == 2.5
+
+    def test_extremes(self):
+        data = [5, 1, 9, 3]
+        assert percentile(data, 0.0) == 1
+        assert percentile(data, 1.0) == 9
+
+    def test_single_sample(self):
+        assert percentile([7.0], 0.9) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(BenchError):
+            percentile([], 0.5)
+
+    def test_out_of_range_fraction(self):
+        with pytest.raises(BenchError):
+            percentile([1], 1.5)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e12,
+                              allow_nan=False), min_size=1),
+           st.floats(min_value=0, max_value=1))
+    def test_result_within_sample_range(self, samples, fraction):
+        value = percentile(samples, fraction)
+        assert min(samples) <= value <= max(samples)
+
+    @given(st.lists(st.floats(min_value=1e-3, max_value=1e9,
+                              allow_nan=False), min_size=2))
+    def test_monotone_in_fraction(self, samples):
+        # (Sub-normal floats are excluded: interpolating between 0.0 and
+        # 5e-324 rounds non-monotonically, which is float arithmetic,
+        # not a percentile bug.)
+        assert (percentile(samples, 0.25) <= percentile(samples, 0.5)
+                <= percentile(samples, 0.75))
+
+
+class TestSummary:
+    def test_from_samples_basic(self):
+        s = Summary.from_samples([10.0, 20.0, 30.0])
+        assert s.n == 3
+        assert s.median == 20.0
+        assert s.mean == 20.0
+        assert s.minimum == 10.0
+        assert s.maximum == 30.0
+
+    def test_single_sample_zero_stdev(self):
+        s = Summary.from_samples([42.0])
+        assert s.stdev == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(BenchError):
+            Summary.from_samples([])
+
+    def test_scaled(self):
+        s = Summary.from_samples([10.0, 20.0]).scaled(2.0)
+        assert s.median == 30.0
+        assert s.maximum == 40.0
+
+    def test_as_dict_keys(self):
+        d = Summary.from_samples([1.0]).as_dict()
+        assert set(d) == {"n", "median", "mean", "stdev", "p05", "p95",
+                          "min", "max"}
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e9,
+                              allow_nan=False), min_size=2))
+    def test_invariants(self, samples):
+        s = Summary.from_samples(samples)
+        tol = 1e-9 * max(abs(s.maximum), 1.0)  # float-interp/sum slack
+
+        def ordered(*values):
+            return all(a <= b + tol for a, b in zip(values, values[1:]))
+
+        assert ordered(s.minimum, s.p05, s.median, s.p95, s.maximum)
+        assert ordered(s.minimum, s.mean, s.maximum)
+        assert s.stdev >= 0
+
+
+class TestFormatting:
+    @pytest.mark.parametrize("ns,expected", [
+        (500, "500ns"),
+        (1_500, "1.50us"),
+        (2_500_000, "2.50ms"),
+        (3_000_000_000, "3.000s"),
+    ])
+    def test_format_ns(self, ns, expected):
+        assert format_ns(ns) == expected
+
+    def test_format_ns_negative(self):
+        assert format_ns(-1500) == "-1.50us"
+
+    @pytest.mark.parametrize("nbytes,expected", [
+        (512, "512B"),
+        (2048, "2.0KiB"),
+        (3 * 1024 * 1024, "3.0MiB"),
+        (5 * 1024 ** 3, "5.0GiB"),
+    ])
+    def test_format_bytes(self, nbytes, expected):
+        assert format_bytes(nbytes) == expected
+
+    def test_speedup(self):
+        assert speedup(100.0, 25.0) == 4.0
+
+    def test_speedup_zero_contender(self):
+        with pytest.raises(BenchError):
+            speedup(1.0, 0.0)

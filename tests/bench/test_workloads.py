@@ -1,0 +1,57 @@
+"""Tests for the real-OS workload registry."""
+
+import pytest
+
+from repro.bench.workloads import Workloads
+from repro.errors import BenchError
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    with Workloads() as registry:
+        yield registry
+
+
+class TestRegistry:
+    def test_all_mechanisms_present(self, workloads):
+        assert set(workloads.mechanisms()) == {
+            "fork_exec", "fork_only", "posix_spawn", "subprocess",
+            "forkserver"}
+
+    def test_unknown_mechanism_rejected(self, workloads):
+        with pytest.raises(BenchError):
+            workloads.measure_mechanism("carrier-pigeon")
+
+    def test_each_mechanism_runs_once(self, workloads):
+        workloads.start_forkserver()
+        for name, operation in workloads.mechanisms().items():
+            operation()  # must not raise or leak a zombie
+
+    def test_measure_returns_summary(self, workloads):
+        summary = workloads.measure_mechanism("posix_spawn", repeats=3,
+                                              max_seconds=5.0)
+        assert summary.n >= 3
+        assert summary.median > 0
+
+    def test_measure_with_fds_closes_descriptors(self, workloads):
+        import os
+        def open_fds():
+            # Count our open descriptors via /proc.
+            return len(os.listdir("/proc/self/fd"))
+        before = open_fds()
+        workloads.measure_with_fds("posix_spawn", 64, repeats=3,
+                                   max_seconds=5.0)
+        assert open_fds() <= before + 2  # no leak (allowing tmp noise)
+
+    def test_sweep_rows_have_all_mechanisms(self, workloads):
+        rows = workloads.sweep([1 << 20], ["posix_spawn", "fork_only"],
+                               repeats=3, max_seconds=3.0)
+        (row,) = rows
+        assert set(row["results"]) == {"posix_spawn", "fork_only"}
+        assert row["ballast_bytes"] == 1 << 20
+
+    def test_close_is_idempotent(self):
+        registry = Workloads()
+        registry.start_forkserver()
+        registry.close()
+        registry.close()

@@ -1,0 +1,102 @@
+"""Unit tests for declarative file actions."""
+
+import os
+
+import pytest
+
+from repro.core.file_actions import FileActions
+from repro.errors import SpawnError
+
+
+class TestBuilding:
+    def test_actions_preserve_order(self):
+        fa = (FileActions()
+              .add_open(1, "/tmp/x", os.O_WRONLY)
+              .add_dup2(1, 2)
+              .add_close(5))
+        kinds = [a[0] for a in fa.actions()]
+        assert kinds == ["open", "dup2", "close"]
+
+    def test_len_counts_actions(self):
+        fa = FileActions().add_close(3).add_close(4)
+        assert len(fa) == 2
+
+    def test_negative_fd_rejected(self):
+        with pytest.raises(SpawnError):
+            FileActions().add_close(-1)
+        with pytest.raises(SpawnError):
+            FileActions().add_open(-2, "/x")
+        with pytest.raises(SpawnError):
+            FileActions().add_dup2(-1, 0)
+
+    def test_chaining_returns_self(self):
+        fa = FileActions()
+        assert fa.add_close(9) is fa
+
+    def test_describe_is_readable(self):
+        fa = FileActions().add_open(0, "/etc/hosts").add_dup2(0, 7)
+        text = " | ".join(fa.describe())
+        assert "open fd 0" in text
+        assert "dup2 0 -> 7" in text
+
+
+class TestPosixSpawnRendering:
+    def test_open_renders_with_flags_and_mode(self):
+        fa = FileActions().add_open(1, "/tmp/out", os.O_WRONLY, 0o600)
+        ((kind, fd, path, flags, mode),) = fa.as_posix_spawn()
+        assert kind == os.POSIX_SPAWN_OPEN
+        assert (fd, path, flags, mode) == (1, "/tmp/out", os.O_WRONLY, 0o600)
+
+    def test_dup2_and_close_render(self):
+        fa = FileActions().add_dup2(3, 1).add_close(3)
+        rendered = fa.as_posix_spawn()
+        assert rendered[0][0] == os.POSIX_SPAWN_DUP2
+        assert rendered[1][0] == os.POSIX_SPAWN_CLOSE
+
+    def test_rendering_is_usable_by_the_host(self, tmp_path):
+        # End-to-end: posix_spawn applies the rendered actions.
+        out = tmp_path / "echoed"
+        fa = (FileActions()
+              .add_open(1, str(out), os.O_WRONLY | os.O_CREAT | os.O_TRUNC))
+        pid = os.posix_spawn("/bin/echo", ["echo", "rendered"], {},
+                             file_actions=fa.as_posix_spawn())
+        os.waitpid(pid, 0)
+        assert out.read_bytes() == b"rendered\n"
+
+
+class TestApplyInChild:
+    def test_apply_between_fork_and_exec(self, tmp_path):
+        out = tmp_path / "forked"
+        fa = (FileActions()
+              .add_open(1, str(out), os.O_WRONLY | os.O_CREAT | os.O_TRUNC))
+        pid = os.fork()
+        if pid == 0:
+            try:
+                fa.apply_in_child()
+                os.execv("/bin/echo", ["echo", "applied"])
+            except BaseException:
+                os._exit(127)
+        _, status = os.waitpid(pid, 0)
+        assert os.WEXITSTATUS(status) == 0
+        assert out.read_bytes() == b"applied\n"
+
+    def test_apply_close_action(self, tmp_path):
+        # Child closes an inherited descriptor; writing to it then fails.
+        r, w = os.pipe()
+        os.set_inheritable(w, True)
+        fa = FileActions().add_close(w)
+        pid = os.fork()
+        if pid == 0:
+            try:
+                fa.apply_in_child()
+                try:
+                    os.write(w, b"should fail")
+                    os._exit(1)
+                except OSError:
+                    os._exit(0)
+            except BaseException:
+                os._exit(127)
+        os.close(w)
+        _, status = os.waitpid(pid, 0)
+        os.close(r)
+        assert os.WEXITSTATUS(status) == 0

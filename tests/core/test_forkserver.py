@@ -1,0 +1,109 @@
+"""Tests for the forkserver (zygote) strategy."""
+
+import os
+
+import pytest
+
+from repro.core import ForkServer
+from repro.errors import SpawnError
+
+
+@pytest.fixture
+def server():
+    fs = ForkServer().start()
+    yield fs
+    fs.stop()
+
+
+class TestLifecycle:
+    def test_start_is_idempotent(self, server):
+        assert server.start() is server
+        assert server.running
+
+    def test_stop_then_spawn_raises(self):
+        fs = ForkServer().start()
+        fs.stop()
+        with pytest.raises(SpawnError):
+            fs.spawn(["/bin/true"])
+
+    def test_context_manager(self):
+        with ForkServer() as fs:
+            assert fs.running
+            assert fs.spawn(["/bin/true"]).wait(timeout=10) == 0
+        assert not fs.running
+
+    def test_spawn_before_start_raises(self):
+        with pytest.raises(SpawnError):
+            ForkServer().spawn(["/bin/true"])
+
+
+class TestSpawning:
+    def test_exit_status_roundtrip(self, server):
+        child = server.spawn(["/bin/sh", "-c", "exit 23"])
+        assert child.wait(timeout=10) == 23
+
+    def test_stdout_redirect_via_fd_passing(self, server):
+        r, w = os.pipe()
+        child = server.spawn(["/bin/echo", "through the zygote"], stdout=w)
+        os.close(w)
+        data = os.read(r, 100)
+        os.close(r)
+        assert data == b"through the zygote\n"
+        assert child.wait(timeout=10) == 0
+
+    def test_stdin_redirect(self, server):
+        r, w = os.pipe()
+        child = server.spawn(["/usr/bin/wc", "-c"], stdin=r,
+                             stdout=os.open(os.devnull, os.O_WRONLY))
+        os.close(r)
+        os.write(w, b"abcd")
+        os.close(w)
+        assert child.wait(timeout=10) == 0
+
+    def test_env_override(self, server):
+        r, w = os.pipe()
+        child = server.spawn(["/bin/sh", "-c", "echo $TOKEN"],
+                             env={"TOKEN": "zygote-env",
+                                  "PATH": "/bin:/usr/bin"},
+                             stdout=w)
+        os.close(w)
+        assert os.read(r, 100).strip() == b"zygote-env"
+        os.close(r)
+        child.wait(timeout=10)
+
+    def test_cwd_override(self, server, tmp_path):
+        r, w = os.pipe()
+        child = server.spawn(["/bin/sh", "-c", "pwd"], cwd=str(tmp_path),
+                             stdout=w)
+        os.close(w)
+        assert os.read(r, 200).strip() == str(tmp_path).encode()
+        os.close(r)
+        child.wait(timeout=10)
+
+    def test_children_are_not_our_children(self, server):
+        # The whole point: the server forked, not us — so the host
+        # waitpid refuses, and reaping goes through the channel.
+        child = server.spawn(["/bin/true"])
+        with pytest.raises(ChildProcessError):
+            os.waitpid(child.pid, os.WNOHANG)
+        assert child.wait(timeout=10) == 0
+
+    def test_poll_running_child(self, server):
+        r, w = os.pipe()
+        child = server.spawn(["/bin/cat"], stdin=r)
+        os.close(r)
+        assert child.poll() is None
+        os.close(w)
+        assert child.wait(timeout=10) == 0
+
+    def test_many_sequential_spawns(self, server):
+        for i in range(10):
+            assert server.spawn(["/bin/true"]).wait(timeout=10) == 0
+
+    def test_empty_argv_rejected(self, server):
+        with pytest.raises(SpawnError):
+            server.spawn([])
+
+    def test_missing_binary_exits_127(self, server):
+        child = server.spawn(["/no/such/binary"])
+        assert child.wait(timeout=10) == 127

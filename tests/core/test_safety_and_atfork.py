@@ -1,0 +1,171 @@
+"""Tests for fork-safety auditing and the atfork registry."""
+
+import os
+import threading
+import time
+import warnings
+
+import pytest
+
+from repro.core.atfork import AtForkRegistry, fork_with_handlers
+from repro.core.safety import Hazard, assess, guarded_fork, is_fork_safe
+from repro.errors import ForkSafetyError
+
+
+class TestAssess:
+    def test_quiet_interpreter_is_safe(self):
+        assert is_fork_safe()
+
+    def test_live_thread_is_fatal_hazard(self):
+        stop = threading.Event()
+        t = threading.Thread(target=stop.wait, name="hazard-thread")
+        t.start()
+        try:
+            hazards = assess()
+            kinds = {h.kind for h in hazards}
+            assert "threads" in kinds
+            assert not is_fork_safe()
+        finally:
+            stop.set()
+            t.join()
+
+    def test_daemon_thread_is_warning_only(self):
+        stop = threading.Event()
+        t = threading.Thread(target=stop.wait, daemon=True, name="d")
+        t.start()
+        try:
+            hazards = assess()
+            assert any(h.kind == "daemon-threads" for h in hazards)
+            assert is_fork_safe()  # warnings do not block
+        finally:
+            stop.set()
+            t.join()
+
+    def test_hazards_sorted_worst_first(self):
+        stop = threading.Event()
+        threads = [threading.Thread(target=stop.wait, name="nd"),
+                   threading.Thread(target=stop.wait, daemon=True, name="d")]
+        for t in threads:
+            t.start()
+        try:
+            hazards = assess()
+            severities = [h.severity for h in hazards]
+            assert severities == sorted(
+                severities, key=["info", "warning", "fatal"].index,
+                reverse=True)
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+
+    def test_hazard_str_format(self):
+        h = Hazard("threads", "fatal", "boom")
+        assert str(h) == "[fatal] threads: boom"
+
+
+class TestGuardedFork:
+    def _reap(self, pid):
+        if pid:
+            os.waitpid(pid, 0)
+
+    def test_allows_clean_fork(self):
+        pid = guarded_fork()
+        if pid == 0:
+            os._exit(0)
+        self._reap(pid)
+
+    def test_raise_policy_blocks_with_threads(self):
+        stop = threading.Event()
+        t = threading.Thread(target=stop.wait, name="blocker")
+        t.start()
+        try:
+            with pytest.raises(ForkSafetyError):
+                guarded_fork(policy="raise")
+        finally:
+            stop.set()
+            t.join()
+
+    def test_warn_policy_proceeds(self):
+        stop = threading.Event()
+        t = threading.Thread(target=stop.wait, name="warned")
+        t.start()
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                pid = guarded_fork(policy="warn")
+                if pid == 0:
+                    os._exit(0)
+                self._reap(pid)
+            assert any("threads" in str(w.message) for w in caught)
+        finally:
+            stop.set()
+            t.join()
+
+    def test_allow_policy_skips_audit(self):
+        stop = threading.Event()
+        t = threading.Thread(target=stop.wait, name="ignored")
+        t.start()
+        try:
+            pid = guarded_fork(policy="allow")
+            if pid == 0:
+                os._exit(0)
+            self._reap(pid)
+        finally:
+            stop.set()
+            t.join()
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ForkSafetyError):
+            guarded_fork(policy="yolo")
+
+
+class TestAtForkRegistry:
+    def test_registration_requires_a_handler(self):
+        with pytest.raises(ForkSafetyError):
+            AtForkRegistry().register()
+
+    def test_prepare_runs_in_reverse_order(self):
+        reg = AtForkRegistry()
+        calls = []
+        reg.register(prepare=lambda: calls.append("first"))
+        reg.register(prepare=lambda: calls.append("second"))
+        reg.run_prepare()
+        assert calls == ["second", "first"]
+
+    def test_parent_and_child_run_in_registration_order(self):
+        reg = AtForkRegistry()
+        calls = []
+        reg.register(parent=lambda: calls.append("p1"),
+                     child=lambda: calls.append("c1"))
+        reg.register(parent=lambda: calls.append("p2"),
+                     child=lambda: calls.append("c2"))
+        reg.run_parent()
+        reg.run_child()
+        assert calls == ["p1", "p2", "c1", "c2"]
+
+    def test_clear_empties_registry(self):
+        reg = AtForkRegistry()
+        reg.register(prepare=lambda: None)
+        reg.clear()
+        assert len(reg) == 0
+
+    def test_fork_with_handlers_lock_discipline(self):
+        # The full POSIX idiom on a real fork: the lock is consistently
+        # released on both sides.
+        from repro.core import atfork
+        atfork.registry.clear()
+        lock = threading.Lock()
+        atfork.register(prepare=lock.acquire,
+                        parent=lock.release,
+                        child=lock.release)
+        try:
+            pid = fork_with_handlers()
+            if pid == 0:
+                # In the child: the lock must be free again.
+                os._exit(0 if lock.acquire(blocking=False) else 1)
+            _, status = os.waitpid(pid, 0)
+            assert os.WEXITSTATUS(status) == 0
+            assert lock.acquire(blocking=False)  # parent side released too
+            lock.release()
+        finally:
+            atfork.registry.clear()

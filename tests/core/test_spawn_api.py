@@ -1,0 +1,232 @@
+"""Tests for the high-level spawn API against the real OS."""
+
+import os
+import signal
+
+import pytest
+
+from repro.core import ProcessBuilder, SpawnAttributes, run
+from repro.core.strategies import (STRATEGIES, pick_default_strategy,
+                                   _resolve_executable)
+from repro.errors import SpawnError
+
+SH = "/bin/sh"
+
+
+class TestRunConvenience:
+    def test_captures_stdout(self):
+        code, out = run("/bin/echo", "hello")
+        assert (code, out) == (0, b"hello\n")
+
+    def test_nonzero_exit_code(self):
+        code, _ = run(SH, "-c", "exit 9")
+        assert code == 9
+
+
+class TestProcessBuilder:
+    def test_spawn_returns_handle_with_pid(self):
+        child = ProcessBuilder("/bin/true").spawn()
+        assert child.pid > 0
+        assert child.wait() == 0
+
+    def test_stdout_to_file(self, tmp_path):
+        out = tmp_path / "o"
+        child = (ProcessBuilder("/bin/echo", "to file")
+                 .stdout_to_file(str(out)).spawn())
+        assert child.wait() == 0
+        assert out.read_bytes() == b"to file\n"
+
+    def test_stdout_append_mode(self, tmp_path):
+        out = tmp_path / "o"
+        out.write_bytes(b"first\n")
+        child = (ProcessBuilder("/bin/echo", "second")
+                 .stdout_to_file(str(out), append=True).spawn())
+        child.wait()
+        assert out.read_bytes() == b"first\nsecond\n"
+
+    def test_stdin_from_file(self, tmp_path):
+        src = tmp_path / "in"
+        src.write_bytes(b"line a\nline b\n")
+        builder = (ProcessBuilder("/usr/bin/wc", "-l")
+                   .stdin_from_file(str(src)).stdout_to_pipe())
+        child = builder.spawn()
+        assert builder.io.read_stdout().strip() == b"2"
+        child.wait()
+
+    def test_stderr_to_stdout_merge(self):
+        builder = (ProcessBuilder(SH, "-c", "echo out; echo err >&2")
+                   .stdout_to_pipe().stderr_to_stdout())
+        child = builder.spawn()
+        data = builder.io.read_stdout()
+        child.wait()
+        assert b"out" in data and b"err" in data
+
+    def test_env_replacement(self):
+        builder = (ProcessBuilder(SH, "-c", "echo $MARKER")
+                   .env({"MARKER": "custom-env", "PATH": "/bin:/usr/bin"})
+                   .stdout_to_pipe())
+        child = builder.spawn()
+        assert builder.io.read_stdout().strip() == b"custom-env"
+        child.wait()
+
+    def test_env_add_extends(self):
+        builder = (ProcessBuilder(SH, "-c", "echo $EXTRA")
+                   .env_add(EXTRA="added").stdout_to_pipe())
+        child = builder.spawn()
+        assert builder.io.read_stdout().strip() == b"added"
+        child.wait()
+
+    def test_cwd_falls_back_to_fork_exec(self, tmp_path):
+        # posix_spawn cannot express cwd; the default picker must route
+        # this through fork_exec transparently.
+        builder = (ProcessBuilder(SH, "-c", "pwd")
+                   .cwd(str(tmp_path)).stdout_to_pipe())
+        child = builder.spawn()
+        assert builder.io.read_stdout().strip() == str(tmp_path).encode()
+        child.wait()
+        assert child.strategy == "fork_exec"
+
+    def test_explicit_strategy_selection(self):
+        for name in ("posix_spawn", "fork_exec"):
+            child = ProcessBuilder("/bin/true").strategy(name).spawn()
+            assert child.wait() == 0
+            assert child.strategy == name
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SpawnError):
+            ProcessBuilder("/bin/true").strategy("teleport")
+
+    def test_builder_is_single_shot(self):
+        builder = ProcessBuilder("/bin/true")
+        builder.spawn().wait()
+        with pytest.raises(SpawnError):
+            builder.spawn()
+
+    def test_empty_argv_rejected(self):
+        with pytest.raises(SpawnError):
+            ProcessBuilder()
+
+    def test_stdin_pipe_roundtrip(self):
+        builder = (ProcessBuilder("/bin/cat")
+                   .stdin_from_pipe().stdout_to_pipe())
+        child = builder.spawn()
+        builder.io.write_stdin(b"ping")
+        builder.io.close_stdin()
+        assert builder.io.read_stdout() == b"ping"
+        assert child.wait() == 0
+
+    def test_missing_executable_raises(self):
+        with pytest.raises(SpawnError):
+            ProcessBuilder("definitely-not-a-real-binary-xyz").spawn()
+
+
+class TestChildProcessHandle:
+    def test_poll_running_then_finished(self):
+        builder = ProcessBuilder("/bin/cat").stdin_from_pipe()
+        child = builder.spawn()
+        assert child.poll() is None
+        builder.io.close_stdin()
+        assert child.wait(timeout=5) == 0
+        assert child.poll() == 0
+
+    def test_wait_is_idempotent(self):
+        child = ProcessBuilder("/bin/true").spawn()
+        assert child.wait() == 0
+        assert child.wait() == 0  # cached, no double reap
+
+    def test_signal_death_is_negative_returncode(self):
+        builder = ProcessBuilder("/bin/cat").stdin_from_pipe()
+        child = builder.spawn()
+        child.send_signal(signal.SIGKILL)
+        assert child.wait(timeout=5) == -signal.SIGKILL
+        builder.io.close()
+
+    def test_terminate_after_exit_is_noop(self):
+        child = ProcessBuilder("/bin/true").spawn()
+        child.wait()
+        child.terminate()  # must not raise or kill a recycled pid
+
+    def test_wait_timeout_raises(self):
+        builder = ProcessBuilder("/bin/cat").stdin_from_pipe()
+        child = builder.spawn()
+        with pytest.raises(SpawnError):
+            child.wait(timeout=0.05)
+        builder.io.close_stdin()
+        child.wait(timeout=5)
+
+
+class TestStrategyPlumbing:
+    def test_resolve_absolute_path(self):
+        assert _resolve_executable(["/bin/true"]) == "/bin/true"
+
+    def test_resolve_searches_path(self):
+        assert _resolve_executable(["true"]).endswith("/true")
+
+    def test_resolve_missing_raises(self):
+        with pytest.raises(SpawnError):
+            _resolve_executable(["no-such-binary-qqq"])
+
+    def test_resolve_empty_argv(self):
+        with pytest.raises(SpawnError):
+            _resolve_executable([])
+
+    def test_default_picker_prefers_posix_spawn(self):
+        assert pick_default_strategy(SpawnAttributes()).name == "posix_spawn"
+
+    def test_default_picker_honours_cwd(self):
+        attrs = SpawnAttributes(cwd="/tmp")
+        assert pick_default_strategy(attrs).name == "fork_exec"
+
+    def test_subprocess_strategy_roundtrip(self):
+        child = ProcessBuilder(SH, "-c", "exit 4").strategy("subprocess").spawn()
+        assert child.wait() == 4
+
+    def test_all_strategies_registered(self):
+        assert set(STRATEGIES) == {"posix_spawn", "fork_exec", "subprocess"}
+
+
+class TestSpawnedIO:
+    def test_reading_non_pipe_stream_raises(self):
+        child = ProcessBuilder("/bin/true").spawn()
+        child.wait()
+        with pytest.raises(SpawnError):
+            child.io.read_stdout()
+
+    def test_writing_non_pipe_stdin_raises(self):
+        child = ProcessBuilder("/bin/true").spawn()
+        child.wait()
+        with pytest.raises(SpawnError):
+            child.io.write_stdin(b"x")
+
+    def test_close_stdin_is_idempotent(self):
+        builder = ProcessBuilder("/bin/cat").stdin_from_pipe()
+        child = builder.spawn()
+        builder.io.close_stdin()
+        builder.io.close_stdin()
+        child.wait(timeout=5)
+
+    def test_read_respects_limit(self):
+        builder = (ProcessBuilder("/bin/sh", "-c", "printf 'abcdefgh'")
+                   .stdout_to_pipe())
+        child = builder.spawn()
+        data = builder.io.read_stdout(limit=4)
+        assert data == b"abcd"
+        builder.io.close()
+        child.wait()
+
+    def test_close_releases_everything(self):
+        builder = (ProcessBuilder("/bin/cat")
+                   .stdin_from_pipe().stdout_to_pipe())
+        child = builder.spawn()
+        builder.io.close()
+        assert builder.io.stdin_fd is None
+        assert builder.io.stdout_fd is None
+        child.wait(timeout=5)
+
+    def test_io_attached_to_child_handle(self):
+        builder = ProcessBuilder("/bin/echo", "x").stdout_to_pipe()
+        child = builder.spawn()
+        assert child.io is builder.io
+        assert child.io.read_stdout() == b"x\n"
+        child.wait()
+        child.io.close()

@@ -1,0 +1,567 @@
+"""Unit and integration tests for the address space.
+
+The fork/COW behaviour tested here is the mechanical substance of the
+paper's performance argument, so the tests check both *semantics* (a
+child's writes are invisible to the parent) and *accounting* (fork charges
+exactly the work the paper says it must: one PTE copy per present page,
+one write-protect per private writable page, one TLB shootdown).
+"""
+
+import pytest
+
+from repro.errors import SimError, SimMemoryError, SimSegfault
+from repro.sim.addrspace import AddressSpace
+from repro.sim.frames import FrameAllocator
+from repro.sim.overcommit import CommitPolicy
+from repro.sim.params import MIB, PAGE_SIZE, SimConfig, WorkCounters
+from repro.sim.tlb import TLBModel
+
+
+def make_as(config=None, **kwargs):
+    return AddressSpace(config if config is not None else SimConfig(),
+                        **kwargs)
+
+
+def make_family(config=None):
+    """A parent plus a factory producing siblings on the same machine."""
+    parent = make_as(config)
+    def sibling(name="child"):
+        return AddressSpace(parent.config, allocator=parent.allocator,
+                            tlb=parent.tlb, commit=parent.commit,
+                            counters=parent.counters, name=name)
+    return parent, sibling
+
+
+class TestMapping:
+    def test_map_returns_page_aligned_vma(self):
+        a = make_as()
+        vma = a.map(10_000)
+        assert vma.start % PAGE_SIZE == 0
+        assert vma.length == 12_288  # rounded to 3 pages
+
+    def test_mappings_do_not_overlap(self):
+        a = make_as()
+        vmas = [a.map(1 * MIB) for _ in range(10)]
+        spans = sorted((v.start, v.end) for v in vmas)
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_fixed_address_honoured(self):
+        a = make_as()
+        vma = a.map(PAGE_SIZE, addr=0x2000_0000)
+        assert vma.start == 0x2000_0000
+
+    def test_overlapping_fixed_mapping_rejected(self):
+        a = make_as()
+        a.map(4 * PAGE_SIZE, addr=0x2000_0000)
+        with pytest.raises(SimError):
+            a.map(PAGE_SIZE, addr=0x2000_1000)
+
+    def test_unaligned_fixed_address_rejected(self):
+        a = make_as()
+        with pytest.raises(SimError):
+            a.map(PAGE_SIZE, addr=0x2000_0123)
+
+    def test_zero_length_rejected(self):
+        a = make_as()
+        with pytest.raises(SimError):
+            a.map(0)
+
+    def test_virtual_size_counts_mappings(self):
+        a = make_as()
+        a.map(1 * MIB)
+        a.map(2 * MIB)
+        assert a.virtual_bytes() == 3 * MIB
+
+
+class TestDemandPaging:
+    def test_unmapped_read_segfaults(self):
+        a = make_as()
+        with pytest.raises(SimSegfault):
+            a.read(0xDEAD_0000)
+
+    def test_untouched_page_reads_zero(self):
+        a = make_as()
+        vma = a.map(PAGE_SIZE)
+        assert a.read(vma.start) is None
+
+    def test_zero_read_does_not_consume_memory(self):
+        a = make_as()
+        vma = a.map(100 * PAGE_SIZE)
+        for i in range(100):
+            a.read(vma.start + i * PAGE_SIZE)
+        assert a.resident_pages() == 0
+
+    def test_write_then_read_roundtrips(self):
+        a = make_as()
+        vma = a.map(PAGE_SIZE)
+        a.write(vma.start, "hello")
+        assert a.read(vma.start) == "hello"
+
+    def test_pages_are_independent(self):
+        a = make_as()
+        vma = a.map(3 * PAGE_SIZE)
+        a.write(vma.start, "p0")
+        a.write(vma.start + 2 * PAGE_SIZE, "p2")
+        assert a.read(vma.start + PAGE_SIZE) is None
+        assert a.read(vma.start + 2 * PAGE_SIZE) == "p2"
+
+    def test_write_to_readonly_vma_segfaults(self):
+        a = make_as()
+        vma = a.map(PAGE_SIZE, prot="r")
+        with pytest.raises(SimSegfault) as exc:
+            a.write(vma.start, "x")
+        assert exc.value.access == "write"
+
+    def test_write_after_zero_read_upgrades_page(self):
+        a = make_as()
+        vma = a.map(PAGE_SIZE)
+        assert a.read(vma.start) is None
+        a.write(vma.start, "now dirty")
+        assert a.read(vma.start) == "now dirty"
+        assert a.resident_pages() == 1
+
+    def test_each_dirty_page_counts_one_fault(self):
+        a = make_as()
+        vma = a.map(10 * PAGE_SIZE)
+        before = a.counters.snapshot()
+        for i in range(10):
+            a.write(vma.start + i * PAGE_SIZE, i)
+        d = a.counters.delta(before)
+        assert d.faults == 10
+        assert d.zero_fills == 10
+
+    def test_hot_writes_do_not_fault(self):
+        a = make_as()
+        vma = a.map(PAGE_SIZE)
+        a.write(vma.start, 1)
+        before = a.counters.snapshot()
+        for _ in range(50):
+            a.write(vma.start, 2)
+        assert a.counters.delta(before).faults == 0
+
+
+class TestForkSemantics:
+    def test_child_sees_parent_data(self):
+        parent, sibling = make_family()
+        vma = parent.map(PAGE_SIZE)
+        parent.write(vma.start, "inherited")
+        child = sibling()
+        parent.fork_into(child)
+        assert child.read(vma.start) == "inherited"
+
+    def test_child_write_invisible_to_parent(self):
+        parent, sibling = make_family()
+        vma = parent.map(PAGE_SIZE)
+        parent.write(vma.start, "original")
+        child = sibling()
+        parent.fork_into(child)
+        child.write(vma.start, "mutated")
+        assert parent.read(vma.start) == "original"
+        assert child.read(vma.start) == "mutated"
+
+    def test_parent_write_invisible_to_child(self):
+        parent, sibling = make_family()
+        vma = parent.map(PAGE_SIZE)
+        parent.write(vma.start, "original")
+        child = sibling()
+        parent.fork_into(child)
+        parent.write(vma.start, "parent-new")
+        assert child.read(vma.start) == "original"
+
+    def test_fork_into_nonempty_child_rejected(self):
+        parent, sibling = make_family()
+        child = sibling()
+        child.map(PAGE_SIZE)
+        with pytest.raises(SimError):
+            parent.fork_into(child)
+
+    def test_grandchild_chain(self):
+        parent, sibling = make_family()
+        vma = parent.map(PAGE_SIZE)
+        parent.write(vma.start, "gen0")
+        child = sibling("child")
+        parent.fork_into(child)
+        grandchild = sibling("grandchild")
+        child.fork_into(grandchild)
+        grandchild.write(vma.start, "gen2")
+        assert parent.read(vma.start) == "gen0"
+        assert child.read(vma.start) == "gen0"
+        assert grandchild.read(vma.start) == "gen2"
+
+    def test_fork_inherits_layout_verbatim(self):
+        # The paper's security argument: fork keeps the parent's ASLR.
+        parent, sibling = make_family()
+        child = sibling()
+        parent.fork_into(child)
+        assert child.layout_signature() == parent.layout_signature()
+
+    def test_fresh_address_spaces_get_different_layouts(self):
+        import random
+        cfg = SimConfig()
+        a = make_as(cfg, rng=random.Random(1))
+        b = make_as(cfg, rng=random.Random(2))
+        assert a.layout_signature() != b.layout_signature()
+
+    def test_shared_mapping_visible_across_fork(self):
+        parent, sibling = make_family()
+        vma = parent.map(PAGE_SIZE, shared=True)
+        child = sibling()
+        parent.fork_into(child)
+        child.write(vma.start, "from child")
+        assert parent.read(vma.start) == "from child"
+
+    def test_cow_break_after_sibling_exit_reuses_page(self):
+        parent, sibling = make_family()
+        vma = parent.map(PAGE_SIZE)
+        parent.write(vma.start, "v")
+        child = sibling()
+        parent.fork_into(child)
+        child.destroy()
+        before = parent.counters.snapshot()
+        parent.write(vma.start, "v2")
+        d = parent.counters.delta(before)
+        assert d.cow_reuses == 1
+        assert d.pages_copied == 0
+
+
+class TestForkAccounting:
+    def test_fork_copies_one_pte_per_present_page(self):
+        parent, sibling = make_family()
+        vma = parent.map(64 * PAGE_SIZE)
+        for i in range(64):
+            parent.write(vma.start + i * PAGE_SIZE, i)
+        child = sibling()
+        before = parent.counters.snapshot()
+        parent.fork_into(child)
+        d = parent.counters.delta(before)
+        assert d.ptes_copied == 64
+        assert d.ptes_writeprotected == 64
+        assert d.pages_copied == 0  # COW: no data moves at fork time
+
+    def test_fork_cost_scales_with_parent_size(self):
+        parent, sibling = make_family()
+        vma = parent.map(8 * MIB)
+        parent.populate(vma.start, 8 * MIB)
+        child = sibling()
+        before = parent.counters.snapshot()
+        parent.fork_into(child)
+        d = parent.counters.delta(before)
+        assert d.ptes_copied == 8 * MIB // PAGE_SIZE
+
+    def test_fork_triggers_one_shootdown(self):
+        parent, sibling = make_family()
+        vma = parent.map(PAGE_SIZE)
+        parent.write(vma.start, 1)
+        child = sibling()
+        before = parent.counters.snapshot()
+        parent.fork_into(child)
+        assert parent.counters.delta(before).tlb_shootdowns == 1
+
+    def test_eager_fork_copies_pages(self):
+        cfg = SimConfig(cow_enabled=False)
+        parent, sibling = make_family(cfg)
+        vma = parent.map(16 * PAGE_SIZE)
+        parent.populate(vma.start, 16 * PAGE_SIZE)
+        child = sibling()
+        before = parent.counters.snapshot()
+        parent.fork_into(child)
+        d = parent.counters.delta(before)
+        assert d.pages_copied == 16
+        assert d.ptes_writeprotected == 0
+
+    def test_eager_fork_children_fully_independent(self):
+        cfg = SimConfig(cow_enabled=False)
+        parent, sibling = make_family(cfg)
+        vma = parent.map(PAGE_SIZE)
+        parent.write(vma.start, "orig")
+        child = sibling()
+        parent.fork_into(child)
+        child.write(vma.start, "new")
+        assert parent.read(vma.start) == "orig"
+
+    def test_readonly_mapping_not_writeprotected_again(self):
+        parent, sibling = make_family()
+        vma = parent.map(4 * PAGE_SIZE, prot="r")
+        child = sibling()
+        before = parent.counters.snapshot()
+        parent.fork_into(child)
+        assert parent.counters.delta(before).ptes_writeprotected == 0
+
+
+class TestBulkPopulate:
+    def test_populate_counts_pages(self):
+        a = make_as()
+        vma = a.map(4 * MIB)
+        assert a.populate(vma.start, 4 * MIB) == 1024
+
+    def test_populate_charges_frames(self):
+        a = make_as()
+        vma = a.map(4 * MIB)
+        a.populate(vma.start, 4 * MIB)
+        assert a.resident_pages() == 1024
+
+    def test_populate_is_idempotent(self):
+        a = make_as()
+        vma = a.map(4 * MIB)
+        a.populate(vma.start, 4 * MIB)
+        assert a.populate(vma.start, 4 * MIB) == 0
+
+    def test_populate_fills_gaps_around_sparse_pages(self):
+        a = make_as()
+        vma = a.map(10 * PAGE_SIZE)
+        a.write(vma.start + 5 * PAGE_SIZE, "sparse")
+        assert a.populate(vma.start, 10 * PAGE_SIZE) == 9
+        assert a.read(vma.start + 5 * PAGE_SIZE) == "sparse"
+        assert a.resident_pages() == 10
+
+    def test_populate_readonly_segfaults(self):
+        a = make_as()
+        vma = a.map(PAGE_SIZE, prot="r")
+        with pytest.raises(SimSegfault):
+            a.populate(vma.start, PAGE_SIZE)
+
+    def test_populated_value_readable_everywhere(self):
+        a = make_as()
+        vma = a.map(16 * PAGE_SIZE)
+        a.populate(vma.start, 16 * PAGE_SIZE, value="ballast")
+        assert a.read(vma.start) == "ballast"
+        assert a.read(vma.start + 15 * PAGE_SIZE) == "ballast"
+
+    def test_individual_write_evicts_from_run(self):
+        a = make_as()
+        vma = a.map(16 * PAGE_SIZE)
+        a.populate(vma.start, 16 * PAGE_SIZE, value="b")
+        a.write(vma.start + 3 * PAGE_SIZE, "special")
+        assert a.read(vma.start + 3 * PAGE_SIZE) == "special"
+        assert a.read(vma.start + 4 * PAGE_SIZE) == "b"
+        assert a.resident_pages() == 16  # eviction is budget-neutral
+
+    def test_bulk_cow_isolation_across_fork(self):
+        parent, sibling = make_family()
+        vma = parent.map(32 * PAGE_SIZE)
+        parent.populate(vma.start, 32 * PAGE_SIZE, value="shared")
+        child = sibling()
+        parent.fork_into(child)
+        child.write(vma.start + 7 * PAGE_SIZE, "child-own")
+        assert parent.read(vma.start + 7 * PAGE_SIZE) == "shared"
+        assert child.read(vma.start + 7 * PAGE_SIZE) == "child-own"
+
+    def test_bulk_cow_break_charges_one_page(self):
+        parent, sibling = make_family()
+        vma = parent.map(32 * PAGE_SIZE)
+        parent.populate(vma.start, 32 * PAGE_SIZE)
+        child = sibling()
+        parent.fork_into(child)
+        used_before = parent.allocator.used_frames
+        child.write(vma.start, "x")
+        assert parent.allocator.used_frames == used_before + 1
+
+
+class TestUnmapAndProtect:
+    def test_unmap_frees_memory(self):
+        a = make_as()
+        vma = a.map(8 * PAGE_SIZE)
+        a.populate(vma.start, 8 * PAGE_SIZE)
+        a.unmap(vma.start, 8 * PAGE_SIZE)
+        assert a.resident_pages() == 0
+        with pytest.raises(SimSegfault):
+            a.read(vma.start)
+
+    def test_partial_unmap_splits_vma(self):
+        a = make_as()
+        vma = a.map(8 * PAGE_SIZE)
+        a.write(vma.start, "low")
+        a.write(vma.start + 7 * PAGE_SIZE, "high")
+        a.unmap(vma.start + 2 * PAGE_SIZE, 4 * PAGE_SIZE)
+        assert a.read(vma.start) == "low"
+        assert a.read(vma.start + 7 * PAGE_SIZE) == "high"
+        with pytest.raises(SimSegfault):
+            a.read(vma.start + 3 * PAGE_SIZE)
+
+    def test_partial_unmap_of_bulk_run_releases_only_hole(self):
+        a = make_as()
+        vma = a.map(100 * PAGE_SIZE)
+        a.populate(vma.start, 100 * PAGE_SIZE)
+        a.unmap(vma.start + 10 * PAGE_SIZE, 30 * PAGE_SIZE)
+        assert a.resident_pages() == 70
+
+    def test_unmap_uncharges_commit(self):
+        a = make_as()
+        vma = a.map(8 * PAGE_SIZE)
+        charged = a.commit.committed_pages
+        a.unmap(vma.start, 8 * PAGE_SIZE)
+        assert a.commit.committed_pages == charged - 8
+
+    def test_protect_removing_write_blocks_writes(self):
+        a = make_as()
+        vma = a.map(PAGE_SIZE)
+        a.write(vma.start, 1)
+        a.protect(vma.start, PAGE_SIZE, "r")
+        with pytest.raises(SimSegfault):
+            a.write(vma.start, 2)
+
+    def test_protect_regrant_write_restores_access(self):
+        a = make_as()
+        vma = a.map(PAGE_SIZE)
+        a.write(vma.start, 1)
+        a.protect(vma.start, PAGE_SIZE, "r")
+        a.protect(vma.start, PAGE_SIZE, "rw")
+        a.write(vma.start, 2)
+        assert a.read(vma.start) == 2
+
+    def test_protect_counts_writeprotects_and_shootdown(self):
+        a = make_as()
+        vma = a.map(16 * PAGE_SIZE)
+        a.populate(vma.start, 16 * PAGE_SIZE)
+        before = a.counters.snapshot()
+        a.protect(vma.start, 16 * PAGE_SIZE, "r")
+        d = a.counters.delta(before)
+        assert d.ptes_writeprotected == 16
+        assert d.tlb_shootdowns == 1
+
+    def test_protect_unmapped_range_segfaults(self):
+        a = make_as()
+        with pytest.raises(SimSegfault):
+            a.protect(0x6000_0000, PAGE_SIZE, "r")
+
+
+class TestBrk:
+    def test_sbrk_grows_heap(self):
+        a = make_as()
+        old = a.brk
+        a.sbrk(100_000)
+        assert a.brk >= old + 100_000
+        a.write(old, "heap data")
+        assert a.read(old) == "heap data"
+
+    def test_sbrk_shrink_releases(self):
+        a = make_as()
+        a.sbrk(64 * PAGE_SIZE)
+        a.write(a.heap_base, 1)
+        a.sbrk(-32 * PAGE_SIZE)
+        assert a.read(a.heap_base) == 1
+
+    def test_sbrk_below_base_rejected(self):
+        a = make_as()
+        with pytest.raises(SimError):
+            a.sbrk(-PAGE_SIZE)
+
+    def test_sbrk_zero_is_noop(self):
+        a = make_as()
+        assert a.sbrk(0) == a.brk
+
+
+class TestTeardown:
+    def test_destroy_releases_every_frame(self):
+        parent, sibling = make_family()
+        vma = parent.map(4 * MIB)
+        parent.populate(vma.start, 4 * MIB)
+        child = sibling()
+        parent.fork_into(child)
+        child.write(vma.start, "x")  # one COW break
+        child.destroy()
+        parent.destroy()
+        assert parent.allocator.used_frames == 0
+
+    def test_destroy_releases_commit(self):
+        a = make_as()
+        a.map(4 * MIB)
+        a.destroy()
+        assert a.commit.committed_pages == 0
+
+    def test_destroyed_space_rejects_use(self):
+        a = make_as()
+        a.destroy()
+        with pytest.raises(SimError):
+            a.map(PAGE_SIZE)
+
+    def test_destroy_is_idempotent(self):
+        a = make_as()
+        a.destroy()
+        a.destroy()
+
+
+class TestOvercommitIntegration:
+    def test_strict_mode_refuses_fork_of_large_process(self):
+        # Experiment T3's core behaviour: under never-overcommit a
+        # process using >50% of RAM cannot fork.
+        cfg = SimConfig(total_ram=64 * MIB, overcommit="never")
+        parent, sibling = make_family(cfg)
+        vma = parent.map(40 * MIB)
+        parent.populate(vma.start, 40 * MIB)
+        child = sibling()
+        with pytest.raises(SimMemoryError):
+            parent.fork_into(child)
+
+    def test_refused_fork_leaves_child_empty(self):
+        cfg = SimConfig(total_ram=64 * MIB, overcommit="never")
+        parent, sibling = make_family(cfg)
+        parent.map(40 * MIB)
+        child = sibling()
+        with pytest.raises(SimMemoryError):
+            parent.fork_into(child)
+        assert child.vmas == []
+        assert child.commit_pages == 0
+
+    def test_heuristic_mode_admits_the_same_fork(self):
+        cfg = SimConfig(total_ram=64 * MIB, overcommit="heuristic")
+        parent, sibling = make_family(cfg)
+        vma = parent.map(40 * MIB)
+        child = sibling()
+        parent.fork_into(child)  # the promise the OOM killer backs
+        assert len(child.vmas) == 1
+
+
+class TestDirty:
+    def test_dirty_breaks_whole_cow_run(self):
+        parent, sibling = make_family()
+        vma = parent.map(4 * MIB)
+        parent.populate(vma.start, 4 * MIB, value="orig")
+        child = sibling()
+        parent.fork_into(child)
+        before = parent.counters.snapshot()
+        child.dirty(vma.start, 4 * MIB, value="childcopy")
+        d = parent.counters.delta(before)
+        assert d.pages_copied == 1024
+        assert child.read(vma.start) == "childcopy"
+        assert parent.read(vma.start) == "orig"
+
+    def test_dirty_sole_owner_is_copy_free(self):
+        a = make_as()
+        vma = a.map(4 * MIB)
+        a.populate(vma.start, 4 * MIB, value="one")
+        before = a.counters.snapshot()
+        assert a.dirty(vma.start, 4 * MIB, value="two") == 1024
+        assert a.counters.delta(before).pages_copied == 0
+        assert a.read(vma.start) == "two"
+
+    def test_dirty_fills_untouched_pages(self):
+        a = make_as()
+        vma = a.map(8 * PAGE_SIZE)
+        assert a.dirty(vma.start, 8 * PAGE_SIZE, value="v") == 8
+        assert a.resident_pages() == 8
+
+    def test_dirty_readonly_segfaults(self):
+        a = make_as()
+        vma = a.map(PAGE_SIZE, prot="r")
+        with pytest.raises(SimSegfault):
+            a.dirty(vma.start, PAGE_SIZE)
+
+    def test_dirty_counts_every_page_once(self):
+        a = make_as()
+        vma = a.map(10 * PAGE_SIZE)
+        a.write(vma.start, "sparse")              # 1 sparse page
+        a.populate(vma.start, 5 * PAGE_SIZE)      # 4 more bulk
+        assert a.dirty(vma.start, 10 * PAGE_SIZE) == 10
+
+    def test_frames_balance_after_dirty_and_teardown(self):
+        parent, sibling = make_family()
+        vma = parent.map(2 * MIB)
+        parent.populate(vma.start, 2 * MIB)
+        child = sibling()
+        parent.fork_into(child)
+        child.dirty(vma.start, 2 * MIB, value="x")
+        child.destroy()
+        parent.destroy()
+        assert parent.allocator.used_frames == 0

@@ -1,0 +1,138 @@
+"""Tests for fork emulated on explicit construction primitives (A3)."""
+
+import pytest
+
+from repro.sim.kernel import Kernel
+from repro.sim.params import MIB, PAGE_SIZE, SimConfig
+
+
+@pytest.fixture
+def kernel():
+    k = Kernel(SimConfig(total_ram=1024 * MIB))
+    k.register_program("/bin/true", lambda sys: iter(()))
+    return k
+
+
+def run_main(kernel, main):
+    kernel.register_program("/sbin/init", main)
+    return kernel.run_program("/sbin/init")
+
+
+class TestSemantics:
+    def test_child_sees_parent_memory(self, kernel):
+        def main(sys):
+            addr = yield sys.mmap(PAGE_SIZE)
+            yield sys.poke(addr, "inherited")
+
+            def child(sys2):
+                value = yield sys2.peek(addr)
+                yield sys2.exit(0 if value == "inherited" else 1)
+
+            pid = yield sys.fork_emulated(child)
+            _, status = yield sys.waitpid(pid)
+            yield sys.exit(status)
+        assert run_main(kernel, main) == 0
+
+    def test_child_writes_isolated(self, kernel):
+        def main(sys):
+            addr = yield sys.mmap(PAGE_SIZE)
+            yield sys.poke(addr, "original")
+
+            def child(sys2):
+                yield sys2.poke(addr, "child")
+                yield sys2.exit(0)
+
+            pid = yield sys.fork_emulated(child)
+            yield sys.waitpid(pid)
+            mine = yield sys.peek(addr)
+            yield sys.exit(0 if mine == "original" else 1)
+        assert run_main(kernel, main) == 0
+
+    def test_bulk_ballast_copied(self, kernel):
+        def main(sys):
+            addr = yield sys.mmap(8 * MIB)
+            yield sys.populate(addr, 8 * MIB, value="ballast")
+
+            def child(sys2):
+                edge = yield sys2.peek(addr + 8 * MIB - PAGE_SIZE)
+                yield sys2.exit(0 if edge == "ballast" else 1)
+
+            pid = yield sys.fork_emulated(child)
+            _, status = yield sys.waitpid(pid)
+            yield sys.exit(status)
+        assert run_main(kernel, main) == 0
+
+    def test_layout_forced_to_match_parent(self, kernel):
+        layouts = {}
+
+        def main(sys):
+            layouts["parent"] = yield sys.layout()
+
+            def child(sys2):
+                layouts["child"] = yield sys2.layout()
+                yield sys2.exit(0)
+
+            pid = yield sys.fork_emulated(child)
+            yield sys.waitpid(pid)
+            yield sys.exit(0)
+        run_main(kernel, main)
+        assert layouts["child"] == layouts["parent"]
+
+    def test_descriptors_granted_one_by_one(self, kernel):
+        def main(sys):
+            kernel.vfs.write_file("/tmp/f", b"0123456789")
+            fd = yield sys.open("/tmp/f", "r")
+            before = kernel.counters.snapshot()
+
+            def child(sys2):
+                data = yield sys2.read(fd, 4)
+                yield sys2.exit(0 if data == b"0123" else 1)
+
+            pid = yield sys.fork_emulated(child)
+            fd_dups = kernel.counters.delta(before).fd_dups
+            _, status = yield sys.waitpid(pid)
+            # Offset shared through the same OFD, like real fork.
+            rest = yield sys.read(fd, 2)
+            ok = status == 0 and rest == b"45" and fd_dups == 1
+            yield sys.exit(0 if ok else 1)
+        assert run_main(kernel, main) == 0
+
+
+class TestCost:
+    def test_emulation_copies_every_resident_page(self, kernel):
+        copied = {}
+
+        def main(sys):
+            addr = yield sys.mmap(16 * MIB)
+            yield sys.populate(addr, 16 * MIB)
+            before = kernel.counters.snapshot()
+            pid = yield sys.fork_emulated(lambda s: iter(()))
+            copied["pages"] = kernel.counters.delta(before).pages_copied
+            yield sys.waitpid(pid)
+            yield sys.exit(0)
+        run_main(kernel, main)
+        assert copied["pages"] >= 16 * MIB // PAGE_SIZE
+
+    def test_native_fork_copies_nothing(self, kernel):
+        copied = {}
+
+        def main(sys):
+            addr = yield sys.mmap(16 * MIB)
+            yield sys.populate(addr, 16 * MIB)
+            before = kernel.counters.snapshot()
+            pid = yield sys.fork(lambda s: iter(()))
+            copied["pages"] = kernel.counters.delta(before).pages_copied
+            yield sys.waitpid(pid)
+            yield sys.exit(0)
+        run_main(kernel, main)
+        assert copied["pages"] == 0
+
+    def test_frames_fully_reclaimed(self, kernel):
+        def main(sys):
+            addr = yield sys.mmap(8 * MIB)
+            yield sys.populate(addr, 8 * MIB)
+            pid = yield sys.fork_emulated(lambda s: iter(()))
+            yield sys.waitpid(pid)
+            yield sys.exit(0)
+        run_main(kernel, main)
+        assert kernel.allocator.used_frames == 0

@@ -1,0 +1,143 @@
+"""Unit tests for fd tables: dup, cloexec, and the fork/exec rules."""
+
+import pytest
+
+from repro.errors import SimOSError
+from repro.sim.fdtable import FDTable
+from repro.sim.fs import VFS
+from repro.sim.params import WorkCounters
+
+
+@pytest.fixture
+def env():
+    vfs = VFS()
+    vfs.makedirs("/tmp")
+    vfs.create("/tmp/data", b"0123456789")
+    return vfs, FDTable(WorkCounters())
+
+
+class TestBasics:
+    def test_install_allocates_lowest_fd(self, env):
+        vfs, table = env
+        fd0 = table.install(vfs.open("/tmp/data", "r"))
+        fd1 = table.install(vfs.open("/tmp/data", "r"))
+        assert (fd0, fd1) == (0, 1)
+
+    def test_close_frees_slot_for_reuse(self, env):
+        vfs, table = env
+        table.install(vfs.open("/tmp/data", "r"))
+        fd1 = table.install(vfs.open("/tmp/data", "r"))
+        table.close(0)
+        assert table.install(vfs.open("/tmp/data", "r")) == 0
+        assert fd1 in table
+
+    def test_bad_fd_raises_ebadf(self, env):
+        _, table = env
+        with pytest.raises(SimOSError) as exc:
+            table.lookup(42)
+        assert exc.value.errno_name == "EBADF"
+
+    def test_double_close_raises(self, env):
+        vfs, table = env
+        fd = table.install(vfs.open("/tmp/data", "r"))
+        table.close(fd)
+        with pytest.raises(SimOSError):
+            table.close(fd)
+
+    def test_close_drops_ofd_reference(self, env):
+        vfs, table = env
+        ofd = vfs.open("/tmp/data", "r")
+        fd = table.install(ofd)
+        table.close(fd)
+        assert ofd.refcount == 0
+
+
+class TestDup:
+    def test_dup_shares_offset(self, env):
+        vfs, table = env
+        fd = table.install(vfs.open("/tmp/data", "r"))
+        dup_fd = table.dup(fd)
+        assert table.ofd(fd).read(4) == b"0123"
+        assert table.ofd(dup_fd).read(4) == b"4567"
+
+    def test_dup_floor_respected(self, env):
+        vfs, table = env
+        fd = table.install(vfs.open("/tmp/data", "r"))
+        assert table.dup(fd, floor=10) == 10
+
+    def test_dup2_replaces_target(self, env):
+        vfs, table = env
+        a = table.install(vfs.open("/tmp/data", "r"))
+        b = table.install(vfs.open("/tmp/data", "r"))
+        old_b_ofd = table.ofd(b)
+        table.dup2(a, b)
+        assert table.ofd(b) is table.ofd(a)
+        assert old_b_ofd.refcount == 0
+
+    def test_dup2_same_fd_is_noop(self, env):
+        vfs, table = env
+        fd = table.install(vfs.open("/tmp/data", "r"))
+        assert table.dup2(fd, fd) == fd
+        assert table.ofd(fd).refcount == 1
+
+    def test_dup2_clears_cloexec(self, env):
+        vfs, table = env
+        fd = table.install(vfs.open("/tmp/data", "r"), cloexec=True)
+        new = table.dup2(fd, 7)
+        assert table.get_cloexec(new) is False
+
+
+class TestForkExecRules:
+    def test_fork_copies_every_descriptor(self, env):
+        vfs, table = env
+        table.install(vfs.open("/tmp/data", "r"))
+        table.install(vfs.open("/tmp/data", "r"), cloexec=True)
+        child = table.clone_for_fork()
+        assert child.fds() == table.fds()
+
+    def test_fork_shares_ofds_and_offsets(self, env):
+        # POSIX: fork shares open file descriptions.  Reading in the
+        # child moves the parent's offset — a classic fork surprise.
+        vfs, table = env
+        fd = table.install(vfs.open("/tmp/data", "r"))
+        child = table.clone_for_fork()
+        assert child.ofd(fd).read(5) == b"01234"
+        assert table.ofd(fd).read(5) == b"56789"
+
+    def test_fork_charges_one_dup_per_entry(self, env):
+        vfs, table = env
+        for _ in range(5):
+            table.install(vfs.open("/tmp/data", "r"))
+        before = table.counters.snapshot()
+        table.clone_for_fork()
+        assert table.counters.delta(before).fd_dups == 5
+
+    def test_fork_preserves_cloexec_flags(self, env):
+        vfs, table = env
+        fd = table.install(vfs.open("/tmp/data", "r"), cloexec=True)
+        child = table.clone_for_fork()
+        assert child.get_cloexec(fd) is True
+
+    def test_exec_closes_only_cloexec(self, env):
+        vfs, table = env
+        keep = table.install(vfs.open("/tmp/data", "r"))
+        drop = table.install(vfs.open("/tmp/data", "r"), cloexec=True)
+        table.apply_exec()
+        assert keep in table
+        assert drop not in table
+
+    def test_leak_without_cloexec(self, env):
+        # The paper's security argument in miniature: a descriptor opened
+        # without O_CLOEXEC survives fork+exec into the new program.
+        vfs, table = env
+        secret = table.install(vfs.open("/tmp/data", "r"))
+        child = table.clone_for_fork()
+        child.apply_exec()
+        assert secret in child
+
+    def test_close_all_empties_table(self, env):
+        vfs, table = env
+        for _ in range(4):
+            table.install(vfs.open("/tmp/data", "r"))
+        table.close_all()
+        assert len(table) == 0

@@ -1,0 +1,136 @@
+"""Unit tests for physical frames and the frame allocator."""
+
+import pytest
+
+from repro.errors import SimError, SimMemoryError
+from repro.sim.frames import AggregateFrame, Frame, FrameAllocator
+from repro.sim.params import WorkCounters
+
+
+@pytest.fixture
+def alloc():
+    return FrameAllocator(total_frames=100, counters=WorkCounters())
+
+
+class TestFrame:
+    def test_new_frame_has_refcount_one(self):
+        assert Frame().refcount == 1
+
+    def test_frame_holds_value(self):
+        assert Frame(value="payload").value == "payload"
+
+    def test_frames_have_unique_indices(self):
+        assert Frame().index != Frame().index
+
+
+class TestAllocatorBudget:
+    def test_alloc_consumes_budget(self, alloc):
+        alloc.alloc()
+        assert alloc.used_frames == 1
+        assert alloc.free_frames == 99
+
+    def test_alloc_counts_work(self, alloc):
+        alloc.alloc()
+        alloc.alloc()
+        assert alloc.counters.frames_allocated == 2
+
+    def test_exhaustion_raises_enomem(self, alloc):
+        for _ in range(100):
+            alloc.alloc()
+        with pytest.raises(SimMemoryError):
+            alloc.alloc()
+
+    def test_enomem_carries_errno_name(self, alloc):
+        alloc.alloc_aggregate(100)
+        with pytest.raises(SimMemoryError) as exc:
+            alloc.alloc()
+        assert exc.value.errno_name == "ENOMEM"
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(SimError):
+            FrameAllocator(total_frames=0)
+
+    def test_peak_usage_tracked(self, alloc):
+        f = alloc.alloc()
+        alloc.alloc_aggregate(10)
+        alloc.decref(f)
+        assert alloc.peak_used == 11
+        assert alloc.used_frames == 10
+
+
+class TestRefcounting:
+    def test_decref_frees(self, alloc):
+        f = alloc.alloc()
+        alloc.decref(f)
+        assert alloc.used_frames == 0
+        assert alloc.counters.frames_freed == 1
+
+    def test_incref_then_single_decref_keeps_frame(self, alloc):
+        f = alloc.alloc()
+        alloc.incref(f)
+        alloc.decref(f)
+        assert f.refcount == 1
+        assert alloc.used_frames == 1
+
+    def test_refcount_underflow_detected(self, alloc):
+        f = alloc.alloc()
+        alloc.decref(f)
+        with pytest.raises(SimError):
+            alloc.decref(f)
+
+
+class TestAggregateFrames:
+    def test_aggregate_charges_full_run(self, alloc):
+        alloc.alloc_aggregate(40)
+        assert alloc.used_frames == 40
+
+    def test_aggregate_free_releases_run(self, alloc):
+        agg = alloc.alloc_aggregate(40)
+        alloc.decref(agg)
+        assert alloc.used_frames == 0
+
+    def test_aggregate_needs_positive_count(self, alloc):
+        with pytest.raises(SimError):
+            alloc.alloc_aggregate(0)
+
+    def test_oversized_aggregate_refused_without_charge(self, alloc):
+        with pytest.raises(SimMemoryError):
+            alloc.alloc_aggregate(101)
+        assert alloc.used_frames == 0
+
+    def test_sole_owner_split_is_budget_neutral(self, alloc):
+        agg = alloc.alloc_aggregate(10, value="v")
+        frame = alloc.split_from_aggregate(agg)
+        assert alloc.used_frames == 10
+        assert agg.count == 9
+        assert frame.value == "v"
+
+    def test_shared_split_charges_new_page(self, alloc):
+        agg = alloc.alloc_aggregate(10)
+        alloc.incref(agg)
+        alloc.split_from_aggregate(agg)
+        assert alloc.used_frames == 11
+        assert agg.count == 10  # shared run stays whole
+
+    def test_split_empty_aggregate_rejected(self, alloc):
+        agg = alloc.alloc_aggregate(1)
+        alloc.split_from_aggregate(agg)
+        with pytest.raises(SimError):
+            alloc.split_from_aggregate(agg)
+
+    def test_release_from_aggregate(self, alloc):
+        agg = alloc.alloc_aggregate(10)
+        alloc.release_from_aggregate(agg, 4)
+        assert agg.count == 6
+        assert alloc.used_frames == 6
+
+    def test_release_from_shared_aggregate_rejected(self, alloc):
+        agg = alloc.alloc_aggregate(10)
+        alloc.incref(agg)
+        with pytest.raises(SimError):
+            alloc.release_from_aggregate(agg, 1)
+
+    def test_release_more_than_run_rejected(self, alloc):
+        agg = alloc.alloc_aggregate(3)
+        with pytest.raises(SimError):
+            alloc.release_from_aggregate(agg, 4)

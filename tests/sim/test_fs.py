@@ -1,0 +1,249 @@
+"""Unit tests for the in-memory VFS and open file descriptions."""
+
+import pytest
+
+from repro.errors import SimOSError
+from repro.sim.fs import SEEK_CUR, SEEK_END, SEEK_SET, Inode, VFS
+
+
+@pytest.fixture
+def vfs():
+    fs = VFS()
+    fs.makedirs("/tmp")
+    fs.makedirs("/bin")
+    return fs
+
+
+class TestTree:
+    def test_root_exists(self, vfs):
+        assert vfs.exists("/")
+
+    def test_create_and_read_back(self, vfs):
+        vfs.create("/tmp/a.txt", b"hello")
+        assert vfs.read_file("/tmp/a.txt") == b"hello"
+
+    def test_missing_path_raises_enoent(self, vfs):
+        with pytest.raises(SimOSError) as exc:
+            vfs.lookup("/tmp/nope")
+        assert exc.value.errno_name == "ENOENT"
+
+    def test_relative_path_rejected(self, vfs):
+        with pytest.raises(SimOSError) as exc:
+            vfs.lookup("tmp/a")
+        assert exc.value.errno_name == "EINVAL"
+
+    def test_create_duplicate_raises_eexist(self, vfs):
+        vfs.create("/tmp/x", b"")
+        with pytest.raises(SimOSError) as exc:
+            vfs.create("/tmp/x", b"")
+        assert exc.value.errno_name == "EEXIST"
+
+    def test_file_component_in_path_raises_enotdir(self, vfs):
+        vfs.create("/tmp/file", b"")
+        with pytest.raises(SimOSError) as exc:
+            vfs.lookup("/tmp/file/below")
+        assert exc.value.errno_name == "ENOTDIR"
+
+    def test_mkdir_and_listdir(self, vfs):
+        vfs.mkdir("/tmp/sub")
+        vfs.create("/tmp/aa", b"")
+        assert vfs.listdir("/tmp") == ["aa", "sub"]
+
+    def test_makedirs_creates_ancestors(self, vfs):
+        vfs.makedirs("/a/b/c")
+        assert vfs.exists("/a/b/c")
+
+    def test_makedirs_is_idempotent(self, vfs):
+        vfs.makedirs("/a/b")
+        vfs.makedirs("/a/b")
+
+    def test_unlink_removes_entry(self, vfs):
+        vfs.create("/tmp/gone", b"x")
+        vfs.unlink("/tmp/gone")
+        assert not vfs.exists("/tmp/gone")
+
+    def test_unlink_directory_rejected(self, vfs):
+        with pytest.raises(SimOSError) as exc:
+            vfs.unlink("/tmp")
+        assert exc.value.errno_name == "EISDIR"
+
+    def test_write_file_replaces(self, vfs):
+        vfs.write_file("/tmp/f", b"one")
+        vfs.write_file("/tmp/f", b"two")
+        assert vfs.read_file("/tmp/f") == b"two"
+
+
+class TestOpenFileDescriptions:
+    def test_sequential_reads_advance_offset(self, vfs):
+        vfs.create("/tmp/f", b"abcdef")
+        ofd = vfs.open("/tmp/f", "r")
+        assert ofd.read(3) == b"abc"
+        assert ofd.read(3) == b"def"
+        assert ofd.read(3) == b""
+
+    def test_write_through_extends_file(self, vfs):
+        ofd = vfs.open("/tmp/new", "wc")
+        ofd.write(b"data")
+        assert vfs.read_file("/tmp/new") == b"data"
+
+    def test_open_missing_without_create_raises(self, vfs):
+        with pytest.raises(SimOSError) as exc:
+            vfs.open("/tmp/missing", "r")
+        assert exc.value.errno_name == "ENOENT"
+
+    def test_truncate_mode_clears(self, vfs):
+        vfs.create("/tmp/f", b"old content")
+        vfs.open("/tmp/f", "wt")
+        assert vfs.read_file("/tmp/f") == b""
+
+    def test_append_mode_writes_at_end(self, vfs):
+        vfs.create("/tmp/log", b"line1\n")
+        ofd = vfs.open("/tmp/log", "a")
+        ofd.write(b"line2\n")
+        assert vfs.read_file("/tmp/log") == b"line1\nline2\n"
+
+    def test_read_on_writeonly_rejected(self, vfs):
+        vfs.create("/tmp/f", b"x")
+        ofd = vfs.open("/tmp/f", "w")
+        with pytest.raises(SimOSError) as exc:
+            ofd.read(1)
+        assert exc.value.errno_name == "EBADF"
+
+    def test_write_on_readonly_rejected(self, vfs):
+        vfs.create("/tmp/f", b"x")
+        ofd = vfs.open("/tmp/f", "r")
+        with pytest.raises(SimOSError):
+            ofd.write(b"y")
+
+    def test_seek_set_cur_end(self, vfs):
+        vfs.create("/tmp/f", b"0123456789")
+        ofd = vfs.open("/tmp/f", "r")
+        ofd.seek(4, SEEK_SET)
+        assert ofd.read(2) == b"45"
+        ofd.seek(-2, SEEK_CUR)
+        assert ofd.read(2) == b"45"
+        ofd.seek(-1, SEEK_END)
+        assert ofd.read(2) == b"9"
+
+    def test_negative_seek_rejected(self, vfs):
+        vfs.create("/tmp/f", b"abc")
+        ofd = vfs.open("/tmp/f", "r")
+        with pytest.raises(SimOSError):
+            ofd.seek(-1, SEEK_SET)
+
+    def test_sparse_write_zero_fills(self, vfs):
+        vfs.create("/tmp/f", b"")
+        ofd = vfs.open("/tmp/f", "w")
+        ofd.seek(4, SEEK_SET)
+        ofd.write(b"x")
+        assert vfs.read_file("/tmp/f") == b"\x00\x00\x00\x00x"
+
+    def test_offset_is_shared_state(self, vfs):
+        # The POSIX rule the paper's composition argument stands on: the
+        # offset lives in the OFD, so every alias sees every advance.
+        vfs.create("/tmp/f", b"abcdef")
+        ofd = vfs.open("/tmp/f", "r")
+        ofd.incref()  # a second descriptor now aliases it
+        assert ofd.read(3) == b"abc"
+        assert ofd.read(3) == b"def"  # continues, does not restart
+        ofd.decref()
+        ofd.decref()
+
+    def test_unlinked_file_remains_readable_via_ofd(self, vfs):
+        vfs.create("/tmp/f", b"still here")
+        ofd = vfs.open("/tmp/f", "r")
+        vfs.unlink("/tmp/f")
+        assert ofd.read(100) == b"still here"
+
+
+class TestMmapBacking:
+    def test_page_value_slices_data(self, vfs):
+        vfs.create("/tmp/f", b"A" * 4096 + b"B" * 4096)
+        inode = vfs.lookup("/tmp/f")
+        assert inode.page_value(0) == b"A" * 4096
+        assert inode.page_value(1) == b"B" * 4096
+
+    def test_page_past_eof_reads_none(self, vfs):
+        vfs.create("/tmp/f", b"short")
+        inode = vfs.lookup("/tmp/f")
+        assert inode.page_value(5) is None
+
+    def test_shared_write_page_overrides(self, vfs):
+        vfs.create("/tmp/f", b"A" * 4096)
+        inode = vfs.lookup("/tmp/f")
+        inode.write_page(0, "token")
+        assert inode.page_value(0) == "token"
+
+    def test_bad_inode_kind_rejected(self):
+        with pytest.raises(SimOSError):
+            Inode("socket")
+
+
+class TestRenameLinkStat:
+    def test_rename_moves_entry(self, vfs):
+        vfs.create("/tmp/a", b"content")
+        vfs.rename("/tmp/a", "/tmp/b")
+        assert not vfs.exists("/tmp/a")
+        assert vfs.read_file("/tmp/b") == b"content"
+
+    def test_rename_across_directories(self, vfs):
+        vfs.mkdir("/tmp/sub")
+        vfs.create("/tmp/a", b"x")
+        vfs.rename("/tmp/a", "/tmp/sub/a")
+        assert vfs.read_file("/tmp/sub/a") == b"x"
+
+    def test_rename_replaces_file_target(self, vfs):
+        vfs.create("/tmp/a", b"new")
+        vfs.create("/tmp/b", b"old")
+        vfs.rename("/tmp/a", "/tmp/b")
+        assert vfs.read_file("/tmp/b") == b"new"
+
+    def test_rename_onto_directory_rejected(self, vfs):
+        vfs.create("/tmp/a", b"")
+        vfs.mkdir("/tmp/d")
+        with pytest.raises(SimOSError) as exc:
+            vfs.rename("/tmp/a", "/tmp/d")
+        assert exc.value.errno_name == "EISDIR"
+
+    def test_rename_missing_source_rejected(self, vfs):
+        with pytest.raises(SimOSError):
+            vfs.rename("/tmp/missing", "/tmp/x")
+
+    def test_rename_preserves_open_ofds(self, vfs):
+        # The rename-while-open idiom (atomic log rotation).
+        vfs.create("/tmp/log", b"entries")
+        ofd = vfs.open("/tmp/log", "r")
+        vfs.rename("/tmp/log", "/tmp/log.1")
+        assert ofd.read(100) == b"entries"
+
+    def test_link_shares_inode(self, vfs):
+        vfs.create("/tmp/orig", b"shared")
+        vfs.link("/tmp/orig", "/tmp/alias")
+        assert vfs.stat("/tmp/alias")["ino"] == vfs.stat("/tmp/orig")["ino"]
+        assert vfs.stat("/tmp/orig")["nlink"] == 2
+        vfs.write_file("/tmp/orig", b"updated")
+        assert vfs.read_file("/tmp/alias") == b"updated"
+
+    def test_link_to_directory_rejected(self, vfs):
+        with pytest.raises(SimOSError):
+            vfs.link("/tmp", "/tmp2")
+
+    def test_link_over_existing_rejected(self, vfs):
+        vfs.create("/tmp/a", b"")
+        vfs.create("/tmp/b", b"")
+        with pytest.raises(SimOSError):
+            vfs.link("/tmp/a", "/tmp/b")
+
+    def test_stat_fields(self, vfs):
+        vfs.create("/tmp/f", b"12345")
+        info = vfs.stat("/tmp/f")
+        assert info["kind"] == "file"
+        assert info["size"] == 5
+        assert info["nlink"] == 1
+
+    def test_unlink_one_of_two_links_keeps_data(self, vfs):
+        vfs.create("/tmp/a", b"keep me")
+        vfs.link("/tmp/a", "/tmp/b")
+        vfs.unlink("/tmp/a")
+        assert vfs.read_file("/tmp/b") == b"keep me"
+        assert vfs.stat("/tmp/b")["nlink"] == 1

@@ -1,0 +1,121 @@
+"""Property-based tests for pipes and the VFS.
+
+The pipe property is the one everything else leans on: a pipe is a
+faithful FIFO byte stream — whatever interleaving of reads and writes
+occurs, the reader sees exactly the writer's bytes, in order, once.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+from hypothesis.stateful import (RuleBasedStateMachine, initialize,
+                                 invariant, rule)
+
+from repro.sim.fs import VFS
+from repro.sim.pipes import Pipe, WouldBlock
+
+
+class PipeFifoMachine(RuleBasedStateMachine):
+    """Random writes/reads/closes against a byte-stream reference."""
+
+    @initialize()
+    def setup(self):
+        self.pipe = Pipe(capacity=32)
+        self.read_end, self.write_end = self.pipe.make_endpoints()
+        self.sent = b""
+        self.received = b""
+        self.writer_open = True
+
+    @rule(data=st.binary(min_size=1, max_size=48))
+    def write(self, data):
+        if not self.writer_open:
+            return
+        try:
+            accepted = self.write_end.write(data)
+        except WouldBlock:
+            return
+        self.sent += data[:accepted]
+
+    @rule(nbytes=st.integers(1, 64))
+    def read(self, nbytes):
+        try:
+            data = self.read_end.read(nbytes)
+        except WouldBlock:
+            return
+        self.received += data
+
+    @rule()
+    def close_writer(self):
+        if self.writer_open:
+            self.write_end.decref()
+            self.writer_open = False
+
+    @invariant()
+    def received_is_prefix_of_sent(self):
+        assert self.sent.startswith(self.received)
+
+    @invariant()
+    def buffer_bounded(self):
+        assert len(self.pipe.buffer) <= self.pipe.capacity
+
+    @invariant()
+    def conservation(self):
+        # Everything sent is either delivered or still in flight.
+        assert len(self.sent) == len(self.received) + len(self.pipe.buffer)
+
+    def teardown(self):
+        if self.writer_open:
+            self.write_end.decref()
+        # Drain to EOF: the remainder must complete the sent stream.
+        while True:
+            data = self.read_end.read(1 << 16)
+            if not data:
+                break
+            self.received += data
+        assert self.received == self.sent
+
+
+TestPipeFifo = PipeFifoMachine.TestCase
+TestPipeFifo.settings = settings(max_examples=80, stateful_step_count=50,
+                                 deadline=None)
+
+
+names = st.text(alphabet="abcdefgh", min_size=1, max_size=6)
+
+
+class TestVfsProperties:
+    @given(st.lists(names, min_size=1, max_size=4))
+    def test_makedirs_then_lookup(self, parts):
+        vfs = VFS()
+        path = "/" + "/".join(parts)
+        vfs.makedirs(path)
+        assert vfs.lookup(path).is_dir
+
+    @given(names, st.binary(max_size=256))
+    def test_write_read_roundtrip(self, name, data):
+        vfs = VFS()
+        vfs.write_file(f"/{name}", data)
+        assert vfs.read_file(f"/{name}") == data
+
+    @given(names, st.lists(st.binary(min_size=1, max_size=64),
+                           min_size=1, max_size=8))
+    def test_appends_concatenate(self, name, chunks):
+        vfs = VFS()
+        vfs.create(f"/{name}")
+        ofd = vfs.open(f"/{name}", "a")
+        for chunk in chunks:
+            ofd.write(chunk)
+        assert vfs.read_file(f"/{name}") == b"".join(chunks)
+
+    @given(names, st.binary(min_size=1, max_size=512),
+           st.integers(1, 64))
+    def test_chunked_reads_reassemble(self, name, data, chunk_size):
+        vfs = VFS()
+        vfs.write_file(f"/{name}", data)
+        ofd = vfs.open(f"/{name}", "r")
+        out = b""
+        while True:
+            piece = ofd.read(chunk_size)
+            if not piece:
+                break
+            out += piece
+        assert out == data

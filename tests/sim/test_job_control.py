@@ -1,0 +1,113 @@
+"""SIGSTOP/SIGCONT job control: the shell's ^Z, simulated."""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.sim.kernel import Kernel
+from repro.sim.params import MIB, SimConfig
+from repro.sim.signals import SIGCONT, SIGKILL, SIGSTOP, SIGTERM
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(SimConfig(total_ram=256 * MIB))
+
+
+def run_main(kernel, main):
+    kernel.register_program("/sbin/init", main)
+    return kernel.run_program("/sbin/init")
+
+
+class TestStopAndContinue:
+    def test_stopped_child_makes_no_progress(self, kernel):
+        progress = []
+
+        def main(sys):
+            def child(sys2):
+                while True:
+                    progress.append(1)
+                    yield sys2.sched_yield()
+
+            cpid = yield sys.fork(child)
+            yield sys.sched_yield()
+            yield sys.kill(cpid, SIGSTOP)
+            yield sys.sched_yield()
+            frozen_at = len(progress)
+            for _ in range(5):
+                yield sys.sched_yield()
+            stalled = len(progress) == frozen_at
+            yield sys.kill(cpid, SIGKILL)
+            yield sys.waitpid(cpid)
+            yield sys.exit(0 if stalled else 1)
+        assert run_main(kernel, main) == 0
+        assert progress  # it did run before the stop
+
+    def test_sigcont_resumes(self, kernel):
+        progress = []
+
+        def main(sys):
+            def child(sys2):
+                for _ in range(20):
+                    progress.append(1)
+                    yield sys2.sched_yield()
+                yield sys2.exit(0)
+
+            cpid = yield sys.fork(child)
+            yield sys.sched_yield()
+            yield sys.kill(cpid, SIGSTOP)
+            yield sys.sched_yield()
+            frozen_at = len(progress)
+            yield sys.kill(cpid, SIGCONT)
+            _, status = yield sys.waitpid(cpid)
+            resumed = len(progress) > frozen_at
+            yield sys.exit(status if resumed else 1)
+        assert run_main(kernel, main) == 0
+
+    def test_sigkill_reaches_a_stopped_process(self, kernel):
+        def main(sys):
+            def child(sys2):
+                while True:
+                    yield sys2.sched_yield()
+
+            cpid = yield sys.fork(child)
+            yield sys.kill(cpid, SIGSTOP)
+            yield sys.sched_yield()
+            yield sys.kill(cpid, SIGKILL)
+            _, status = yield sys.waitpid(cpid)
+            yield sys.exit(status)
+        assert run_main(kernel, main) == 128 + SIGKILL
+
+    def test_sigterm_stays_pending_while_stopped(self, kernel):
+        # TERM posted during the stop lands only at resume.
+        def main(sys):
+            def child(sys2):
+                while True:
+                    yield sys2.sched_yield()
+
+            cpid = yield sys.fork(child)
+            yield sys.kill(cpid, SIGSTOP)
+            yield sys.sched_yield()
+            yield sys.kill(cpid, SIGTERM)
+            for _ in range(3):
+                yield sys.sched_yield()
+            alive_while_stopped = kernel.find_process(cpid).alive
+            yield sys.kill(cpid, SIGCONT)
+            _, status = yield sys.waitpid(cpid)
+            ok = alive_while_stopped and status == 128 + SIGTERM
+            yield sys.exit(0 if ok else 1)
+        assert run_main(kernel, main) == 0
+
+    def test_forever_stopped_process_is_reported(self, kernel):
+        def main(sys):
+            def child(sys2):
+                while True:
+                    yield sys2.sched_yield()
+
+            cpid = yield sys.fork(child)
+            yield sys.kill(cpid, SIGSTOP)
+            yield sys.exit(0)  # exits without ever continuing the child
+        kernel.register_program("/sbin/init", main)
+        kernel.spawn_root("/sbin/init")
+        with pytest.raises(DeadlockError) as exc:
+            kernel.run()
+        assert "stopped" in str(exc.value)

@@ -1,0 +1,88 @@
+"""Tests for the VM-lock contention model (experiment F2's substrate)."""
+
+import pytest
+
+from repro.errors import SimError
+from repro.sim.locks import (ContentionResult, fork_stall_ns,
+                             simulate_contention)
+
+
+class TestSingleLockSerialisation:
+    def test_one_thread_is_pure_service_time(self):
+        r = simulate_contention(1, 10, critical_ns=100.0)
+        assert r.makespan_ns == pytest.approx(1000.0)
+        assert r.total_wait_ns == 0.0
+
+    def test_one_lock_serialises_everything(self):
+        # N threads × K ops of pure critical section = N*K*s regardless
+        # of CPU count: the mmap_sem pathology.
+        r = simulate_contention(8, 10, critical_ns=100.0, num_locks=1)
+        assert r.makespan_ns == pytest.approx(8 * 10 * 100.0)
+
+    def test_throughput_flat_in_threads_under_one_lock(self):
+        t1 = simulate_contention(1, 50, critical_ns=100.0).throughput_ops_per_sec
+        t8 = simulate_contention(8, 50, critical_ns=100.0).throughput_ops_per_sec
+        assert t8 == pytest.approx(t1, rel=0.05)
+
+    def test_waiting_grows_with_threads(self):
+        lone = simulate_contention(1, 20, critical_ns=100.0)
+        crowd = simulate_contention(8, 20, critical_ns=100.0)
+        assert crowd.total_wait_ns > lone.total_wait_ns
+
+
+class TestPerVmaLocksScale:
+    def test_independent_locks_run_in_parallel(self):
+        r = simulate_contention(8, 10, critical_ns=100.0, num_locks=8)
+        assert r.makespan_ns == pytest.approx(10 * 100.0)
+        assert r.total_wait_ns == 0.0
+
+    def test_throughput_scales_with_locks(self):
+        one = simulate_contention(8, 20, critical_ns=100.0, num_locks=1)
+        eight = simulate_contention(8, 20, critical_ns=100.0, num_locks=8)
+        assert (eight.throughput_ops_per_sec
+                >= 7 * one.throughput_ops_per_sec)
+
+    def test_cpu_limit_caps_scaling(self):
+        # 8 threads, 8 locks, but only 2 CPUs: the makespan is bounded
+        # by CPU service capacity, not the locks.
+        r = simulate_contention(8, 10, critical_ns=100.0, num_locks=8,
+                                num_cpus=2)
+        assert r.makespan_ns >= (8 * 10 * 100.0) / 2
+
+    def test_parallel_phase_overlaps(self):
+        with_parallel = simulate_contention(4, 10, critical_ns=100.0,
+                                            parallel_ns=400.0, num_locks=4)
+        assert with_parallel.makespan_ns == pytest.approx(10 * 500.0)
+
+
+class TestValidation:
+    def test_zero_threads_rejected(self):
+        with pytest.raises(SimError):
+            simulate_contention(0, 1, 10.0)
+
+    def test_negative_durations_rejected(self):
+        with pytest.raises(SimError):
+            simulate_contention(1, 1, -1.0)
+
+    def test_zero_locks_rejected(self):
+        with pytest.raises(SimError):
+            simulate_contention(1, 1, 10.0, num_locks=0)
+
+    def test_result_mean_wait(self):
+        r = ContentionResult(makespan_ns=1000.0, total_wait_ns=500.0,
+                             total_ops=5, num_threads=1)
+        assert r.mean_wait_ns == 100.0
+
+
+class TestForkStall:
+    def test_no_other_threads_no_stall(self):
+        assert fork_stall_ns(1e6, 1, 10_000, 1000.0) == 0.0
+
+    def test_stall_scales_with_walk_time(self):
+        short = fork_stall_ns(1e6, 8, 10_000, 1000.0)
+        long = fork_stall_ns(1e8, 8, 10_000, 1000.0)
+        assert long == pytest.approx(100 * short)
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimError):
+            fork_stall_ns(-1, 2, 10, 10)

@@ -1,0 +1,175 @@
+"""Property-based tests for the memory subsystem.
+
+Two stateful models drive random operation sequences against invariants
+the whole simulator rests on:
+
+* **COW isolation** — every address space always reads exactly what a
+  per-space reference dict says it should, no matter how forks, writes
+  and teardowns interleave.  This is the property fork() is *for*; if it
+  breaks, nothing the benchmarks measure means anything.
+* **Conservation of frames** — the allocator's used count matches an
+  independently derived expectation, and destroying every address space
+  returns the budget to zero (no leaks, no double frees).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import (RuleBasedStateMachine, initialize,
+                                 invariant, precondition, rule)
+
+from repro.sim.addrspace import AddressSpace
+from repro.sim.params import PAGE_SIZE, MIB, SimConfig
+
+N_PAGES = 24  # one arena, two dozen pages: small enough to explore deeply
+
+arena_page = st.integers(min_value=0, max_value=N_PAGES - 1)
+values = st.integers(min_value=0, max_value=5)
+
+
+class CowIsolationMachine(RuleBasedStateMachine):
+    """Random forks/writes/destroys vs. a dict-per-space reference model."""
+
+    @initialize()
+    def setup(self):
+        self.config = SimConfig(total_ram=64 * MIB)
+        root = AddressSpace(self.config, name="root")
+        self.arena = root.map(N_PAGES * PAGE_SIZE, addr=0x4000_0000).start
+        self.spaces = [root]
+        self.expected = [dict()]  # page -> value, one dict per live space
+
+    def _sibling(self, name):
+        root = self.spaces[0]
+        return AddressSpace(self.config, allocator=root.allocator,
+                            tlb=root.tlb, commit=root.commit,
+                            counters=root.counters, name=name)
+
+    @rule(page=arena_page, value=values, who=st.integers(0, 7))
+    def write(self, page, value, who):
+        idx = who % len(self.spaces)
+        addr = self.arena + page * PAGE_SIZE
+        self.spaces[idx].write(addr, value)
+        self.expected[idx][page] = value
+
+    @rule(page=arena_page, who=st.integers(0, 7))
+    def read(self, page, who):
+        idx = who % len(self.spaces)
+        addr = self.arena + page * PAGE_SIZE
+        assert self.spaces[idx].read(addr) == self.expected[idx].get(page)
+
+    @precondition(lambda self: len(self.spaces) < 5)
+    @rule(who=st.integers(0, 7))
+    def fork(self, who):
+        idx = who % len(self.spaces)
+        child = self._sibling(f"s{len(self.spaces)}")
+        self.spaces[idx].fork_into(child)
+        self.spaces.append(child)
+        self.expected.append(dict(self.expected[idx]))
+
+    @precondition(lambda self: len(self.spaces) > 1)
+    @rule(who=st.integers(0, 7))
+    def destroy(self, who):
+        idx = 1 + who % (len(self.spaces) - 1)  # keep the root alive
+        self.spaces[idx].destroy()
+        del self.spaces[idx]
+        del self.expected[idx]
+
+    @invariant()
+    def no_negative_budget(self):
+        alloc = self.spaces[0].allocator
+        assert 0 <= alloc.used_frames <= alloc.total_frames
+
+    def teardown(self):
+        alloc = self.spaces[0].allocator
+        for space in self.spaces:
+            space.destroy()
+        assert alloc.used_frames == 0, "frames leaked"
+
+
+TestCowIsolation = CowIsolationMachine.TestCase
+TestCowIsolation.settings = settings(max_examples=60,
+                                     stateful_step_count=40,
+                                     deadline=None)
+
+
+class MappingLifecycleMachine(RuleBasedStateMachine):
+    """Random map/populate/unmap/protect churn in one address space.
+
+    Checks that commit accounting and the frame budget both return to
+    zero at teardown, whatever sequence of splits and partial unmaps the
+    space went through.
+    """
+
+    @initialize()
+    def setup(self):
+        self.space = AddressSpace(SimConfig(total_ram=256 * MIB))
+        self.regions = []  # (start, npages, prot) of live mappings
+
+    @precondition(lambda self: len(self.regions) < 8)
+    @rule(npages=st.integers(1, 64))
+    def map_region(self, npages):
+        vma = self.space.map(npages * PAGE_SIZE)
+        self.regions.append((vma.start, npages, "rw"))
+
+    @precondition(lambda self: self.regions)
+    @rule(which=st.integers(0, 63), data=st.data())
+    def populate_some(self, which, data):
+        start, npages, prot = self.regions[which % len(self.regions)]
+        if prot != "rw":
+            return
+        lo = data.draw(st.integers(0, npages - 1))
+        hi = data.draw(st.integers(lo + 1, npages))
+        self.space.populate(start + lo * PAGE_SIZE, (hi - lo) * PAGE_SIZE)
+
+    @precondition(lambda self: self.regions)
+    @rule(which=st.integers(0, 63), page=st.integers(0, 63), value=values)
+    def write_one(self, which, page, value):
+        start, npages, prot = self.regions[which % len(self.regions)]
+        if prot != "rw":
+            return
+        self.space.write(start + (page % npages) * PAGE_SIZE, value)
+
+    @precondition(lambda self: self.regions)
+    @rule(which=st.integers(0, 63), data=st.data())
+    def unmap_subrange(self, which, data):
+        idx = which % len(self.regions)
+        start, npages, prot = self.regions[idx]
+        lo = data.draw(st.integers(0, npages - 1))
+        hi = data.draw(st.integers(lo + 1, npages))
+        self.space.unmap(start + lo * PAGE_SIZE, (hi - lo) * PAGE_SIZE)
+        del self.regions[idx]
+        if lo > 0:
+            self.regions.append((start, lo, prot))
+        if hi < npages:
+            self.regions.append((start + hi * PAGE_SIZE, npages - hi, prot))
+
+    @precondition(lambda self: self.regions)
+    @rule(which=st.integers(0, 63), prot=st.sampled_from(["r", "rw"]))
+    def protect_region(self, which, prot):
+        idx = which % len(self.regions)
+        start, npages, _ = self.regions[idx]
+        self.space.protect(start, npages * PAGE_SIZE, prot)
+        self.regions[idx] = (start, npages, prot)
+
+    @invariant()
+    def resident_never_exceeds_budget(self):
+        alloc = self.space.allocator
+        assert alloc.used_frames <= alloc.total_frames
+        assert self.space.resident_pages() <= alloc.used_frames
+
+    @invariant()
+    def commit_matches_vmas(self):
+        expected = sum(
+            v.length // PAGE_SIZE for v in self.space.vmas
+            if v.writable and not v.shared)
+        assert self.space.commit_pages == expected
+
+    def teardown(self):
+        self.space.destroy()
+        assert self.space.allocator.used_frames == 0
+        assert self.space.commit.committed_pages == 0
+
+
+TestMappingLifecycle = MappingLifecycleMachine.TestCase
+TestMappingLifecycle.settings = settings(max_examples=60,
+                                         stateful_step_count=40,
+                                         deadline=None)

@@ -1,0 +1,151 @@
+"""Tests for the OOM killer: how overcommitted promises come due.
+
+This closes the loop on experiment T3: permissive overcommit admits a
+fork that strict accounting refuses — and when the pages are actually
+dirtied, *somebody* dies.  The paper's point is that fork forces exactly
+this trade.
+"""
+
+import pytest
+
+from repro.errors import SimOSError
+from repro.sim.kernel import Kernel
+from repro.sim.params import MIB, SimConfig
+
+
+def make_kernel(total_ram=64 * MIB, overcommit="heuristic"):
+    k = Kernel(SimConfig(total_ram=total_ram, overcommit=overcommit))
+    k.register_program("/bin/true", lambda sys: iter(()))
+    return k
+
+
+def run_main(kernel, main):
+    kernel.register_program("/sbin/init", main)
+    return kernel.run_program("/sbin/init")
+
+
+class TestOomKiller:
+    def test_largest_process_is_killed(self):
+        kernel = make_kernel()
+        outcome = {}
+
+        def hog(sys):
+            # The memory hog: grabs most of RAM, then idles on a pipe.
+            addr = yield sys.mmap(40 * MIB)
+            yield sys.populate(addr, 40 * MIB)
+            r, _w = yield sys.pipe()
+            yield sys.read(r, 1)
+
+        kernel.register_program("/bin/hog", hog)
+
+        def main(sys):
+            hog_pid = yield sys.spawn("/bin/hog")
+            # Let the hog populate its 40 MiB.
+            for _ in range(8):
+                yield sys.sched_yield()
+            # Now demand more than what is left: the hog must die.
+            addr = yield sys.mmap(30 * MIB)
+            yield sys.populate(addr, 30 * MIB)
+            _, status = yield sys.waitpid(hog_pid)
+            outcome["hog_status"] = status
+            yield sys.exit(0)
+
+        assert run_main(kernel, main) == 0
+        assert outcome["hog_status"] == 137
+        assert len(kernel.oom_kills) == 1
+        victim_pid, victim_rss = kernel.oom_kills[0]
+        assert victim_rss >= 40 * MIB
+
+    def test_sole_process_kills_itself(self):
+        # Two sane-looking mappings whose pages cannot all be backed:
+        # at fault time the faulter is also the biggest process, so the
+        # OOM killer takes it down.
+        kernel = make_kernel(total_ram=32 * MIB)
+
+        def main(sys):
+            addr = yield sys.mmap(30 * MIB)
+            yield sys.populate(addr, 30 * MIB)
+            addr2 = yield sys.mmap(30 * MIB)
+            yield sys.populate(addr2, 30 * MIB)  # cannot fit: self-OOM
+            yield sys.exit(0)
+        status = run_main(kernel, main)
+        assert status == 137
+        assert kernel.oom_kills  # init was the only (and largest) victim
+
+    def test_strict_mode_never_invokes_oom_killer(self):
+        kernel = make_kernel(overcommit="never")
+
+        def main(sys):
+            # Strict accounting refuses at mmap time instead.
+            try:
+                addr = yield sys.mmap(40 * MIB)
+                addr2 = yield sys.mmap(40 * MIB)
+                yield sys.populate(addr, 40 * MIB)
+                yield sys.populate(addr2, 40 * MIB)
+            except SimOSError as err:
+                yield sys.exit(9 if err.errno_name == "ENOMEM" else 1)
+            yield sys.exit(2)
+        assert run_main(kernel, main) == 9
+        assert kernel.oom_kills == []
+
+    def test_allocation_time_enomem_still_returned(self):
+        kernel = make_kernel(overcommit="heuristic")
+
+        def main(sys):
+            try:
+                yield sys.mmap(512 * MIB)  # single wild request: refused
+            except SimOSError as err:
+                yield sys.exit(9 if err.errno_name == "ENOMEM" else 1)
+            yield sys.exit(2)
+        assert run_main(kernel, main) == 9
+        assert kernel.oom_kills == []
+
+    def test_survivor_completes_after_kill(self):
+        # The faulting process retries and finishes its work once the
+        # victim's memory is freed.
+        kernel = make_kernel()
+
+        def hog(sys):
+            addr = yield sys.mmap(45 * MIB)
+            yield sys.populate(addr, 45 * MIB)
+            r, _w = yield sys.pipe()
+            yield sys.read(r, 1)
+        kernel.register_program("/bin/hog", hog)
+
+        def main(sys):
+            hog_pid = yield sys.spawn("/bin/hog")
+            for _ in range(8):
+                yield sys.sched_yield()
+            addr = yield sys.mmap(24 * MIB)
+            yield sys.populate(addr, 24 * MIB, value="mine")
+            value = yield sys.peek(addr)
+            yield sys.waitpid(hog_pid)
+            yield sys.exit(0 if value == "mine" else 1)
+        assert run_main(kernel, main) == 0
+
+    def test_fork_bomb_scenario_ends_in_kills_not_hangs(self):
+        # The T3 narrative end-to-end: a big parent forks (admitted by
+        # overcommit), then parent and child both dirty their "copies".
+        kernel = make_kernel(total_ram=64 * MIB)
+        outcome = {}
+
+        def main(sys):
+            addr = yield sys.mmap(40 * MIB)
+            yield sys.populate(addr, 40 * MIB)
+
+            def child(sys2):
+                # Dirty the whole inherited region: COW breaks demand
+                # 40 MiB more than the machine has.
+                yield sys2.dirty(addr, 40 * MIB, value="child copy")
+                yield sys2.exit(0)
+
+            cpid = yield sys.fork(child)  # admitted: the promise
+            _, status = yield sys.waitpid(cpid)
+            outcome["child_status"] = status
+            yield sys.exit(0)
+
+        status = run_main(kernel, main)
+        # Somebody died with 137; the machine did not deadlock or hang.
+        assert kernel.oom_kills, "overcommit promise must come due"
+        killed_statuses = {outcome.get("child_status"), status}
+        assert 137 in killed_statuses

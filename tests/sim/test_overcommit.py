@@ -1,0 +1,87 @@
+"""Unit tests for the overcommit policy — the substance of experiment T3."""
+
+import pytest
+
+from repro.errors import SimError, SimMemoryError
+from repro.sim.overcommit import CommitPolicy
+
+
+class TestAlwaysMode:
+    def test_admits_anything(self):
+        p = CommitPolicy(100, "always")
+        p.charge(1_000_000)  # a promise, not an allocation
+        assert p.committed_pages == 1_000_000
+
+    def test_never_refuses(self):
+        p = CommitPolicy(100, "always")
+        for _ in range(10):
+            p.charge(100)
+        assert p.refusals == 0
+
+
+class TestHeuristicMode:
+    def test_admits_within_ram(self):
+        p = CommitPolicy(100, "heuristic")
+        p.charge(100)
+
+    def test_refuses_single_oversized_request(self):
+        p = CommitPolicy(100, "heuristic")
+        with pytest.raises(SimMemoryError):
+            p.charge(101)
+
+    def test_cumulative_overcommit_allowed(self):
+        # The Linux default: each request is sane, the sum is not.
+        p = CommitPolicy(100, "heuristic")
+        p.charge(80)
+        p.charge(80)  # 160% of RAM committed, happily
+        assert p.committed_pages == 160
+
+
+class TestNeverMode:
+    def test_strict_limit_enforced(self):
+        p = CommitPolicy(100, "never")
+        p.charge(60)
+        with pytest.raises(SimMemoryError):
+            p.charge(60)
+        assert p.refusals == 1
+
+    def test_uncharge_makes_room(self):
+        p = CommitPolicy(100, "never")
+        p.charge(60)
+        p.uncharge(30)
+        p.charge(60)
+        assert p.committed_pages == 90
+
+    def test_ratio_extends_limit(self):
+        p = CommitPolicy(100, "never", ratio=1.5)
+        p.charge(140)
+
+    def test_would_admit_is_side_effect_free(self):
+        p = CommitPolicy(100, "never")
+        assert p.would_admit(100)
+        assert not p.would_admit(101)
+        assert p.committed_pages == 0
+
+
+class TestAccountingInvariants:
+    def test_uncharge_underflow_detected(self):
+        p = CommitPolicy(100, "always")
+        p.charge(5)
+        with pytest.raises(SimError):
+            p.uncharge(6)
+
+    def test_negative_charge_rejected(self):
+        p = CommitPolicy(100, "always")
+        with pytest.raises(SimError):
+            p.charge(-1)
+
+    def test_peak_tracked(self):
+        p = CommitPolicy(100, "always")
+        p.charge(70)
+        p.uncharge(50)
+        p.charge(10)
+        assert p.peak_committed == 70
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(SimError):
+            CommitPolicy(100, "sometimes")

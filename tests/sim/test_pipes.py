@@ -1,0 +1,104 @@
+"""Unit tests for pipes: EOF, EPIPE, capacity and endpoint lifetime."""
+
+import pytest
+
+from repro.errors import SimOSError
+from repro.sim.pipes import BrokenPipe, Pipe, WouldBlock
+
+
+def make_pipe(capacity=16):
+    pipe = Pipe(capacity=capacity)
+    r, w = pipe.make_endpoints()
+    return pipe, r, w
+
+
+class TestDataFlow:
+    def test_write_then_read(self):
+        _, r, w = make_pipe()
+        w.write(b"hello")
+        assert r.read(5) == b"hello"
+
+    def test_read_is_fifo_ordered(self):
+        _, r, w = make_pipe()
+        w.write(b"one")
+        w.write(b"two")
+        assert r.read(6) == b"onetwo"
+
+    def test_short_read_leaves_remainder(self):
+        _, r, w = make_pipe()
+        w.write(b"abcdef")
+        assert r.read(2) == b"ab"
+        assert r.read(10) == b"cdef"
+
+    def test_empty_read_blocks_while_writer_lives(self):
+        _, r, _w = make_pipe()
+        with pytest.raises(WouldBlock):
+            r.read(1)
+
+    def test_full_write_blocks_while_reader_lives(self):
+        _, _r, w = make_pipe(capacity=4)
+        w.write(b"xxxx")
+        with pytest.raises(WouldBlock):
+            w.write(b"y")
+
+    def test_partial_write_accepts_what_fits(self):
+        _, _r, w = make_pipe(capacity=4)
+        assert w.write(b"abcdef") == 4
+
+    def test_drain_then_refill(self):
+        _, r, w = make_pipe(capacity=4)
+        w.write(b"abcd")
+        r.read(4)
+        assert w.write(b"efgh") == 4
+
+
+class TestEndpointLifetime:
+    def test_eof_after_writer_closes(self):
+        _, r, w = make_pipe()
+        w.write(b"last")
+        w.decref()
+        assert r.read(10) == b"last"
+        assert r.read(10) == b""  # EOF, not a block
+
+    def test_epipe_after_reader_closes(self):
+        _, r, w = make_pipe()
+        r.decref()
+        with pytest.raises(BrokenPipe) as exc:
+            w.write(b"x")
+        assert exc.value.errno_name == "EPIPE"
+
+    def test_duped_writer_defers_eof(self):
+        # The classic fork bug modelled exactly: while any write-end
+        # reference survives, readers never see EOF.
+        pipe, r, w = make_pipe()
+        w.incref()   # an inherited copy in a child
+        w.decref()   # parent closes its end
+        with pytest.raises(WouldBlock):
+            r.read(1)
+        w.decref()   # the child's copy finally closes
+        assert r.read(1) == b""
+
+    def test_readable_writable_now_flags(self):
+        pipe, r, w = make_pipe(capacity=2)
+        assert not pipe.readable_now
+        assert pipe.writable_now
+        w.write(b"ab")
+        assert pipe.readable_now
+        assert not pipe.writable_now
+
+    def test_seek_on_pipe_is_espipe(self):
+        _, r, _w = make_pipe()
+        with pytest.raises(SimOSError) as exc:
+            r.seek(0)
+        assert exc.value.errno_name == "ESPIPE"
+
+    def test_bytes_transferred_accumulates(self):
+        pipe, r, w = make_pipe()
+        w.write(b"abc")
+        r.read(3)
+        w.write(b"de")
+        assert pipe.bytes_transferred == 5
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimOSError):
+            Pipe(capacity=0)

@@ -1,0 +1,105 @@
+"""Tests for poll: one process watching many channels (no fork needed)."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimOSError
+from repro.sim.kernel import Kernel
+from repro.sim.params import MIB, SimConfig
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(SimConfig(total_ram=256 * MIB))
+
+
+def run_main(kernel, main):
+    kernel.register_program("/sbin/init", main)
+    return kernel.run_program("/sbin/init")
+
+
+class TestPoll:
+    def test_returns_immediately_when_ready(self, kernel):
+        def main(sys):
+            r, w = yield sys.pipe()
+            yield sys.write(w, b"data")
+            reads, writes = yield sys.poll(read_fds=[r], write_fds=[w])
+            yield sys.exit(0 if (reads == [r] and writes == [w]) else 1)
+        assert run_main(kernel, main) == 0
+
+    def test_blocks_until_writer_writes(self, kernel):
+        order = []
+
+        def main(sys):
+            r, w = yield sys.pipe()
+
+            def writer(sys2):
+                order.append("writer")
+                yield sys2.write(w, b"x")
+
+            yield sys.clone(writer, as_thread=True)
+            reads, _ = yield sys.poll(read_fds=[r])
+            order.append("polled")
+            yield sys.exit(0 if reads == [r] else 1)
+        assert run_main(kernel, main) == 0
+        assert order == ["writer", "polled"]
+
+    def test_eof_counts_as_readable(self, kernel):
+        def main(sys):
+            r, w = yield sys.pipe()
+            yield sys.close(w)
+            reads, _ = yield sys.poll(read_fds=[r])
+            data = yield sys.read(r, 1)
+            yield sys.exit(0 if (reads == [r] and data == b"") else 1)
+        assert run_main(kernel, main) == 0
+
+    def test_regular_files_always_ready(self, kernel):
+        def main(sys):
+            kernel.vfs.makedirs("/tmp")
+            kernel.vfs.write_file("/tmp/f", b"x")
+            fd = yield sys.open("/tmp/f", "r")
+            reads, _ = yield sys.poll(read_fds=[fd])
+            yield sys.exit(0 if reads == [fd] else 1)
+        assert run_main(kernel, main) == 0
+
+    def test_bad_fd_rejected_up_front(self, kernel):
+        def main(sys):
+            try:
+                yield sys.poll(read_fds=[42])
+            except SimOSError as err:
+                yield sys.exit(3 if err.errno_name == "EBADF" else 1)
+        assert run_main(kernel, main) == 3
+
+    def test_poll_forever_is_detected_deadlock(self, kernel):
+        def main(sys):
+            r, _w = yield sys.pipe()
+            yield sys.poll(read_fds=[r])  # nobody will ever write
+        kernel.register_program("/sbin/init", main)
+        kernel.spawn_root("/sbin/init")
+        with pytest.raises(DeadlockError) as exc:
+            kernel.run()
+        assert "poll" in str(exc.value)
+
+    def test_event_loop_serves_many_pipes(self, kernel):
+        # The fork-free server shape: one process multiplexing clients.
+        def main(sys):
+            channels = []
+            for n in range(4):
+                r, w = yield sys.pipe()
+                channels.append((r, w))
+
+                def client(sys2, wfd=w, n=n):
+                    yield sys2.compute(1000 * (n + 1))
+                    yield sys2.write(wfd, f"client {n}".encode())
+
+                yield sys.clone(client, as_thread=True)
+            served = set()
+            read_fds = [r for r, _ in channels]
+            while len(served) < 4:
+                reads, _ = yield sys.poll(read_fds=read_fds)
+                for fd in reads:
+                    data = yield sys.read(fd, 100)
+                    if data:
+                        served.add(data.decode())
+            ok = served == {f"client {n}" for n in range(4)}
+            yield sys.exit(0 if ok else 1)
+        assert run_main(kernel, main) == 0

@@ -1,0 +1,534 @@
+"""Tests for the process-creation syscall suite.
+
+These are the behavioural contracts the paper's comparison rests on:
+what each API copies, shares, resets and charges.
+"""
+
+import pytest
+
+from repro.errors import DeadlockError, SimOSError
+from repro.sim.kernel import Kernel
+from repro.sim.params import MIB, PAGE_SIZE, SimConfig
+
+
+@pytest.fixture
+def kernel():
+    k = Kernel(SimConfig(total_ram=512 * MIB))
+    k.register_program("/bin/true", lambda sys: iter(()))
+    return k
+
+
+def run_main(kernel, main, argv=()):
+    kernel.register_program("/sbin/init", main)
+    return kernel.run_program("/sbin/init", argv)
+
+
+class TestFork:
+    def test_child_gets_new_pid_and_right_ppid(self, kernel):
+        def main(sys):
+            my_pid = yield sys.getpid()
+
+            def child(sys2):
+                pid = yield sys2.getpid()
+                ppid = yield sys2.getppid()
+                yield sys2.exit(0 if (pid != my_pid and ppid == my_pid) else 1)
+
+            cpid = yield sys.fork(child)
+            _, status = yield sys.waitpid(cpid)
+            yield sys.exit(status)
+        assert run_main(kernel, main) == 0
+
+    def test_child_memory_is_cow_isolated(self, kernel):
+        def main(sys):
+            addr = yield sys.mmap(PAGE_SIZE)
+            yield sys.poke(addr, "parent")
+
+            def child(sys2):
+                yield sys2.poke(addr, "child")
+                value = yield sys2.peek(addr)
+                yield sys2.exit(0 if value == "child" else 1)
+
+            cpid = yield sys.fork(child)
+            _, status = yield sys.waitpid(cpid)
+            mine = yield sys.peek(addr)
+            yield sys.exit(status if mine == "parent" else 2)
+        assert run_main(kernel, main) == 0
+
+    def test_fork_shares_file_offsets(self, kernel):
+        # The POSIX OFD rule observed end-to-end through two processes.
+        def main(sys):
+            kernel.vfs.write_file("/tmp/f", b"0123456789")
+            fd = yield sys.open("/tmp/f", "r")
+
+            def child(sys2):
+                data = yield sys2.read(fd, 5)
+                yield sys2.exit(0 if data == b"01234" else 1)
+
+            cpid = yield sys.fork(child)
+            _, status = yield sys.waitpid(cpid)
+            rest = yield sys.read(fd, 5)
+            yield sys.exit(status if rest == b"56789" else 2)
+        assert run_main(kernel, main) == 0
+
+    def test_fork_pays_for_parent_memory(self, kernel):
+        sizes = {}
+
+        def main(sys):
+            addr = yield sys.mmap(64 * MIB)
+            yield sys.populate(addr, 64 * MIB)
+            before = kernel.counters.snapshot()
+            cpid = yield sys.fork(lambda s: iter(()))
+            sizes["delta"] = kernel.counters.delta(before)
+            yield sys.waitpid(cpid)
+            yield sys.exit(0)
+        run_main(kernel, main)
+        expected = 64 * MIB // PAGE_SIZE
+        assert sizes["delta"].ptes_copied >= expected
+        assert sizes["delta"].ptes_writeprotected >= expected
+
+    def test_fork_failure_propagates_as_enomem(self, kernel):
+        strict = Kernel(SimConfig(total_ram=64 * MIB, overcommit="never"))
+
+        def main(sys):
+            addr = yield sys.mmap(40 * MIB)
+            yield sys.populate(addr, 40 * MIB)
+            try:
+                yield sys.fork(lambda s: iter(()))
+            except SimOSError as err:
+                yield sys.exit(9 if err.errno_name == "ENOMEM" else 1)
+            yield sys.exit(2)
+        strict.register_program("/sbin/init", main)
+        assert strict.run_program("/sbin/init") == 9
+
+    def test_orphan_is_reparented_and_reaped(self, kernel):
+        def main(sys):
+            def child(sys2):
+                # Grandchild outlives its parent.
+                yield sys2.fork(lambda s3: iter(()))
+                yield sys2.exit(0)
+            cpid = yield sys.fork(child)
+            yield sys.waitpid(cpid)
+            yield sys.exit(0)
+        assert run_main(kernel, main) == 0
+
+
+class TestVfork:
+    def test_child_writes_are_visible_in_parent(self, kernel):
+        # The defining (and dangerous) vfork property.
+        def main(sys):
+            addr = yield sys.mmap(PAGE_SIZE)
+            yield sys.poke(addr, "before")
+
+            def child(sys2):
+                yield sys2.poke(addr, "scribbled")
+                yield sys2.exit(0)
+
+            cpid = yield sys.vfork(child)
+            yield sys.waitpid(cpid)
+            value = yield sys.peek(addr)
+            yield sys.exit(0 if value == "scribbled" else 1)
+        assert run_main(kernel, main) == 0
+
+    def test_parent_blocked_until_child_exits(self, kernel):
+        order = []
+
+        def main(sys):
+            def child(sys2):
+                order.append("child")
+                yield sys2.exit(0)
+            yield sys.vfork(child)
+            order.append("parent")
+            yield sys.exit(0)
+        run_main(kernel, main)
+        assert order == ["child", "parent"]
+
+    def test_parent_released_by_exec(self, kernel):
+        order = []
+
+        def main(sys):
+            def child(sys2):
+                order.append("child-pre-exec")
+                yield sys2.execve("/bin/true")
+            cpid = yield sys.vfork(child)
+            order.append("parent")
+            yield sys.waitpid(cpid)
+            yield sys.exit(0)
+        run_main(kernel, main)
+        assert order == ["child-pre-exec", "parent"]
+
+    def test_vfork_does_not_copy_page_tables(self, kernel):
+        deltas = {}
+
+        def main(sys):
+            addr = yield sys.mmap(32 * MIB)
+            yield sys.populate(addr, 32 * MIB)
+            before = kernel.counters.snapshot()
+            cpid = yield sys.vfork(lambda s: iter(()))
+            deltas["d"] = kernel.counters.delta(before)
+            yield sys.waitpid(cpid)
+            yield sys.exit(0)
+        run_main(kernel, main)
+        assert deltas["d"].ptes_copied == 0
+        assert deltas["d"].pages_copied == 0
+
+
+class TestExec:
+    def test_exec_replaces_image(self, kernel):
+        def target(sys, code):
+            yield sys.exit(int(code))
+        kernel.register_program("/bin/target", target)
+
+        def main(sys):
+            def child(sys2):
+                yield sys2.execve("/bin/target", argv=(33,))
+            cpid = yield sys.fork(child)
+            _, status = yield sys.waitpid(cpid)
+            yield sys.exit(status)
+        assert run_main(kernel, main) == 33
+
+    def test_exec_randomises_layout(self, kernel):
+        layouts = {}
+
+        def probe(sys):
+            layouts["child"] = (yield sys.layout())
+            yield sys.exit(0)
+        kernel.register_program("/bin/probe", probe)
+
+        def main(sys):
+            layouts["parent"] = (yield sys.layout())
+
+            def child(sys2):
+                yield sys2.execve("/bin/probe")
+            cpid = yield sys.fork(child)
+            yield sys.waitpid(cpid)
+            yield sys.exit(0)
+        run_main(kernel, main)
+        assert layouts["parent"] != layouts["child"]
+
+    def test_fork_preserves_layout_exec_does_not(self, kernel):
+        layouts = {}
+
+        def main(sys):
+            layouts["parent"] = (yield sys.layout())
+
+            def child(sys2):
+                layouts["forked"] = (yield sys2.layout())
+                yield sys2.exit(0)
+            cpid = yield sys.fork(child)
+            yield sys.waitpid(cpid)
+            yield sys.exit(0)
+        run_main(kernel, main)
+        assert layouts["forked"] == layouts["parent"]
+
+    def test_exec_closes_cloexec_descriptors(self, kernel):
+        counts = {}
+
+        def probe(sys):
+            counts["after"] = (yield sys.fd_count())
+            yield sys.exit(0)
+        kernel.register_program("/bin/probe", probe)
+
+        def main(sys):
+            kernel.vfs.write_file("/tmp/f", b"x")
+            yield sys.open("/tmp/f", "r")                   # inherited
+            yield sys.open("/tmp/f", "r", cloexec=True)     # dropped
+
+            def child(sys2):
+                yield sys2.execve("/bin/probe")
+            cpid = yield sys.fork(child)
+            yield sys.waitpid(cpid)
+            yield sys.exit(0)
+        run_main(kernel, main)
+        assert counts["after"] == 1
+
+    def test_exec_missing_program_is_catchable(self, kernel):
+        def main(sys):
+            try:
+                yield sys.execve("/bin/nonexistent")
+            except SimOSError as err:
+                yield sys.exit(5 if err.errno_name == "ENOENT" else 1)
+        assert run_main(kernel, main) == 5
+
+
+class TestSpawn:
+    def test_spawn_runs_program(self, kernel):
+        def hello(sys, n):
+            yield sys.exit(int(n) * 2)
+        kernel.register_program("/bin/hello", hello)
+
+        def main(sys):
+            pid = yield sys.spawn("/bin/hello", argv=(21,))
+            _, status = yield sys.waitpid(pid)
+            yield sys.exit(status)
+        assert run_main(kernel, main) == 42
+
+    def test_spawn_cost_independent_of_parent_memory(self, kernel):
+        deltas = {}
+
+        def main(sys):
+            before_small = kernel.counters.snapshot()
+            pid = yield sys.spawn("/bin/true")
+            deltas["small"] = kernel.counters.delta(before_small)
+            yield sys.waitpid(pid)
+
+            addr = yield sys.mmap(64 * MIB)
+            yield sys.populate(addr, 64 * MIB)
+
+            before_big = kernel.counters.snapshot()
+            pid = yield sys.spawn("/bin/true")
+            deltas["big"] = kernel.counters.delta(before_big)
+            yield sys.waitpid(pid)
+            yield sys.exit(0)
+        run_main(kernel, main)
+        # The defining asymmetry: spawn never walks the parent's pages.
+        assert deltas["big"].ptes_copied == deltas["small"].ptes_copied
+        assert deltas["big"].ptes_writeprotected == 0
+        assert deltas["big"].pages_copied == deltas["small"].pages_copied
+
+    def test_spawn_file_actions_wire_stdio(self, kernel):
+        def writer(sys):
+            n = yield sys.write(1, b"spawned output")
+            yield sys.exit(0 if n else 1)
+        kernel.register_program("/bin/writer", writer)
+
+        def main(sys):
+            kernel.vfs.write_file("/tmp/null", b"")
+            for _ in range(3):   # occupy the stdio slots first
+                yield sys.open("/tmp/null", "r")
+            r, w = yield sys.pipe()
+            pid = yield sys.spawn("/bin/writer",
+                                  file_actions=[("dup2", w, 1),
+                                                ("close", w)])
+            yield sys.close(w)
+            data = yield sys.read(r, 100)
+            yield sys.waitpid(pid)
+            yield sys.exit(0 if data == b"spawned output" else 1)
+        assert run_main(kernel, main) == 0
+
+    def test_spawn_open_action_creates_descriptor(self, kernel):
+        def reader(sys):
+            data = yield sys.read(0, 100)
+            yield sys.exit(0 if data == b"input data" else 1)
+        kernel.register_program("/bin/reader", reader)
+
+        def main(sys):
+            kernel.vfs.write_file("/tmp/in", b"input data")
+            pid = yield sys.spawn("/bin/reader",
+                                  file_actions=[("open", 0, "/tmp/in", "r")])
+            _, status = yield sys.waitpid(pid)
+            yield sys.exit(status)
+        assert run_main(kernel, main) == 0
+
+    def test_spawn_resets_signal_handlers(self, kernel):
+        from repro.sim.signals import SIG_DFL, SIGUSR1
+        states = {}
+
+        def probe(sys):
+            yield sys.getpid()
+            yield sys.exit(0)
+        kernel.register_program("/bin/probe", probe)
+
+        def main(sys):
+            yield sys.sigaction(SIGUSR1, lambda s: None)
+            pid = yield sys.spawn("/bin/probe")
+            child = kernel.find_process(pid)
+            states["handler"] = child.signals.get_handler(SIGUSR1)
+            yield sys.waitpid(pid)
+            yield sys.exit(0)
+        run_main(kernel, main)
+        assert states["handler"] == SIG_DFL
+
+    def test_spawn_bad_file_action_rejected(self, kernel):
+        def main(sys):
+            try:
+                yield sys.spawn("/bin/true",
+                                file_actions=[("teleport", 1)])
+            except SimOSError as err:
+                yield sys.exit(6 if err.errno_name == "EINVAL" else 1)
+        assert run_main(kernel, main) == 6
+
+
+class TestCloneAndThreads:
+    def test_thread_shares_memory(self, kernel):
+        def main(sys):
+            addr = yield sys.mmap(PAGE_SIZE)
+
+            def worker(sys2):
+                yield sys2.poke(addr, "worker wrote")
+
+            yield sys.clone(worker, as_thread=True)
+            yield sys.sched_yield()
+            yield sys.sched_yield()
+            value = yield sys.peek(addr)
+            yield sys.exit(0 if value == "worker wrote" else 1)
+        assert run_main(kernel, main) == 0
+
+    def test_clone_share_vm_without_thread(self, kernel):
+        def main(sys):
+            addr = yield sys.mmap(PAGE_SIZE)
+
+            def child(sys2):
+                yield sys2.poke(addr, "shared vm")
+                yield sys2.exit(0)
+
+            cpid = yield sys.clone(child, share_vm=True)
+            yield sys.waitpid(cpid)
+            value = yield sys.peek(addr)
+            yield sys.exit(0 if value == "shared vm" else 1)
+        assert run_main(kernel, main) == 0
+
+    def test_clone_share_files(self, kernel):
+        def main(sys):
+            kernel.vfs.write_file("/tmp/f", b"x")
+
+            def child(sys2):
+                fd = yield sys2.open("/tmp/f", "r")
+                yield sys2.exit(fd)
+
+            cpid = yield sys.clone(child, share_files=True)
+            _, child_fd = yield sys.waitpid(cpid)
+            # The child's open landed in OUR (shared) table and survives
+            # the child's exit — the CLONE_FILES leak in miniature.
+            count = yield sys.fd_count()
+            yield sys.exit(0 if count == 1 and child_fd == 0 else 1)
+        assert run_main(kernel, main) == 0
+
+    def test_waitpid_with_no_children_is_echild(self, kernel):
+        def main(sys):
+            try:
+                yield sys.waitpid(-1)
+            except SimOSError as err:
+                yield sys.exit(8 if err.errno_name == "ECHILD" else 1)
+        assert run_main(kernel, main) == 8
+
+    def test_process_exit_finishes_all_threads(self, kernel):
+        def main(sys):
+            def worker(sys2):
+                while True:
+                    yield sys2.sched_yield()
+            yield sys.clone(worker, as_thread=True)
+            yield sys.exit(17)
+        assert run_main(kernel, main) == 17
+
+
+class TestWaitpidNohang:
+    def test_nohang_returns_none_while_running(self, kernel):
+        def main(sys):
+            r, w = yield sys.pipe()
+
+            def child(sys2):
+                yield sys2.read(r, 1)   # parked until parent writes
+                yield sys2.exit(0)
+
+            cpid = yield sys.fork(child)
+            early = yield sys.waitpid(cpid, nohang=True)
+            yield sys.write(w, b"x")
+            _, status = yield sys.waitpid(cpid)
+            yield sys.exit(0 if (early is None and status == 0) else 1)
+        assert run_main(kernel, main) == 0
+
+    def test_nohang_reaps_zombie(self, kernel):
+        def main(sys):
+            cpid = yield sys.fork(lambda s: iter(()))
+            # Let the child run to completion.
+            yield sys.sched_yield()
+            yield sys.sched_yield()
+            result = yield sys.waitpid(cpid, nohang=True)
+            yield sys.exit(0 if result == (cpid, 0) else 1)
+        assert run_main(kernel, main) == 0
+
+    def test_nohang_without_children_still_echild(self, kernel):
+        def main(sys):
+            try:
+                yield sys.waitpid(-1, nohang=True)
+            except SimOSError as err:
+                yield sys.exit(8 if err.errno_name == "ECHILD" else 1)
+        assert run_main(kernel, main) == 8
+
+
+class TestCloneSighandAndSpawnVariants:
+    def test_clone_share_sighand(self, kernel):
+        from repro.sim.signals import SIG_IGN, SIGUSR1
+
+        def main(sys):
+            def child(sys2):
+                yield sys2.sigaction(SIGUSR1, SIG_IGN)
+                yield sys2.exit(0)
+
+            cpid = yield sys.clone(child, share_sighand=True)
+            yield sys.waitpid(cpid)
+            # The child's sigaction changed OUR dispositions too.
+            me = kernel.find_process((yield sys.getpid()))
+            yield sys.exit(0 if me.signals.get_handler(SIGUSR1) == SIG_IGN
+                           else 1)
+        assert run_main(kernel, main) == 0
+
+    def test_clone_without_sighand_isolated(self, kernel):
+        from repro.sim.signals import SIG_DFL, SIG_IGN, SIGUSR1
+
+        def main(sys):
+            def child(sys2):
+                yield sys2.sigaction(SIGUSR1, SIG_IGN)
+                yield sys2.exit(0)
+
+            cpid = yield sys.clone(child)
+            yield sys.waitpid(cpid)
+            me = kernel.find_process((yield sys.getpid()))
+            yield sys.exit(0 if me.signals.get_handler(SIGUSR1) == SIG_DFL
+                           else 1)
+        assert run_main(kernel, main) == 0
+
+    def test_spawn_inherited_signals_variant(self, kernel):
+        from repro.sim.signals import SIG_IGN, SIGUSR1
+        states = {}
+
+        def probe(sys):
+            yield sys.exit(0)
+        kernel.register_program("/bin/probe2", probe)
+
+        def main(sys):
+            yield sys.sigaction(SIGUSR1, SIG_IGN)
+            pid = yield sys.spawn("/bin/probe2", reset_signals=False)
+            child = kernel.find_process(pid)
+            states["h"] = child.signals.get_handler(SIGUSR1)
+            yield sys.waitpid(pid)
+            yield sys.exit(0)
+        run_main(kernel, main)
+        # SIG_IGN survives the exec-like transition (POSIX rule).
+        assert states["h"] == SIG_IGN
+
+    def test_exec_load_cost_charged(self, kernel):
+        def main(sys):
+            before = kernel.counters.snapshot()
+            pid = yield sys.spawn("/bin/true")
+            loads = kernel.counters.delta(before).exec_loads
+            yield sys.waitpid(pid)
+            yield sys.exit(loads)
+        assert run_main(kernel, main) == 1
+
+    def test_fork_child_can_spawn(self, kernel):
+        # Mechanism nesting: a forked child spawns a grandchild.
+        def main(sys):
+            def child(sys2):
+                gpid = yield sys2.spawn("/bin/true")
+                _, status = yield sys2.waitpid(gpid)
+                yield sys2.exit(status)
+            cpid = yield sys.fork(child)
+            _, status = yield sys.waitpid(cpid)
+            yield sys.exit(status)
+        assert run_main(kernel, main) == 0
+
+    def test_vfork_child_fdtable_is_copied_not_shared(self, kernel):
+        # vfork shares MEMORY but copies the descriptor table (POSIX).
+        def main(sys):
+            kernel.vfs.write_file("/tmp/f", b"x")
+
+            def child(sys2):
+                yield sys2.open("/tmp/f", "r")  # lands in CHILD's table
+                yield sys2.exit(0)
+
+            cpid = yield sys.vfork(child)
+            yield sys.waitpid(cpid)
+            count = yield sys.fd_count()
+            yield sys.exit(count)
+        assert run_main(kernel, main) == 0

@@ -1,0 +1,65 @@
+"""Unit tests for shared-memory backing objects."""
+
+import pytest
+
+from repro.errors import SimError
+from repro.sim.frames import FrameAllocator
+from repro.sim.shm import ShmBacking
+
+
+@pytest.fixture
+def alloc():
+    return FrameAllocator(total_frames=64)
+
+
+def test_unwritten_page_reads_none(alloc):
+    shm = ShmBacking(alloc, 4096 * 4)
+    assert shm.page_value(0) is None
+
+
+def test_write_then_read(alloc):
+    shm = ShmBacking(alloc, 4096 * 4)
+    shm.write_page(2, "data")
+    assert shm.page_value(2) == "data"
+
+
+def test_first_write_charges_a_frame(alloc):
+    shm = ShmBacking(alloc, 4096 * 4)
+    shm.write_page(0, "a")
+    shm.write_page(0, "b")
+    assert alloc.used_frames == 1
+    assert shm.page_value(0) == "b"
+
+
+def test_last_release_frees_pages(alloc):
+    shm = ShmBacking(alloc, 4096 * 4)
+    shm.acquire_mapping()
+    shm.acquire_mapping()
+    shm.write_page(0, "a")
+    shm.write_page(1, "b")
+    shm.release_mapping()
+    assert alloc.used_frames == 2  # still mapped once
+    shm.release_mapping()
+    assert alloc.used_frames == 0
+    assert shm.dead
+
+
+def test_write_after_death_rejected(alloc):
+    shm = ShmBacking(alloc, 4096)
+    shm.acquire_mapping()
+    shm.release_mapping()
+    with pytest.raises(SimError):
+        shm.write_page(0, "x")
+
+
+def test_release_underflow_detected(alloc):
+    shm = ShmBacking(alloc, 4096)
+    with pytest.raises(SimError):
+        shm.release_mapping()
+
+
+def test_resident_counts_distinct_pages(alloc):
+    shm = ShmBacking(alloc, 4096 * 8)
+    for i in range(5):
+        shm.write_page(i, i)
+    assert shm.resident_pages() == 5

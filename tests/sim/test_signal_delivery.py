@@ -1,0 +1,101 @@
+"""End-to-end signal delivery through the scheduler."""
+
+import pytest
+
+from repro.errors import SimOSError
+from repro.sim.kernel import Kernel
+from repro.sim.params import MIB, SimConfig
+from repro.sim.signals import SIG_IGN, SIGKILL, SIGTERM, SIGUSR1
+
+
+@pytest.fixture
+def kernel():
+    k = Kernel(SimConfig(total_ram=256 * MIB))
+    k.register_program("/bin/true", lambda sys: iter(()))
+    return k
+
+
+def run_main(kernel, main):
+    kernel.register_program("/sbin/init", main)
+    return kernel.run_program("/sbin/init")
+
+
+class TestDelivery:
+    def test_sigterm_default_kills(self, kernel):
+        def main(sys):
+            def child(sys2):
+                while True:
+                    yield sys2.sched_yield()
+            cpid = yield sys.fork(child)
+            yield sys.kill(cpid, SIGTERM)
+            _, status = yield sys.waitpid(cpid)
+            yield sys.exit(status)
+        assert run_main(kernel, main) == 128 + SIGTERM
+
+    def test_sigkill_overrides_everything(self, kernel):
+        def main(sys):
+            def child(sys2):
+                yield sys2.sigaction(SIGTERM, SIG_IGN)
+                while True:
+                    yield sys2.sched_yield()
+            cpid = yield sys.fork(child)
+            yield sys.sched_yield()         # child installs SIG_IGN
+            yield sys.kill(cpid, SIGTERM)   # ignored
+            yield sys.sched_yield()
+            yield sys.kill(cpid, SIGKILL)   # not ignorable
+            _, status = yield sys.waitpid(cpid)
+            yield sys.exit(status)
+        assert run_main(kernel, main) == 128 + SIGKILL
+
+    def test_custom_handler_runs_instead_of_dying(self, kernel):
+        hits = []
+
+        def main(sys):
+            def child(sys2):
+                yield sys2.sigaction(SIGUSR1, lambda s: hits.append(s))
+                for _ in range(6):
+                    yield sys2.sched_yield()
+                yield sys2.exit(0)
+            cpid = yield sys.fork(child)
+            yield sys.sched_yield()
+            yield sys.kill(cpid, SIGUSR1)
+            _, status = yield sys.waitpid(cpid)
+            yield sys.exit(status)
+        assert run_main(kernel, main) == 0
+        assert hits == [SIGUSR1]
+
+    def test_masked_signal_deferred_until_unblocked(self, kernel):
+        def main(sys):
+            def child(sys2):
+                yield sys2.sigprocmask("block", {SIGTERM})
+                for _ in range(4):
+                    yield sys2.sched_yield()  # survives while masked
+                yield sys2.sigprocmask("unblock", {SIGTERM})
+                while True:                   # now the pending one lands
+                    yield sys2.sched_yield()
+            cpid = yield sys.fork(child)
+            yield sys.sched_yield()
+            yield sys.kill(cpid, SIGTERM)
+            _, status = yield sys.waitpid(cpid)
+            yield sys.exit(status)
+        assert run_main(kernel, main) == 128 + SIGTERM
+
+    def test_kill_missing_process_is_esrch(self, kernel):
+        def main(sys):
+            try:
+                yield sys.kill(4242, SIGTERM)
+            except SimOSError as err:
+                yield sys.exit(3 if err.errno_name == "ESRCH" else 1)
+        assert run_main(kernel, main) == 3
+
+    def test_sigpipe_kills_writer_by_default(self, kernel):
+        def main(sys):
+            r, w = yield sys.pipe()
+            yield sys.close(r)
+            try:
+                yield sys.write(w, b"into the void")
+            except SimOSError:
+                pass  # EPIPE surfaces AND SIGPIPE is pending
+            yield sys.sched_yield()  # delivery point
+            yield sys.exit(0)        # never reached: SIGPIPE kills
+        assert run_main(kernel, main) == 128 + 13

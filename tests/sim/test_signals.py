@@ -1,0 +1,137 @@
+"""Unit tests for signal state and the POSIX fork/exec special cases."""
+
+import pytest
+
+from repro.errors import SimOSError
+from repro.sim.signals import (SIG_DFL, SIG_IGN, SIGCHLD, SIGINT, SIGKILL,
+                               SIGSTOP, SIGTERM, SIGUSR1, SIGUSR2,
+                               SignalState)
+
+
+class TestDispositions:
+    def test_default_disposition(self):
+        assert SignalState().get_handler(SIGTERM) == SIG_DFL
+
+    def test_set_and_get_handler(self):
+        st = SignalState()
+        st.set_handler(SIGUSR1, SIG_IGN)
+        assert st.get_handler(SIGUSR1) == SIG_IGN
+
+    def test_set_handler_returns_previous(self):
+        st = SignalState()
+        assert st.set_handler(SIGUSR1, SIG_IGN) == SIG_DFL
+        assert st.set_handler(SIGUSR1, SIG_DFL) == SIG_IGN
+
+    def test_callable_handler_allowed(self):
+        st = SignalState()
+        handler = lambda signum: None
+        st.set_handler(SIGINT, handler)
+        assert st.get_handler(SIGINT) is handler
+
+    def test_sigkill_cannot_be_caught(self):
+        st = SignalState()
+        with pytest.raises(SimOSError):
+            st.set_handler(SIGKILL, SIG_IGN)
+
+    def test_sigstop_cannot_be_caught(self):
+        st = SignalState()
+        with pytest.raises(SimOSError):
+            st.set_handler(SIGSTOP, lambda s: None)
+
+    def test_bad_signal_number_rejected(self):
+        st = SignalState()
+        with pytest.raises(SimOSError):
+            st.set_handler(99, SIG_IGN)
+
+
+class TestMaskAndPending:
+    def test_masked_signal_stays_pending(self):
+        st = SignalState()
+        st.block({SIGTERM})
+        st.post(SIGTERM)
+        assert st.deliverable() is None
+        assert SIGTERM in st.pending
+
+    def test_unblock_releases_pending(self):
+        st = SignalState()
+        st.block({SIGTERM})
+        st.post(SIGTERM)
+        st.unblock({SIGTERM})
+        assert st.deliverable() == SIGTERM
+
+    def test_sigkill_cannot_be_masked(self):
+        st = SignalState()
+        st.block({SIGKILL})
+        st.post(SIGKILL)
+        assert st.deliverable() == SIGKILL
+
+    def test_sigkill_beats_other_pending(self):
+        st = SignalState()
+        st.post(SIGUSR2)
+        st.post(SIGKILL)
+        assert st.deliverable() == SIGKILL
+
+    def test_ignored_signal_quietly_discarded(self):
+        st = SignalState()
+        st.set_handler(SIGUSR1, SIG_IGN)
+        st.post(SIGUSR1)
+        assert st.deliverable() is None
+        assert SIGUSR1 not in st.pending
+
+    def test_default_ignored_signals(self):
+        st = SignalState()
+        st.post(SIGCHLD)
+        assert st.deliverable() is None
+
+    def test_take_consumes(self):
+        st = SignalState()
+        st.post(SIGTERM)
+        sig = st.deliverable()
+        st.take(sig)
+        assert st.deliverable() is None
+
+
+class TestForkExecRules:
+    def test_fork_inherits_handlers_and_mask(self):
+        st = SignalState()
+        st.set_handler(SIGUSR1, SIG_IGN)
+        st.block({SIGTERM})
+        child = st.fork_copy()
+        assert child.get_handler(SIGUSR1) == SIG_IGN
+        assert SIGTERM in child.mask
+
+    def test_fork_clears_pending(self):
+        # POSIX: the child's pending signal set is empty.
+        st = SignalState()
+        st.block({SIGTERM})
+        st.post(SIGTERM)
+        child = st.fork_copy()
+        assert child.pending == set()
+        assert SIGTERM in st.pending  # the parent keeps it
+
+    def test_fork_copy_is_independent(self):
+        st = SignalState()
+        child = st.fork_copy()
+        child.set_handler(SIGUSR1, SIG_IGN)
+        assert st.get_handler(SIGUSR1) == SIG_DFL
+
+    def test_exec_resets_caught_to_default(self):
+        st = SignalState()
+        st.set_handler(SIGINT, lambda s: None)
+        st.apply_exec()
+        assert st.get_handler(SIGINT) == SIG_DFL
+
+    def test_exec_preserves_ignored(self):
+        # The rule shells depend on: SIG_IGN survives exec.
+        st = SignalState()
+        st.set_handler(SIGINT, SIG_IGN)
+        st.apply_exec()
+        assert st.get_handler(SIGINT) == SIG_IGN
+
+    def test_exec_preserves_mask_and_pending(self):
+        st = SignalState()
+        st.block({SIGUSR2})
+        st.post(SIGUSR2)
+        st.apply_exec()
+        assert SIGUSR2 in st.mask
+        assert SIGUSR2 in st.pending

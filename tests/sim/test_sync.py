@@ -1,0 +1,201 @@
+"""Tests for mutexes, including the paper's fork-with-threads deadlock.
+
+The T4 scenario: a second thread holds a lock while the main thread
+forks.  The child inherits the lock's memory image — held, by a thread
+that does not exist in the child — so the child blocks forever and the
+deadlock detector fires.  The same scenario through ``spawn`` is immune
+by construction.
+"""
+
+import pytest
+
+from repro.errors import DeadlockError, SimOSError
+from repro.sim.kernel import Kernel
+from repro.sim.params import MIB, SimConfig
+
+
+@pytest.fixture
+def kernel():
+    k = Kernel(SimConfig(total_ram=256 * MIB))
+    k.register_program("/bin/true", lambda sys: iter(()))
+    return k
+
+
+def run_main(kernel, main, argv=()):
+    kernel.register_program("/sbin/init", main)
+    return kernel.run_program("/sbin/init", argv)
+
+
+class TestMutexBasics:
+    def test_lock_unlock_roundtrip(self, kernel):
+        def main(sys):
+            m = yield sys.mutex_create()
+            yield sys.mutex_lock(m)
+            holder = yield sys.mutex_holder(m)
+            tid = yield sys.gettid()
+            yield sys.mutex_unlock(m)
+            yield sys.exit(0 if holder == tid else 1)
+        assert run_main(kernel, main) == 0
+
+    def test_trylock_fails_on_held(self, kernel):
+        def main(sys):
+            m = yield sys.mutex_create()
+
+            def worker(sys2):
+                yield sys2.mutex_lock(m)
+                # hold it across a few scheduling rounds
+                yield sys2.sched_yield()
+                yield sys2.sched_yield()
+                yield sys2.mutex_unlock(m)
+
+            yield sys.clone(worker, as_thread=True)
+            yield sys.sched_yield()  # let the worker take the lock
+            got = yield sys.mutex_trylock(m)
+            yield sys.exit(0 if not got else 1)
+        assert run_main(kernel, main) == 0
+
+    def test_lock_blocks_until_released(self, kernel):
+        order = []
+
+        def main(sys):
+            m = yield sys.mutex_create()
+
+            def worker(sys2):
+                yield sys2.mutex_lock(m)
+                order.append("worker-locked")
+                yield sys2.sched_yield()
+                order.append("worker-unlocking")
+                yield sys2.mutex_unlock(m)
+
+            yield sys.clone(worker, as_thread=True)
+            yield sys.sched_yield()
+            yield sys.mutex_lock(m)
+            order.append("main-locked")
+            yield sys.mutex_unlock(m)
+            yield sys.exit(0)
+        run_main(kernel, main)
+        assert order == ["worker-locked", "worker-unlocking", "main-locked"]
+
+    def test_relock_by_owner_is_edeadlk(self, kernel):
+        def main(sys):
+            m = yield sys.mutex_create()
+            yield sys.mutex_lock(m)
+            try:
+                yield sys.mutex_lock(m)
+            except SimOSError as err:
+                yield sys.exit(5 if err.errno_name == "EDEADLK" else 1)
+        assert run_main(kernel, main) == 5
+
+    def test_unlock_by_nonowner_is_eperm(self, kernel):
+        def main(sys):
+            m = yield sys.mutex_create()
+
+            def worker(sys2):
+                yield sys2.mutex_lock(m)
+                yield sys2.sched_yield()
+                yield sys2.sched_yield()
+                yield sys2.mutex_unlock(m)
+
+            yield sys.clone(worker, as_thread=True)
+            yield sys.sched_yield()
+            try:
+                yield sys.mutex_unlock(m)
+            except SimOSError as err:
+                yield sys.exit(6 if err.errno_name == "EPERM" else 1)
+        assert run_main(kernel, main) == 6
+
+    def test_unknown_mutex_is_einval(self, kernel):
+        def main(sys):
+            try:
+                yield sys.mutex_lock(777)
+            except SimOSError as err:
+                yield sys.exit(7 if err.errno_name == "EINVAL" else 1)
+        assert run_main(kernel, main) == 7
+
+
+class TestForkWithThreads:
+    def _holder_then_fork(self, kernel, create_child):
+        """Build the T4 scenario with ``create_child(sys, m)`` as the act."""
+        def main(sys):
+            m = yield sys.mutex_create()
+            r, w = yield sys.pipe()
+
+            def holder(sys2):
+                yield sys2.mutex_lock(m)
+                # Block forever while holding the lock — stands in for a
+                # thread that is mid-allocation when another thread forks.
+                yield sys2.read(r, 1)
+
+            yield sys.clone(holder, as_thread=True)
+            yield sys.sched_yield()  # holder now owns the mutex
+            yield from create_child(sys, m)
+        kernel.register_program("/sbin/init", main)
+        kernel.spawn_root("/sbin/init")
+        return kernel
+
+    def test_fork_then_lock_deadlocks(self, kernel):
+        def create_child(sys, m):
+            def child(sys2):
+                yield sys2.mutex_lock(m)   # inherited, held, ownerless
+                yield sys2.exit(0)
+            cpid = yield sys.fork(child)
+            yield sys.waitpid(cpid)
+
+        self._holder_then_fork(kernel, create_child)
+        with pytest.raises(DeadlockError) as exc:
+            kernel.run()
+        assert "mutex" in str(exc.value)
+
+    def test_child_inherits_held_mutex_image(self, kernel):
+        observed = {}
+
+        def create_child(sys, m):
+            def child(sys2):
+                observed["acquired"] = yield sys2.mutex_trylock(m)
+                yield sys2.exit(0)
+            cpid = yield sys.fork(child)
+            yield sys.waitpid(cpid)
+            yield sys.exit(0)
+
+        self._holder_then_fork(kernel, create_child)
+        # init's exit takes the parked holder thread down with it, so
+        # the run completes; the child saw the lock as held.
+        kernel.run()
+        assert observed["acquired"] is False
+
+    def test_spawn_is_immune(self, kernel):
+        # Same holder situation, but the child is spawned: it gets a
+        # fresh image with no mutexes and exits cleanly.
+        def fresh(sys):
+            yield sys.exit(0)
+        kernel.register_program("/bin/fresh", fresh)
+        statuses = {}
+
+        def create_child(sys, m):
+            pid = yield sys.spawn("/bin/fresh")
+            statuses["child"] = (yield sys.waitpid(pid))[1]
+            yield sys.exit(0)
+
+        self._holder_then_fork(kernel, create_child)
+        kernel.run()
+        assert statuses["child"] == 0
+
+    def test_atfork_discipline_avoids_deadlock(self, kernel):
+        # The pthread_atfork workaround: take the lock before forking,
+        # release it on both sides.  Everything completes; only the
+        # intentionally-parked holder remains.
+        def main(sys):
+            m = yield sys.mutex_create()
+
+            def child(sys2):
+                yield sys2.mutex_unlock(m)  # child-side atfork handler
+                yield sys2.mutex_lock(m)
+                yield sys2.mutex_unlock(m)
+                yield sys2.exit(0)
+
+            yield sys.mutex_lock(m)   # prepare handler
+            cpid = yield sys.fork(child)
+            yield sys.mutex_unlock(m)  # parent handler
+            _, status = yield sys.waitpid(cpid)
+            yield sys.exit(status)
+        assert run_main(kernel, main) == 0

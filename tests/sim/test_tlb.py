@@ -1,0 +1,68 @@
+"""Unit tests for the TLB shootdown model."""
+
+from repro.sim.params import WorkCounters
+from repro.sim.tlb import TLBModel
+
+
+def test_activate_registers_cpu():
+    tlb = TLBModel(num_cpus=4)
+    tlb.activate(7, cpu=2)
+    assert tlb.active_cpus(7) == {2}
+
+
+def test_deactivate_removes_cpu():
+    tlb = TLBModel(num_cpus=4)
+    tlb.activate(7, cpu=2)
+    tlb.deactivate(7, cpu=2)
+    assert tlb.active_cpus(7) == set()
+
+
+def test_shootdown_sends_ipi_per_remote_cpu():
+    c = WorkCounters()
+    tlb = TLBModel(num_cpus=4, counters=c)
+    for cpu in range(4):
+        tlb.activate(1, cpu)
+    sent = tlb.shootdown(1, initiating_cpu=0)
+    assert sent == 3
+    assert c.ipis == 3
+    assert c.tlb_shootdowns == 1
+
+
+def test_shootdown_single_cpu_sends_no_ipi():
+    c = WorkCounters()
+    tlb = TLBModel(num_cpus=1, counters=c)
+    tlb.activate(1, 0)
+    assert tlb.shootdown(1, initiating_cpu=0) == 0
+    assert c.ipis == 0
+
+
+def test_shootdown_leaves_initiator_active():
+    tlb = TLBModel(num_cpus=4)
+    tlb.activate(1, 0)
+    tlb.activate(1, 3)
+    tlb.shootdown(1, initiating_cpu=0)
+    assert tlb.active_cpus(1) == {0}
+
+
+def test_local_flush_counts_once():
+    c = WorkCounters()
+    tlb = TLBModel(counters=c)
+    tlb.activate(5, 0)
+    tlb.flush_local(5, 0)
+    assert c.tlb_flushes == 1
+    assert c.tlb_shootdowns == 0
+
+
+def test_retire_forgets_address_space():
+    tlb = TLBModel(num_cpus=2)
+    tlb.activate(9, 0)
+    tlb.retire(9)
+    assert tlb.active_cpus(9) == set()
+
+
+def test_shootdown_of_inactive_asid_still_flushes_locally():
+    c = WorkCounters()
+    tlb = TLBModel(counters=c)
+    tlb.shootdown(42)
+    assert c.tlb_flushes == 1
+    assert c.ipis == 0

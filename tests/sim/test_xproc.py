@@ -1,0 +1,155 @@
+"""Tests for the cross-process construction API (the paper's proposal)."""
+
+import pytest
+
+from repro.errors import SimOSError
+from repro.sim.kernel import Kernel
+from repro.sim.params import MIB, PAGE_SIZE, SimConfig
+
+
+@pytest.fixture
+def kernel():
+    k = Kernel(SimConfig(total_ram=512 * MIB))
+    k.register_program("/bin/true", lambda sys: iter(()))
+    return k
+
+
+def run_main(kernel, main, argv=()):
+    kernel.register_program("/sbin/init", main)
+    return kernel.run_program("/sbin/init", argv)
+
+
+class TestConstruction:
+    def test_start_runs_program(self, kernel):
+        def target(sys):
+            yield sys.exit(11)
+        kernel.register_program("/bin/target", target)
+
+        def main(sys):
+            handle = yield sys.xproc_create("worker")
+            pid = yield sys.xproc_start(handle, "/bin/target")
+            _, status = yield sys.waitpid(pid)
+            yield sys.exit(status)
+        assert run_main(kernel, main) == 11
+
+    def test_preloaded_memory_visible_to_child(self, kernel):
+        # The "exotic" fork use case done explicitly: preload state into
+        # the child before it starts.
+        seen = {}
+
+        def target(sys, addr):
+            seen["value"] = yield sys.peek(addr)
+            yield sys.exit(0)
+        kernel.register_program("/bin/target", target)
+
+        def main(sys):
+            handle = yield sys.xproc_create()
+            addr = yield sys.xproc_map(handle, PAGE_SIZE)
+            yield sys.xproc_write(handle, addr, "preloaded cache")
+            pid = yield sys.xproc_start(handle, "/bin/target", argv=(addr,))
+            yield sys.waitpid(pid)
+            yield sys.exit(0)
+        run_main(kernel, main)
+        assert seen["value"] == "preloaded cache"
+
+    def test_nothing_inherited_by_default(self, kernel):
+        counts = {}
+
+        def target(sys):
+            counts["fds"] = yield sys.fd_count()
+            yield sys.exit(0)
+        kernel.register_program("/bin/target", target)
+
+        def main(sys):
+            kernel.vfs.write_file("/tmp/secret", b"key material")
+            yield sys.open("/tmp/secret", "r")  # NOT granted
+            handle = yield sys.xproc_create()
+            pid = yield sys.xproc_start(handle, "/bin/target")
+            yield sys.waitpid(pid)
+            yield sys.exit(0)
+        run_main(kernel, main)
+        assert counts["fds"] == 0
+
+    def test_explicit_fd_grant(self, kernel):
+        got = {}
+
+        def target(sys):
+            got["data"] = yield sys.read(0, 100)
+            yield sys.exit(0)
+        kernel.register_program("/bin/target", target)
+
+        def main(sys):
+            kernel.vfs.write_file("/tmp/in", b"granted bytes")
+            fd = yield sys.open("/tmp/in", "r")
+            handle = yield sys.xproc_create()
+            yield sys.xproc_grant_fd(handle, fd, 0)
+            pid = yield sys.xproc_start(handle, "/bin/target")
+            yield sys.waitpid(pid)
+            yield sys.exit(0)
+        run_main(kernel, main)
+        assert got["data"] == b"granted bytes"
+
+    def test_cost_independent_of_parent_size(self, kernel):
+        deltas = {}
+
+        def main(sys):
+            addr = yield sys.mmap(64 * MIB)
+            yield sys.populate(addr, 64 * MIB)
+            before = kernel.counters.snapshot()
+            handle = yield sys.xproc_create()
+            pid = yield sys.xproc_start(handle, "/bin/true")
+            deltas["d"] = kernel.counters.delta(before)
+            yield sys.waitpid(pid)
+            yield sys.exit(0)
+        run_main(kernel, main)
+        assert deltas["d"].ptes_copied == 0
+        assert deltas["d"].ptes_writeprotected == 0
+        assert deltas["d"].pages_copied == 0
+
+    def test_child_layout_is_fresh(self, kernel):
+        layouts = {}
+
+        def target(sys):
+            layouts["child"] = yield sys.layout()
+            yield sys.exit(0)
+        kernel.register_program("/bin/target", target)
+
+        def main(sys):
+            layouts["parent"] = yield sys.layout()
+            handle = yield sys.xproc_create()
+            pid = yield sys.xproc_start(handle, "/bin/target")
+            yield sys.waitpid(pid)
+            yield sys.exit(0)
+        run_main(kernel, main)
+        assert layouts["child"] != layouts["parent"]
+
+
+class TestHandleLifecycle:
+    def test_bad_handle_rejected(self, kernel):
+        def main(sys):
+            try:
+                yield sys.xproc_start(999, "/bin/true")
+            except SimOSError as err:
+                yield sys.exit(3 if err.errno_name == "EINVAL" else 1)
+        assert run_main(kernel, main) == 3
+
+    def test_handle_consumed_by_start(self, kernel):
+        def main(sys):
+            handle = yield sys.xproc_create()
+            pid = yield sys.xproc_start(handle, "/bin/true")
+            yield sys.waitpid(pid)
+            try:
+                yield sys.xproc_start(handle, "/bin/true")
+            except SimOSError:
+                yield sys.exit(4)
+        assert run_main(kernel, main) == 4
+
+    def test_abort_releases_resources(self, kernel):
+        def main(sys):
+            handle = yield sys.xproc_create()
+            addr = yield sys.xproc_map(handle, 8 * MIB)
+            yield sys.xproc_populate(handle, addr, 8 * MIB)
+            yield sys.xproc_abort(handle)
+            yield sys.exit(0)
+        run_main(kernel, main)
+        assert kernel.allocator.used_frames == 0
