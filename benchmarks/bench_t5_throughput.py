@@ -1,0 +1,46 @@
+"""T5 — spawn-service throughput under concurrent clients.
+
+pytest-benchmark times one full *burst*: CONCURRENCY client threads each
+issuing REQUESTS spawn+wait round-trips against one mechanism.  Lower
+wall time divides out to higher spawns/sec; ``repro-bench run
+t5-throughput`` prints the full sweep with percentiles.
+"""
+
+import pytest
+
+from repro.bench.workloads import ServiceWorkloads
+
+CONCURRENCY = 8
+REQUESTS = 4
+MECHANISMS = list(ServiceWorkloads.MECHANISMS)
+
+
+@pytest.fixture(scope="module")
+def service():
+    """One warmed service registry (helpers and pool) for the module."""
+    with ServiceWorkloads(pool_workers=4) as workloads:
+        workloads.warm(MECHANISMS)
+        yield workloads
+
+
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+def test_service_burst(benchmark, service, mechanism):
+    last = {}
+
+    def burst():
+        last["result"] = service.measure(
+            mechanism, concurrency=CONCURRENCY,
+            requests_per_thread=REQUESTS)
+
+    benchmark.pedantic(burst, rounds=3, warmup_rounds=1, iterations=1)
+    assert last["result"].errors == 0
+    assert last["result"].requests == CONCURRENCY * REQUESTS
+
+
+def test_pool_beats_locked_service(service):
+    """The headline claim, with a conservative margin for noisy CI."""
+    locked = service.measure("forkserver-locked", concurrency=CONCURRENCY,
+                             requests_per_thread=REQUESTS)
+    pool = service.measure("forkserver-pool", concurrency=CONCURRENCY,
+                           requests_per_thread=REQUESTS)
+    assert pool.per_second > 1.5 * locked.per_second

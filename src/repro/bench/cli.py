@@ -6,7 +6,13 @@ Usage::
     repro-bench run fig1-sim         # one experiment, full settings
     repro-bench run fig1-real --quick
     repro-bench run all --quick      # everything, reduced settings
+    repro-bench run all --parallel   # ... across a pool of spawned workers
+    repro-bench run t1-api,t3-overcommit --quick
     repro-bench run t1-api --json
+
+``--parallel`` dogfoods the repo's own :class:`~repro.core.pool.SpawnPool`:
+each experiment runs in a spawned (never forked) worker interpreter, and
+results print in the same deterministic order as a serial run.
 """
 
 from __future__ import annotations
@@ -14,9 +20,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
-from ..errors import BenchError
+from ..errors import ReproError
 from .experiments import base
 
 
@@ -27,26 +33,74 @@ def build_parser() -> argparse.ArgumentParser:
                     "'A fork() in the road' (HotOS 2019).")
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("list", help="list experiments")
-    runner = sub.add_parser("run", help="run one experiment (or 'all')")
+    runner = sub.add_parser(
+        "run", help="run experiments ('all', one id, or a comma list)")
     runner.add_argument("experiment",
-                        help="experiment id from 'list', or 'all'")
+                        help="experiment id from 'list', a comma-separated "
+                             "list of ids, or 'all'")
     runner.add_argument("--quick", action="store_true",
                         help="reduced sizes/repeats for smoke runs")
     runner.add_argument("--json", action="store_true",
                         help="emit rows as JSON instead of tables")
+    runner.add_argument("--parallel", action="store_true",
+                        help="run independent experiments across a pool of "
+                             "spawned worker processes")
+    runner.add_argument("--jobs", type=int, default=4, metavar="N",
+                        help="worker processes for --parallel (default 4)")
     return parser
 
 
-def _run_one(experiment_id: str, quick: bool, as_json: bool) -> None:
-    result = base.run(experiment_id, quick=quick)
+def _result_payload(result: base.ExperimentResult) -> dict:
+    """Everything the CLI prints, as one plain (picklable) dict."""
+    payload = result.as_dict()
+    payload["text"] = result.text
+    return payload
+
+
+def _parallel_run_one(payload) -> dict:
+    """Worker-side entry point: run one experiment, return its payload.
+
+    Must stay module-level: :class:`~repro.core.pool.SpawnPool` workers
+    are fresh spawned interpreters that re-import it by name.
+    """
+    experiment_id, quick = payload
+    return _result_payload(base.run(experiment_id, quick=quick))
+
+
+def _print_payload(payload: dict, as_json: bool) -> None:
     if as_json:
-        print(json.dumps(result.as_dict(), indent=2, default=str))
+        print(json.dumps({k: v for k, v in payload.items() if k != "text"},
+                         indent=2, default=str))
         return
-    print(f"== {result.experiment_id}: {result.title} ==")
-    print(result.text)
-    if result.notes:
-        print(f"\nnotes: {result.notes}")
+    print(f"== {payload['id']}: {payload['title']} ==")
+    print(payload["text"])
+    if payload["notes"]:
+        print(f"\nnotes: {payload['notes']}")
     print()
+
+
+def _run_serial(targets: List[str], quick: bool, as_json: bool) -> None:
+    for experiment_id in targets:
+        _print_payload(
+            _result_payload(base.run(experiment_id, quick=quick)), as_json)
+
+
+def _run_parallel(targets: List[str], quick: bool, as_json: bool,
+                  jobs: int) -> None:
+    """Run ``targets`` across a SpawnPool; print in input order.
+
+    ``map`` returns results in input order regardless of which worker
+    finished first, so the output is byte-deterministic with the serial
+    path (modulo the measurements themselves).
+    """
+    from ..core.pool import SpawnPool
+    for experiment_id in targets:
+        base.get(experiment_id)  # fail fast, before any worker spawns
+    with SpawnPool(max(1, min(jobs, len(targets)))) as pool:
+        payloads = pool.map(_parallel_run_one,
+                            [(t, quick) for t in targets])
+    for payload in payloads:
+        _print_payload(payload, as_json)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -59,11 +113,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "run":
         targets = ([e.experiment_id for e in base.all_experiments()]
-                   if args.experiment == "all" else [args.experiment])
+                   if args.experiment == "all"
+                   else [t for t in args.experiment.split(",") if t])
+        if not targets:
+            print("error: no experiment ids given", file=sys.stderr)
+            return 2
         try:
-            for experiment_id in targets:
-                _run_one(experiment_id, args.quick, args.json)
-        except BenchError as err:
+            if args.parallel:
+                _run_parallel(targets, args.quick, args.json, args.jobs)
+            else:
+                _run_serial(targets, args.quick, args.json)
+        except ReproError as err:
             print(f"error: {err}", file=sys.stderr)
             return 2
         return 0

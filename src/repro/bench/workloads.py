@@ -13,21 +13,39 @@ through a different mechanism:
 All of them measure creation *plus wait*, which is what an application
 observes; ``fork_only`` children exit before exec so the pair
 (``fork_exec`` − ``fork_only``) brackets the exec cost.
+
+The second half of this module is the *service* axis (experiment
+``t5-throughput``): :class:`ServiceWorkloads` exposes the same
+spawn-and-wait operation through mechanisms that differ in how they
+handle **concurrent** callers, and :func:`measure_spawn_throughput`
+hammers one of them from N client threads and reports spawns/sec plus
+per-request latency percentiles.
 """
 
 from __future__ import annotations
 
 import os
 import subprocess
-from typing import Callable, Dict, List, Optional
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.forkserver import ForkServer
+from ..core.forkserver_pool import ForkServerPool
 from ..errors import BenchError
 from .ballast import Ballast
 from .stats import Summary
 from .timing import measure
 
 TRIVIAL_CHILD = "/bin/true"
+
+#: Default child for the throughput workloads: a process that does a
+#: little "work" (here: 10ms of sleep standing in for I/O) before
+#: exiting.  A service's children are rarely pure CPU from exec to exit,
+#: and the sleep is what lets concurrent child runtimes overlap — the
+#: axis the t5 experiment measures.
+SERVICE_CHILD = ["/bin/sleep", "0.01"]
 
 
 def _fork_exec_once() -> None:
@@ -141,3 +159,205 @@ class Workloads:
                         name, repeats=repeats, max_seconds=max_seconds)
                 rows.append({"ballast_bytes": size, "results": results})
         return rows
+
+
+# ---------------------------------------------------------------------------
+# The service axis: spawn throughput under offered concurrency (T5).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """One throughput measurement: a mechanism under offered concurrency.
+
+    ``per_second`` is completed spawns per wall-clock second across all
+    client threads; ``latency`` summarises individual spawn-and-wait
+    round-trips in nanoseconds (median = p50).
+    """
+
+    mechanism: str
+    concurrency: int
+    requests: int
+    errors: int
+    wall_seconds: float
+    per_second: float
+    latency: Summary
+
+    def as_dict(self) -> dict:
+        return {
+            "mechanism": self.mechanism, "concurrency": self.concurrency,
+            "requests": self.requests, "errors": self.errors,
+            "wall_seconds": self.wall_seconds,
+            "per_second": self.per_second,
+            "latency": self.latency.as_dict(),
+        }
+
+
+def measure_spawn_throughput(spawn_and_wait: Callable[[], None], *,
+                             concurrency: int, requests_per_thread: int,
+                             mechanism: str = "?") -> ThroughputResult:
+    """Offer ``concurrency`` client threads, each spawning in a loop.
+
+    All clients start together (barrier), each performs
+    ``requests_per_thread`` spawn-and-wait calls, and the wall clock
+    runs from the barrier to the last client's exit — so the number
+    reported is sustained service throughput, not best-case latency
+    inverted.  A failing call counts as an error and does not
+    contribute a latency sample.
+    """
+    if concurrency < 1:
+        raise BenchError("need at least one client thread")
+    if requests_per_thread < 1:
+        raise BenchError("need at least one request per thread")
+    barrier = threading.Barrier(concurrency + 1)
+    samples_by_thread: List[List[float]] = [[] for _ in range(concurrency)]
+    errors = [0] * concurrency
+
+    def client(index: int) -> None:
+        samples = samples_by_thread[index]
+        barrier.wait()
+        for _ in range(requests_per_thread):
+            start = time.perf_counter_ns()
+            try:
+                spawn_and_wait()
+            except Exception:
+                errors[index] += 1
+                continue
+            samples.append(float(time.perf_counter_ns() - start))
+
+    threads = [threading.Thread(target=client, args=(index,),
+                                name=f"spawn-client-{index}")
+               for index in range(concurrency)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    samples = [value for per_thread in samples_by_thread
+               for value in per_thread]
+    if not samples:
+        raise BenchError(
+            f"no spawn succeeded for mechanism {mechanism!r} "
+            f"({sum(errors)} errors)")
+    return ThroughputResult(
+        mechanism=mechanism, concurrency=concurrency,
+        requests=len(samples), errors=sum(errors),
+        wall_seconds=wall, per_second=len(samples) / max(wall, 1e-9),
+        latency=Summary.from_samples(samples))
+
+
+class ServiceWorkloads:
+    """Spawn-and-wait operations for the service-throughput axis.
+
+    Every mechanism launches the same child and blocks until it exits —
+    what a request handler inside a spawn service actually does — but
+    they differ in how concurrent callers interact:
+
+    * ``fork_exec`` / ``posix_spawn`` — direct creation per caller; the
+      kernel is the only shared resource.
+    * ``forkserver-locked`` — ONE helper behind one lock and blocking
+      round-trips: the historical design, where every caller waits for
+      every other caller's entire request *including child runtime*.
+    * ``forkserver-pipelined`` — one helper, many in-flight requests on
+      the shared socket (correlation ids).
+    * ``forkserver-pool`` — pipelining plus N helpers with least-loaded
+      dispatch: the full spawn service.
+
+    All servers start lazily and are shared across measurements; use as
+    a context manager to get them torn down.
+    """
+
+    MECHANISMS = ("fork_exec", "posix_spawn", "forkserver-locked",
+                  "forkserver-pipelined", "forkserver-pool")
+
+    def __init__(self, child_argv: Optional[Sequence[str]] = None, *,
+                 pool_workers: int = 4):
+        self.child_argv = [os.fspath(a) for a in (child_argv
+                                                  or SERVICE_CHILD)]
+        self._pool_workers = pool_workers
+        self._init_lock = threading.Lock()
+        self._locked: Optional[ForkServer] = None
+        self._pipelined: Optional[ForkServer] = None
+        self._pool: Optional[ForkServerPool] = None
+
+    def close(self) -> None:
+        for server in (self._locked, self._pipelined, self._pool):
+            if server is not None:
+                server.stop()
+        self._locked = self._pipelined = self._pool = None
+
+    def __enter__(self) -> "ServiceWorkloads":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- one spawn-and-wait per mechanism --------------------------------
+
+    def _fork_exec_once(self) -> None:
+        pid = os.fork()
+        if pid == 0:
+            try:
+                os.execv(self.child_argv[0], self.child_argv)
+            except BaseException:
+                os._exit(127)
+        os.waitpid(pid, 0)
+
+    def _posix_spawn_once(self) -> None:
+        pid = os.posix_spawn(self.child_argv[0], self.child_argv, {})
+        os.waitpid(pid, 0)
+
+    def _locked_once(self) -> None:
+        with self._init_lock:
+            if self._locked is None:
+                self._locked = ForkServer(pipelined=False).start()
+        self._locked.spawn(self.child_argv).wait()
+
+    def _pipelined_once(self) -> None:
+        with self._init_lock:
+            if self._pipelined is None:
+                self._pipelined = ForkServer().start()
+        self._pipelined.spawn(self.child_argv).wait()
+
+    def _pool_once(self) -> None:
+        with self._init_lock:
+            if self._pool is None:
+                # Pre-start every helper: a real spawn service warms its
+                # zygotes before taking traffic, and the measurement
+                # should see steady state, not interpreter boot time.
+                self._pool = ForkServerPool(
+                    self._pool_workers,
+                    prestart=self._pool_workers).start()
+        self._pool.spawn(self.child_argv).wait()
+
+    def mechanisms(self) -> Dict[str, Callable[[], None]]:
+        """Name -> one blocking spawn-and-wait call (thread-safe)."""
+        return {
+            "fork_exec": self._fork_exec_once,
+            "posix_spawn": self._posix_spawn_once,
+            "forkserver-locked": self._locked_once,
+            "forkserver-pipelined": self._pipelined_once,
+            "forkserver-pool": self._pool_once,
+        }
+
+    def warm(self, names: Optional[Sequence[str]] = None) -> None:
+        """Run each mechanism once: starts helpers, pages the binaries."""
+        mechanisms = self.mechanisms()
+        for name in (names or self.MECHANISMS):
+            if name not in mechanisms:
+                raise BenchError(
+                    f"unknown mechanism {name!r}; have {sorted(mechanisms)}")
+            mechanisms[name]()
+
+    def measure(self, name: str, *, concurrency: int,
+                requests_per_thread: int) -> ThroughputResult:
+        """Throughput of one mechanism at one offered concurrency."""
+        mechanisms = self.mechanisms()
+        if name not in mechanisms:
+            raise BenchError(
+                f"unknown mechanism {name!r}; have {sorted(mechanisms)}")
+        return measure_spawn_throughput(
+            mechanisms[name], concurrency=concurrency,
+            requests_per_thread=requests_per_thread, mechanism=name)

@@ -6,7 +6,9 @@ Highlights:
   ``posix_spawn`` (default), fork+exec, or the stdlib.
 * :class:`Pipeline` — shell-style composition without fork.
 * :class:`ForkServer` — the zygote pattern: fork a pristine helper, not
-  the real parent.
+  the real parent — with a pipelined, correlation-id wire protocol.
+* :class:`ForkServerPool` — the zygote pattern as a *service*: requests
+  sharded across several helpers, with lazy start and crash recovery.
 * :mod:`repro.core.safety` — audit whether forking is safe right now;
   :mod:`repro.core.atfork` — the pthread_atfork discipline.
 """
@@ -15,18 +17,21 @@ from .attrs import SpawnAttributes
 from .atfork import AtForkRegistry, fork_with_handlers, register
 from .file_actions import FileActions
 from .forkserver import ForkServer
+from .forkserver_pool import ForkServerPool
 from .pipeline import Pipeline, PipelineResult
 from .pool import SpawnPool, callable_spec
 from .result import ChildProcess
 from .safety import Hazard, assess, guarded_fork, is_fork_safe
 from .spawn import ProcessBuilder, SpawnedIO, run
-from .strategies import (STRATEGIES, ForkExecStrategy, PosixSpawnStrategy,
+from .strategies import (STRATEGIES, ForkExecStrategy,
+                         ForkServerPoolStrategy, PosixSpawnStrategy,
                          Strategy, SubprocessStrategy,
                          pick_default_strategy)
 
 __all__ = [
     "AtForkRegistry", "ChildProcess", "FileActions", "ForkExecStrategy",
-    "ForkServer", "Hazard", "Pipeline", "PipelineResult",
+    "ForkServer", "ForkServerPool", "ForkServerPoolStrategy", "Hazard",
+    "Pipeline", "PipelineResult",
     "PosixSpawnStrategy", "ProcessBuilder", "STRATEGIES", "SpawnAttributes",
     "SpawnPool",
     "SpawnedIO", "Strategy", "SubprocessStrategy", "assess",

@@ -12,6 +12,15 @@ self-contained Python script.  The control channel is a Unix-domain
 socket pair carrying length-prefixed JSON; stdio descriptors travel
 alongside spawn requests as SCM_RIGHTS ancillary data, so children can be
 wired into pipelines exactly like directly spawned ones.
+
+The channel is **pipelined**: every request carries a correlation id and
+many requests may be in flight on the one socket at once.  A writer path
+(serialised by a small send lock, one ``sendmsg`` per request) pairs with
+a dedicated reader thread that dispatches replies to per-request futures,
+so concurrent callers never wait on each other's round-trips — the
+property a spawn *service* needs to sustain traffic.  ``pipelined=False``
+recreates the historical one-lock-per-roundtrip behaviour, kept as the
+measured baseline for the ``t5-throughput`` experiment.
 """
 
 from __future__ import annotations
@@ -19,6 +28,7 @@ from __future__ import annotations
 import array
 import json
 import os
+import signal
 import socket
 import struct
 import sys
@@ -33,11 +43,51 @@ _LEN = struct.Struct("!I")
 #: The helper's entire program.  Deliberately dependency-free: it must
 #: stay importable-nothing so its fork cost is the floor, not the
 #: parent's.
+#:
+#: The helper is an event loop, never a blocker: it selects on the
+#: control socket plus a SIGCHLD wakeup pipe, so a "wait" for a running
+#: child PARKS until the exit actually happens and the reply goes out
+#: the moment the kernel delivers SIGCHLD — while spawns for other
+#: clients keep flowing.  A blocking waitpid here would stall every
+#: in-flight request behind one caller's child.
 _SERVER_SOURCE = r"""
-import array, json, os, socket, struct, sys
+import array, json, os, select, signal, socket, struct, sys
 
 LEN = struct.Struct("!I")
 sock = socket.socket(fileno=int(sys.argv[1]))
+# The control channel arrived inheritable (it had to survive our own
+# exec).  Flip it back so the children *we* spawn can never inherit it:
+# a child holding the socket would keep the service "connected" after
+# the real client is gone, and could read its traffic.
+os.set_inheritable(sock.fileno(), False)
+# Shed every other inherited descriptor.  A helper can be started at
+# any moment — including mid-spawn, while the client holds inheritable
+# pipe ends for some unrelated child — and any such descriptor we kept
+# would hold that pipe open forever (no EOF) and leak into everything
+# we fork.  Children receive exactly the stdio triple granted per
+# request, nothing else.
+keep = sock.fileno()
+try:
+    inherited = [int(name) for name in os.listdir("/proc/self/fd")]
+except (FileNotFoundError, ValueError):
+    inherited = list(range(3, 4096))
+for fd in inherited:
+    if fd > 2 and fd != keep:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+
+# SIGCHLD -> a byte on this pipe -> select wakes -> zombies reaped.
+# Created after the descriptor sweep; pipe fds are CLOEXEC so spawned
+# children never see them.
+rwake, wwake = os.pipe()
+os.set_blocking(wwake, False)
+signal.signal(signal.SIGCHLD, lambda signum, frame: None)
+signal.set_wakeup_fd(wwake)
+
+statuses = {}  # pid -> status: exited, not yet reported to the client
+parked = {}    # pid -> [request id, ...]: blocking waits awaiting exit
 
 def recv_exact(n):
     buf = b""
@@ -63,18 +113,46 @@ def recv_request():
     body = recv_exact(length)
     return json.loads(body), list(fds)
 
-def send_reply(obj):
+def send_reply(rid, obj):
+    obj["id"] = rid
     body = json.dumps(obj).encode()
     sock.sendall(LEN.pack(len(body)) + body)
 
-while True:
+def reap():
+    # Collect every zombie; answer parked waits; never block.
+    while True:
+        try:
+            pid, status = os.waitpid(-1, os.WNOHANG)
+        except ChildProcessError:
+            return
+        if pid == 0:
+            return
+        waiters = parked.pop(pid, None)
+        if waiters:
+            for rid in waiters:
+                send_reply(rid, {"status": status})
+        else:
+            statuses[pid] = status
+
+running = True
+while running:
+    ready, _, _ = select.select([sock, rwake], [], [])
+    if rwake in ready:
+        try:
+            os.read(rwake, 512)
+        except OSError:
+            pass
+    reap()
+    if sock not in ready:
+        continue
     request, fds = recv_request()
     op = request["op"]
+    rid = request.get("id")
     if op == "ping":
-        send_reply({"ok": True})
+        send_reply(rid, {"ok": True})
     elif op == "shutdown":
-        send_reply({"ok": True})
-        break
+        send_reply(rid, {"ok": True})
+        running = False
     elif op == "spawn":
         pid = os.fork()
         if pid == 0:
@@ -94,18 +172,39 @@ while True:
                 os._exit(127)
         for fd in fds:
             os.close(fd)
-        send_reply({"pid": pid})
+        send_reply(rid, {"pid": pid})
     elif op == "wait":
-        flags = 0 if request["block"] else os.WNOHANG
-        try:
-            reaped, status = os.waitpid(request["pid"], flags)
-        except ChildProcessError:
-            send_reply({"error": "ECHILD"})
+        pid = request["pid"]
+        if pid in statuses:
+            send_reply(rid, {"status": statuses.pop(pid)})
             continue
-        send_reply({"status": status if reaped else None})
+        try:
+            reaped, status = os.waitpid(pid, os.WNOHANG)
+        except ChildProcessError:
+            send_reply(rid, {"error": "ECHILD"})
+            continue
+        if reaped:
+            send_reply(rid, {"status": status})
+        elif request["block"]:
+            parked.setdefault(pid, []).append(rid)
+        else:
+            send_reply(rid, {"status": None})
     else:
-        send_reply({"error": "bad op"})
+        send_reply(rid, {"error": "bad op"})
+# Shutdown: sweep whatever already exited so no zombie outlives the
+# service by our hand; still-running children are init's from here.
+reap()
 """
+
+
+class _Pending:
+    """One in-flight request's future: an event plus its eventual reply."""
+
+    __slots__ = ("event", "reply")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.reply: Optional[dict] = None
 
 
 class ForkServer:
@@ -113,13 +212,21 @@ class ForkServer:
 
     Start it early — before the parent grows threads and ballast — and
     every later :meth:`spawn` costs a fork *of the helper*, not of you.
-    Usable as a context manager.
+    Usable as a context manager, and safe to share across threads: in
+    the default pipelined mode concurrent requests interleave on the one
+    socket and are matched back to callers by correlation id.
     """
 
-    def __init__(self):
+    def __init__(self, *, pipelined: bool = True):
         self._sock: Optional[socket.socket] = None
         self._pid: Optional[int] = None
-        self._lock = threading.Lock()
+        self._pipelined = bool(pipelined)
+        self._send_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._pending: Dict[int, _Pending] = {}
+        self._next_id = 0
+        self._reader: Optional[threading.Thread] = None
+        self._dead: Optional[str] = None  # why the channel died, once it has
 
     # -- lifecycle -------------------------------------------------------
 
@@ -127,10 +234,31 @@ class ForkServer:
     def running(self) -> bool:
         return self._sock is not None
 
+    @property
+    def pipelined(self) -> bool:
+        return self._pipelined
+
+    @property
+    def helper_pid(self) -> Optional[int]:
+        """The helper process's pid (``None`` when stopped)."""
+        return self._pid
+
+    @property
+    def healthy(self) -> bool:
+        """Running with a live channel (goes ``False`` if the helper dies)."""
+        return self._sock is not None and self._dead is None
+
+    @property
+    def in_flight(self) -> int:
+        """Requests awaiting replies right now (pipelined mode only)."""
+        with self._state_lock:
+            return len(self._pending)
+
     def start(self) -> "ForkServer":
         """Launch the helper (idempotent)."""
         if self.running:
             return self
+        self._dead = None
         ours, theirs = socket.socketpair(socket.AF_UNIX, socket.SOCK_STREAM)
         os.set_inheritable(theirs.fileno(), True)
         self._pid = os.posix_spawn(
@@ -139,6 +267,11 @@ class ForkServer:
             dict(os.environ))
         theirs.close()
         self._sock = ours
+        if self._pipelined:
+            self._reader = threading.Thread(
+                target=self._read_replies, args=(ours,),
+                name=f"forkserver-reader-{self._pid}", daemon=True)
+            self._reader.start()
         try:
             if self._roundtrip({"op": "ping"}).get("ok") is not True:
                 raise SpawnError("forkserver failed its first ping")
@@ -148,15 +281,50 @@ class ForkServer:
         return self
 
     def stop(self) -> None:
-        """Shut the helper down and reap it."""
-        if self._sock is not None:
+        """Shut the helper down cleanly and reap it."""
+        sock = self._sock
+        if sock is not None:
             try:
                 self._roundtrip({"op": "shutdown"})
             except Exception:
                 pass
-            self._sock.close()
             self._sock = None
+            try:
+                sock.close()
+            except OSError:
+                pass
+        reader, self._reader = self._reader, None
+        if reader is not None and reader is not threading.current_thread():
+            reader.join(timeout=5.0)
+        self._fail_pending("forkserver stopped")
         if self._pid is not None:
+            try:
+                os.waitpid(self._pid, 0)
+            except ChildProcessError:
+                pass
+            self._pid = None
+
+    def abort(self) -> None:
+        """Tear down without a goodbye: close, SIGKILL the helper, reap.
+
+        For channels already known dead (or wedged); :meth:`stop` is the
+        polite path.
+        """
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._fail_pending("forkserver aborted")
+        reader, self._reader = self._reader, None
+        if reader is not None and reader is not threading.current_thread():
+            reader.join(timeout=1.0)
+        if self._pid is not None:
+            try:
+                os.kill(self._pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                pass
             try:
                 os.waitpid(self._pid, 0)
             except ChildProcessError:
@@ -176,20 +344,27 @@ class ForkServer:
             raise SpawnError("forkserver is not running (call start())")
         return self._sock
 
-    def _send(self, obj: dict, fds: Sequence[int] = ()) -> None:
-        sock = self._require_sock()
+    @staticmethod
+    def _send(sock: socket.socket, obj: dict, fds: Sequence[int] = ()) -> None:
+        """One request as ONE ``sendmsg``: header and body coalesced.
+
+        Splitting header and body across two syscalls doubled the
+        per-request syscall bill and, under pipelining, would let two
+        writers interleave their halves; the send lock plus a single
+        vectored write keeps each frame contiguous.
+        """
         body = json.dumps(obj).encode()
-        header = _LEN.pack(len(body))
+        message = _LEN.pack(len(body)) + body
+        ancdata = []
         if fds:
             ancdata = [(socket.SOL_SOCKET, socket.SCM_RIGHTS,
                         array.array("i", list(fds)).tobytes())]
-            sock.sendmsg([header], ancdata)
-        else:
-            sock.sendall(header)
-        sock.sendall(body)
+        sent = sock.sendmsg([message], ancdata)
+        while sent < len(message):  # rare partial write; fds already went
+            sent += sock.send(message[sent:])
 
-    def _recv(self) -> dict:
-        sock = self._require_sock()
+    @staticmethod
+    def _recv(sock: socket.socket) -> dict:
         header = b""
         while len(header) < _LEN.size:
             chunk = sock.recv(_LEN.size - len(header))
@@ -205,10 +380,74 @@ class ForkServer:
             body += chunk
         return json.loads(body)
 
+    def _read_replies(self, sock: socket.socket) -> None:
+        """Reader-thread loop: route each reply to its waiting future."""
+        while True:
+            try:
+                reply = self._recv(sock)
+            except Exception as exc:
+                self._fail_pending(str(exc) or type(exc).__name__)
+                return
+            with self._state_lock:
+                pending = self._pending.pop(reply.get("id"), None)
+            if pending is not None:
+                pending.reply = reply
+                pending.event.set()
+
+    def _fail_pending(self, why: str) -> None:
+        """Mark the channel dead and wake every stranded caller."""
+        with self._state_lock:
+            if self._dead is None:
+                self._dead = why
+            stranded = list(self._pending.values())
+            self._pending.clear()
+        for pending in stranded:
+            pending.event.set()
+
     def _roundtrip(self, obj: dict, fds: Sequence[int] = ()) -> dict:
-        with self._lock:
-            self._send(obj, fds)
-            return self._recv()
+        sock = self._require_sock()
+        if not self._pipelined:
+            # Historical baseline: one global lock around the whole
+            # round-trip — every caller waits for every other caller.
+            with self._send_lock:
+                rid = self._next_id
+                self._next_id += 1
+                try:
+                    self._send(sock, dict(obj, id=rid), fds)
+                    reply = self._recv(sock)
+                except OSError as exc:
+                    self._dead = str(exc) or type(exc).__name__
+                    raise SpawnError(
+                        f"forkserver channel failed: {exc}") from exc
+                if reply.get("id") != rid:
+                    raise SpawnError(
+                        f"forkserver protocol error: reply id "
+                        f"{reply.get('id')!r} != request id {rid}")
+                return reply
+        with self._state_lock:
+            if self._dead is not None:
+                raise SpawnError(f"forkserver channel is dead: {self._dead}")
+            rid = self._next_id
+            self._next_id += 1
+            pending = _Pending()
+            self._pending[rid] = pending
+        try:
+            with self._send_lock:
+                self._send(sock, dict(obj, id=rid), fds)
+        except OSError as exc:
+            with self._state_lock:
+                self._pending.pop(rid, None)
+            self._fail_pending(str(exc) or type(exc).__name__)
+            raise SpawnError(f"forkserver channel failed: {exc}") from exc
+        except Exception:
+            with self._state_lock:
+                self._pending.pop(rid, None)
+            raise
+        pending.event.wait()
+        if pending.reply is None:
+            raise SpawnError(
+                f"forkserver died before replying: {self._dead}")
+        return pending.reply
 
     # -- the user-facing operations ------------------------------------------
 
@@ -235,6 +474,15 @@ class ForkServer:
                             reaper=self._reap)
 
     def _reap(self, pid: int, flags: int) -> Optional[int]:
+        """Wait on a child through the helper.
+
+        A blocking wait (``flags == 0``) PARKS in the helper's event loop
+        and the reply arrives on SIGCHLD — no polling on either side, and
+        (in pipelined mode) no other request is held up meanwhile.  In
+        the locked baseline the caller's round-trip lock is of course
+        held for the child's whole runtime: that serialisation is the
+        measured pathology, not an accident.
+        """
         reply = self._roundtrip(
             {"op": "wait", "pid": pid, "block": flags == 0})
         if "error" in reply:

@@ -1,0 +1,249 @@
+"""A pool of forkserver helpers: the spawn service, scaled out.
+
+One pipelined :class:`~repro.core.forkserver.ForkServer` removes the
+client-side serialisation, but every request still lands in one
+single-threaded helper — the helper's fork loop becomes the ceiling.
+:class:`ForkServerPool` shards requests across several helpers:
+
+* **least-loaded dispatch** — each spawn goes to the helper with the
+  fewest outstanding children and in-flight requests;
+* **lazy worker start** — helpers launch on demand as offered load
+  grows, so an idle pool costs one process, not N;
+* **dead-worker recovery** — a helper that dies (crash, SIGKILL) is
+  detected on first contact, discarded, and replaced; the request
+  retries on a live worker;
+* **clean shutdown** — every helper is asked to exit and is reaped.
+
+This is the shape of the real mitigations the paper points at: Android's
+zygote and ``multiprocessing``'s forkserver are *services*, and a
+service must sustain concurrent traffic.  The ``t5-throughput``
+experiment measures exactly that.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional, Sequence
+
+from ..errors import SpawnError
+from .forkserver import ForkServer
+from .result import ChildProcess
+
+#: Helpers are cheap (one tiny interpreter each), so the default errs
+#: toward overlap: even on few cores, idle helpers cost almost nothing
+#: while letting children's runtimes overlap.
+DEFAULT_WORKERS = 4
+
+
+class _Slot:
+    """One pool slot: a lazily started helper plus its load account."""
+
+    __slots__ = ("server", "load")
+
+    def __init__(self):
+        self.server: Optional[ForkServer] = None
+        self.load = 0  # in-flight requests + spawned-but-unreaped children
+
+
+class ForkServerPool:
+    """Shard spawn requests across up to ``workers`` forkserver helpers.
+
+    Usable as a context manager::
+
+        with ForkServerPool(4) as pool:
+            children = [pool.spawn(["/bin/true"]) for _ in range(100)]
+            assert all(c.wait(timeout=30) == 0 for c in children)
+
+    Thread-safe: the pool is designed to be hammered from many client
+    threads at once.
+    """
+
+    def __init__(self, workers: int = DEFAULT_WORKERS, *, prestart: int = 1):
+        if workers < 1:
+            raise SpawnError("need at least one worker")
+        self._slots = [_Slot() for _ in range(workers)]
+        self._prestart = max(1, min(prestart, workers))
+        self._lock = threading.Lock()
+        self._closed = False
+        self._respawns = 0
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Maximum number of helpers this pool will run."""
+        return len(self._slots)
+
+    @property
+    def started_workers(self) -> int:
+        """Helpers actually launched so far (grows lazily with load)."""
+        with self._lock:
+            return sum(1 for s in self._slots if s.server is not None)
+
+    @property
+    def respawns(self) -> int:
+        """Dead helpers detected and replaced over the pool's lifetime."""
+        return self._respawns
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def helper_pids(self) -> List[int]:
+        """Pids of the currently running helpers (tests, monitoring)."""
+        with self._lock:
+            return [s.server.helper_pid for s in self._slots
+                    if s.server is not None and s.server.helper_pid]
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "ForkServerPool":
+        """Launch the first ``prestart`` helpers (idempotent)."""
+        with self._lock:
+            if self._closed:
+                raise SpawnError("pool is closed")
+            for slot in self._slots[:self._prestart]:
+                if slot.server is None:
+                    slot.server = ForkServer().start()
+        return self
+
+    def stop(self) -> None:
+        """Shut every helper down (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            servers = [s.server for s in self._slots if s.server is not None]
+            for slot in self._slots:
+                slot.server = None
+        for server in servers:
+            try:
+                if server.healthy:
+                    server.stop()
+                else:
+                    server.abort()
+            except Exception:
+                pass
+
+    def __enter__(self) -> "ForkServerPool":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _retire_locked(self, slot: _Slot) -> None:
+        """Discard a dead helper (caller holds the lock)."""
+        dead, slot.server = slot.server, None
+        slot.load = 0
+        self._respawns += 1
+        if dead is not None:
+            try:
+                dead.abort()
+            except Exception:
+                pass
+
+    def _pick(self) -> _Slot:
+        """Choose a slot: least-loaded live helper, growing lazily.
+
+        An idle live helper wins outright; otherwise a not-yet-started
+        slot is booted (load demands more overlap); otherwise the
+        least-loaded live helper takes the request.  Dead helpers found
+        along the way are retired in place.
+
+        Booting a helper costs a fresh interpreter (~tens of ms), so it
+        happens OUTSIDE the pool lock: the cold slot is reserved (load
+        bumped while ``server`` is still ``None``) so no one else boots
+        it, and concurrent picks keep flowing to live helpers meanwhile.
+        """
+        while True:
+            boot_slot: Optional[_Slot] = None
+            with self._lock:
+                if self._closed:
+                    raise SpawnError("pool is closed")
+                for slot in self._slots:
+                    if slot.server is not None and not slot.server.healthy:
+                        self._retire_locked(slot)
+                live = [s for s in self._slots if s.server is not None]
+                best = min(live, key=lambda s: s.load, default=None)
+                if best is not None and best.load == 0:
+                    best.load += 1
+                    return best
+                cold = next((s for s in self._slots
+                             if s.server is None and s.load == 0), None)
+                if cold is not None:
+                    cold.load += 1  # reserve: marks the slot as booting
+                    boot_slot = cold
+                elif best is not None:
+                    best.load += 1
+                    return best
+            if boot_slot is None:
+                time.sleep(0.001)  # every slot is mid-boot; one will land
+                continue
+            try:
+                server = ForkServer().start()
+            except Exception:
+                self._release(boot_slot)
+                raise
+            with self._lock:
+                if self._closed:
+                    try:
+                        server.stop()
+                    except Exception:
+                        pass
+                    raise SpawnError("pool is closed")
+                boot_slot.server = server
+            return boot_slot
+
+    def _release(self, slot: _Slot) -> None:
+        with self._lock:
+            slot.load = max(0, slot.load - 1)
+
+    def _pool_reaper(self, slot: _Slot, server: ForkServer, argv):
+        """A reaper that also returns the slot's load unit when done."""
+        def reaper(pid: int, flags: int) -> Optional[int]:
+            try:
+                status = server._reap(pid, flags)
+            except SpawnError:
+                self._release(slot)
+                raise
+            if status is not None:
+                self._release(slot)
+            return status
+        return reaper
+
+    def spawn(self, argv: Sequence[str], *,
+              env=None, cwd=None,
+              stdin: int = 0, stdout: int = 1,
+              stderr: int = 2) -> ChildProcess:
+        """Spawn through the least-loaded helper; retries dead workers.
+
+        Same contract as :meth:`ForkServer.spawn`.  A helper that turns
+        out to be dead is replaced and the request moves on; only a
+        refusal from a *live* helper (bad request) propagates directly.
+        """
+        if not argv:
+            raise SpawnError("empty argv")
+        last_error: Optional[SpawnError] = None
+        for _ in range(len(self._slots) + 1):
+            slot = self._pick()
+            server = slot.server
+            if server is None:  # retired between pick and use; go again
+                self._release(slot)
+                continue
+            try:
+                child = server.spawn(argv, env=env, cwd=cwd, stdin=stdin,
+                                     stdout=stdout, stderr=stderr)
+            except SpawnError as exc:
+                self._release(slot)
+                if server.healthy:
+                    raise  # a real refusal, not a dead worker
+                last_error = exc
+                continue  # next _pick() retires it and tries elsewhere
+            return ChildProcess(
+                child.pid, argv=argv, strategy="forkserver-pool",
+                reaper=self._pool_reaper(slot, server, argv))
+        raise SpawnError(
+            f"no forkserver worker could spawn {argv!r}: {last_error}")

@@ -23,7 +23,7 @@ import os
 import pickle
 import struct
 import sys
-from typing import Any, Callable, Iterable, List, Sequence
+from typing import Any, Callable, Iterable, List, Optional, Sequence
 
 from ..errors import SpawnError
 from .result import ChildProcess
@@ -90,10 +90,12 @@ def callable_spec(func: Callable) -> str:
 class _Worker:
     """One spawned interpreter plus its request/response pipes."""
 
-    def __init__(self):
+    def __init__(self, strategy: Optional[str] = None):
         builder = (ProcessBuilder(sys.executable, "-c", _WORKER_SOURCE)
                    .stdin_from_pipe()
                    .stdout_to_pipe())
+        if strategy is not None:
+            builder.strategy(strategy)
         self.child: ChildProcess = builder.spawn()
         self.stdin_fd = builder.io.stdin_fd
         self.stdout_fd = builder.io.stdout_fd
@@ -145,10 +147,15 @@ class SpawnPool:
     semantics, not a futures framework.
     """
 
-    def __init__(self, workers: int = 2):
+    def __init__(self, workers: int = 2, *, strategy: Optional[str] = None):
+        """``strategy`` names the launch strategy for the workers
+        themselves (e.g. ``"forkserver-pool"`` to create them through
+        the shared spawn service); default is the builder's policy.
+        """
         if workers < 1:
             raise SpawnError("need at least one worker")
-        self._workers: List[_Worker] = [_Worker() for _ in range(workers)]
+        self._workers: List[_Worker] = [_Worker(strategy)
+                                        for _ in range(workers)]
         self._next = 0
         self._closed = False
 

@@ -12,6 +12,9 @@ compare mechanisms instead of APIs:
   charges against parent size.
 * :class:`SubprocessStrategy` — the stdlib's ``posix_spawn``/
   ``vfork``-based runner, as the "what you get today" reference point.
+* :class:`ForkServerPoolStrategy` — the zygote pattern as a service: a
+  shared :class:`~repro.core.forkserver_pool.ForkServerPool` of
+  pipelined helpers, started lazily on first use.
 
 Strategies raise :class:`~repro.errors.SpawnError` for requests they
 cannot express (e.g. plain posix_spawn has no ``cwd`` attribute) instead
@@ -20,13 +23,16 @@ of silently approximating.
 
 from __future__ import annotations
 
+import atexit
 import os
 import subprocess
-from typing import Optional, Sequence
+import threading
+from typing import List, Optional, Sequence
 
 from ..errors import SpawnError
 from .attrs import SpawnAttributes
 from .file_actions import FileActions
+from .forkserver_pool import ForkServerPool
 from .result import ChildProcess
 
 
@@ -147,12 +153,91 @@ def _encode_status(returncode: int) -> int:
     return returncode << 8
 
 
+class ForkServerPoolStrategy(Strategy):
+    """Launch through a shared pool of pipelined forkserver helpers.
+
+    The pool starts lazily on the first launch and is shared by every
+    caller of this strategy — that sharing is the point: the zygote
+    pattern only pays off when one warm service amortises across many
+    requests.  Stdio file actions are translated into the forkserver's
+    explicit SCM_RIGHTS grant; actions that cannot be expressed that way
+    are rejected rather than approximated.
+    """
+
+    name = "forkserver-pool"
+
+    def __init__(self, workers: Optional[int] = None):
+        self._workers = workers
+        self._pool: Optional[ForkServerPool] = None
+        self._lock = threading.Lock()
+
+    def available(self) -> bool:
+        return hasattr(os, "fork")
+
+    def pool(self) -> ForkServerPool:
+        """The shared pool, started on first use."""
+        with self._lock:
+            if self._pool is None or self._pool.closed:
+                kwargs = ({"workers": self._workers}
+                          if self._workers is not None else {})
+                self._pool = ForkServerPool(**kwargs).start()
+            return self._pool
+
+    def shutdown(self) -> None:
+        """Stop the shared pool (a later launch starts a fresh one)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.stop()
+
+    def launch(self, argv, actions, attrs) -> ChildProcess:
+        attrs.validate()
+        if (attrs.new_process_group or attrs.reset_signals
+                or attrs.sigmask or attrs.umask is not None):
+            raise SpawnError(
+                "forkserver-pool supports only env/cwd attributes; use "
+                "posix_spawn or fork_exec for signal/pgroup/umask control")
+        # Replay the action list into the child's eventual stdio triple:
+        # each child fd 0-2 maps to some parent descriptor to grant.
+        stdio = {0: 0, 1: 1, 2: 2}
+        opened: List[int] = []
+        try:
+            for action in actions.actions():
+                kind = action[0]
+                if kind == "dup2" and action[2] in stdio:
+                    stdio[action[2]] = stdio.get(action[1], action[1])
+                elif kind == "open" and action[1] in stdio:
+                    _, fd, path, flags, mode = action
+                    handle = os.open(path, flags, mode)
+                    opened.append(handle)
+                    stdio[fd] = handle
+                elif kind == "close" and action[1] not in stdio:
+                    continue  # helper children only ever get the triple
+                else:
+                    raise SpawnError(
+                        f"forkserver-pool cannot express file action "
+                        f"{action!r}; only stdio wiring travels over "
+                        f"SCM_RIGHTS")
+            child = self.pool().spawn(
+                argv, env=attrs.effective_env(), cwd=attrs.cwd,
+                stdin=stdio[0], stdout=stdio[1], stderr=stdio[2])
+        finally:
+            for handle in opened:
+                os.close(handle)
+        return child
+
+
 #: Registry used by :class:`repro.core.spawn.ProcessBuilder`.
 STRATEGIES = {
     PosixSpawnStrategy.name: PosixSpawnStrategy(),
     ForkExecStrategy.name: ForkExecStrategy(),
     SubprocessStrategy.name: SubprocessStrategy(),
+    ForkServerPoolStrategy.name: ForkServerPoolStrategy(),
 }
+
+# Helpers are real processes; make sure an interpreter that used the
+# shared pool does not strand them at exit.
+atexit.register(STRATEGIES[ForkServerPoolStrategy.name].shutdown)
 
 
 def pick_default_strategy(attrs: SpawnAttributes) -> Strategy:

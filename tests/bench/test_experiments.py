@@ -15,8 +15,9 @@ from repro.errors import BenchError
 
 class TestRegistry:
     EXPECTED = {"fig1-real", "fig1-sim", "t1-api", "t2-micro",
-                "t3-overcommit", "t4-compose", "f2-scaling", "a1-ablation",
-                "a2-aslr", "a3-emulation", "a4-fdtable", "calibrate"}
+                "t3-overcommit", "t4-compose", "t5-throughput",
+                "f2-scaling", "a1-ablation", "a2-aslr", "a3-emulation",
+                "a4-fdtable", "calibrate"}
 
     def test_every_design_md_experiment_registered(self):
         assert {e.experiment_id for e in all_experiments()} == self.EXPECTED
@@ -92,6 +93,20 @@ class TestRealExperiments:
         assert "posix_spawn" in mechanisms
         assert {"real", "sim"} == {r["side"] for r in result.rows}
 
+    def test_t5_throughput_quick(self):
+        result = run("t5-throughput", quick=True)
+        assert [r["concurrency"] for r in result.rows] == [1, 8]
+        loaded = result.rows[-1]
+        for mechanism in ("forkserver-locked", "forkserver-pool"):
+            assert loaded[f"{mechanism}_errors"] == 0
+            assert loaded[f"{mechanism}_p95_ns"] > 0
+        # The headline: sharded pipelining beats the lock under load.
+        # (The experiment itself shows ~4x; assert a conservative margin
+        # so a noisy CI box cannot flake this.)
+        assert loaded["forkserver-pool_per_sec"] > \
+            1.5 * loaded["forkserver-locked_per_sec"]
+        assert "pipelined pool" in result.notes
+
 
 class TestCli:
     def test_list(self, capsys):
@@ -115,3 +130,18 @@ class TestCli:
     def test_no_command_lists(self, capsys):
         assert cli_main([]) == 0
         assert "fig1-real" in capsys.readouterr().out
+
+    def test_run_comma_list(self, capsys):
+        assert cli_main(["run", "t1-api,t3-overcommit"]) == 0
+        out = capsys.readouterr().out
+        assert out.index("== t1-api") < out.index("== t3-overcommit")
+
+    def test_run_parallel_deterministic_order(self, capsys):
+        assert cli_main(["run", "t1-api,t3-overcommit", "--quick",
+                         "--parallel", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.index("== t1-api") < out.index("== t3-overcommit")
+
+    def test_run_parallel_unknown_fails_fast(self, capsys):
+        assert cli_main(["run", "nope", "--parallel"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

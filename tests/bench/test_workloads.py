@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.bench.workloads import Workloads
+from repro.bench.workloads import (ServiceWorkloads, Workloads,
+                                   measure_spawn_throughput)
 from repro.errors import BenchError
 
 
@@ -55,3 +56,80 @@ class TestRegistry:
         registry.start_forkserver()
         registry.close()
         registry.close()
+
+
+class TestMeasureSpawnThroughput:
+    def test_counts_and_rate(self):
+        calls = []
+
+        def fake_spawn():
+            calls.append(1)
+
+        result = measure_spawn_throughput(fake_spawn, concurrency=3,
+                                          requests_per_thread=4,
+                                          mechanism="fake")
+        assert result.mechanism == "fake"
+        assert result.requests == 12
+        assert result.errors == 0
+        assert len(calls) == 12
+        assert result.per_second > 0
+        assert result.latency.n == 12
+
+    def test_errors_counted_not_raised(self):
+        flags = iter([True, False] * 10)
+
+        def flaky():
+            if next(flags):
+                raise RuntimeError("boom")
+
+        result = measure_spawn_throughput(flaky, concurrency=1,
+                                          requests_per_thread=6)
+        assert result.errors == 3
+        assert result.requests == 3
+
+    def test_all_failures_raise(self):
+        def always_fails():
+            raise RuntimeError("boom")
+
+        with pytest.raises(BenchError):
+            measure_spawn_throughput(always_fails, concurrency=2,
+                                     requests_per_thread=2)
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(BenchError):
+            measure_spawn_throughput(lambda: None, concurrency=0,
+                                     requests_per_thread=1)
+        with pytest.raises(BenchError):
+            measure_spawn_throughput(lambda: None, concurrency=1,
+                                     requests_per_thread=0)
+
+
+class TestServiceWorkloads:
+    @pytest.fixture(scope="class")
+    def service(self):
+        # A trivial child and a small pool keep this fast; the real
+        # sweep lives in the t5-throughput experiment.
+        with ServiceWorkloads(["/bin/true"], pool_workers=2) as registry:
+            yield registry
+
+    def test_mechanism_set(self, service):
+        assert set(service.mechanisms()) == set(ServiceWorkloads.MECHANISMS)
+
+    def test_each_mechanism_spawns_and_waits(self, service):
+        for name, operation in service.mechanisms().items():
+            operation()  # must not raise or leak a zombie
+
+    def test_measure_one(self, service):
+        result = service.measure("forkserver-pool", concurrency=2,
+                                 requests_per_thread=2)
+        assert result.requests == 4
+        assert result.errors == 0
+        assert result.concurrency == 2
+        assert result.as_dict()["mechanism"] == "forkserver-pool"
+
+    def test_unknown_mechanism_rejected(self, service):
+        with pytest.raises(BenchError):
+            service.measure("carrier-pigeon", concurrency=1,
+                            requests_per_thread=1)
+        with pytest.raises(BenchError):
+            service.warm(["carrier-pigeon"])

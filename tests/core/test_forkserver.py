@@ -1,6 +1,9 @@
 """Tests for the forkserver (zygote) strategy."""
 
 import os
+import signal
+import threading
+import time
 
 import pytest
 
@@ -107,3 +110,98 @@ class TestSpawning:
     def test_missing_binary_exits_127(self, server):
         child = server.spawn(["/no/such/binary"])
         assert child.wait(timeout=10) == 127
+
+
+class TestPipelining:
+    def test_pipelined_is_the_default(self, server):
+        assert server.pipelined
+
+    def test_concurrent_spawns_from_many_threads(self, server):
+        statuses = []
+        lock = threading.Lock()
+
+        def client():
+            for _ in range(5):
+                status = server.spawn(["/bin/true"]).wait(timeout=30)
+                with lock:
+                    statuses.append(status)
+
+        threads = [threading.Thread(target=client) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert statuses == [0] * 40
+
+    def test_blocking_waits_overlap(self, server):
+        # Four children of 0.2s each, waited concurrently: the helper
+        # parks the waits instead of serialising them, so the batch
+        # finishes in ~one child runtime, not four.
+        children = [server.spawn(["/bin/sleep", "0.2"]) for _ in range(4)]
+        started = time.monotonic()
+        assert all(child.wait() == 0 for child in children)
+        assert time.monotonic() - started < 0.6
+
+    def test_in_flight_drains(self, server):
+        assert server.spawn(["/bin/true"]).wait(timeout=10) == 0
+        assert server.in_flight == 0
+
+
+class TestLockedBaseline:
+    def test_locked_mode_roundtrip(self):
+        with ForkServer(pipelined=False) as fs:
+            assert not fs.pipelined
+            child = fs.spawn(["/bin/sh", "-c", "exit 7"])
+            assert child.wait(timeout=10) == 7
+
+    def test_locked_mode_threads_serialise_but_succeed(self):
+        with ForkServer(pipelined=False) as fs:
+            statuses = []
+            lock = threading.Lock()
+
+            def client():
+                status = fs.spawn(["/bin/true"]).wait(timeout=30)
+                with lock:
+                    statuses.append(status)
+
+            threads = [threading.Thread(target=client) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert statuses == [0] * 4
+
+
+class TestDeadHelper:
+    def test_killed_helper_is_detected(self):
+        fs = ForkServer().start()
+        try:
+            assert fs.healthy
+            os.kill(fs.helper_pid, signal.SIGKILL)
+            with pytest.raises(SpawnError):
+                fs.spawn(["/bin/true"]).wait(timeout=10)
+            assert not fs.healthy
+        finally:
+            fs.abort()
+        assert not fs.running
+
+    def test_killed_helper_wakes_parked_waiter(self):
+        fs = ForkServer().start()
+        child = fs.spawn(["/bin/sleep", "5"])
+        outcome = {}
+
+        def waiter():
+            try:
+                outcome["status"] = child.wait()
+            except SpawnError as exc:
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.1)  # let the wait get parked in the helper
+        os.kill(fs.helper_pid, signal.SIGKILL)
+        thread.join(timeout=10)
+        assert not thread.is_alive(), "parked waiter stranded forever"
+        assert "error" in outcome
+        fs.abort()
+        os.kill(child.pid, signal.SIGKILL)  # orphan cleanup

@@ -182,7 +182,8 @@ class TestStrategyPlumbing:
         assert child.wait() == 4
 
     def test_all_strategies_registered(self):
-        assert set(STRATEGIES) == {"posix_spawn", "fork_exec", "subprocess"}
+        assert set(STRATEGIES) == {"posix_spawn", "fork_exec",
+                                   "subprocess", "forkserver-pool"}
 
 
 class TestSpawnedIO:
