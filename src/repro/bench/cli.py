@@ -9,21 +9,33 @@ Usage::
     repro-bench run all --parallel   # ... across a pool of spawned workers
     repro-bench run t1-api,t3-overcommit --quick
     repro-bench run t1-api --json
+    repro-bench run t5-throughput --trace out.jsonl
+    repro-bench metrics              # live sample: p50/p95/p99 per strategy
+    repro-bench metrics --from out.jsonl
 
 ``--parallel`` dogfoods the repo's own :class:`~repro.core.pool.SpawnPool`:
 each experiment runs in a spawned (never forked) worker interpreter, and
 results print in the same deterministic order as a serial run.
+
+``--trace`` flips :data:`repro.obs.TELEMETRY` on for the duration of the
+run, so every spawn the experiments perform emits its per-stage JSONL
+timeline; ``metrics`` renders the aggregated histograms, either from a
+fresh in-process sample or from a trace file written earlier.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from typing import List, Optional, Sequence
 
-from ..errors import ReproError
+from ..errors import ObsError, ReproError
+from ..obs import JsonlSink, StderrSink, TELEMETRY, read_jsonl
 from .experiments import base
+from .render import render_table
+from .stats import format_ns, percentile
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,6 +59,21 @@ def build_parser() -> argparse.ArgumentParser:
                              "spawned worker processes")
     runner.add_argument("--jobs", type=int, default=4, metavar="N",
                         help="worker processes for --parallel (default 4)")
+    runner.add_argument("--trace", metavar="PATH",
+                        help="enable spawn telemetry and append per-stage "
+                             "trace events to PATH as JSONL ('-' for stderr)")
+    metrics = sub.add_parser(
+        "metrics", help="spawn latency percentiles per strategy")
+    metrics.add_argument("--from", dest="trace_file", metavar="PATH",
+                         help="aggregate a trace file written by "
+                              "'run --trace' instead of sampling live")
+    metrics.add_argument("--samples", type=int, default=40, metavar="N",
+                         help="live mode: spawns per strategy (default 40)")
+    metrics.add_argument("--strategies", metavar="A,B",
+                         help="live mode: comma list of strategies to "
+                              "sample (default: all registered)")
+    metrics.add_argument("--json", action="store_true",
+                         help="emit the full metrics snapshot as JSON")
     return parser
 
 
@@ -103,6 +130,121 @@ def _run_parallel(targets: List[str], quick: bool, as_json: bool,
         _print_payload(payload, as_json)
 
 
+@contextlib.contextmanager
+def _tracing(target: Optional[str]):
+    """Enable TELEMETRY around a run; ``'-'`` streams to stderr."""
+    if target is None:
+        yield
+        return
+    sink = StderrSink() if target == "-" else JsonlSink(target)
+    TELEMETRY.enable(sink, reset_metrics=True)
+    try:
+        yield
+    finally:
+        closing = TELEMETRY.disable()
+        if closing is not None:
+            closing.close()
+
+
+def _sample_live_metrics(samples: int,
+                         strategy_names: Optional[List[str]]) -> None:
+    """Spawn ``/bin/true`` ``samples`` times per strategy, metrics only."""
+    from ..core.spawn import ProcessBuilder
+    from ..core.strategies import get_strategy, strategies
+    names = strategy_names or strategies()
+    for name in names:
+        get_strategy(name)  # fail fast on typos, before any sampling
+    TELEMETRY.enable(sink=None, reset_metrics=True)
+    try:
+        for name in names:
+            for _ in range(samples):
+                child = ProcessBuilder("/bin/true").strategy(name).spawn()
+                child.wait(timeout=30)
+    finally:
+        TELEMETRY.disable()
+
+
+def _metrics_rows_from_registry() -> List[List[str]]:
+    """``strategy | spawns | failures | p50 | p95 | p99`` rows."""
+    registry = TELEMETRY.metrics
+    failures = {labels.get("strategy", ""): counter.value
+                for name, labels, counter in registry.counters()
+                if name == "spawn_failures"}
+    spawns = {labels.get("strategy", ""): counter.value
+              for name, labels, counter in registry.counters()
+              if name == "spawns"}
+    rows = []
+    for name, labels, histogram in registry.histograms():
+        if name != "spawn_latency_ns" or not histogram.count:
+            continue
+        strategy = labels.get("strategy", "")
+        quantiles = histogram.quantile_summary()
+        rows.append([strategy, str(spawns.get(strategy, histogram.count)),
+                     str(failures.get(strategy, 0)),
+                     format_ns(quantiles["p50"]), format_ns(quantiles["p95"]),
+                     format_ns(quantiles["p99"])])
+    for strategy, count in sorted(failures.items()):
+        if count and strategy not in {row[0] for row in rows}:
+            rows.append([strategy, str(spawns.get(strategy, 0)), str(count),
+                         "-", "-", "-"])
+    return rows
+
+
+def _metrics_rows_from_trace(path: str) -> List[List[str]]:
+    """The same table, rebuilt from a ``run --trace`` JSONL file."""
+    latencies: dict = {}
+    spawns: dict = {}
+    failures: dict = {}
+    for event in read_jsonl(path):
+        strategy = event.get("strategy", "")
+        kind = event.get("event")
+        if kind == "spawn":
+            spawns[strategy] = spawns.get(strategy, 0) + 1
+            if event.get("launch_ns") is not None:
+                latencies.setdefault(strategy, []).append(
+                    float(event["launch_ns"]))
+        elif kind == "error":
+            failures[strategy] = failures.get(strategy, 0) + 1
+    rows = []
+    for strategy in sorted(set(spawns) | set(failures)):
+        samples = latencies.get(strategy)
+        if samples:
+            p50, p95, p99 = (format_ns(percentile(samples, f))
+                             for f in (0.50, 0.95, 0.99))
+        else:
+            p50 = p95 = p99 = "-"
+        rows.append([strategy, str(spawns.get(strategy, 0)),
+                     str(failures.get(strategy, 0)), p50, p95, p99])
+    return rows
+
+
+def _run_metrics(args) -> int:
+    if args.trace_file is None:
+        _sample_live_metrics(max(1, args.samples),
+                             [s for s in args.strategies.split(",") if s]
+                             if args.strategies else None)
+        source = f"live sample, {max(1, args.samples)} spawns per strategy"
+    else:
+        source = args.trace_file
+    if args.json and args.trace_file is None:
+        print(json.dumps(TELEMETRY.metrics.snapshot(), indent=2))
+        return 0
+    rows = (_metrics_rows_from_trace(args.trace_file)
+            if args.trace_file else _metrics_rows_from_registry())
+    if args.json:
+        print(json.dumps([dict(zip(("strategy", "spawns", "failures",
+                                    "p50", "p95", "p99"), row))
+                          for row in rows], indent=2))
+        return 0
+    if not rows:
+        print(f"no spawn events found ({source})")
+        return 0
+    print(render_table(
+        ["strategy", "spawns", "failures", "p50", "p95", "p99"], rows,
+        title=f"spawn launch latency ({source})"))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list" or args.command is None:
@@ -119,14 +261,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print("error: no experiment ids given", file=sys.stderr)
             return 2
         try:
-            if args.parallel:
-                _run_parallel(targets, args.quick, args.json, args.jobs)
-            else:
-                _run_serial(targets, args.quick, args.json)
+            with _tracing(args.trace):
+                if args.parallel:
+                    _run_parallel(targets, args.quick, args.json, args.jobs)
+                else:
+                    _run_serial(targets, args.quick, args.json)
         except ReproError as err:
             print(f"error: {err}", file=sys.stderr)
             return 2
         return 0
+    if args.command == "metrics":
+        try:
+            return _run_metrics(args)
+        except (ObsError, ReproError, OSError) as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
     return 2
 
 

@@ -3,14 +3,22 @@
 Highlights:
 
 * :class:`ProcessBuilder` / :func:`run` — fluent spawn API over
-  ``posix_spawn`` (default), fork+exec, or the stdlib.
+  ``posix_spawn`` (default), fork+exec, or the stdlib; ``run`` returns
+  a :class:`CompletedChild` that still unpacks as ``(rc, stdout)``.
 * :class:`Pipeline` — shell-style composition without fork.
 * :class:`ForkServer` — the zygote pattern: fork a pristine helper, not
   the real parent — with a pipelined, correlation-id wire protocol.
 * :class:`ForkServerPool` — the zygote pattern as a *service*: requests
   sharded across several helpers, with lazy start and crash recovery.
+* :func:`register_strategy` / :func:`strategies` / :func:`get_strategy`
+  — the launch-strategy registry (the module-level ``STRATEGIES`` dict
+  survives for old callers but is deprecated).
 * :mod:`repro.core.safety` — audit whether forking is safe right now;
   :mod:`repro.core.atfork` — the pthread_atfork discipline.
+
+Every layer is instrumented through :mod:`repro.obs`: enable
+``repro.obs.TELEMETRY`` and each spawn emits per-stage trace events and
+aggregates latency histograms per strategy.
 """
 
 from .attrs import SpawnAttributes
@@ -20,21 +28,24 @@ from .forkserver import ForkServer
 from .forkserver_pool import ForkServerPool
 from .pipeline import Pipeline, PipelineResult
 from .pool import SpawnPool, callable_spec
-from .result import ChildProcess
+from .result import ChildProcess, CompletedChild
 from .safety import Hazard, assess, guarded_fork, is_fork_safe
 from .spawn import ProcessBuilder, SpawnedIO, run
-from .strategies import (STRATEGIES, ForkExecStrategy,
-                         ForkServerPoolStrategy, PosixSpawnStrategy,
-                         Strategy, SubprocessStrategy,
-                         pick_default_strategy)
+from .strategies import (ForkExecStrategy, ForkServerPoolStrategy,
+                         PosixSpawnStrategy, Strategy, SubprocessStrategy,
+                         get_strategy, pick_default_strategy,
+                         register_strategy, strategies)
+from .strategies import _REGISTRY as STRATEGIES  # deprecated alias
 
 __all__ = [
-    "AtForkRegistry", "ChildProcess", "FileActions", "ForkExecStrategy",
+    "AtForkRegistry", "ChildProcess", "CompletedChild", "FileActions",
+    "ForkExecStrategy",
     "ForkServer", "ForkServerPool", "ForkServerPoolStrategy", "Hazard",
     "Pipeline", "PipelineResult",
     "PosixSpawnStrategy", "ProcessBuilder", "STRATEGIES", "SpawnAttributes",
     "SpawnPool",
     "SpawnedIO", "Strategy", "SubprocessStrategy", "assess",
-    "fork_with_handlers", "guarded_fork", "is_fork_safe",
-    "callable_spec", "pick_default_strategy", "register", "run",
+    "fork_with_handlers", "get_strategy", "guarded_fork", "is_fork_safe",
+    "callable_spec", "pick_default_strategy", "register", "register_strategy",
+    "run", "strategies",
 ]

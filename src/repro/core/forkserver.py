@@ -36,6 +36,7 @@ import threading
 from typing import Dict, Optional, Sequence
 
 from ..errors import SpawnError
+from ..obs import NULL_TRACE, TELEMETRY
 from .result import ChildProcess
 
 _LEN = struct.Struct("!I")
@@ -51,7 +52,7 @@ _LEN = struct.Struct("!I")
 #: clients keep flowing.  A blocking waitpid here would stall every
 #: in-flight request behind one caller's child.
 _SERVER_SOURCE = r"""
-import array, json, os, select, signal, socket, struct, sys
+import array, json, os, select, signal, socket, struct, sys, time
 
 LEN = struct.Struct("!I")
 sock = socket.socket(fileno=int(sys.argv[1]))
@@ -155,6 +156,7 @@ while running:
         running = False
     elif op == "spawn":
         pid = os.fork()
+        t_fork = time.monotonic_ns()
         if pid == 0:
             try:
                 for target, fd in enumerate(fds):  # stdio triple
@@ -172,7 +174,13 @@ while running:
                 os._exit(127)
         for fd in fds:
             os.close(fd)
-        send_reply(rid, {"pid": pid})
+        # The client's trace id rides next to the correlation id; echo
+        # it with our fork timestamp (CLOCK_MONOTONIC is system-wide on
+        # Linux, so the client can splice it into its own timeline).
+        reply = {"pid": pid, "t_fork_ns": t_fork}
+        if request.get("trace") is not None:
+            reply["trace"] = request["trace"]
+        send_reply(rid, reply)
     elif op == "wait":
         pid = request["pid"]
         if pid in statuses:
@@ -404,7 +412,8 @@ class ForkServer:
         for pending in stranded:
             pending.event.set()
 
-    def _roundtrip(self, obj: dict, fds: Sequence[int] = ()) -> dict:
+    def _roundtrip(self, obj: dict, fds: Sequence[int] = (),
+                   trace=NULL_TRACE) -> dict:
         sock = self._require_sock()
         if not self._pipelined:
             # Historical baseline: one global lock around the whole
@@ -414,6 +423,7 @@ class ForkServer:
                 self._next_id += 1
                 try:
                     self._send(sock, dict(obj, id=rid), fds)
+                    trace.stage("framed", request_id=rid)
                     reply = self._recv(sock)
                 except OSError as exc:
                     self._dead = str(exc) or type(exc).__name__
@@ -434,6 +444,7 @@ class ForkServer:
         try:
             with self._send_lock:
                 self._send(sock, dict(obj, id=rid), fds)
+            trace.stage("framed", request_id=rid)
         except OSError as exc:
             with self._state_lock:
                 self._pending.pop(rid, None)
@@ -454,24 +465,47 @@ class ForkServer:
     def spawn(self, argv: Sequence[str], *,
               env: Optional[Dict[str, str]] = None,
               cwd: Optional[str] = None,
-              stdin: int = 0, stdout: int = 1, stderr: int = 2) -> ChildProcess:
+              stdin: int = 0, stdout: int = 1, stderr: int = 2,
+              trace=None) -> ChildProcess:
         """Ask the helper to fork+exec ``argv``; returns a handle.
 
         ``stdin``/``stdout``/``stderr`` are descriptors *in this
         process*; they are shipped to the helper as SCM_RIGHTS and become
         the child's fds 0-2 — the explicit-grant model, like the spawn
         API's file actions.
+
+        ``trace`` is an optional :class:`~repro.obs.SpawnTrace` to stamp
+        (a caller further up owns it); with telemetry enabled and no
+        trace given, the server starts and owns one itself.  The trace
+        id travels in the wire request next to the correlation id, and
+        the helper's reply carries its own fork timestamp back.
         """
         if not argv:
             raise SpawnError("empty argv")
-        reply = self._roundtrip(
-            {"op": "spawn", "argv": [os.fspath(a) for a in argv],
-             "env": env, "cwd": cwd},
-            fds=(stdin, stdout, stderr))
-        if "pid" not in reply:
-            raise SpawnError(f"forkserver refused spawn: {reply}")
+        owns = trace is None or not trace
+        if owns:
+            trace = TELEMETRY.trace("forkserver", argv)
+            trace.stage("dispatch", helper_pid=self._pid)
+        TELEMETRY.count("fd_grants", 3)
+        request = {"op": "spawn", "argv": [os.fspath(a) for a in argv],
+                   "env": env, "cwd": cwd}
+        if trace:
+            request["trace"] = trace.trace_id
+        try:
+            reply = self._roundtrip(request, fds=(stdin, stdout, stderr),
+                                    trace=trace)
+            if "pid" not in reply:
+                raise SpawnError(f"forkserver refused spawn: {reply}")
+        except SpawnError as exc:
+            if owns:
+                trace.failure(exc)
+            raise
+        trace.stage("forked", t_ns=reply.get("t_fork_ns"),
+                    pid=reply["pid"], helper_pid=self._pid)
+        if owns:
+            trace.success(reply["pid"])
         return ChildProcess(reply["pid"], argv=argv, strategy="forkserver",
-                            reaper=self._reap)
+                            reaper=self._reap, trace=trace)
 
     def _reap(self, pid: int, flags: int) -> Optional[int]:
         """Wait on a child through the helper.

@@ -27,6 +27,7 @@ import time
 from typing import List, Optional, Sequence
 
 from ..errors import SpawnError
+from ..obs import TELEMETRY
 from .forkserver import ForkServer
 from .result import ChildProcess
 
@@ -139,6 +140,7 @@ class ForkServerPool:
         dead, slot.server = slot.server, None
         slot.load = 0
         self._respawns += 1
+        TELEMETRY.count("pool_retire")
         if dead is not None:
             try:
                 dead.abort()
@@ -184,6 +186,7 @@ class ForkServerPool:
                 continue
             try:
                 server = ForkServer().start()
+                TELEMETRY.count("pool_worker_boot")
             except Exception:
                 self._release(boot_slot)
                 raise
@@ -217,33 +220,53 @@ class ForkServerPool:
     def spawn(self, argv: Sequence[str], *,
               env=None, cwd=None,
               stdin: int = 0, stdout: int = 1,
-              stderr: int = 2) -> ChildProcess:
+              stderr: int = 2, trace=None) -> ChildProcess:
         """Spawn through the least-loaded helper; retries dead workers.
 
         Same contract as :meth:`ForkServer.spawn`.  A helper that turns
         out to be dead is replaced and the request moves on; only a
         refusal from a *live* helper (bad request) propagates directly.
+        A retried request stamps ``framed`` once per attempt, so the
+        trace shows the failover instead of hiding it.
         """
         if not argv:
             raise SpawnError("empty argv")
+        owns = trace is None or not trace
+        if owns:
+            trace = TELEMETRY.trace("forkserver-pool", argv)
+            trace.stage("dispatch")
         last_error: Optional[SpawnError] = None
         for _ in range(len(self._slots) + 1):
             slot = self._pick()
+            if TELEMETRY.enabled:
+                TELEMETRY.count("pool_dispatch")
+                with self._lock:
+                    depth = sum(s.load for s in self._slots)
+                TELEMETRY.gauge("pool_queue_depth", depth)
             server = slot.server
             if server is None:  # retired between pick and use; go again
                 self._release(slot)
                 continue
             try:
                 child = server.spawn(argv, env=env, cwd=cwd, stdin=stdin,
-                                     stdout=stdout, stderr=stderr)
+                                     stdout=stdout, stderr=stderr,
+                                     trace=trace)
             except SpawnError as exc:
                 self._release(slot)
                 if server.healthy:
+                    if owns:
+                        trace.failure(exc)
                     raise  # a real refusal, not a dead worker
                 last_error = exc
                 continue  # next _pick() retires it and tries elsewhere
-            return ChildProcess(
+            if owns:
+                trace.success(child.pid)
+            wrapped = ChildProcess(
                 child.pid, argv=argv, strategy="forkserver-pool",
-                reaper=self._pool_reaper(slot, server, argv))
-        raise SpawnError(
+                reaper=self._pool_reaper(slot, server, argv), trace=trace)
+            return wrapped
+        error = SpawnError(
             f"no forkserver worker could spawn {argv!r}: {last_error}")
+        if owns:
+            trace.failure(error)
+        raise error

@@ -26,6 +26,7 @@ import sys
 from typing import Any, Callable, Iterable, List, Optional, Sequence
 
 from ..errors import SpawnError
+from ..obs import TELEMETRY
 from .result import ChildProcess
 from .spawn import ProcessBuilder
 
@@ -108,6 +109,7 @@ class _Worker:
         (length,) = _LEN.unpack(header)
         ok, payload = pickle.loads(self._read_exact(length))
         if not ok:
+            TELEMETRY.count("spawnpool_task_failures")
             raise SpawnError(f"worker task failed: {payload.strip()}")
         return payload
 
@@ -191,6 +193,7 @@ class SpawnPool:
         spec = callable_spec(func)
         worker = self._workers[self._next % len(self._workers)]
         self._next += 1
+        TELEMETRY.count("spawnpool_tasks")
         return worker.call(spec, args, kwargs)
 
     def map(self, func: Callable, items: Iterable[Any]) -> List[Any]:
@@ -212,12 +215,14 @@ class SpawnPool:
                 request = pickle.dumps((spec, (item,), {}))
                 os.write(worker.stdin_fd,
                          _LEN.pack(len(request)) + request)
+                TELEMETRY.count("spawnpool_tasks")
             for offset in range(len(batch)):
                 worker = self._workers[offset]
                 header = worker._read_exact(_LEN.size)
                 (length,) = _LEN.unpack(header)
                 ok, payload = pickle.loads(worker._read_exact(length))
                 if not ok:
+                    TELEMETRY.count("spawnpool_task_failures")
                     raise SpawnError(f"worker task failed: "
                                      f"{payload.strip()}")
                 results[start + offset] = payload

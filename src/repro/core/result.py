@@ -3,7 +3,8 @@
 A :class:`ChildProcess` wraps a pid the library created.  It reaps
 exactly once (``waitpid`` results are cached), exposes the decoded exit
 status, and distinguishes normal exit from signal death — the plumbing
-every strategy shares.
+every strategy shares.  :class:`CompletedChild` is the already-finished
+counterpart that :func:`repro.core.run` returns.
 """
 
 from __future__ import annotations
@@ -11,9 +12,10 @@ from __future__ import annotations
 import os
 import signal
 import time
-from typing import Optional
+from typing import Iterator, Optional, Sequence, Tuple
 
 from ..errors import SpawnError
+from ..obs import NULL_TRACE
 
 
 class ChildProcess:
@@ -22,15 +24,31 @@ class ChildProcess:
     ``reaper`` abstracts who calls ``waitpid``: children created by the
     forkserver are the *server's* children, so their statuses come back
     over the control channel instead of from the host kernel.
+
+    Usable as a context manager: on ``with``-exit the handle closes its
+    attached :class:`~repro.core.spawn.SpawnedIO` pipe ends (so a child
+    reading a piped stdin sees EOF rather than blocking forever) and
+    waits for the exit status — no leaked descriptors, no zombies::
+
+        with ProcessBuilder("/bin/true").spawn() as child:
+            pass
+        assert child.returncode == 0
     """
 
     def __init__(self, pid: int, *, argv=(), strategy: str = "?",
-                 reaper=None):
+                 reaper=None, trace=None):
         self.pid = pid
         self.argv = tuple(argv)
         self.strategy = strategy
+        self.io = None  # SpawnedIO, attached by ProcessBuilder.spawn
         self._reaper = reaper
+        self._trace = trace if trace is not None else NULL_TRACE
         self._status: Optional[int] = None  # raw waitpid status, once known
+
+    def attach_trace(self, trace) -> None:
+        """Adopt a live :class:`~repro.obs.SpawnTrace` (no-op for null)."""
+        if trace:
+            self._trace = trace
 
     # -- status decoding -------------------------------------------------
 
@@ -61,6 +79,7 @@ class ChildProcess:
             if status is None:
                 return False
             self._status = status
+            self._trace.reaped(self.returncode)
             return True
         try:
             pid, status = os.waitpid(self.pid, flags)
@@ -70,6 +89,7 @@ class ChildProcess:
         if pid == 0:
             return False
         self._status = status
+        self._trace.reaped(self.returncode)
         return True
 
     def poll(self) -> Optional[int]:
@@ -98,6 +118,20 @@ class ChildProcess:
             delay = min(delay * 2, 0.05)
         raise SpawnError(f"timeout waiting for pid {self.pid}")
 
+    # -- context management ------------------------------------------------
+
+    def __enter__(self) -> "ChildProcess":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self.io is not None:
+            self.io.close()
+        if self._status is None:
+            try:
+                self.wait()
+            except SpawnError:
+                pass  # already reaped elsewhere; nothing left to release
+
     # -- signalling --------------------------------------------------------
 
     def send_signal(self, signum: int) -> None:
@@ -117,3 +151,44 @@ class ChildProcess:
     def __repr__(self):
         state = (f"rc={self.returncode}" if self.finished else "running")
         return (f"<ChildProcess pid={self.pid} via {self.strategy} {state}>")
+
+
+class CompletedChild:
+    """The outcome of :func:`repro.core.run`: one finished child.
+
+    Carries everything the convenience wrapper knows — argv, decoded
+    returncode, captured stdout, wall-clock duration — while still
+    unpacking like the historical ``(returncode, stdout)`` tuple::
+
+        code, out = run("/bin/echo", "hi")      # old shape, still fine
+        result = run("/bin/echo", "hi")         # new shape
+        result.check().stdout                   # raise unless exit 0
+    """
+
+    __slots__ = ("argv", "returncode", "stdout", "duration")
+
+    def __init__(self, argv: Sequence[str], returncode: int,
+                 stdout: bytes, duration: float):
+        self.argv = tuple(argv)
+        self.returncode = returncode
+        self.stdout = stdout
+        self.duration = duration
+
+    def __iter__(self) -> Iterator:
+        # Tuple-compatibility: `code, out = run(...)` keeps working.
+        return iter((self.returncode, self.stdout))
+
+    def as_tuple(self) -> Tuple[int, bytes]:
+        return (self.returncode, self.stdout)
+
+    def check(self) -> "CompletedChild":
+        """Raise :class:`SpawnError` unless the child exited 0."""
+        if self.returncode != 0:
+            raise SpawnError(
+                f"{' '.join(self.argv)!r} exited with {self.returncode}")
+        return self
+
+    def __repr__(self):
+        return (f"<CompletedChild {' '.join(self.argv)!r} "
+                f"rc={self.returncode} {len(self.stdout)}B "
+                f"{self.duration * 1e3:.1f}ms>")

@@ -14,24 +14,38 @@ per the paper's recommendation) and returns a
     0
 
 The builder owns the descriptors it creates (pipes, opened files) and
-closes the parent-side leftovers after launch, so the EOF-forever pipe
-bug cannot be written through this API.
+closes the parent-side leftovers after launch — including on the error
+path, when the strategy refuses the request — so neither the
+EOF-forever pipe bug nor a descriptor leak can be written through this
+API.
+
+When :data:`repro.obs.TELEMETRY` is enabled, every spawn carries a
+:class:`~repro.obs.SpawnTrace`: ``build`` is stamped at builder
+construction, ``dispatch`` when a strategy takes the request, the
+strategy stamps what its syscall can see, and the eventual
+``wait``/``poll`` closes the timeline with ``reaped``.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Sequence, Tuple
+import time
+from typing import Dict, List, Optional
 
 from ..errors import SpawnError
+from ..obs import TELEMETRY
 from .attrs import SpawnAttributes
 from .file_actions import FileActions
-from .result import ChildProcess
-from .strategies import STRATEGIES, Strategy, pick_default_strategy
+from .result import ChildProcess, CompletedChild
+from .strategies import Strategy, get_strategy, pick_default_strategy
 
 
 class SpawnedIO:
-    """Parent-side endpoints of a spawned child's piped stdio."""
+    """Parent-side endpoints of a spawned child's piped stdio.
+
+    A context manager: ``with builder.io:`` guarantees the parent-side
+    pipe ends are closed on the way out, whatever the block did.
+    """
 
     def __init__(self, stdin_fd: Optional[int], stdout_fd: Optional[int],
                  stderr_fd: Optional[int]):
@@ -81,6 +95,12 @@ class SpawnedIO:
                 os.close(fd)
                 setattr(self, attr, None)
 
+    def __enter__(self) -> "SpawnedIO":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
 
 class ProcessBuilder:
     """Fluent construction of one child process.
@@ -101,6 +121,7 @@ class ProcessBuilder:
         self._child_side_fds: List[int] = []
         self._io = SpawnedIO(None, None, None)
         self._spawned = False
+        self._created_ns = TELEMETRY.now_ns()  # None while telemetry is off
 
     # -- argv and environment ---------------------------------------------
 
@@ -211,26 +232,40 @@ class ProcessBuilder:
     # -- launch --------------------------------------------------------------
 
     def strategy(self, name: str) -> "ProcessBuilder":
-        """Force a launch strategy by name (see ``STRATEGIES``)."""
-        if name not in STRATEGIES:
-            raise SpawnError(
-                f"unknown strategy {name!r}; have {sorted(STRATEGIES)}")
-        self._strategy = STRATEGIES[name]
+        """Force a launch strategy by name (see
+        :func:`repro.core.strategies.strategies`)."""
+        self._strategy = get_strategy(name)
         return self
 
     def spawn(self) -> ChildProcess:
-        """Launch the child; parent-side pipe ends stay on :attr:`io`."""
+        """Launch the child; parent-side pipe ends stay on :attr:`io`.
+
+        On a failed launch the builder closes *all* the descriptors it
+        created — the child-side pipe ends it always owned and the
+        parent-side ends that would otherwise have been handed back on
+        :attr:`io` — so a refused spawn leaks nothing.
+        """
         if self._spawned:
             raise SpawnError("this builder already spawned its child")
         self._spawned = True
         strategy = self._strategy or pick_default_strategy(self._attrs)
+        trace = TELEMETRY.trace(strategy.name, self._argv,
+                                start_ns=self._created_ns)
+        trace.stage("dispatch")
         try:
-            child = strategy.launch(self._argv, self._actions, self._attrs)
+            child = strategy.launch(self._argv, self._actions, self._attrs,
+                                    trace=trace)
+        except BaseException as error:
+            trace.failure(error)
+            self._io.close()
+            raise
         finally:
             for fd in self._child_side_fds:
                 os.close(fd)
             self._child_side_fds = []
+        trace.success(child.pid)
         child.io = self._io
+        child.attach_trace(trace)
         return child
 
     @property
@@ -242,14 +277,17 @@ class ProcessBuilder:
         return f"<ProcessBuilder {' '.join(self._argv)!r}>"
 
 
-def run(*argv: str, timeout: Optional[float] = None) -> Tuple[int, bytes]:
+def run(*argv: str, timeout: Optional[float] = None) -> CompletedChild:
     """Convenience: spawn, capture stdout, wait.
 
-    Returns ``(returncode, stdout_bytes)``.
+    Returns a :class:`~repro.core.result.CompletedChild` — which still
+    unpacks as the historical ``(returncode, stdout_bytes)`` pair.
     """
+    started = time.monotonic()
     builder = ProcessBuilder(*argv).stdout_to_pipe()
     child = builder.spawn()
     output = builder.io.read_stdout()
     code = child.wait(timeout=timeout)
     builder.io.close()
-    return code, output
+    return CompletedChild(argv=child.argv, returncode=code, stdout=output,
+                          duration=time.monotonic() - started)

@@ -16,9 +16,23 @@ compare mechanisms instead of APIs:
   shared :class:`~repro.core.forkserver_pool.ForkServerPool` of
   pipelined helpers, started lazily on first use.
 
+Strategies register themselves with the :func:`register_strategy`
+class decorator; :func:`strategies` lists the known names and
+:func:`get_strategy` resolves one (raising :class:`SpawnError` that
+names the alternatives on a typo).  The old module-level ``STRATEGIES``
+dict still resolves for existing callers but is deprecated — it now
+warns on access; new code should use the functions.
+
 Strategies raise :class:`~repro.errors.SpawnError` for requests they
 cannot express (e.g. plain posix_spawn has no ``cwd`` attribute) instead
 of silently approximating.
+
+Every ``launch`` accepts an optional :class:`~repro.obs.SpawnTrace` and
+stamps the lifecycle stage its syscall can actually observe:
+``posix_spawn`` and ``subprocess`` stamp ``execed`` (their launch call
+subsumes exec), ``fork_exec`` stamps ``forked`` (the parent never sees
+the exec), and the forkserver pool defers to the wire protocol's
+``framed``/``forked`` stages.
 """
 
 from __future__ import annotations
@@ -27,9 +41,11 @@ import atexit
 import os
 import subprocess
 import threading
-from typing import List, Optional, Sequence
+import warnings
+from typing import Dict, List, Optional, Sequence
 
 from ..errors import SpawnError
+from ..obs import NULL_TRACE
 from .attrs import SpawnAttributes
 from .file_actions import FileActions
 from .forkserver_pool import ForkServerPool
@@ -56,7 +72,7 @@ class Strategy:
     name = "abstract"
 
     def launch(self, argv: Sequence[str], actions: FileActions,
-               attrs: SpawnAttributes) -> ChildProcess:
+               attrs: SpawnAttributes, trace=NULL_TRACE) -> ChildProcess:
         raise NotImplementedError
 
     def available(self) -> bool:
@@ -64,15 +80,64 @@ class Strategy:
         return True
 
 
+#: The registry behind :func:`strategies` / :func:`get_strategy`.
+_REGISTRY: Dict[str, Strategy] = {}
+
+
+def register_strategy(name: str):
+    """Class decorator: instantiate ``cls`` and register it as ``name``.
+
+        @register_strategy("my-launcher")
+        class MyLauncher(Strategy):
+            def launch(self, argv, actions, attrs, trace=NULL_TRACE): ...
+
+    The decorator sets ``cls.name``, so a strategy's identity lives in
+    exactly one place.  Duplicate names are an error — a silently
+    shadowed launcher is the kind of bug this registry exists to stop.
+    """
+    def decorate(cls):
+        if name in _REGISTRY:
+            raise SpawnError(f"strategy {name!r} is already registered")
+        cls.name = name
+        _REGISTRY[name] = cls()
+        return cls
+    return decorate
+
+
+def strategies() -> List[str]:
+    """The registered strategy names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_strategy(name: str) -> Strategy:
+    """Resolve a strategy by name; unknown names fail loudly and helpfully."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SpawnError(
+            f"unknown strategy {name!r}; known strategies: "
+            f"{', '.join(strategies())}") from None
+
+
+def __getattr__(attr: str):
+    # Deprecation shim: module-level STRATEGIES keeps working but warns.
+    if attr == "STRATEGIES":
+        warnings.warn(
+            "repro.core.strategies.STRATEGIES is deprecated; use "
+            "strategies() / get_strategy() / register_strategy()",
+            DeprecationWarning, stacklevel=2)
+        return _REGISTRY
+    raise AttributeError(f"module {__name__!r} has no attribute {attr!r}")
+
+
+@register_strategy("posix_spawn")
 class PosixSpawnStrategy(Strategy):
     """``os.posix_spawn`` — constant-cost process creation."""
-
-    name = "posix_spawn"
 
     def available(self) -> bool:
         return hasattr(os, "posix_spawn")
 
-    def launch(self, argv, actions, attrs) -> ChildProcess:
+    def launch(self, argv, actions, attrs, trace=NULL_TRACE) -> ChildProcess:
         attrs.validate()
         if attrs.needs_helper_hop():
             raise SpawnError(
@@ -83,9 +148,11 @@ class PosixSpawnStrategy(Strategy):
             path, list(argv), attrs.effective_env(),
             file_actions=actions.as_posix_spawn(),
             **attrs.posix_spawn_kwargs())
-        return ChildProcess(pid, argv=argv, strategy=self.name)
+        trace.stage("execed", pid=pid)
+        return ChildProcess(pid, argv=argv, strategy=self.name, trace=trace)
 
 
+@register_strategy("fork_exec")
 class ForkExecStrategy(Strategy):
     """Literal ``fork`` + child-side fixups + ``exec``.
 
@@ -94,12 +161,10 @@ class ForkExecStrategy(Strategy):
     fallback for requests posix_spawn cannot express.
     """
 
-    name = "fork_exec"
-
     def available(self) -> bool:
         return hasattr(os, "fork")
 
-    def launch(self, argv, actions, attrs) -> ChildProcess:
+    def launch(self, argv, actions, attrs, trace=NULL_TRACE) -> ChildProcess:
         attrs.validate()
         path = _resolve_executable(argv)
         env = attrs.effective_env()
@@ -113,9 +178,11 @@ class ForkExecStrategy(Strategy):
                 os.execve(path, list(argv), env)
             except BaseException:
                 os._exit(127)
-        return ChildProcess(pid, argv=argv, strategy=self.name)
+        trace.stage("forked", pid=pid)
+        return ChildProcess(pid, argv=argv, strategy=self.name, trace=trace)
 
 
+@register_strategy("subprocess")
 class SubprocessStrategy(Strategy):
     """The stdlib's ``subprocess.Popen`` as a reference implementation.
 
@@ -123,9 +190,7 @@ class SubprocessStrategy(Strategy):
     supported; the point of including it is calibration, not features.
     """
 
-    name = "subprocess"
-
-    def launch(self, argv, actions, attrs) -> ChildProcess:
+    def launch(self, argv, actions, attrs, trace=NULL_TRACE) -> ChildProcess:
         attrs.validate()
         if len(actions):
             raise SpawnError(
@@ -135,6 +200,7 @@ class SubprocessStrategy(Strategy):
             list(argv), env=attrs.effective_env(), cwd=attrs.cwd,
             start_new_session=attrs.new_process_group,
             restore_signals=attrs.reset_signals)
+        trace.stage("execed", pid=proc.pid)
 
         def reaper(pid: int, flags: int) -> Optional[int]:
             rc = proc.poll() if flags else proc.wait()
@@ -143,7 +209,7 @@ class SubprocessStrategy(Strategy):
             return _encode_status(rc)
 
         return ChildProcess(proc.pid, argv=argv, strategy=self.name,
-                            reaper=reaper)
+                            reaper=reaper, trace=trace)
 
 
 def _encode_status(returncode: int) -> int:
@@ -153,6 +219,7 @@ def _encode_status(returncode: int) -> int:
     return returncode << 8
 
 
+@register_strategy("forkserver-pool")
 class ForkServerPoolStrategy(Strategy):
     """Launch through a shared pool of pipelined forkserver helpers.
 
@@ -163,8 +230,6 @@ class ForkServerPoolStrategy(Strategy):
     explicit SCM_RIGHTS grant; actions that cannot be expressed that way
     are rejected rather than approximated.
     """
-
-    name = "forkserver-pool"
 
     def __init__(self, workers: Optional[int] = None):
         self._workers = workers
@@ -190,7 +255,7 @@ class ForkServerPoolStrategy(Strategy):
         if pool is not None:
             pool.stop()
 
-    def launch(self, argv, actions, attrs) -> ChildProcess:
+    def launch(self, argv, actions, attrs, trace=NULL_TRACE) -> ChildProcess:
         attrs.validate()
         if (attrs.new_process_group or attrs.reset_signals
                 or attrs.sigmask or attrs.umask is not None):
@@ -220,29 +285,22 @@ class ForkServerPoolStrategy(Strategy):
                         f"SCM_RIGHTS")
             child = self.pool().spawn(
                 argv, env=attrs.effective_env(), cwd=attrs.cwd,
-                stdin=stdio[0], stdout=stdio[1], stderr=stdio[2])
+                stdin=stdio[0], stdout=stdio[1], stderr=stdio[2],
+                trace=trace)
         finally:
             for handle in opened:
                 os.close(handle)
         return child
 
 
-#: Registry used by :class:`repro.core.spawn.ProcessBuilder`.
-STRATEGIES = {
-    PosixSpawnStrategy.name: PosixSpawnStrategy(),
-    ForkExecStrategy.name: ForkExecStrategy(),
-    SubprocessStrategy.name: SubprocessStrategy(),
-    ForkServerPoolStrategy.name: ForkServerPoolStrategy(),
-}
-
 # Helpers are real processes; make sure an interpreter that used the
 # shared pool does not strand them at exit.
-atexit.register(STRATEGIES[ForkServerPoolStrategy.name].shutdown)
+atexit.register(_REGISTRY["forkserver-pool"].shutdown)
 
 
 def pick_default_strategy(attrs: SpawnAttributes) -> Strategy:
     """The paper's policy: spawn by default, fork only when forced."""
-    posix = STRATEGIES["posix_spawn"]
+    posix = _REGISTRY["posix_spawn"]
     if posix.available() and not attrs.needs_helper_hop():
         return posix
-    return STRATEGIES["fork_exec"]
+    return _REGISTRY["fork_exec"]

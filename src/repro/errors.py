@@ -89,3 +89,7 @@ class LintError(ReproError):
 
 class BenchError(ReproError):
     """A benchmark harness precondition failed (unknown experiment, ...)."""
+
+
+class ObsError(ReproError):
+    """A telemetry precondition failed (bad sink, empty histogram, ...)."""

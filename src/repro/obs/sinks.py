@@ -1,0 +1,137 @@
+"""Trace sinks: where structured telemetry events go.
+
+A sink receives one plain-``dict`` event per call to :meth:`Sink.emit`
+and must be safe to call from many threads at once — the spawn service
+is hammered concurrently and every spawn emits several events.  Three
+implementations cover the useful points of the space:
+
+* :class:`RingBufferSink` — an in-memory ring of the last N events, for
+  tests and for the ``repro-bench metrics`` live sample;
+* :class:`JsonlSink` — one JSON object per line to a file, the format
+  ``repro-bench run --trace out.jsonl`` writes and
+  ``repro-bench metrics --from out.jsonl`` reads back;
+* :class:`StderrSink` — JSONL to stderr, for watching a run live.
+
+Events are never deep-copied: emitters hand over freshly built dicts
+and must not mutate them afterwards.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import sys
+import threading
+from typing import Deque, IO, List, Optional
+
+from ..errors import ObsError
+
+
+class Sink:
+    """Interface: consume one structured telemetry event."""
+
+    def emit(self, event: dict) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources; further emits are undefined."""
+
+    def __enter__(self) -> "Sink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class RingBufferSink(Sink):
+    """Keep the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ObsError("ring buffer needs capacity >= 1")
+        self._events: Deque[dict] = collections.deque(maxlen=capacity)
+
+    def emit(self, event: dict) -> None:
+        self._events.append(event)
+
+    def events(self) -> List[dict]:
+        """A snapshot of the buffered events, oldest first."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class JsonlSink(Sink):
+    """Append events to a file as JSON Lines.
+
+    Accepts a path (opened and owned by the sink) or an already-open
+    text file object (flushed but not closed by :meth:`close`).
+    """
+
+    def __init__(self, target, *, flush_every: int = 64):
+        self._lock = threading.Lock()
+        self._flush_every = max(1, flush_every)
+        self._unflushed = 0
+        if hasattr(target, "write"):
+            self._file: Optional[IO[str]] = target
+            self._owns = False
+        else:
+            self._file = open(target, "a", encoding="utf-8")
+            self._owns = True
+
+    def emit(self, event: dict) -> None:
+        line = json.dumps(event, default=str)
+        with self._lock:
+            if self._file is None:
+                raise ObsError("emit on a closed JsonlSink")
+            self._file.write(line + "\n")
+            self._unflushed += 1
+            if self._unflushed >= self._flush_every:
+                self._file.flush()
+                self._unflushed = 0
+
+    def close(self) -> None:
+        with self._lock:
+            file, self._file = self._file, None
+            if file is None:
+                return
+            file.flush()
+            if self._owns:
+                file.close()
+
+
+class StderrSink(Sink):
+    """JSONL straight to stderr — live tracing without a file."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def emit(self, event: dict) -> None:
+        line = json.dumps(event, default=str)
+        with self._lock:
+            sys.stderr.write(line + "\n")
+
+
+def read_jsonl(path: str) -> List[dict]:
+    """Parse a JSONL trace file back into event dicts.
+
+    Blank lines are skipped; a malformed line raises :class:`ObsError`
+    naming its line number, since a truncated trace usually means the
+    producing run died mid-write and the caller should know.
+    """
+    events: List[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ObsError(
+                    f"{path}:{number}: not valid JSON ({exc.msg})") from exc
+    return events

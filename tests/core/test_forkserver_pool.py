@@ -8,7 +8,7 @@ import time
 import pytest
 
 from repro.core import ForkServerPool, ProcessBuilder
-from repro.core.strategies import STRATEGIES
+from repro.core.strategies import get_strategy
 from repro.errors import SpawnError
 
 
@@ -25,7 +25,7 @@ def pool():
 @pytest.fixture(autouse=True)
 def _shared_strategy_pool_teardown():
     yield
-    STRATEGIES["forkserver-pool"].shutdown()
+    get_strategy("forkserver-pool").shutdown()
 
 
 class TestLifecycle:
@@ -148,7 +148,7 @@ class TestStrategy:
             builder.spawn()
 
     def test_shutdown_then_relaunch(self):
-        strategy = STRATEGIES["forkserver-pool"]
+        strategy = get_strategy("forkserver-pool")
         first = strategy.pool()
         strategy.shutdown()
         assert first.closed

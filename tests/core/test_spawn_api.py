@@ -5,12 +5,21 @@ import signal
 
 import pytest
 
-from repro.core import ProcessBuilder, SpawnAttributes, run
-from repro.core.strategies import (STRATEGIES, pick_default_strategy,
+import sys
+
+from repro.core import CompletedChild, ProcessBuilder, SpawnAttributes, run
+from repro.core.strategies import (Strategy, get_strategy,
+                                   pick_default_strategy, register_strategy,
+                                   strategies, _REGISTRY,
                                    _resolve_executable)
 from repro.errors import SpawnError
 
 SH = "/bin/sh"
+
+
+def open_fds():
+    """The process's open descriptors, for leak accounting."""
+    return set(os.listdir("/proc/self/fd"))
 
 
 class TestRunConvenience:
@@ -21,6 +30,20 @@ class TestRunConvenience:
     def test_nonzero_exit_code(self):
         code, _ = run(SH, "-c", "exit 9")
         assert code == 9
+
+    def test_returns_completed_child(self):
+        result = run("/bin/echo", "shape")
+        assert isinstance(result, CompletedChild)
+        assert result.argv == ("/bin/echo", "shape")
+        assert result.returncode == 0
+        assert result.stdout == b"shape\n"
+        assert result.duration > 0
+        assert result.as_tuple() == (0, b"shape\n")
+
+    def test_check_raises_on_failure(self):
+        with pytest.raises(SpawnError):
+            run(SH, "-c", "exit 3").check()
+        assert run("/bin/true").check().returncode == 0
 
 
 class TestProcessBuilder:
@@ -93,8 +116,26 @@ class TestProcessBuilder:
             assert child.strategy == name
 
     def test_unknown_strategy_rejected(self):
-        with pytest.raises(SpawnError):
+        with pytest.raises(SpawnError) as excinfo:
             ProcessBuilder("/bin/true").strategy("teleport")
+        # The error must name the alternatives, not just reject.
+        for name in strategies():
+            assert name in str(excinfo.value)
+
+    def test_failed_launch_leaks_no_descriptors(self):
+        # Regression: a builder that already created pipes must close
+        # BOTH ends when the strategy refuses the launch — the
+        # parent-side endpoints used to survive on builder.io.
+        before = open_fds()
+        builder = (ProcessBuilder("/bin/cat")
+                   .stdin_from_pipe().stdout_to_pipe().stderr_to_pipe())
+        with pytest.raises(SpawnError):
+            # subprocess strategy takes no file actions -> launch raises
+            builder.strategy("subprocess").spawn()
+        assert open_fds() == before
+        assert builder.io.stdin_fd is None
+        assert builder.io.stdout_fd is None
+        assert builder.io.stderr_fd is None
 
     def test_builder_is_single_shot(self):
         builder = ProcessBuilder("/bin/true")
@@ -182,8 +223,43 @@ class TestStrategyPlumbing:
         assert child.wait() == 4
 
     def test_all_strategies_registered(self):
-        assert set(STRATEGIES) == {"posix_spawn", "fork_exec",
-                                   "subprocess", "forkserver-pool"}
+        assert set(strategies()) == {"posix_spawn", "fork_exec",
+                                     "subprocess", "forkserver-pool"}
+
+    def test_get_strategy_resolves(self):
+        assert get_strategy("posix_spawn").name == "posix_spawn"
+
+    def test_get_strategy_unknown_names_alternatives(self):
+        with pytest.raises(SpawnError) as excinfo:
+            get_strategy("nope")
+        assert "posix_spawn" in str(excinfo.value)
+
+    def test_register_strategy_decorator(self):
+        @register_strategy("test-noop-strategy")
+        class NoopStrategy(Strategy):
+            def launch(self, argv, actions, attrs, trace=None):
+                raise SpawnError("noop")
+        try:
+            assert NoopStrategy.name == "test-noop-strategy"
+            assert "test-noop-strategy" in strategies()
+            assert isinstance(get_strategy("test-noop-strategy"),
+                              NoopStrategy)
+        finally:
+            _REGISTRY.pop("test-noop-strategy", None)
+
+    def test_register_duplicate_name_rejected(self):
+        with pytest.raises(SpawnError):
+            @register_strategy("posix_spawn")
+            class Impostor(Strategy):
+                pass
+
+    def test_strategies_dict_access_is_deprecated(self):
+        # The package-level re-export shadows the submodule attribute,
+        # so reach the real module through sys.modules.
+        strategy_module = sys.modules["repro.core.strategies"]
+        with pytest.warns(DeprecationWarning):
+            legacy = strategy_module.STRATEGIES
+        assert set(legacy) == set(strategies())
 
 
 class TestSpawnedIO:

@@ -1,0 +1,12 @@
+"""Shared fixtures: every test leaves the global TELEMETRY switch off."""
+
+import pytest
+
+from repro.obs import TELEMETRY
+
+
+@pytest.fixture(autouse=True)
+def telemetry_off_after():
+    yield
+    TELEMETRY.disable()
+    TELEMETRY.metrics.reset()

@@ -1,0 +1,82 @@
+"""CLI surface: ``run --trace`` and the ``metrics`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.bench.cli import main as cli_main
+from repro.obs import TELEMETRY, read_jsonl
+
+
+class TestRunTrace:
+    def test_run_with_trace_writes_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        assert cli_main(["run", "t2-micro", "--quick",
+                         "--trace", str(out)]) == 0
+        events = read_jsonl(str(out))
+        assert any(e["event"] == "spawn" for e in events)
+        assert any(e["event"] == "stage" for e in events)
+
+    def test_run_trace_disables_telemetry_afterwards(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        cli_main(["run", "t2-micro", "--quick", "--trace", str(out)])
+        assert not TELEMETRY.enabled
+        assert TELEMETRY.sink is None
+
+
+class TestMetricsLive:
+    def test_prints_percentile_table(self, capsys):
+        assert cli_main(["metrics", "--samples", "3",
+                         "--strategies", "posix_spawn"]) == 0
+        output = capsys.readouterr().out
+        for column in ("strategy", "spawns", "failures", "p50", "p95",
+                       "p99", "posix_spawn"):
+            assert column in output
+
+    def test_json_snapshot(self, capsys):
+        assert cli_main(["metrics", "--samples", "2",
+                         "--strategies", "posix_spawn", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        names = {c["name"] for c in snapshot["counters"]}
+        assert "spawns" in names
+        assert any(h["name"] == "spawn_latency_ns"
+                   for h in snapshot["histograms"])
+
+    def test_unknown_strategy_is_an_error(self, capsys):
+        assert cli_main(["metrics", "--strategies", "teleport"]) == 2
+        assert "teleport" in capsys.readouterr().err
+
+
+class TestMetricsFromTrace:
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        assert cli_main(["run", "t2-micro", "--quick",
+                         "--trace", str(out)]) == 0
+        return str(out)
+
+    def test_aggregates_trace_file(self, trace_file, capsys):
+        capsys.readouterr()
+        assert cli_main(["metrics", "--from", trace_file]) == 0
+        output = capsys.readouterr().out
+        assert "p50" in output and "p99" in output
+        assert trace_file in output
+
+    def test_json_rows(self, trace_file, capsys):
+        capsys.readouterr()
+        assert cli_main(["metrics", "--from", trace_file, "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows, "expected at least one strategy row"
+        assert {"strategy", "spawns", "failures", "p50", "p95",
+                "p99"} <= set(rows[0])
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        assert cli_main(["metrics", "--from",
+                         str(tmp_path / "nope.jsonl")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_empty_file_reports_no_events(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert cli_main(["metrics", "--from", str(empty)]) == 0
+        assert "no spawn events" in capsys.readouterr().out

@@ -1,0 +1,92 @@
+"""Tests for the trace sinks and the JSONL round trip."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import JsonlSink, RingBufferSink, StderrSink, read_jsonl
+
+
+class TestRingBufferSink:
+    def test_keeps_most_recent(self):
+        sink = RingBufferSink(capacity=3)
+        for i in range(5):
+            sink.emit({"i": i})
+        assert [e["i"] for e in sink.events()] == [2, 3, 4]
+        assert len(sink) == 3
+
+    def test_clear(self):
+        sink = RingBufferSink()
+        sink.emit({"x": 1})
+        sink.clear()
+        assert sink.events() == []
+
+    def test_capacity_validated(self):
+        with pytest.raises(ObsError):
+            RingBufferSink(capacity=0)
+
+
+class TestJsonlSink:
+    def test_round_trip_through_file(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with JsonlSink(path) as sink:
+            sink.emit({"event": "stage", "t_ns": 1})
+            sink.emit({"event": "spawn", "ok": True})
+        events = read_jsonl(path)
+        assert events == [{"event": "stage", "t_ns": 1},
+                          {"event": "spawn", "ok": True}]
+
+    def test_wraps_open_file_without_closing_it(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        sink.emit({"a": 1})
+        sink.close()
+        assert not buffer.closed  # caller owns it
+        assert json.loads(buffer.getvalue()) == {"a": 1}
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "t.jsonl"))
+        sink.close()
+        with pytest.raises(ObsError):
+            sink.emit({"a": 1})
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "t.jsonl"))
+        sink.close()
+        sink.close()
+
+    def test_flush_threshold_flushes(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(str(path), flush_every=2)
+        sink.emit({"i": 1})
+        sink.emit({"i": 2})  # crosses the threshold -> flushed to disk
+        assert len(path.read_text().splitlines()) == 2
+        sink.close()
+
+    def test_non_serialisable_values_stringified(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with JsonlSink(path) as sink:
+            sink.emit({"error": ValueError("boom")})
+        assert "boom" in read_jsonl(path)[0]["error"]
+
+
+class TestStderrSink:
+    def test_writes_jsonl_to_stderr(self, capsys):
+        StderrSink().emit({"event": "stage"})
+        captured = capsys.readouterr()
+        assert json.loads(captured.err) == {"event": "stage"}
+
+
+class TestReadJsonl:
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"a": 1}\n\n{"b": 2}\n')
+        assert read_jsonl(str(path)) == [{"a": 1}, {"b": 2}]
+
+    def test_malformed_line_names_its_number(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"a": 1}\nnot json\n')
+        with pytest.raises(ObsError, match=":2:"):
+            read_jsonl(str(path))

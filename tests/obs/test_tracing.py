@@ -1,0 +1,230 @@
+"""End-to-end tracing tests: stage ordering, propagation, the no-op path."""
+
+import os
+
+import pytest
+
+from repro.core import ForkServer, ForkServerPool, ProcessBuilder, run
+from repro.obs import (NULL_TRACE, RingBufferSink, STAGES, SpawnTrace,
+                       TELEMETRY, new_trace_id)
+
+
+def stage_events(sink, trace_id):
+    return [e for e in sink.events()
+            if e["event"] == "stage" and e["trace"] == trace_id]
+
+
+def spawn_summaries(sink):
+    return [e for e in sink.events() if e["event"] == "spawn"]
+
+
+def assert_canonical_order(stage_names):
+    """Stamped stages appear in the canonical lifecycle order."""
+    positions = [STAGES.index(name) for name in stage_names]
+    assert positions == sorted(positions), stage_names
+
+
+class TestSpawnTraceUnit:
+    def test_trace_ids_are_unique(self):
+        assert new_trace_id() != new_trace_id()
+
+    def test_records_monotonic_stage_times(self):
+        sink = RingBufferSink()
+        trace = SpawnTrace(new_trace_id(), "x", ["/bin/true"], sink, None)
+        trace.stage("dispatch")
+        trace.stage("execed")
+        times = [t for _, t in trace.stages]
+        assert times == sorted(times)
+        assert [e["stage"] for e in sink.events()] == ["build", "dispatch",
+                                                       "execed"]
+
+    def test_reaped_is_idempotent(self):
+        sink = RingBufferSink()
+        trace = SpawnTrace(new_trace_id(), "x", ["/bin/true"], sink, None)
+        trace.reaped(0)
+        trace.reaped(0)  # pool spawns attach one trace to two handles
+        assert len(spawn_summaries(sink)) == 1
+
+    def test_launch_ns_uses_latest_launch_stage(self):
+        trace = SpawnTrace(new_trace_id(), "x", [], None, None, start_ns=100)
+        trace.stage("forked", t_ns=150)
+        trace.stage("execed", t_ns=175)
+        assert trace.launch_ns() == 75
+
+    def test_annotate_lands_in_summary(self):
+        sink = RingBufferSink()
+        trace = SpawnTrace(new_trace_id(), "x", [], sink, None)
+        trace.annotate(helper_pid=42)
+        trace.reaped(0)
+        assert spawn_summaries(sink)[0]["helper_pid"] == 42
+
+
+class TestDisabledPath:
+    def test_disabled_trace_is_null(self):
+        assert TELEMETRY.trace("posix_spawn") is NULL_TRACE
+        assert not NULL_TRACE
+        assert TELEMETRY.now_ns() is None
+
+    def test_null_trace_operations_are_noops(self):
+        NULL_TRACE.stage("dispatch")
+        NULL_TRACE.annotate(x=1)
+        NULL_TRACE.success(1)
+        NULL_TRACE.failure(ValueError("x"))
+        NULL_TRACE.reaped(0)
+
+    def test_disabled_spawn_emits_nothing(self):
+        sink = RingBufferSink()
+        TELEMETRY.enable(sink)
+        TELEMETRY.disable()
+        run("/bin/true")
+        assert sink.events() == []
+        assert TELEMETRY.metrics.counters() == []
+
+    def test_disabled_count_observe_gauge_do_nothing(self):
+        TELEMETRY.count("spawns")
+        TELEMETRY.observe("lat", 1.0)
+        TELEMETRY.gauge("depth", 1)
+        assert TELEMETRY.metrics.counters() == []
+
+
+class TestBuilderTracing:
+    def test_posix_spawn_stage_order(self):
+        sink = RingBufferSink()
+        TELEMETRY.enable(sink, reset_metrics=True)
+        child = ProcessBuilder("/bin/true").strategy("posix_spawn").spawn()
+        child.wait()
+        TELEMETRY.disable()
+        summary = spawn_summaries(sink)[0]
+        names = [e["stage"] for e in stage_events(sink, summary["trace"])]
+        assert names == ["build", "dispatch", "execed", "reaped"]
+        assert_canonical_order(names)
+        assert summary["returncode"] == 0
+        assert summary["launch_ns"] > 0
+        assert summary["total_ns"] >= summary["launch_ns"]
+
+    def test_fork_exec_stops_at_forked(self):
+        sink = RingBufferSink()
+        TELEMETRY.enable(sink, reset_metrics=True)
+        ProcessBuilder("/bin/true").strategy("fork_exec").spawn().wait()
+        TELEMETRY.disable()
+        names = [e["stage"] for e in sink.events() if e["event"] == "stage"]
+        assert names == ["build", "dispatch", "forked", "reaped"]
+
+    def test_failure_emits_error_event_and_counter(self):
+        sink = RingBufferSink()
+        TELEMETRY.enable(sink, reset_metrics=True)
+        with pytest.raises(Exception):
+            ProcessBuilder("/definitely/not/here").spawn()
+        TELEMETRY.disable()
+        errors = [e for e in sink.events() if e["event"] == "error"]
+        assert len(errors) == 1
+        assert "not/here" in errors[0]["error"]
+        failures = {labels["strategy"]: c.value for name, labels, c
+                    in TELEMETRY.metrics.counters()
+                    if name == "spawn_failures"}
+        assert sum(failures.values()) == 1
+
+    def test_spawn_latency_histogram_aggregates(self):
+        TELEMETRY.enable(sink=None, reset_metrics=True)
+        for _ in range(3):
+            run("/bin/true")
+        TELEMETRY.disable()
+        histograms = {labels["strategy"]: h for name, labels, h
+                      in TELEMETRY.metrics.histograms()
+                      if name == "spawn_latency_ns"}
+        assert histograms["posix_spawn"].count == 3
+        assert histograms["posix_spawn"].percentile(0.5) > 0
+
+
+class TestForkserverTracing:
+    def test_trace_id_propagates_through_wire_protocol(self):
+        sink = RingBufferSink()
+        TELEMETRY.enable(sink, reset_metrics=True)
+        with ForkServer().start() as server:
+            child = server.spawn(["/bin/true"])
+            child.wait(timeout=30)
+        TELEMETRY.disable()
+        summary = spawn_summaries(sink)[0]
+        names = [e["stage"] for e in stage_events(sink, summary["trace"])]
+        assert names == ["build", "dispatch", "framed", "forked", "reaped"]
+        framed = next(e for e in stage_events(sink, summary["trace"])
+                      if e["stage"] == "framed")
+        assert framed["request_id"] >= 1
+        forked = next(e for e in stage_events(sink, summary["trace"])
+                      if e["stage"] == "forked")
+        # The forked timestamp is the helper's own clock, echoed in the
+        # reply; monotonic clocks are system-wide so it must sit between
+        # the framed and reaped stamps.
+        assert framed["t_ns"] <= forked["t_ns"]
+        assert forked["pid"] == child.pid
+
+    def test_pool_spawn_single_trace_end_to_end(self):
+        sink = RingBufferSink()
+        TELEMETRY.enable(sink, reset_metrics=True)
+        with ForkServerPool(2) as pool:
+            child = pool.spawn(["/bin/true"])
+            child.wait(timeout=30)
+        TELEMETRY.disable()
+        summaries = spawn_summaries(sink)
+        assert len(summaries) == 1  # one trace, not one per layer
+        assert summaries[0]["strategy"] == "forkserver-pool"
+        names = [e["stage"]
+                 for e in stage_events(sink, summaries[0]["trace"])]
+        assert names == ["build", "dispatch", "framed", "forked", "reaped"]
+        dispatched = [c.value for name, _, c
+                      in TELEMETRY.metrics.counters()
+                      if name == "pool_dispatch"]
+        assert dispatched == [1]
+
+    def test_builder_forkserver_pool_strategy_one_summary(self):
+        sink = RingBufferSink()
+        TELEMETRY.enable(sink, reset_metrics=True)
+        child = (ProcessBuilder("/bin/true")
+                 .strategy("forkserver-pool").spawn())
+        child.wait(timeout=30)
+        TELEMETRY.disable()
+        summaries = spawn_summaries(sink)
+        assert [s["strategy"] for s in summaries] == ["forkserver-pool"]
+        names = [e["stage"]
+                 for e in stage_events(sink, summaries[0]["trace"])]
+        assert_canonical_order(names)
+        assert "framed" in names and "forked" in names
+
+
+class TestContextManagers:
+    def test_child_process_context_manager_reaps(self):
+        with ProcessBuilder("/bin/true").spawn() as child:
+            pass
+        assert child.returncode == 0
+
+    def test_spawned_io_context_manager_closes_fds(self):
+        before = set(os.listdir("/proc/self/fd"))
+        builder = (ProcessBuilder("/bin/cat")
+                   .stdin_from_pipe().stdout_to_pipe())
+        with builder.spawn() as child:
+            with child.io:
+                child.io.write_stdin(b"x")
+                child.io.close_stdin()
+                assert child.io.read_stdout() == b"x"
+        assert child.returncode == 0
+        assert set(os.listdir("/proc/self/fd")) == before
+
+    def test_child_context_manager_closes_attached_io(self):
+        before = set(os.listdir("/proc/self/fd"))
+        builder = ProcessBuilder("/bin/cat").stdin_from_pipe()
+        with builder.spawn():
+            builder.io.close_stdin()  # let cat exit so __exit__ can reap
+        assert builder.io.stdin_fd is None
+        assert set(os.listdir("/proc/self/fd")) == before
+
+    def test_pool_context_manager_stops_helpers(self):
+        with ForkServerPool(2) as pool:
+            pool.spawn(["/bin/true"]).wait(timeout=30)
+            pids = pool.helper_pids()
+        assert pool.closed
+        for pid in pids:
+            # Helper is gone (or a zombie already reaped by the pool).
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                pass
