@@ -13,14 +13,16 @@ The package has four faces:
   table of the paper's evaluation (see DESIGN.md / EXPERIMENTS.md).
 """
 
-from .errors import (BenchError, DeadlockError, ForkSafetyError, LintError,
+from .errors import (BenchError, DeadlockError, FaultPlanError,
+                     ForkSafetyError, LintError,
                      ReproError, SimError, SimMemoryError, SimOSError,
-                     SimSegfault, SpawnError)
+                     SimSegfault, SpawnError, SpawnTimeout)
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "BenchError", "DeadlockError", "ForkSafetyError", "LintError",
+    "BenchError", "DeadlockError", "FaultPlanError", "ForkSafetyError",
+    "LintError",
     "ReproError", "SimError", "SimMemoryError", "SimOSError", "SimSegfault",
-    "SpawnError", "__version__",
+    "SpawnError", "SpawnTimeout", "__version__",
 ]

@@ -12,6 +12,15 @@ Usage::
     repro-bench run t5-throughput --trace out.jsonl
     repro-bench metrics              # live sample: p50/p95/p99 per strategy
     repro-bench metrics --from out.jsonl
+    repro-bench run t5-throughput --faults plan.json   # chaos soak
+    repro-bench run t5-throughput --quick --json > now.json
+    repro-bench compare benchmarks/baselines/t5_baseline.json now.json
+
+``--faults`` activates a :mod:`repro.faults` plan for the duration of
+the run — the chaos soak: the same experiments, now with helpers dying
+and frames corrupting underneath them.  ``compare`` is the regression
+gate: it checks a fresh ``run --json`` result against a committed
+baseline and exits non-zero when throughput drops below tolerance.
 
 ``--parallel`` dogfoods the repo's own :class:`~repro.core.pool.SpawnPool`:
 each experiment runs in a spawned (never forked) worker interpreter, and
@@ -62,6 +71,23 @@ def build_parser() -> argparse.ArgumentParser:
     runner.add_argument("--trace", metavar="PATH",
                         help="enable spawn telemetry and append per-stage "
                              "trace events to PATH as JSONL ('-' for stderr)")
+    runner.add_argument("--faults", metavar="PLAN",
+                        help="activate a repro.faults plan for the run "
+                             "(a JSON file path, or inline JSON)")
+    compare = sub.add_parser(
+        "compare", help="gate a fresh 'run --json' result against a "
+                        "committed baseline")
+    compare.add_argument("baseline", help="baseline JSON (see "
+                                          "benchmarks/baselines/)")
+    compare.add_argument("current", help="output of 'run <id> --json'")
+    compare.add_argument("--metric", default=None, metavar="KEY",
+                         help="row key to compare (default: the "
+                              "baseline's 'metric' field)")
+    compare.add_argument("--tolerance", type=float, default=None,
+                         metavar="FRAC",
+                         help="allowed fractional drop below baseline "
+                              "(default: the baseline's 'tolerance' "
+                              "field, else 0.30)")
     metrics = sub.add_parser(
         "metrics", help="spawn latency percentiles per strategy")
     metrics.add_argument("--from", dest="trace_file", metavar="PATH",
@@ -146,19 +172,35 @@ def _tracing(target: Optional[str]):
             closing.close()
 
 
+@contextlib.contextmanager
+def _faulting(spec: Optional[str]):
+    """Activate a fault plan around a run (file path or inline JSON)."""
+    if spec is None:
+        yield
+        return
+    from ..faults import FAULTS, FaultPlan
+    with FAULTS.active(FaultPlan.from_env_value(spec)):
+        yield
+
+
 def _sample_live_metrics(samples: int,
                          strategy_names: Optional[List[str]]) -> None:
     """Spawn ``/bin/true`` ``samples`` times per strategy, metrics only."""
+    from ..core.policy import SpawnPolicy
     from ..core.spawn import ProcessBuilder
     from ..core.strategies import get_strategy, strategies
     names = strategy_names or strategies()
     for name in names:
         get_strategy(name)  # fail fast on typos, before any sampling
+    # A modest retry budget so an injected fault (REPRO_FAULTS) shows up
+    # as spawn_retry/breaker_open counts instead of aborting the sample.
+    policy = SpawnPolicy(retries=2, backoff=0.01, deadline=30.0)
     TELEMETRY.enable(sink=None, reset_metrics=True)
     try:
         for name in names:
             for _ in range(samples):
-                child = ProcessBuilder("/bin/true").strategy(name).spawn()
+                child = (ProcessBuilder("/bin/true").strategy(name)
+                         .policy(policy).spawn())
                 child.wait(timeout=30)
     finally:
         TELEMETRY.disable()
@@ -218,6 +260,23 @@ def _metrics_rows_from_trace(path: str) -> List[List[str]]:
     return rows
 
 
+#: Counters the resilience layer emits (see repro.core.policy and the
+#: forkserver pool); surfaced by ``metrics`` so retries, breaker trips
+#: and degradations are operator-visible, not just test-visible.
+RESILIENCE_COUNTERS = ("spawn_retry", "breaker_open", "fallback",
+                       "pool_retire")
+
+
+def _resilience_rows_from_registry() -> List[List[str]]:
+    """``event | target | count`` rows for the resilience counters."""
+    rows = []
+    for name, labels, counter in TELEMETRY.metrics.counters():
+        if name in RESILIENCE_COUNTERS and counter.value:
+            target = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            rows.append([name, target or "-", str(counter.value)])
+    return rows
+
+
 def _run_metrics(args) -> int:
     if args.trace_file is None:
         _sample_live_metrics(max(1, args.samples),
@@ -242,6 +301,72 @@ def _run_metrics(args) -> int:
     print(render_table(
         ["strategy", "spawns", "failures", "p50", "p95", "p99"], rows,
         title=f"spawn launch latency ({source})"))
+    if args.trace_file is None:
+        resilience = _resilience_rows_from_registry()
+        if resilience:
+            print()
+            print(render_table(["event", "target", "count"], resilience,
+                               title="resilience events (retries, breaker "
+                                     "trips, degradations)"))
+    return 0
+
+
+def _load_json(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or "rows" not in data:
+        raise ReproError(f"{path}: expected a JSON object with 'rows' "
+                         f"(a baseline file or 'run --json' output)")
+    return data
+
+
+def _run_compare(args) -> int:
+    """The bench regression gate: current vs committed baseline.
+
+    Rows are matched on ``concurrency``; for each matched row the
+    chosen metric must not fall more than ``tolerance`` below the
+    baseline.  Being *faster* than baseline never fails the gate.
+    """
+    baseline = _load_json(args.baseline)
+    current = _load_json(args.current)
+    metric = args.metric or baseline.get("metric")
+    if not metric:
+        raise ReproError("no metric to compare: pass --metric or put a "
+                         "'metric' field in the baseline")
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = float(baseline.get("tolerance", 0.30))
+    if not 0 <= tolerance < 1:
+        raise ReproError(f"tolerance must be in [0, 1): {tolerance}")
+    current_rows = {row.get("concurrency"): row for row in current["rows"]}
+    table = []
+    failures = 0
+    compared = 0
+    for base_row in baseline["rows"]:
+        key = base_row.get("concurrency")
+        expect = base_row.get(metric)
+        got_row = current_rows.get(key)
+        if expect is None or got_row is None or got_row.get(metric) is None:
+            continue
+        compared += 1
+        got = float(got_row[metric])
+        floor = float(expect) * (1.0 - tolerance)
+        ok = got >= floor
+        failures += 0 if ok else 1
+        table.append([str(key), f"{float(expect):.0f}", f"{got:.0f}",
+                      f"{floor:.0f}", "ok" if ok else "REGRESSION"])
+    if not compared:
+        raise ReproError(
+            f"nothing to compare: no shared rows carry {metric!r}")
+    print(render_table(
+        ["concurrency", "baseline", "current", "floor", "verdict"], table,
+        title=f"{metric} vs {args.baseline} "
+              f"(tolerance -{tolerance:.0%})"))
+    if failures:
+        print(f"FAIL: {failures}/{compared} rows regressed more than "
+              f"{tolerance:.0%} below baseline", file=sys.stderr)
+        return 1
+    print(f"ok: {compared} rows within {tolerance:.0%} of baseline")
     return 0
 
 
@@ -261,7 +386,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print("error: no experiment ids given", file=sys.stderr)
             return 2
         try:
-            with _tracing(args.trace):
+            with _tracing(args.trace), _faulting(args.faults):
                 if args.parallel:
                     _run_parallel(targets, args.quick, args.json, args.jobs)
                 else:
@@ -270,6 +395,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"error: {err}", file=sys.stderr)
             return 2
         return 0
+    if args.command == "compare":
+        try:
+            return _run_compare(args)
+        except (ReproError, OSError, ValueError) as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
     if args.command == "metrics":
         try:
             return _run_metrics(args)

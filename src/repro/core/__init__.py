@@ -27,25 +27,30 @@ from .file_actions import FileActions
 from .forkserver import ForkServer
 from .forkserver_pool import ForkServerPool
 from .pipeline import Pipeline, PipelineResult
+from .policy import (DEFAULT_FALLBACK, CircuitBreaker, SpawnPolicy,
+                     breaker_for, reset_breakers)
 from .pool import SpawnPool, callable_spec
 from .result import ChildProcess, CompletedChild
 from .safety import Hazard, assess, guarded_fork, is_fork_safe
 from .spawn import ProcessBuilder, SpawnedIO, run
 from .strategies import (ForkExecStrategy, ForkServerPoolStrategy,
+                         ForkServerStrategy,
                          PosixSpawnStrategy, Strategy, SubprocessStrategy,
                          get_strategy, pick_default_strategy,
                          register_strategy, strategies)
 from .strategies import _REGISTRY as STRATEGIES  # deprecated alias
 
 __all__ = [
-    "AtForkRegistry", "ChildProcess", "CompletedChild", "FileActions",
+    "AtForkRegistry", "ChildProcess", "CircuitBreaker", "CompletedChild",
+    "DEFAULT_FALLBACK", "FileActions",
     "ForkExecStrategy",
-    "ForkServer", "ForkServerPool", "ForkServerPoolStrategy", "Hazard",
+    "ForkServer", "ForkServerPool", "ForkServerPoolStrategy",
+    "ForkServerStrategy", "Hazard",
     "Pipeline", "PipelineResult",
     "PosixSpawnStrategy", "ProcessBuilder", "STRATEGIES", "SpawnAttributes",
-    "SpawnPool",
-    "SpawnedIO", "Strategy", "SubprocessStrategy", "assess",
+    "SpawnPolicy", "SpawnPool",
+    "SpawnedIO", "Strategy", "SubprocessStrategy", "assess", "breaker_for",
     "fork_with_handlers", "get_strategy", "guarded_fork", "is_fork_safe",
     "callable_spec", "pick_default_strategy", "register", "register_strategy",
-    "run", "strategies",
+    "reset_breakers", "run", "strategies",
 ]

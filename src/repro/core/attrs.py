@@ -34,6 +34,10 @@ class SpawnAttributes:
             signal in the child, so a library's handlers do not leak in.
         sigmask: signals to block in the child, by number.
         umask: file-creation mask, or ``None`` to inherit.
+        deadline: seconds one spawn attempt may take before it is
+            abandoned (today only the forkserver strategies can enforce
+            it — they own a wire round-trip to bound; direct syscalls
+            complete or fail immediately).
     """
 
     env: Optional[Dict[str, str]] = None
@@ -42,6 +46,7 @@ class SpawnAttributes:
     reset_signals: bool = False
     sigmask: Sequence[int] = field(default_factory=tuple)
     umask: Optional[int] = None
+    deadline: Optional[float] = None
 
     def validate(self) -> None:
         """Raise :class:`SpawnError` on nonsense combinations."""
@@ -56,6 +61,8 @@ class SpawnAttributes:
             raise SpawnError(f"bad cwd {self.cwd!r}")
         if self.umask is not None and not 0 <= self.umask <= 0o7777:
             raise SpawnError(f"bad umask {self.umask:#o}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise SpawnError(f"deadline must be > 0: {self.deadline}")
         for signum in self.sigmask:
             if not 1 <= int(signum) < signal.NSIG:
                 raise SpawnError(f"bad signal number {signum}")

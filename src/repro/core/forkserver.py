@@ -33,9 +33,11 @@ import socket
 import struct
 import sys
 import threading
+import time
 from typing import Dict, Optional, Sequence
 
-from ..errors import SpawnError
+from ..errors import SpawnError, SpawnTimeout
+from ..faults import FAULTS
 from ..obs import NULL_TRACE, TELEMETRY
 from .result import ChildProcess
 
@@ -79,6 +81,36 @@ for fd in inherited:
         except OSError:
             pass
 
+# Injected faults, compiled from the client's active FaultPlan (see
+# repro.faults).  Spec: "kind:seconds:times:after" entries, comma
+# separated; times -1 means unlimited.  Popped so the children we
+# spawn never inherit the spec.
+FAULT_SPECS = {}
+for _spec in os.environ.pop("REPRO_HELPER_FAULTS", "").split(","):
+    if not _spec:
+        continue
+    _parts = _spec.split(":")
+    FAULT_SPECS[_parts[0]] = [
+        float(_parts[1]) if len(_parts) > 1 and _parts[1] else 0.0,
+        int(_parts[2]) if len(_parts) > 2 and _parts[2] else -1,
+        int(_parts[3]) if len(_parts) > 3 and _parts[3] else 0,
+    ]
+
+def fault(name):
+    # Arm one occurrence of an injected fault; returns its seconds
+    # argument when it fires, None otherwise.
+    spec = FAULT_SPECS.get(name)
+    if spec is None:
+        return None
+    if spec[2] > 0:
+        spec[2] -= 1
+        return None
+    if spec[1] == 0:
+        return None
+    if spec[1] > 0:
+        spec[1] -= 1
+    return spec[0]
+
 # SIGCHLD -> a byte on this pipe -> select wakes -> zombies reaped.
 # Created after the descriptor sweep; pipe fds are CLOEXEC so spawned
 # children never see them.
@@ -112,7 +144,19 @@ def recv_request():
         msg += recv_exact(LEN.size - len(msg))
     (length,) = LEN.unpack(msg)
     body = recv_exact(length)
-    return json.loads(body), list(fds)
+    try:
+        request = json.loads(body)
+    except ValueError:
+        # A corrupt frame means the channel can no longer be trusted
+        # (the next bytes may be mid-frame garbage).  Exit cleanly; the
+        # client sees EOF, fails its pending requests, and replaces us.
+        for fd in fds:
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        raise SystemExit(70)
+    return request, list(fds)
 
 def send_reply(rid, obj):
     obj["id"] = rid
@@ -121,6 +165,9 @@ def send_reply(rid, obj):
 
 def reap():
     # Collect every zombie; answer parked waits; never block.
+    delay = fault("delay_sigchld")
+    if delay:
+        time.sleep(delay)
     while True:
         try:
             pid, status = os.waitpid(-1, os.WNOHANG)
@@ -147,6 +194,9 @@ while running:
     if sock not in ready:
         continue
     request, fds = recv_request()
+    stall = fault("stall_helper")
+    if stall:
+        time.sleep(stall)
     op = request["op"]
     rid = request.get("id")
     if op == "ping":
@@ -155,32 +205,48 @@ while running:
         send_reply(rid, {"ok": True})
         running = False
     elif op == "spawn":
-        pid = os.fork()
-        t_fork = time.monotonic_ns()
-        if pid == 0:
-            try:
-                for target, fd in enumerate(fds):  # stdio triple
-                    os.dup2(fd, target)
-                for fd in fds:
-                    if fd > 2:
-                        os.close(fd)
-                if request.get("cwd"):
-                    os.chdir(request["cwd"])
-                env = request.get("env")
-                argv = request["argv"]
-                os.execvpe(argv[0], argv,
-                           env if env is not None else os.environ)
-            except BaseException:
-                os._exit(127)
-        for fd in fds:
-            os.close(fd)
-        # The client's trace id rides next to the correlation id; echo
-        # it with our fork timestamp (CLOCK_MONOTONIC is system-wide on
-        # Linux, so the client can splice it into its own timeline).
-        reply = {"pid": pid, "t_fork_ns": t_fork}
-        if request.get("trace") is not None:
-            reply["trace"] = request["trace"]
-        send_reply(rid, reply)
+        want = request.get("nfds")
+        if want is not None and len(fds) != want:
+            # The SCM_RIGHTS grant went missing (or partially arrived):
+            # spawning now would wire the child to OUR stdio.  Refuse
+            # loudly; the client retries with a fresh grant.
+            for fd in fds:
+                os.close(fd)
+            send_reply(rid, {"error": "EPROTO: expected %d fds, got %d"
+                                      % (want, len(fds))})
+        elif fault("refuse_exec") is not None:
+            for fd in fds:
+                os.close(fd)
+            send_reply(rid, {"error":
+                             "EACCES: exec refused (injected fault)"})
+        else:
+            pid = os.fork()
+            t_fork = time.monotonic_ns()
+            if pid == 0:
+                try:
+                    for target, fd in enumerate(fds):  # stdio triple
+                        os.dup2(fd, target)
+                    for fd in fds:
+                        if fd > 2:
+                            os.close(fd)
+                    if request.get("cwd"):
+                        os.chdir(request["cwd"])
+                    env = request.get("env")
+                    argv = request["argv"]
+                    os.execvpe(argv[0], argv,
+                               env if env is not None else os.environ)
+                except BaseException:
+                    os._exit(127)
+            for fd in fds:
+                os.close(fd)
+            # The client's trace id rides next to the correlation id;
+            # echo it with our fork timestamp (CLOCK_MONOTONIC is
+            # system-wide on Linux, so the client can splice it into
+            # its own timeline).
+            reply = {"pid": pid, "t_fork_ns": t_fork}
+            if request.get("trace") is not None:
+                reply["trace"] = request["trace"]
+            send_reply(rid, reply)
     elif op == "wait":
         pid = request["pid"]
         if pid in statuses:
@@ -224,6 +290,10 @@ class ForkServer:
     the default pipelined mode concurrent requests interleave on the one
     socket and are matched back to callers by correlation id.
     """
+
+    #: Seconds the goodbye exchange in :meth:`stop` may take before the
+    #: helper is presumed wedged and torn down forcibly.
+    shutdown_timeout: float = 2.0
 
     def __init__(self, *, pipelined: bool = True):
         self._sock: Optional[socket.socket] = None
@@ -269,10 +339,17 @@ class ForkServer:
         self._dead = None
         ours, theirs = socket.socketpair(socket.AF_UNIX, socket.SOCK_STREAM)
         os.set_inheritable(theirs.fileno(), True)
+        env = dict(os.environ)
+        helper_faults = FAULTS.helper_spec()
+        if helper_faults:
+            # The active FaultPlan wants faults *inside* this helper
+            # (stall_helper, delay_sigchld, refuse_exec@helper); they
+            # ride in as an env spec the helper parses and then drops.
+            env["REPRO_HELPER_FAULTS"] = helper_faults
         self._pid = os.posix_spawn(
             sys.executable,
             [sys.executable, "-c", _SERVER_SOURCE, str(theirs.fileno())],
-            dict(os.environ))
+            env)
         theirs.close()
         self._sock = ours
         if self._pipelined:
@@ -289,28 +366,36 @@ class ForkServer:
         return self
 
     def stop(self) -> None:
-        """Shut the helper down cleanly and reap it."""
+        """Shut the helper down cleanly and reap it — in bounded time.
+
+        The goodbye exchange runs under :attr:`shutdown_timeout`; a
+        helper that is wedged (stalled event loop, mid-frame) cannot
+        stall the caller.  In-flight pipelined requests are resolved
+        with :class:`SpawnError` *before* the reader is joined, so no
+        waiter stays blocked across a shutdown, and a helper that does
+        not exit within the reap grace period is SIGKILLed.
+        """
         sock = self._sock
         if sock is not None:
             try:
-                self._roundtrip({"op": "shutdown"})
+                self._roundtrip({"op": "shutdown"},
+                                timeout=self.shutdown_timeout)
             except Exception:
                 pass
             self._sock = None
             try:
+                sock.shutdown(socket.SHUT_RDWR)  # wake a blocked reader
+            except OSError:
+                pass
+            try:
                 sock.close()
             except OSError:
                 pass
+        self._fail_pending("forkserver stopped")
         reader, self._reader = self._reader, None
         if reader is not None and reader is not threading.current_thread():
             reader.join(timeout=5.0)
-        self._fail_pending("forkserver stopped")
-        if self._pid is not None:
-            try:
-                os.waitpid(self._pid, 0)
-            except ChildProcessError:
-                pass
-            self._pid = None
+        self._reap_helper()
 
     def abort(self) -> None:
         """Tear down without a goodbye: close, SIGKILL the helper, reap.
@@ -321,6 +406,10 @@ class ForkServer:
         sock, self._sock = self._sock, None
         if sock is not None:
             try:
+                sock.shutdown(socket.SHUT_RDWR)  # wake a blocked reader
+            except OSError:
+                pass
+            try:
                 sock.close()
             except OSError:
                 pass
@@ -328,16 +417,37 @@ class ForkServer:
         reader, self._reader = self._reader, None
         if reader is not None and reader is not threading.current_thread():
             reader.join(timeout=1.0)
-        if self._pid is not None:
+        self._reap_helper(grace=0.0)
+
+    def _reap_helper(self, grace: float = 2.0) -> None:
+        """Collect the helper's exit status without blocking forever.
+
+        Polls for up to ``grace`` seconds, then SIGKILLs and reaps — a
+        helper that ignored the goodbye does not get to leak as a
+        zombie or stall its parent.
+        """
+        pid, self._pid = self._pid, None
+        if pid is None:
+            return
+        deadline = time.monotonic() + grace
+        while True:
             try:
-                os.kill(self._pid, signal.SIGKILL)
-            except (ProcessLookupError, PermissionError):
-                pass
-            try:
-                os.waitpid(self._pid, 0)
+                done, _ = os.waitpid(pid, os.WNOHANG)
             except ChildProcessError:
-                pass
-            self._pid = None
+                return
+            if done:
+                return
+            if time.monotonic() >= deadline:
+                break
+            time.sleep(0.005)
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            pass
+        try:
+            os.waitpid(pid, 0)
+        except ChildProcessError:
+            pass
 
     def __enter__(self) -> "ForkServer":
         return self.start()
@@ -363,10 +473,16 @@ class ForkServer:
         """
         body = json.dumps(obj).encode()
         message = _LEN.pack(len(body)) + body
+        send_fds = list(fds)
+        fault = FAULTS.fire("forkserver.frame", op=obj.get("op"))
+        if fault is not None:
+            # Chaos path: damage the frame on its way out (truncate,
+            # corrupt, or strip the SCM_RIGHTS grant).
+            message, send_fds = fault.mutate_frame(message, send_fds)
         ancdata = []
-        if fds:
+        if send_fds:
             ancdata = [(socket.SOL_SOCKET, socket.SCM_RIGHTS,
-                        array.array("i", list(fds)).tobytes())]
+                        array.array("i", send_fds).tobytes())]
         sent = sock.sendmsg([message], ancdata)
         while sent < len(message):  # rare partial write; fds already went
             sent += sock.send(message[sent:])
@@ -413,27 +529,20 @@ class ForkServer:
             pending.event.set()
 
     def _roundtrip(self, obj: dict, fds: Sequence[int] = (),
-                   trace=NULL_TRACE) -> dict:
+                   trace=NULL_TRACE,
+                   timeout: Optional[float] = None) -> dict:
+        """One request/reply exchange, optionally under a deadline.
+
+        A ``timeout`` expiry POISONS the channel: the helper may be
+        wedged mid-frame or mid-read, so no later frame can be trusted
+        to align.  The server is aborted (helper SIGKILLed and reaped,
+        every other pending request failed fast) and
+        :class:`SpawnTimeout` is raised; a pool above replaces the
+        worker and retries elsewhere.
+        """
         sock = self._require_sock()
         if not self._pipelined:
-            # Historical baseline: one global lock around the whole
-            # round-trip — every caller waits for every other caller.
-            with self._send_lock:
-                rid = self._next_id
-                self._next_id += 1
-                try:
-                    self._send(sock, dict(obj, id=rid), fds)
-                    trace.stage("framed", request_id=rid)
-                    reply = self._recv(sock)
-                except OSError as exc:
-                    self._dead = str(exc) or type(exc).__name__
-                    raise SpawnError(
-                        f"forkserver channel failed: {exc}") from exc
-                if reply.get("id") != rid:
-                    raise SpawnError(
-                        f"forkserver protocol error: reply id "
-                        f"{reply.get('id')!r} != request id {rid}")
-                return reply
+            return self._roundtrip_locked(sock, obj, fds, trace, timeout)
         with self._state_lock:
             if self._dead is not None:
                 raise SpawnError(f"forkserver channel is dead: {self._dead}")
@@ -454,19 +563,95 @@ class ForkServer:
             with self._state_lock:
                 self._pending.pop(rid, None)
             raise
-        pending.event.wait()
+        FAULTS.fire("forkserver.request", helper_pid=self._pid,
+                    op=obj.get("op"))
+        if not pending.event.wait(timeout):
+            with self._state_lock:
+                self._pending.pop(rid, None)
+            self.abort()
+            raise SpawnTimeout(
+                f"forkserver request {rid} ({obj.get('op')}) exceeded its "
+                f"{timeout}s deadline; helper aborted")
         if pending.reply is None:
             raise SpawnError(
                 f"forkserver died before replying: {self._dead}")
         return pending.reply
 
+    def _roundtrip_locked(self, sock: socket.socket, obj: dict,
+                          fds: Sequence[int], trace,
+                          timeout: Optional[float]) -> dict:
+        """Historical baseline: one global lock around the round-trip —
+        every caller waits for every other caller.  A ``timeout``
+        bounds each phase (lock acquisition, then the reply read)."""
+        if timeout is not None:
+            if not self._send_lock.acquire(timeout=timeout):
+                # Never touched the wire: the channel itself is fine,
+                # the caller simply queued too long behind the lock.
+                raise SpawnTimeout(
+                    f"forkserver round-trip lock not acquired within "
+                    f"{timeout}s (deadline exceeded while queued)")
+        else:
+            self._send_lock.acquire()
+        try:
+            rid = self._next_id
+            self._next_id += 1
+            try:
+                self._send(sock, dict(obj, id=rid), fds)
+                trace.stage("framed", request_id=rid)
+                FAULTS.fire("forkserver.request", helper_pid=self._pid,
+                            op=obj.get("op"))
+                if timeout is not None:
+                    sock.settimeout(timeout)
+                try:
+                    reply = self._recv(sock)
+                finally:
+                    if timeout is not None:
+                        sock.settimeout(None)
+            except (socket.timeout, TimeoutError) as exc:
+                self._dead = "deadline exceeded mid-reply"
+                raise SpawnTimeout(
+                    f"forkserver request {rid} ({obj.get('op')}) exceeded "
+                    f"its {timeout}s deadline; channel poisoned") from exc
+            except SpawnError:
+                # EOF mid-exchange: the helper is gone; say so before
+                # anyone else trusts this channel.
+                if self._dead is None:
+                    self._dead = "forkserver hung up"
+                raise
+            except OSError as exc:
+                self._dead = str(exc) or type(exc).__name__
+                raise SpawnError(
+                    f"forkserver channel failed: {exc}") from exc
+            if reply.get("id") != rid:
+                raise SpawnError(
+                    f"forkserver protocol error: reply id "
+                    f"{reply.get('id')!r} != request id {rid}")
+            return reply
+        finally:
+            self._send_lock.release()
+
     # -- the user-facing operations ------------------------------------------
+
+    def ping(self, timeout: Optional[float] = None) -> bool:
+        """Liveness probe: one ``ping`` round-trip under ``timeout``.
+
+        Returns ``False`` (rather than raising) when the helper is
+        stopped, dead, or too slow — the pool's health check wants a
+        verdict, not an exception.
+        """
+        if not self.healthy:
+            return False
+        try:
+            return self._roundtrip({"op": "ping"},
+                                   timeout=timeout).get("ok") is True
+        except SpawnError:
+            return False
 
     def spawn(self, argv: Sequence[str], *,
               env: Optional[Dict[str, str]] = None,
               cwd: Optional[str] = None,
               stdin: int = 0, stdout: int = 1, stderr: int = 2,
-              trace=None) -> ChildProcess:
+              trace=None, deadline: Optional[float] = None) -> ChildProcess:
         """Ask the helper to fork+exec ``argv``; returns a handle.
 
         ``stdin``/``stdout``/``stderr`` are descriptors *in this
@@ -487,13 +672,17 @@ class ForkServer:
             trace = TELEMETRY.trace("forkserver", argv)
             trace.stage("dispatch", helper_pid=self._pid)
         TELEMETRY.count("fd_grants", 3)
+        # nfds lets the helper detect a lost/partial SCM_RIGHTS grant
+        # and refuse (EPROTO) instead of wiring the child to ITS stdio.
         request = {"op": "spawn", "argv": [os.fspath(a) for a in argv],
-                   "env": env, "cwd": cwd}
+                   "env": env, "cwd": cwd, "nfds": 3}
         if trace:
             request["trace"] = trace.trace_id
         try:
+            FAULTS.fire("forkserver.spawn", helper_pid=self._pid,
+                        argv=list(request["argv"]))
             reply = self._roundtrip(request, fds=(stdin, stdout, stderr),
-                                    trace=trace)
+                                    trace=trace, timeout=deadline)
             if "pid" not in reply:
                 raise SpawnError(f"forkserver refused spawn: {reply}")
         except SpawnError as exc:

@@ -27,8 +27,10 @@ import time
 from typing import List, Optional, Sequence
 
 from ..errors import SpawnError
+from ..faults import FAULTS
 from ..obs import TELEMETRY
 from .forkserver import ForkServer
+from .policy import SpawnPolicy
 from .result import ChildProcess
 
 #: Helpers are cheap (one tiny interpreter each), so the default errs
@@ -40,11 +42,12 @@ DEFAULT_WORKERS = 4
 class _Slot:
     """One pool slot: a lazily started helper plus its load account."""
 
-    __slots__ = ("server", "load")
+    __slots__ = ("server", "load", "strikes")
 
     def __init__(self):
         self.server: Optional[ForkServer] = None
         self.load = 0  # in-flight requests + spawned-but-unreaped children
+        self.strikes = 0  # consecutive live-helper failures (breaker input)
 
 
 class ForkServerPool:
@@ -60,11 +63,13 @@ class ForkServerPool:
     threads at once.
     """
 
-    def __init__(self, workers: int = DEFAULT_WORKERS, *, prestart: int = 1):
+    def __init__(self, workers: int = DEFAULT_WORKERS, *, prestart: int = 1,
+                 policy: Optional[SpawnPolicy] = None):
         if workers < 1:
             raise SpawnError("need at least one worker")
         self._slots = [_Slot() for _ in range(workers)]
         self._prestart = max(1, min(prestart, workers))
+        self._policy = policy
         self._lock = threading.Lock()
         self._closed = False
         self._respawns = 0
@@ -86,6 +91,11 @@ class ForkServerPool:
     def respawns(self) -> int:
         """Dead helpers detected and replaced over the pool's lifetime."""
         return self._respawns
+
+    @property
+    def policy(self) -> Optional[SpawnPolicy]:
+        """The pool-wide :class:`SpawnPolicy` (``None`` = no resilience)."""
+        return self._policy
 
     @property
     def closed(self) -> bool:
@@ -139,6 +149,7 @@ class ForkServerPool:
         """Discard a dead helper (caller holds the lock)."""
         dead, slot.server = slot.server, None
         slot.load = 0
+        slot.strikes = 0  # the replacement helper starts with a clean record
         self._respawns += 1
         TELEMETRY.count("pool_retire")
         if dead is not None:
@@ -204,6 +215,42 @@ class ForkServerPool:
         with self._lock:
             slot.load = max(0, slot.load - 1)
 
+    def _strike(self, slot: _Slot, threshold: Optional[int]) -> None:
+        """Record a live-helper failure; retire the helper when it flaps.
+
+        This is the pool's per-worker circuit breaker: ``threshold``
+        consecutive failures (no intervening success) and the helper is
+        judged flapping — retired and replaced rather than trusted with
+        more traffic.
+        """
+        limit = threshold if threshold is not None else 3
+        with self._lock:
+            slot.strikes += 1
+            if slot.strikes >= limit and slot.server is not None:
+                TELEMETRY.count("breaker_open", strategy="forkserver-pool")
+                self._retire_locked(slot)
+
+    def health_check(self, timeout: float = 1.0) -> dict:
+        """Ping every live helper; retire the ones that do not answer.
+
+        Returns ``{"healthy": n, "retired": m}``.  A wedged helper (one
+        whose event loop is stalled) fails the bounded ping, gets
+        aborted, and its slot boots a replacement on next demand.
+        """
+        with self._lock:
+            probes = [(slot, slot.server) for slot in self._slots
+                      if slot.server is not None]
+        healthy = retired = 0
+        for slot, server in probes:
+            if server.ping(timeout=timeout):
+                healthy += 1
+                continue
+            retired += 1
+            with self._lock:
+                if slot.server is server:
+                    self._retire_locked(slot)
+        return {"healthy": healthy, "retired": retired}
+
     def _pool_reaper(self, slot: _Slot, server: ForkServer, argv):
         """A reaper that also returns the slot's load unit when done."""
         def reaper(pid: int, flags: int) -> Optional[int]:
@@ -220,53 +267,109 @@ class ForkServerPool:
     def spawn(self, argv: Sequence[str], *,
               env=None, cwd=None,
               stdin: int = 0, stdout: int = 1,
-              stderr: int = 2, trace=None) -> ChildProcess:
-        """Spawn through the least-loaded helper; retries dead workers.
+              stderr: int = 2, trace=None,
+              policy: Optional[SpawnPolicy] = None,
+              deadline: Optional[float] = None) -> ChildProcess:
+        """Spawn through the least-loaded helper, under the pool's policy.
 
-        Same contract as :meth:`ForkServer.spawn`.  A helper that turns
-        out to be dead is replaced and the request moves on; only a
-        refusal from a *live* helper (bad request) propagates directly.
-        A retried request stamps ``framed`` once per attempt, so the
-        trace shows the failover instead of hiding it.
+        Same contract as :meth:`ForkServer.spawn`, plus resilience:
+
+        * a helper that turns out to be *dead* is replaced and the
+          request fails over to a live worker within the same attempt
+          (service-internal recovery costs the caller nothing);
+        * a failure from a *live* helper (refusal, deadline expiry)
+          consumes one policy attempt; with retries left the request
+          backs off (exponential + jitter) and tries again, stamping a
+          ``retry`` trace stage and a ``spawn_retry`` counter;
+        * each live-helper failure is a strike against that worker; at
+          ``breaker_threshold`` consecutive strikes the per-worker
+          breaker opens (``breaker_open`` counter) and the helper is
+          retired as flapping.
+
+        ``policy`` overrides the pool-wide policy for this call;
+        ``deadline`` likewise overrides the policy's per-attempt
+        deadline.  With neither, behaviour is the historical
+        no-retry, no-deadline dispatch.
         """
         if not argv:
             raise SpawnError("empty argv")
+        if policy is None:
+            policy = self._policy
+        if deadline is None and policy is not None:
+            deadline = policy.deadline
+        attempts = policy.attempts() if policy is not None else 1
+        threshold = policy.breaker_threshold if policy is not None else None
         owns = trace is None or not trace
         if owns:
             trace = TELEMETRY.trace("forkserver-pool", argv)
             trace.stage("dispatch")
         last_error: Optional[SpawnError] = None
+        for attempt in range(attempts):
+            if attempt:
+                TELEMETRY.count("spawn_retry", strategy="forkserver-pool")
+                trace.stage("retry", attempt=attempt)
+                delay = policy.backoff_delay(attempt - 1)
+                if delay:
+                    time.sleep(delay)
+            try:
+                return self._spawn_attempt(
+                    argv, env=env, cwd=cwd, stdin=stdin, stdout=stdout,
+                    stderr=stderr, trace=trace, owns=owns,
+                    deadline=deadline, threshold=threshold)
+            except SpawnError as exc:
+                last_error = exc
+        if owns:
+            trace.failure(last_error)
+        raise last_error
+
+    def _spawn_attempt(self, argv: Sequence[str], *, env, cwd,
+                       stdin: int, stdout: int, stderr: int,
+                       trace, owns: bool,
+                       deadline: Optional[float],
+                       threshold: Optional[int]) -> ChildProcess:
+        """One policy attempt: dispatch with dead-worker failover.
+
+        A retried request stamps ``framed`` once per dispatch, so the
+        trace shows the failover instead of hiding it.
+        """
+        last_error: Optional[SpawnError] = None
         for _ in range(len(self._slots) + 1):
             slot = self._pick()
+            server = slot.server
+            try:
+                FAULTS.fire(
+                    "pool.dispatch",
+                    helper_pid=server.helper_pid if server else None)
+            except Exception:
+                self._release(slot)
+                raise
             if TELEMETRY.enabled:
                 TELEMETRY.count("pool_dispatch")
                 with self._lock:
                     depth = sum(s.load for s in self._slots)
                 TELEMETRY.gauge("pool_queue_depth", depth)
-            server = slot.server
             if server is None:  # retired between pick and use; go again
                 self._release(slot)
                 continue
             try:
                 child = server.spawn(argv, env=env, cwd=cwd, stdin=stdin,
                                      stdout=stdout, stderr=stderr,
-                                     trace=trace)
+                                     trace=trace, deadline=deadline)
             except SpawnError as exc:
                 self._release(slot)
                 if server.healthy:
-                    if owns:
-                        trace.failure(exc)
-                    raise  # a real refusal, not a dead worker
+                    # A live refusal: strike the worker, bill the policy.
+                    self._strike(slot, threshold)
+                    raise
                 last_error = exc
                 continue  # next _pick() retires it and tries elsewhere
+            with self._lock:
+                slot.strikes = 0
             if owns:
                 trace.success(child.pid)
             wrapped = ChildProcess(
                 child.pid, argv=argv, strategy="forkserver-pool",
                 reaper=self._pool_reaper(slot, server, argv), trace=trace)
             return wrapped
-        error = SpawnError(
+        raise SpawnError(
             f"no forkserver worker could spawn {argv!r}: {last_error}")
-        if owns:
-            trace.failure(error)
-        raise error

@@ -1,0 +1,227 @@
+"""Resilience policies for the spawn stack: deadlines, retries, breakers.
+
+A spawn *service* (the forkserver pool) is only as good as its failure
+story: helpers die mid-request, frames truncate, event loops stall.
+:class:`SpawnPolicy` names the knobs callers tune —
+
+* **deadline** — seconds one spawn attempt may take before the wire
+  request is abandoned (and, on a pipelined channel, the helper is
+  treated as wedged and replaced);
+* **bounded retries** with exponential backoff and jitter, so a burst
+  of retries from many clients does not synchronise into a thundering
+  herd;
+* a per-target **circuit breaker** that stops hammering a launch path
+  (or pool worker) that keeps failing, and retires flapping helpers;
+* a **fallback chain** — graceful degradation from the pool to a single
+  forkserver to plain ``posix_spawn`` when a tier's breaker opens.
+
+Every decision is visible through :mod:`repro.obs`: ``spawn_retry``,
+``breaker_open`` and ``fallback`` counters, plus ``retry``/``fallback``
+trace stages on the request's :class:`~repro.obs.SpawnTrace`.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..errors import SpawnError
+
+#: The degradation ladder the paper's architecture implies: the shared
+#: pool first, one dedicated helper second, direct constant-cost spawn
+#: last (it needs no service at all, so it is the natural floor).
+DEFAULT_FALLBACK = ("forkserver", "posix_spawn")
+
+
+@dataclass(frozen=True)
+class SpawnPolicy:
+    """How hard to try, how long to wait, and when to give up.
+
+    Attributes:
+        deadline: seconds per spawn attempt (``None`` = wait forever).
+        retries: extra attempts after the first failure, per tier.
+        backoff: base sleep before the first retry, in seconds.
+        backoff_multiplier: growth factor per retry (exponential).
+        backoff_max: ceiling on any single backoff sleep.
+        jitter: fraction of the delay randomised symmetrically around
+            it (0 = deterministic, 0.5 = ±50%).
+        breaker_threshold: consecutive failures before a breaker opens.
+        breaker_cooldown: seconds an open breaker rejects attempts
+            before allowing a half-open probe.
+        fallback: strategy names to degrade to, in order, when a tier
+            is exhausted or its breaker is open.
+    """
+
+    deadline: Optional[float] = None
+    retries: int = 0
+    backoff: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.5
+    breaker_threshold: int = 3
+    breaker_cooldown: float = 5.0
+    fallback: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if self.deadline is not None and self.deadline <= 0:
+            raise SpawnError(f"deadline must be > 0: {self.deadline}")
+        if self.retries < 0:
+            raise SpawnError(f"retries must be >= 0: {self.retries}")
+        if self.backoff < 0 or self.backoff_max < 0:
+            raise SpawnError("backoff and backoff_max must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise SpawnError(
+                f"backoff_multiplier must be >= 1: {self.backoff_multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise SpawnError(f"jitter must be in [0, 1]: {self.jitter}")
+        if self.breaker_threshold < 1:
+            raise SpawnError(
+                f"breaker_threshold must be >= 1: {self.breaker_threshold}")
+        if self.breaker_cooldown < 0:
+            raise SpawnError(
+                f"breaker_cooldown must be >= 0: {self.breaker_cooldown}")
+        object.__setattr__(self, "fallback", tuple(self.fallback))
+
+    def attempts(self) -> int:
+        """Total attempts per tier (the first one plus the retries)."""
+        return self.retries + 1
+
+    def backoff_delay(self, retry_index: int,
+                      rng: Callable[[], float] = random.random) -> float:
+        """Sleep before retry ``retry_index`` (0-based), jittered.
+
+        Exponential: ``backoff * multiplier**retry_index`` capped at
+        ``backoff_max``, then spread over ``±jitter`` of itself so
+        concurrent clients desynchronise.  ``rng`` is injectable for
+        deterministic tests.
+        """
+        base = min(self.backoff * (self.backoff_multiplier ** retry_index),
+                   self.backoff_max)
+        if not self.jitter or not base:
+            return base
+        spread = self.jitter * (2.0 * rng() - 1.0)  # in [-jitter, +jitter]
+        return max(0.0, base * (1.0 + spread))
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker: closed → open → half-open → closed.
+
+    * **closed** — traffic flows; each success resets the strike count.
+    * **open** — after ``threshold`` consecutive failures every attempt
+      is rejected until ``cooldown`` seconds pass.
+    * **half-open** — one probe is admitted; success closes the
+      breaker, failure re-opens it for another cooldown.
+
+    Thread-safe.  ``clock`` is injectable for deterministic tests.
+    """
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+    def __init__(self, threshold: int = 3, cooldown: float = 5.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if threshold < 1:
+            raise SpawnError(f"breaker threshold must be >= 1: {threshold}")
+        self._threshold = threshold
+        self._cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._state = self.CLOSED
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def failures(self) -> int:
+        """Consecutive failures recorded since the last success."""
+        with self._lock:
+            return self._failures
+
+    def allow(self) -> bool:
+        """Whether an attempt may proceed right now.
+
+        In the open state, the first call after the cooldown elapses
+        transitions to half-open and admits exactly one probe; further
+        calls are rejected until the probe reports an outcome.
+        """
+        with self._lock:
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.OPEN:
+                if self._clock() - self._opened_at < self._cooldown:
+                    return False
+                self._state = self.HALF_OPEN
+                self._probing = True
+                return True
+            # half-open: one probe at a time
+            if self._probing:
+                return False
+            self._probing = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._state = self.CLOSED
+            self._probing = False
+
+    def record_failure(self) -> bool:
+        """Record one failure; returns True if the breaker just opened."""
+        with self._lock:
+            self._failures += 1
+            if self._state == self.HALF_OPEN:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self._probing = False
+                return True
+            if self._state == self.CLOSED and \
+                    self._failures >= self._threshold:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                return True
+            return False
+
+    def reset(self) -> None:
+        self.record_success()
+
+    def __repr__(self):
+        return (f"<CircuitBreaker {self.state} "
+                f"failures={self.failures}/{self._threshold}>")
+
+
+#: Strategy-level breakers shared by every policy-driven spawn in the
+#: process: if posix_spawn is failing for one caller it is failing for
+#: all of them, so the verdict should be shared too.
+_BREAKERS: Dict[str, CircuitBreaker] = {}
+_BREAKERS_LOCK = threading.Lock()
+
+
+def breaker_for(name: str, policy: Optional[SpawnPolicy] = None
+                ) -> CircuitBreaker:
+    """The shared breaker guarding launch target ``name``.
+
+    Created on first use with the policy's threshold/cooldown; later
+    callers share the existing breaker regardless of their policy (a
+    breaker's memory would be useless if every caller reset its shape).
+    """
+    with _BREAKERS_LOCK:
+        breaker = _BREAKERS.get(name)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                threshold=policy.breaker_threshold if policy else 3,
+                cooldown=policy.breaker_cooldown if policy else 5.0)
+            _BREAKERS[name] = breaker
+        return breaker
+
+
+def reset_breakers() -> None:
+    """Forget every shared breaker (tests, or operator reset)."""
+    with _BREAKERS_LOCK:
+        _BREAKERS.clear()

@@ -23,10 +23,12 @@ import os
 import pickle
 import struct
 import sys
+import time
 from typing import Any, Callable, Iterable, List, Optional, Sequence
 
 from ..errors import SpawnError
 from ..obs import TELEMETRY
+from .policy import SpawnPolicy
 from .result import ChildProcess
 from .spawn import ProcessBuilder
 
@@ -149,23 +151,35 @@ class SpawnPool:
     semantics, not a futures framework.
     """
 
-    def __init__(self, workers: int = 2, *, strategy: Optional[str] = None):
+    def __init__(self, workers: int = 2, *, strategy: Optional[str] = None,
+                 policy: Optional[SpawnPolicy] = None):
         """``strategy`` names the launch strategy for the workers
         themselves (e.g. ``"forkserver-pool"`` to create them through
         the shared spawn service); default is the builder's policy.
+        ``policy`` governs recovery: a worker found dead is always
+        replaced, and with ``policy.retries > 0`` the failed submit is
+        retried (with backoff) on the replacement instead of raising.
         """
         if workers < 1:
             raise SpawnError("need at least one worker")
+        self._strategy = strategy
+        self._policy = policy
         self._workers: List[_Worker] = [_Worker(strategy)
                                         for _ in range(workers)]
         self._next = 0
         self._closed = False
+        self._respawns = 0
 
     # -- lifecycle -------------------------------------------------------
 
     @property
     def size(self) -> int:
         return len(self._workers)
+
+    @property
+    def respawns(self) -> int:
+        """Dead workers detected and replaced over the pool's lifetime."""
+        return self._respawns
 
     def close(self) -> None:
         """Shut every worker down (idempotent)."""
@@ -187,14 +201,46 @@ class SpawnPool:
 
     # -- work -------------------------------------------------------------
 
+    def _respawn(self, index: int, dead: _Worker) -> None:
+        """Replace a dead worker in place so the pool heals itself."""
+        try:
+            dead.close()
+        except Exception:
+            pass
+        self._workers[index] = _Worker(self._strategy)
+        self._respawns += 1
+        TELEMETRY.count("pool_retire", pool="spawnpool")
+
     def submit(self, func: Callable, *args, **kwargs) -> Any:
-        """Run one call on the next worker; returns its result."""
+        """Run one call on the next worker; returns its result.
+
+        A worker that died (killed, crashed) is replaced; the task is
+        retried on the replacement when the pool's policy grants
+        retries.  A *task* failure from a live worker — the function
+        raised — is the caller's bug and propagates immediately.
+        """
         self._require_open()
         spec = callable_spec(func)
-        worker = self._workers[self._next % len(self._workers)]
-        self._next += 1
-        TELEMETRY.count("spawnpool_tasks")
-        return worker.call(spec, args, kwargs)
+        attempts = self._policy.attempts() if self._policy else 1
+        last_error: Optional[SpawnError] = None
+        for attempt in range(attempts):
+            if attempt:
+                TELEMETRY.count("spawn_retry", pool="spawnpool")
+                delay = self._policy.backoff_delay(attempt - 1)
+                if delay:
+                    time.sleep(delay)
+            index = self._next % len(self._workers)
+            worker = self._workers[index]
+            self._next += 1
+            TELEMETRY.count("spawnpool_tasks")
+            try:
+                return worker.call(spec, args, kwargs)
+            except SpawnError as exc:
+                if worker.child.poll() is None:
+                    raise  # live worker: the task itself failed
+                last_error = exc
+                self._respawn(index, worker)
+        raise last_error
 
     def map(self, func: Callable, items: Iterable[Any]) -> List[Any]:
         """``[func(item) for item in items]`` across the workers.

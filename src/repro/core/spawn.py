@@ -33,9 +33,11 @@ import time
 from typing import Dict, List, Optional
 
 from ..errors import SpawnError
+from ..faults import FAULTS
 from ..obs import TELEMETRY
 from .attrs import SpawnAttributes
 from .file_actions import FileActions
+from .policy import SpawnPolicy, breaker_for
 from .result import ChildProcess, CompletedChild
 from .strategies import Strategy, get_strategy, pick_default_strategy
 
@@ -117,6 +119,7 @@ class ProcessBuilder:
         self._attrs = SpawnAttributes()
         self._actions = FileActions()
         self._strategy: Optional[Strategy] = None
+        self._policy: Optional[SpawnPolicy] = None
         # (child_fd, parent_fd) pairs to close after launch / hand back.
         self._child_side_fds: List[int] = []
         self._io = SpawnedIO(None, None, None)
@@ -160,6 +163,7 @@ class ProcessBuilder:
     # -- stdio wiring ----------------------------------------------------
 
     def _pipe_for(self, child_fd: int, child_gets: str) -> int:
+        FAULTS.fire("builder.pipe", child_fd=child_fd)
         read_fd, write_fd = os.pipe()
         if child_gets == "read":
             child_side, parent_side = read_fd, write_fd
@@ -237,24 +241,58 @@ class ProcessBuilder:
         self._strategy = get_strategy(name)
         return self
 
+    def policy(self, policy: SpawnPolicy) -> "ProcessBuilder":
+        """Launch under a :class:`SpawnPolicy`: deadline, retries with
+        backoff, circuit breakers, and the fallback strategy chain."""
+        self._policy = policy
+        return self
+
+    def deadline(self, seconds: float) -> "ProcessBuilder":
+        """Bound one spawn attempt to ``seconds`` (forkserver paths)."""
+        self._attrs.deadline = float(seconds)
+        return self
+
+    def close(self) -> None:
+        """Release every descriptor this builder created without
+        spawning — the escape hatch for a builder that was wired up
+        (pipes opened) and then abandoned."""
+        for fd in self._child_side_fds:
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        self._child_side_fds = []
+        self._io.close()
+
     def spawn(self) -> ChildProcess:
         """Launch the child; parent-side pipe ends stay on :attr:`io`.
 
         On a failed launch the builder closes *all* the descriptors it
         created — the child-side pipe ends it always owned and the
         parent-side ends that would otherwise have been handed back on
-        :attr:`io` — so a refused spawn leaks nothing.
+        :attr:`io` — so a refused spawn leaks nothing.  With a
+        :meth:`policy` attached, "failed" means the whole executor
+        failed: every retry, every fallback tier; descriptors stay open
+        across attempts because a retried launch still needs them.
         """
         if self._spawned:
             raise SpawnError("this builder already spawned its child")
         self._spawned = True
         strategy = self._strategy or pick_default_strategy(self._attrs)
+        if (self._policy is not None and self._attrs.deadline is None
+                and self._policy.deadline is not None):
+            self._attrs.deadline = self._policy.deadline
         trace = TELEMETRY.trace(strategy.name, self._argv,
                                 start_ns=self._created_ns)
         trace.stage("dispatch")
         try:
-            child = strategy.launch(self._argv, self._actions, self._attrs,
-                                    trace=trace)
+            FAULTS.fire("builder.spawn", argv=list(self._argv),
+                        strategy=strategy.name)
+            if self._policy is None:
+                child = strategy.launch(self._argv, self._actions,
+                                        self._attrs, trace=trace)
+            else:
+                child = self._launch_with_policy(strategy, trace)
         except BaseException as error:
             trace.failure(error)
             self._io.close()
@@ -268,6 +306,58 @@ class ProcessBuilder:
         child.attach_trace(trace)
         return child
 
+    def _launch_with_policy(self, primary: Strategy, trace) -> ChildProcess:
+        """The resilience executor: retries, breakers, degradation.
+
+        Walks the strategy chain (the chosen strategy, then the
+        policy's ``fallback`` names).  Each tier gets up to
+        ``policy.attempts()`` tries with exponential backoff and
+        jitter, guarded by that tier's shared circuit breaker; a tier
+        whose breaker is open is skipped outright.  Moving down the
+        chain stamps a ``fallback`` trace stage and counter, so the
+        degradation is visible in ``repro-bench metrics``, not silent.
+        """
+        pol = self._policy
+        chain = [primary.name]
+        chain += [name for name in pol.fallback if name not in chain]
+        last_error: Optional[BaseException] = None
+        for index, name in enumerate(chain):
+            strategy = get_strategy(name)
+            if not strategy.available():
+                continue
+            if index:
+                TELEMETRY.count("fallback", strategy=name)
+                trace.stage("fallback", strategy=name)
+            breaker = breaker_for(name, pol)
+            if not breaker.allow():
+                last_error = last_error or SpawnError(
+                    f"circuit breaker open for strategy {name!r}")
+                continue
+            for attempt in range(pol.attempts()):
+                if attempt:
+                    TELEMETRY.count("spawn_retry", strategy=name)
+                    trace.stage("retry", attempt=attempt, strategy=name)
+                    delay = pol.backoff_delay(attempt - 1)
+                    if delay:
+                        time.sleep(delay)
+                    if not breaker.allow():
+                        break
+                try:
+                    child = strategy.launch(self._argv, self._actions,
+                                            self._attrs, trace=trace)
+                except (SpawnError, OSError) as exc:
+                    last_error = exc
+                    if breaker.record_failure():
+                        TELEMETRY.count("breaker_open", strategy=name)
+                        trace.stage("breaker_open", strategy=name)
+                        break  # this tier is sick; degrade
+                    continue
+                breaker.record_success()
+                return child
+        raise SpawnError(
+            f"every strategy in {chain!r} failed to spawn "
+            f"{self._argv!r}: {last_error}") from last_error
+
     @property
     def io(self) -> SpawnedIO:
         """Parent-side pipe endpoints (also attached to the child handle)."""
@@ -277,14 +367,22 @@ class ProcessBuilder:
         return f"<ProcessBuilder {' '.join(self._argv)!r}>"
 
 
-def run(*argv: str, timeout: Optional[float] = None) -> CompletedChild:
+def run(*argv: str, timeout: Optional[float] = None,
+        strategy: Optional[str] = None,
+        policy: Optional[SpawnPolicy] = None) -> CompletedChild:
     """Convenience: spawn, capture stdout, wait.
 
     Returns a :class:`~repro.core.result.CompletedChild` — which still
     unpacks as the historical ``(returncode, stdout_bytes)`` pair.
+    ``strategy`` forces a launcher; ``policy`` runs the spawn under a
+    :class:`SpawnPolicy` (retries, deadline, fallback chain).
     """
     started = time.monotonic()
     builder = ProcessBuilder(*argv).stdout_to_pipe()
+    if strategy is not None:
+        builder.strategy(strategy)
+    if policy is not None:
+        builder.policy(policy)
     child = builder.spawn()
     output = builder.io.read_stdout()
     code = child.wait(timeout=timeout)

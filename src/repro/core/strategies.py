@@ -45,9 +45,11 @@ import warnings
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import SpawnError
+from ..faults import FAULTS
 from ..obs import NULL_TRACE
 from .attrs import SpawnAttributes
 from .file_actions import FileActions
+from .forkserver import ForkServer
 from .forkserver_pool import ForkServerPool
 from .result import ChildProcess
 
@@ -78,6 +80,16 @@ class Strategy:
     def available(self) -> bool:
         """Whether this strategy can work on the host."""
         return True
+
+    def _fire_launch(self, argv: Sequence[str]) -> None:
+        """The ``strategy.launch`` injection point, labelled by name.
+
+        Chaos plans target one launcher with ``strategy="..."`` — the
+        policy executor's fallback chain is proven by breaking exactly
+        one tier and watching the next one catch the request.
+        """
+        FAULTS.fire("strategy.launch", strategy=self.name,
+                    argv=[os.fspath(a) for a in argv])
 
 
 #: The registry behind :func:`strategies` / :func:`get_strategy`.
@@ -139,6 +151,7 @@ class PosixSpawnStrategy(Strategy):
 
     def launch(self, argv, actions, attrs, trace=NULL_TRACE) -> ChildProcess:
         attrs.validate()
+        self._fire_launch(argv)
         if attrs.needs_helper_hop():
             raise SpawnError(
                 "posix_spawn has no cwd/umask attribute; use the "
@@ -166,6 +179,7 @@ class ForkExecStrategy(Strategy):
 
     def launch(self, argv, actions, attrs, trace=NULL_TRACE) -> ChildProcess:
         attrs.validate()
+        self._fire_launch(argv)
         path = _resolve_executable(argv)
         env = attrs.effective_env()
         pid = os.fork()
@@ -192,6 +206,7 @@ class SubprocessStrategy(Strategy):
 
     def launch(self, argv, actions, attrs, trace=NULL_TRACE) -> ChildProcess:
         attrs.validate()
+        self._fire_launch(argv)
         if len(actions):
             raise SpawnError(
                 "SubprocessStrategy takes no file actions; use "
@@ -217,6 +232,49 @@ def _encode_status(returncode: int) -> int:
     if returncode < 0:
         return -returncode  # killed by signal N -> low 7 bits
     return returncode << 8
+
+
+def _reject_unwirable_attrs(name: str, attrs: SpawnAttributes) -> None:
+    """Forkserver requests travel as JSON + fd grants; only env/cwd fit."""
+    if (attrs.new_process_group or attrs.reset_signals
+            or attrs.sigmask or attrs.umask is not None):
+        raise SpawnError(
+            f"{name} supports only env/cwd attributes; use "
+            f"posix_spawn or fork_exec for signal/pgroup/umask control")
+
+
+def _stdio_grant(actions: FileActions):
+    """Replay a file-action list into the stdio triple to grant.
+
+    Returns ``(stdio, opened)``: the child-fd → parent-fd map for fds
+    0-2, and the descriptors this call opened (the caller must close
+    them once the grant is sent).  Actions that cannot be expressed as
+    an SCM_RIGHTS stdio grant are rejected rather than approximated.
+    """
+    stdio = {0: 0, 1: 1, 2: 2}
+    opened: List[int] = []
+    try:
+        for action in actions.actions():
+            kind = action[0]
+            if kind == "dup2" and action[2] in stdio:
+                stdio[action[2]] = stdio.get(action[1], action[1])
+            elif kind == "open" and action[1] in stdio:
+                _, fd, path, flags, mode = action
+                handle = os.open(path, flags, mode)
+                opened.append(handle)
+                stdio[fd] = handle
+            elif kind == "close" and action[1] not in stdio:
+                continue  # helper children only ever get the triple
+            else:
+                raise SpawnError(
+                    f"forkserver strategies cannot express file action "
+                    f"{action!r}; only stdio wiring travels over "
+                    f"SCM_RIGHTS")
+    except BaseException:
+        for handle in opened:
+            os.close(handle)
+        raise
+    return stdio, opened
 
 
 @register_strategy("forkserver-pool")
@@ -257,36 +315,73 @@ class ForkServerPoolStrategy(Strategy):
 
     def launch(self, argv, actions, attrs, trace=NULL_TRACE) -> ChildProcess:
         attrs.validate()
-        if (attrs.new_process_group or attrs.reset_signals
-                or attrs.sigmask or attrs.umask is not None):
-            raise SpawnError(
-                "forkserver-pool supports only env/cwd attributes; use "
-                "posix_spawn or fork_exec for signal/pgroup/umask control")
-        # Replay the action list into the child's eventual stdio triple:
-        # each child fd 0-2 maps to some parent descriptor to grant.
-        stdio = {0: 0, 1: 1, 2: 2}
-        opened: List[int] = []
+        self._fire_launch(argv)
+        _reject_unwirable_attrs(self.name, attrs)
+        stdio, opened = _stdio_grant(actions)
         try:
-            for action in actions.actions():
-                kind = action[0]
-                if kind == "dup2" and action[2] in stdio:
-                    stdio[action[2]] = stdio.get(action[1], action[1])
-                elif kind == "open" and action[1] in stdio:
-                    _, fd, path, flags, mode = action
-                    handle = os.open(path, flags, mode)
-                    opened.append(handle)
-                    stdio[fd] = handle
-                elif kind == "close" and action[1] not in stdio:
-                    continue  # helper children only ever get the triple
-                else:
-                    raise SpawnError(
-                        f"forkserver-pool cannot express file action "
-                        f"{action!r}; only stdio wiring travels over "
-                        f"SCM_RIGHTS")
             child = self.pool().spawn(
                 argv, env=attrs.effective_env(), cwd=attrs.cwd,
                 stdin=stdio[0], stdout=stdio[1], stderr=stdio[2],
-                trace=trace)
+                trace=trace, deadline=attrs.deadline)
+        finally:
+            for handle in opened:
+                os.close(handle)
+        return child
+
+
+@register_strategy("forkserver")
+class ForkServerStrategy(Strategy):
+    """Launch through one shared pipelined forkserver helper.
+
+    The middle rung of the degradation ladder: when the pool's breaker
+    opens, a single dedicated helper still beats falling all the way to
+    direct spawn for workloads that need the zygote's warm template.
+    Started lazily on first use and shared process-wide, like the pool.
+    """
+
+    def __init__(self):
+        self._server: Optional[ForkServer] = None
+        self._lock = threading.Lock()
+
+    def available(self) -> bool:
+        return hasattr(os, "fork")
+
+    def server(self) -> ForkServer:
+        """The shared helper, started (or replaced) on first use."""
+        with self._lock:
+            if self._server is None or not self._server.healthy:
+                old, self._server = self._server, None
+                if old is not None:
+                    try:
+                        old.abort()
+                    except Exception:
+                        pass
+                self._server = ForkServer().start()
+            return self._server
+
+    def shutdown(self) -> None:
+        """Stop the shared helper (a later launch starts a fresh one)."""
+        with self._lock:
+            server, self._server = self._server, None
+        if server is not None:
+            try:
+                if server.healthy:
+                    server.stop()
+                else:
+                    server.abort()
+            except Exception:
+                pass
+
+    def launch(self, argv, actions, attrs, trace=NULL_TRACE) -> ChildProcess:
+        attrs.validate()
+        self._fire_launch(argv)
+        _reject_unwirable_attrs(self.name, attrs)
+        stdio, opened = _stdio_grant(actions)
+        try:
+            child = self.server().spawn(
+                argv, env=attrs.effective_env(), cwd=attrs.cwd,
+                stdin=stdio[0], stdout=stdio[1], stderr=stdio[2],
+                trace=trace, deadline=attrs.deadline)
         finally:
             for handle in opened:
                 os.close(handle)
@@ -294,8 +389,9 @@ class ForkServerPoolStrategy(Strategy):
 
 
 # Helpers are real processes; make sure an interpreter that used the
-# shared pool does not strand them at exit.
+# shared services does not strand them at exit.
 atexit.register(_REGISTRY["forkserver-pool"].shutdown)
+atexit.register(_REGISTRY["forkserver"].shutdown)
 
 
 def pick_default_strategy(attrs: SpawnAttributes) -> Strategy:

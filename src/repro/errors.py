@@ -23,6 +23,27 @@ class SpawnError(ReproError):
     """
 
 
+class SpawnTimeout(SpawnError):
+    """A spawn request outlived its deadline.
+
+    Raised by the forkserver wire protocol when a
+    :class:`~repro.core.policy.SpawnPolicy` deadline (or an explicit
+    per-request one) expires before the helper replies.  On a pipelined
+    channel an expired request *poisons* the channel — the helper may be
+    wedged mid-frame — so the server is aborted and replaced rather than
+    trusted again.
+    """
+
+
+class FaultPlanError(ReproError):
+    """A fault-injection plan could not be parsed or validated.
+
+    Raised by :mod:`repro.faults` for unknown fault kinds, malformed
+    JSON plans, or a ``REPRO_FAULTS`` environment value that names a
+    missing file.
+    """
+
+
 class ForkSafetyError(ReproError):
     """A fork-safety invariant was violated.
 

@@ -224,7 +224,8 @@ class TestStrategyPlumbing:
 
     def test_all_strategies_registered(self):
         assert set(strategies()) == {"posix_spawn", "fork_exec",
-                                     "subprocess", "forkserver-pool"}
+                                     "subprocess", "forkserver-pool",
+                                     "forkserver"}
 
     def test_get_strategy_resolves(self):
         assert get_strategy("posix_spawn").name == "posix_spawn"

@@ -1,0 +1,64 @@
+"""Wire-frame damage: truncation, corruption, lost SCM_RIGHTS grants."""
+
+import pytest
+
+from repro.core import ForkServer, ForkServerPool, SpawnPolicy
+from repro.errors import SpawnError
+from repro.faults import FAULTS, FaultPlan
+
+
+class TestTruncateFrame:
+    def test_forkserver_with_deadline_detects_the_wedge(self):
+        # Half a frame leaves the helper blocked mid-read: only the
+        # deadline can prove the channel is gone.  Expiry poisons it.
+        with ForkServer() as server:
+            with FAULTS.active(FaultPlan().add("truncate_frame")):
+                with pytest.raises(SpawnError):
+                    server.spawn(["/bin/true"], deadline=1.0)
+            assert not server.healthy
+
+    def test_pool_with_policy_recovers(self):
+        policy = SpawnPolicy(retries=2, deadline=1.0, backoff=0.01)
+        with ForkServerPool(2, policy=policy) as pool:
+            with FAULTS.active(FaultPlan().add("truncate_frame")):
+                child = pool.spawn(["/bin/echo", "ok"])
+                assert child.wait(timeout=10) == 0
+
+
+class TestCorruptFrame:
+    def test_forkserver_helper_bails_out_cleanly(self):
+        # The helper reads a full-length frame of garbage, refuses to
+        # guess at re-synchronisation, and exits; the client sees EOF.
+        with ForkServer() as server:
+            with FAULTS.active(FaultPlan().add("corrupt_frame")):
+                with pytest.raises(SpawnError):
+                    server.spawn(["/bin/true"])
+            assert not server.healthy
+
+    def test_pool_fails_over(self):
+        with ForkServerPool(2) as pool:
+            with FAULTS.active(FaultPlan().add("corrupt_frame")):
+                child = pool.spawn(["/bin/echo", "ok"])
+                assert child.wait(timeout=10) == 0
+            assert pool.respawns >= 1
+
+
+class TestDropFdGrant:
+    def test_forkserver_refuses_with_eproto(self):
+        # The nfds field lets the helper see the grant went missing and
+        # refuse, instead of wiring the child to its own stdio.
+        with ForkServer() as server:
+            with FAULTS.active(FaultPlan().add("drop_fd_grant")):
+                with pytest.raises(SpawnError) as excinfo:
+                    server.spawn(["/bin/true"])
+            assert "EPROTO" in str(excinfo.value)
+            # A refusal is not a crash: the helper stays usable.
+            assert server.healthy
+            assert server.spawn(["/bin/true"]).wait(timeout=10) == 0
+
+    def test_pool_with_policy_retries_past_it(self):
+        policy = SpawnPolicy(retries=2, backoff=0.01)
+        with ForkServerPool(2, policy=policy) as pool:
+            with FAULTS.active(FaultPlan().add("drop_fd_grant")):
+                child = pool.spawn(["/bin/echo", "ok"])
+                assert child.wait(timeout=10) == 0

@@ -1,0 +1,163 @@
+"""The fault-plan layer itself: parsing, arming, helper compilation."""
+
+import json
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults import (ENV_VAR, FAULTS, Fault, FaultPlan, KIND_POINTS,
+                          install_env_plan)
+
+
+class TestFault:
+    def test_default_point_comes_from_kind(self):
+        assert Fault("kill_helper").point == "forkserver.request"
+        assert Fault("truncate_frame").point == "forkserver.frame"
+        assert Fault("stall_helper").point == "helper"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError):
+            Fault("set_fire_to_the_rack")
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(FaultPlanError):
+            Fault("kill_helper", point="nowhere.special")
+
+    def test_negative_counters_rejected(self):
+        with pytest.raises(FaultPlanError):
+            Fault("kill_helper", after=-1)
+        with pytest.raises(FaultPlanError):
+            Fault("kill_helper", times=-2)
+        with pytest.raises(FaultPlanError):
+            Fault("stall_helper", seconds=-0.5)
+
+    def test_arming_skips_then_fires_then_exhausts(self):
+        fault = Fault("refuse_exec", after=2, times=2)
+        fires = [fault.arm() for _ in range(6)]
+        assert fires == [False, False, True, True, False, False]
+        assert fault.exhausted
+
+    def test_times_none_fires_forever(self):
+        fault = Fault("refuse_exec", times=None)
+        assert all(fault.arm() for _ in range(50))
+        assert not fault.exhausted
+
+    def test_strategy_scoping(self):
+        fault = Fault("refuse_exec", strategy="posix_spawn")
+        assert fault.matches("strategy.launch", "posix_spawn")
+        assert not fault.matches("strategy.launch", "fork_exec")
+        assert not fault.matches("strategy.launch", None)
+
+    def test_truncate_frame_keeps_a_proper_prefix(self):
+        fault = Fault("truncate_frame")
+        message = b"\x00\x00\x00\x10" + b"x" * 16
+        damaged, fds = fault.mutate_frame(message, [5, 6])
+        assert damaged == message[:len(message) // 2]
+        assert fds == [5, 6]
+
+    def test_corrupt_frame_keeps_header_trashes_body(self):
+        fault = Fault("corrupt_frame")
+        message = b"\x00\x00\x00\x04" + b"body"
+        damaged, _ = fault.mutate_frame(message, [])
+        assert damaged[:4] == message[:4]
+        assert damaged[4:] != b"body" and len(damaged) == len(message)
+
+    def test_drop_fd_grant_strips_fds_only(self):
+        fault = Fault("drop_fd_grant")
+        damaged, fds = fault.mutate_frame(b"frame", [0, 1, 2])
+        assert damaged == b"frame" and fds == []
+
+
+class TestFaultPlan:
+    def test_json_roundtrip(self):
+        plan = (FaultPlan()
+                .add("kill_helper", after=3)
+                .add("stall_helper", seconds=0.25, times=None))
+        again = FaultPlan.from_json(plan.to_json())
+        assert again.as_dict() == plan.as_dict()
+        assert len(again) == 2
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict(["not", "a", "plan"])
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"faults": [{"point": "helper"}]})
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"faults": [{"kind": "kill_helper",
+                                             "frequency": 2}]})
+
+    def test_from_json_rejects_non_json(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_json("{nope")
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(
+            {"faults": [{"kind": "corrupt_frame"}]}))
+        plan = FaultPlan.from_file(path)
+        assert plan.faults[0].kind == "corrupt_frame"
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_file(tmp_path / "missing.json")
+
+    def test_from_env_value_inline_or_path(self, tmp_path):
+        inline = FaultPlan.from_env_value(
+            '{"faults": [{"kind": "kill_helper"}]}')
+        assert inline.faults[0].kind == "kill_helper"
+        path = tmp_path / "p.json"
+        path.write_text('{"faults": [{"kind": "refuse_exec"}]}')
+        from_path = FaultPlan.from_env_value(str(path))
+        assert from_path.faults[0].kind == "refuse_exec"
+
+    def test_helper_spec_renders_helper_faults_only(self):
+        plan = (FaultPlan()
+                .add("stall_helper", seconds=0.5, times=None)
+                .add("delay_sigchld", seconds=0.1, after=1)
+                .add("kill_helper"))
+        spec = plan.helper_spec()
+        assert spec == "stall_helper:0.5:-1:0,delay_sigchld:0.1:1:1"
+
+    def test_every_kind_constructs(self):
+        plan = FaultPlan()
+        for kind in KIND_POINTS:
+            plan.add(kind)
+        assert len(plan) == len(KIND_POINTS)
+
+
+class TestEnvActivation:
+    def test_install_env_plan(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text('{"faults": [{"kind": "kill_helper"}]}')
+        try:
+            assert install_env_plan({ENV_VAR: str(path)})
+            assert FAULTS.plan is not None
+            assert FAULTS.plan.faults[0].kind == "kill_helper"
+        finally:
+            FAULTS.deactivate()
+
+    def test_install_env_plan_absent_is_noop(self):
+        assert not install_env_plan({})
+        assert FAULTS.plan is None
+
+    def test_install_env_plan_malformed_is_loud(self):
+        with pytest.raises(FaultPlanError):
+            install_env_plan({ENV_VAR: "{broken"})
+
+
+class TestInjector:
+    def test_fire_logs_and_respects_counters(self):
+        plan = FaultPlan().add("kill_helper", after=1, times=1)
+        with FAULTS.active(plan):
+            assert FAULTS.fire("forkserver.request") is None  # skipped
+            fault = FAULTS.fire("forkserver.request")
+            assert fault is not None and fault.kind == "kill_helper"
+            assert FAULTS.fire("forkserver.request") is None  # exhausted
+            assert FAULTS.fired == [("forkserver.request", "kill_helper")]
+        assert FAULTS.plan is None
+
+    def test_fire_without_plan_is_free(self):
+        assert FAULTS.fire("forkserver.frame") is None
+
+    def test_wrong_point_does_not_fire(self):
+        with FAULTS.active(FaultPlan().add("kill_helper")):
+            assert FAULTS.fire("builder.spawn") is None
+            assert FAULTS.fired == []

@@ -1,0 +1,169 @@
+"""SpawnPolicy, CircuitBreaker, and the degradation ladder end to end."""
+
+import pytest
+
+from repro.core import (CircuitBreaker, ProcessBuilder, SpawnPolicy,
+                        breaker_for, reset_breakers, run)
+from repro.errors import SpawnError
+from repro.faults import FAULTS, FaultPlan
+from repro.obs import TELEMETRY
+
+
+def counter_value(name, **labels):
+    return TELEMETRY.metrics.counter(name, **labels).value
+
+
+class TestSpawnPolicyShape:
+    def test_validation(self):
+        with pytest.raises(SpawnError):
+            SpawnPolicy(deadline=0)
+        with pytest.raises(SpawnError):
+            SpawnPolicy(retries=-1)
+        with pytest.raises(SpawnError):
+            SpawnPolicy(backoff_multiplier=0.5)
+        with pytest.raises(SpawnError):
+            SpawnPolicy(jitter=1.5)
+        with pytest.raises(SpawnError):
+            SpawnPolicy(breaker_threshold=0)
+
+    def test_attempts_counts_the_first_try(self):
+        assert SpawnPolicy().attempts() == 1
+        assert SpawnPolicy(retries=3).attempts() == 4
+
+    def test_backoff_is_exponential_and_capped(self):
+        policy = SpawnPolicy(backoff=0.1, backoff_multiplier=2.0,
+                             backoff_max=0.5, jitter=0.0)
+        delays = [policy.backoff_delay(i) for i in range(5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_spreads_symmetrically(self):
+        policy = SpawnPolicy(backoff=1.0, jitter=0.5)
+        low = policy.backoff_delay(0, rng=lambda: 0.0)   # -jitter edge
+        high = policy.backoff_delay(0, rng=lambda: 1.0)  # +jitter edge
+        mid = policy.backoff_delay(0, rng=lambda: 0.5)
+        assert low == pytest.approx(0.5)
+        assert high == pytest.approx(1.5)
+        assert mid == pytest.approx(1.0)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=60)
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is True  # just opened
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_strike_count(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=60)
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.record_failure() is False  # back to one strike
+
+    def test_half_open_admits_one_probe(self):
+        now = [0.0]
+        breaker = CircuitBreaker(threshold=1, cooldown=10,
+                                 clock=lambda: now[0])
+        breaker.record_failure()
+        assert not breaker.allow()          # still cooling down
+        now[0] = 11.0
+        assert breaker.allow()              # the probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert not breaker.allow()          # second caller rejected
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_failed_probe_reopens(self):
+        now = [0.0]
+        breaker = CircuitBreaker(threshold=1, cooldown=10,
+                                 clock=lambda: now[0])
+        breaker.record_failure()
+        now[0] = 11.0
+        assert breaker.allow()
+        assert breaker.record_failure() is True  # re-opened
+        now[0] = 12.0
+        assert not breaker.allow()  # new cooldown from the re-open
+
+    def test_breaker_for_is_shared_by_name(self):
+        reset_breakers()
+        a = breaker_for("posix_spawn", SpawnPolicy(breaker_threshold=2))
+        b = breaker_for("posix_spawn")
+        assert a is b
+        reset_breakers()
+        assert breaker_for("posix_spawn") is not a
+
+
+class TestFallbackChain:
+    def test_degrades_to_next_tier_when_breaker_opens(self):
+        # posix_spawn refuses every attempt; threshold=2 opens its
+        # breaker mid-tier and the request degrades to fork_exec.
+        TELEMETRY.enable(reset_metrics=True)
+        try:
+            plan = FaultPlan().add("refuse_exec", strategy="posix_spawn",
+                                   times=None)
+            policy = SpawnPolicy(retries=3, backoff=0.01,
+                                 breaker_threshold=2,
+                                 fallback=("fork_exec",))
+            with FAULTS.active(plan):
+                child = (ProcessBuilder("/bin/true")
+                         .policy(policy).spawn())
+                assert child.wait(timeout=10) == 0
+                assert child.strategy == "fork_exec"
+            assert counter_value("spawn_retry", strategy="posix_spawn") >= 1
+            assert counter_value("breaker_open", strategy="posix_spawn") == 1
+            assert counter_value("fallback", strategy="fork_exec") == 1
+        finally:
+            TELEMETRY.disable()
+
+    def test_open_breaker_skips_the_tier_outright(self):
+        reset_breakers()
+        policy = SpawnPolicy(breaker_threshold=1, breaker_cooldown=300,
+                             fallback=("fork_exec",))
+        breaker_for("posix_spawn", policy).record_failure()  # force open
+        child = ProcessBuilder("/bin/true").policy(policy).spawn()
+        assert child.wait(timeout=10) == 0
+        assert child.strategy == "fork_exec"
+
+    def test_whole_chain_failing_names_every_tier(self):
+        plan = FaultPlan().add("refuse_exec", times=None)
+        policy = SpawnPolicy(retries=1, backoff=0.01,
+                             breaker_threshold=10,
+                             fallback=("fork_exec", "subprocess"))
+        with FAULTS.active(plan):
+            with pytest.raises(SpawnError) as excinfo:
+                ProcessBuilder("/bin/true").policy(policy).spawn()
+        message = str(excinfo.value)
+        for name in ("posix_spawn", "fork_exec", "subprocess"):
+            assert name in message
+
+    def test_pool_to_forkserver_to_posix_spawn_ladder(self):
+        # The paper's architecture as a ladder: pool first, single
+        # helper second, direct constant-cost spawn as the floor.
+        plan = (FaultPlan()
+                .add("refuse_exec", strategy="forkserver-pool", times=None)
+                .add("refuse_exec", strategy="forkserver", times=None))
+        policy = SpawnPolicy(retries=0, breaker_threshold=1,
+                             fallback=("forkserver", "posix_spawn"))
+        with FAULTS.active(plan):
+            done = run("/bin/echo", "floor", strategy="forkserver-pool",
+                       policy=policy)
+        assert done.returncode == 0 and done.stdout == b"floor\n"
+
+
+class TestResilienceCountersVisible:
+    def test_retry_counter_appears_in_the_registry(self):
+        TELEMETRY.enable(reset_metrics=True)
+        try:
+            plan = FaultPlan().add("refuse_exec", strategy="posix_spawn",
+                                   times=1)
+            with FAULTS.active(plan):
+                child = (ProcessBuilder("/bin/true")
+                         .policy(SpawnPolicy(retries=1, backoff=0.01))
+                         .spawn())
+                assert child.wait(timeout=10) == 0
+            names = [name for name, labels, counter
+                     in TELEMETRY.metrics.counters()]
+            assert "spawn_retry" in names
+        finally:
+            TELEMETRY.disable()

@@ -1,0 +1,87 @@
+"""Regression: shutdown with requests in flight must strand no waiter.
+
+The bug: ``ForkServer.stop()`` joined the reader thread before failing
+pending futures, so a pipelined request in flight at shutdown could
+block its caller forever.  Now in-flight requests resolve with
+:class:`SpawnError`, the goodbye exchange itself is bounded by
+``shutdown_timeout``, and a helper that ignores the goodbye is
+SIGKILLed and reaped.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import ForkServer
+from repro.errors import SpawnError
+from repro.faults import FAULTS, FaultPlan
+
+
+class TestStopWithInFlightRequests:
+    def test_parked_wait_resolves_with_spawn_error(self):
+        server = ForkServer().start()
+        child = server.spawn(["/bin/sleep", "30"])
+        outcome = {}
+
+        def blocked_wait():
+            try:
+                outcome["status"] = child.wait()
+            except SpawnError as exc:
+                outcome["error"] = exc
+
+        waiter = threading.Thread(target=blocked_wait)
+        waiter.start()
+        time.sleep(0.1)  # let the wait park in the helper
+        assert server.in_flight == 1
+        server.stop()
+        waiter.join(timeout=10)
+        assert not waiter.is_alive(), "waiter still blocked after stop()"
+        assert "error" in outcome, "in-flight wait must fail, not succeed"
+        # The sleep child was the helper's; nothing left for us to reap.
+
+    def test_many_in_flight_waiters_all_resolve(self):
+        server = ForkServer().start()
+        children = [server.spawn(["/bin/sleep", "30"]) for _ in range(4)]
+        failures = []
+        threads = []
+        for child in children:
+            def blocked_wait(c=child):
+                try:
+                    c.wait()
+                except SpawnError:
+                    failures.append(c.pid)
+            thread = threading.Thread(target=blocked_wait)
+            thread.start()
+            threads.append(thread)
+        time.sleep(0.2)
+        server.stop()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not any(t.is_alive() for t in threads)
+        assert sorted(failures) == sorted(c.pid for c in children)
+
+    def test_stop_is_bounded_when_helper_is_wedged(self):
+        # A stalled helper never answers the goodbye; stop() must give
+        # up after shutdown_timeout and SIGKILL it rather than hang.
+        with FAULTS.active(FaultPlan().add("stall_helper", seconds=60,
+                                           times=None, after=1)):
+            server = ForkServer().start()
+        server.shutdown_timeout = 1.0
+        started = time.monotonic()
+        server.stop()
+        elapsed = time.monotonic() - started
+        assert elapsed < 10, f"stop() took {elapsed:.1f}s against a wedge"
+        assert not server.running
+
+    def test_spawn_after_stop_raises_not_hangs(self):
+        server = ForkServer().start()
+        server.stop()
+        with pytest.raises(SpawnError):
+            server.spawn(["/bin/true"])
+
+    def test_stop_twice_is_idempotent(self):
+        server = ForkServer().start()
+        server.stop()
+        server.stop()
+        assert not server.running
