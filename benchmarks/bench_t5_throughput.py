@@ -34,7 +34,9 @@ def test_service_burst(benchmark, service, mechanism):
 
     benchmark.pedantic(burst, rounds=3, warmup_rounds=1, iterations=1)
     assert last["result"].errors == 0
-    assert last["result"].requests == CONCURRENCY * REQUESTS
+    children = (service.batch_size if mechanism == "forkserver-pool-batch"
+                else 1)
+    assert last["result"].requests == CONCURRENCY * REQUESTS * children
 
 
 def test_pool_beats_locked_service(service):

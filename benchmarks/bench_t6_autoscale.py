@@ -1,0 +1,47 @@
+"""T6 — autoscaled spawn service under a burst.
+
+pytest-benchmark times one warm→burst cycle against an
+autoscaler-managed pool; ``repro-bench run t6-autoscale`` prints the
+full phase sweep with worker counts and scale events.
+"""
+
+import pytest
+
+from repro.bench.workloads import ServiceWorkloads
+from repro.core.autoscale import AutoscaleConfig
+
+CONCURRENCY = 8
+REQUESTS = 4
+CONFIG = AutoscaleConfig(min_workers=1, max_workers=4,
+                         high_watermark=1.5, sustain_seconds=0.05,
+                         idle_ttl=0.3, interval=0.02)
+
+
+@pytest.fixture(scope="module")
+def service():
+    """One autoscaled service registry for the module."""
+    with ServiceWorkloads(autoscale=CONFIG) as workloads:
+        workloads.warm(["forkserver-pool"])
+        yield workloads
+
+
+def test_autoscaled_burst(benchmark, service):
+    last = {}
+
+    def burst():
+        last["result"] = service.measure(
+            "forkserver-pool", concurrency=CONCURRENCY,
+            requests_per_thread=REQUESTS)
+
+    benchmark.pedantic(burst, rounds=3, warmup_rounds=1, iterations=1)
+    assert last["result"].errors == 0
+    assert last["result"].requests == CONCURRENCY * REQUESTS
+
+
+def test_autoscaler_reacted(service):
+    """After the bursts the pool must have grown past its floor."""
+    result = service.measure("forkserver-pool", concurrency=CONCURRENCY,
+                             requests_per_thread=REQUESTS)
+    assert result.errors == 0
+    assert service.autoscaler.scale_ups >= 1
+    assert CONFIG.min_workers <= service.pool.size <= CONFIG.max_workers

@@ -9,6 +9,8 @@ Usage::
     repro-bench run all --parallel   # ... across a pool of spawned workers
     repro-bench run t1-api,t3-overcommit --quick
     repro-bench run t1-api --json
+    repro-bench run t5-throughput --quick --set concurrencies=[1,64] \
+        --set autoscale=true      # kwarg overrides, JSON-decoded
     repro-bench run t5-throughput --trace out.jsonl
     repro-bench metrics              # live sample: p50/p95/p99 per strategy
     repro-bench metrics --from out.jsonl
@@ -61,6 +63,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "list of ids, or 'all'")
     runner.add_argument("--quick", action="store_true",
                         help="reduced sizes/repeats for smoke runs")
+    runner.add_argument("--set", dest="overrides", action="append",
+                        default=[], metavar="KEY=VALUE",
+                        help="override an experiment keyword argument; "
+                             "VALUE is parsed as JSON when possible "
+                             "(--set concurrencies=[1,64] "
+                             "--set autoscale=true), else as a string; "
+                             "repeatable")
     runner.add_argument("--json", action="store_true",
                         help="emit rows as JSON instead of tables")
     runner.add_argument("--parallel", action="store_true",
@@ -110,14 +119,35 @@ def _result_payload(result: base.ExperimentResult) -> dict:
     return payload
 
 
+def _parse_overrides(pairs: Sequence[str]) -> dict:
+    """``--set KEY=VALUE`` pairs -> experiment kwargs.
+
+    Values are decoded as JSON when they parse (numbers, lists,
+    booleans) and passed through as strings otherwise, so
+    ``--set concurrencies=[1,64] --set autoscale=true`` does what it
+    looks like it does.
+    """
+    overrides = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ReproError(f"--set needs KEY=VALUE, got {pair!r}")
+        try:
+            overrides[key] = json.loads(value)
+        except ValueError:
+            overrides[key] = value
+    return overrides
+
+
 def _parallel_run_one(payload) -> dict:
     """Worker-side entry point: run one experiment, return its payload.
 
     Must stay module-level: :class:`~repro.core.pool.SpawnPool` workers
     are fresh spawned interpreters that re-import it by name.
     """
-    experiment_id, quick = payload
-    return _result_payload(base.run(experiment_id, quick=quick))
+    experiment_id, quick, overrides = payload
+    return _result_payload(base.run(experiment_id, quick=quick,
+                                    **overrides))
 
 
 def _print_payload(payload: dict, as_json: bool) -> None:
@@ -132,14 +162,16 @@ def _print_payload(payload: dict, as_json: bool) -> None:
     print()
 
 
-def _run_serial(targets: List[str], quick: bool, as_json: bool) -> None:
+def _run_serial(targets: List[str], quick: bool, as_json: bool,
+                overrides: dict) -> None:
     for experiment_id in targets:
         _print_payload(
-            _result_payload(base.run(experiment_id, quick=quick)), as_json)
+            _result_payload(base.run(experiment_id, quick=quick,
+                                     **overrides)), as_json)
 
 
 def _run_parallel(targets: List[str], quick: bool, as_json: bool,
-                  jobs: int) -> None:
+                  jobs: int, overrides: dict) -> None:
     """Run ``targets`` across a SpawnPool; print in input order.
 
     ``map`` returns results in input order regardless of which worker
@@ -151,7 +183,7 @@ def _run_parallel(targets: List[str], quick: bool, as_json: bool,
         base.get(experiment_id)  # fail fast, before any worker spawns
     with SpawnPool(max(1, min(jobs, len(targets)))) as pool:
         payloads = pool.map(_parallel_run_one,
-                            [(t, quick) for t in targets])
+                            [(t, quick, overrides) for t in targets])
     for payload in payloads:
         _print_payload(payload, as_json)
 
@@ -386,11 +418,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print("error: no experiment ids given", file=sys.stderr)
             return 2
         try:
+            overrides = _parse_overrides(args.overrides)
             with _tracing(args.trace), _faulting(args.faults):
                 if args.parallel:
-                    _run_parallel(targets, args.quick, args.json, args.jobs)
+                    _run_parallel(targets, args.quick, args.json, args.jobs,
+                                  overrides)
                 else:
-                    _run_serial(targets, args.quick, args.json)
+                    _run_serial(targets, args.quick, args.json, overrides)
         except ReproError as err:
             print(f"error: {err}", file=sys.stderr)
             return 2

@@ -10,12 +10,16 @@ per-request p50/p95 latency:
 * ``forkserver-locked`` — one helper behind one lock and blocking
   round-trips (the naive zygote: correct, and catastrophic under load);
 * ``forkserver-pipelined`` — one helper, correlation-id pipelining;
-* ``forkserver-pool`` — pipelining sharded across N helpers.
+* ``forkserver-pool`` — pipelining sharded across N helpers;
+* ``forkserver-pool-batch`` — the pool again, but each client call
+  ships ``batch_size`` requests in one wire frame
+  (:meth:`ForkServerPool.spawn_batch`): amortised framing and syscalls.
 
 Expected shape: the locked server is *flat* in offered concurrency —
 adding clients adds queueing, not throughput — while the pipelined pool
 scales with concurrency until the machine runs out of overlap, matching
-or beating direct spawn.
+or beating direct spawn; batching then lifts the pool further by
+collapsing N round trips into one.
 """
 
 from __future__ import annotations
@@ -27,9 +31,10 @@ from ..stats import format_ns
 from ..workloads import SERVICE_CHILD, TRIVIAL_CHILD, ServiceWorkloads
 from .base import ExperimentResult, register
 
-DEFAULT_CONCURRENCIES = [1, 2, 4, 8, 16, 32]
+DEFAULT_CONCURRENCIES = [1, 2, 4, 8, 16, 32, 64]
 DEFAULT_MECHANISMS = ["fork_exec", "posix_spawn", "forkserver-locked",
-                      "forkserver-pipelined", "forkserver-pool"]
+                      "forkserver-pipelined", "forkserver-pool",
+                      "forkserver-pool-batch"]
 
 
 @register("t5-throughput",
@@ -40,18 +45,25 @@ def run_t5_throughput(concurrencies: Optional[List[int]] = None,
                       mechanisms: Optional[List[str]] = None,
                       requests_per_thread: int = 8,
                       child_sleep_ms: float = 10.0,
-                      pool_workers: int = 4) -> ExperimentResult:
+                      pool_workers: int = 4,
+                      batch_size: int = 4,
+                      autoscale: bool = False) -> ExperimentResult:
     """Measure spawns/sec and latency percentiles per mechanism.
 
     ``child_sleep_ms`` is the child's simulated service time (0 uses
-    ``/bin/true``); ``pool_workers`` sizes the multi-helper pool.
+    ``/bin/true``); ``pool_workers`` sizes the multi-helper pool;
+    ``batch_size`` is the members per wire frame for the batch
+    mechanism; ``autoscale=True`` swaps the fixed pool for an
+    autoscaler-managed one (capacity then follows the offered load).
     """
     concurrencies = concurrencies or list(DEFAULT_CONCURRENCIES)
     mechanisms = mechanisms or list(DEFAULT_MECHANISMS)
     child = (["/bin/sleep", str(child_sleep_ms / 1000.0)]
              if child_sleep_ms > 0 else [TRIVIAL_CHILD])
     rows = []
-    with ServiceWorkloads(child, pool_workers=pool_workers) as service:
+    with ServiceWorkloads(child, pool_workers=pool_workers,
+                          batch_size=batch_size,
+                          autoscale=autoscale or None) as service:
         service.warm(mechanisms)
         for concurrency in concurrencies:
             row = {"concurrency": concurrency}
@@ -93,8 +105,14 @@ def _notes(rows: List[dict], mechanisms: List[str]) -> str:
     row = rows[-1]
     locked = row["forkserver-locked_per_sec"]
     pool = row["forkserver-pool_per_sec"]
-    return (f"at concurrency {row['concurrency']} the pipelined pool "
-            f"sustains {pool / locked:.1f}x the locked single server "
-            f"({pool:.0f}/s vs {locked:.0f}/s); the locked server is "
-            f"flat in concurrency — its lock turns offered load into "
-            f"queueing.")
+    notes = (f"at concurrency {row['concurrency']} the pipelined pool "
+             f"sustains {pool / locked:.1f}x the locked single server "
+             f"({pool:.0f}/s vs {locked:.0f}/s); the locked server is "
+             f"flat in concurrency — its lock turns offered load into "
+             f"queueing.")
+    if "forkserver-pool-batch" in mechanisms:
+        batched = row["forkserver-pool-batch_per_sec"]
+        notes += (f" batching lifts the pool a further "
+                  f"{batched / pool:.2f}x ({batched:.0f}/s) by shipping "
+                  f"each client's requests in one wire frame.")
+    return notes

@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..core.autoscale import AutoscaleConfig, PoolAutoscaler
 from ..core.forkserver import ForkServer
 from ..core.forkserver_pool import ForkServerPool
 from ..errors import BenchError
@@ -195,7 +196,8 @@ class ThroughputResult:
 
 def measure_spawn_throughput(spawn_and_wait: Callable[[], None], *,
                              concurrency: int, requests_per_thread: int,
-                             mechanism: str = "?") -> ThroughputResult:
+                             mechanism: str = "?",
+                             children_per_call: int = 1) -> ThroughputResult:
     """Offer ``concurrency`` client threads, each spawning in a loop.
 
     All clients start together (barrier), each performs
@@ -204,11 +206,18 @@ def measure_spawn_throughput(spawn_and_wait: Callable[[], None], *,
     reported is sustained service throughput, not best-case latency
     inverted.  A failing call counts as an error and does not
     contribute a latency sample.
+
+    ``children_per_call`` scales the accounting for batched mechanisms:
+    one call that spawns N children counts as N completed spawns in
+    ``requests`` and ``per_second`` (latency still summarises the whole
+    call's round trip, which is what a batching caller experiences).
     """
     if concurrency < 1:
         raise BenchError("need at least one client thread")
     if requests_per_thread < 1:
         raise BenchError("need at least one request per thread")
+    if children_per_call < 1:
+        raise BenchError("need at least one child per call")
     barrier = threading.Barrier(concurrency + 1)
     samples_by_thread: List[List[float]] = [[] for _ in range(concurrency)]
     errors = [0] * concurrency
@@ -241,10 +250,11 @@ def measure_spawn_throughput(spawn_and_wait: Callable[[], None], *,
         raise BenchError(
             f"no spawn succeeded for mechanism {mechanism!r} "
             f"({sum(errors)} errors)")
+    spawns = len(samples) * children_per_call
     return ThroughputResult(
         mechanism=mechanism, concurrency=concurrency,
-        requests=len(samples), errors=sum(errors),
-        wall_seconds=wall, per_second=len(samples) / max(wall, 1e-9),
+        requests=spawns, errors=sum(errors),
+        wall_seconds=wall, per_second=spawns / max(wall, 1e-9),
         latency=Summary.from_samples(samples))
 
 
@@ -264,29 +274,67 @@ class ServiceWorkloads:
       the shared socket (correlation ids).
     * ``forkserver-pool`` — pipelining plus N helpers with least-loaded
       dispatch: the full spawn service.
+    * ``forkserver-pool-batch`` — the same pool, but each call ships
+      ``batch_size`` spawn requests in ONE wire frame
+      (:meth:`ForkServerPool.spawn_batch`): amortised framing, one
+      ``sendmsg``, one helper fork loop.
+
+    ``autoscale`` replaces the fixed-size pool with a
+    :class:`~repro.core.autoscale.PoolAutoscaler`-managed one: the pool
+    starts at ``min_workers`` and grows toward ``pool_workers`` (or the
+    given config's ``max_workers``) as queue depth demands.  Pass
+    ``True`` for bench-tuned defaults or an :class:`AutoscaleConfig`
+    for full control.
 
     All servers start lazily and are shared across measurements; use as
     a context manager to get them torn down.
     """
 
     MECHANISMS = ("fork_exec", "posix_spawn", "forkserver-locked",
-                  "forkserver-pipelined", "forkserver-pool")
+                  "forkserver-pipelined", "forkserver-pool",
+                  "forkserver-pool-batch")
 
     def __init__(self, child_argv: Optional[Sequence[str]] = None, *,
-                 pool_workers: int = 4):
+                 pool_workers: int = 4, batch_size: int = 4,
+                 autoscale=None):
+        if batch_size < 1:
+            raise BenchError(f"batch_size must be >= 1: {batch_size}")
         self.child_argv = [os.fspath(a) for a in (child_argv
                                                   or SERVICE_CHILD)]
         self._pool_workers = pool_workers
+        self.batch_size = batch_size
+        if autoscale is True:
+            # Bench-tuned windows: react within a quick run's few
+            # hundred milliseconds instead of production seconds.
+            autoscale = AutoscaleConfig(
+                min_workers=1, max_workers=pool_workers,
+                high_watermark=1.5, sustain_seconds=0.05,
+                idle_ttl=0.4, interval=0.02)
+        self._autoscale_config: Optional[AutoscaleConfig] = autoscale or None
+        self._autoscaler: Optional[PoolAutoscaler] = None
         self._init_lock = threading.Lock()
         self._locked: Optional[ForkServer] = None
         self._pipelined: Optional[ForkServer] = None
         self._pool: Optional[ForkServerPool] = None
 
     def close(self) -> None:
+        if self._autoscaler is not None:
+            self._autoscaler.stop()
+            self._autoscaler = None
         for server in (self._locked, self._pipelined, self._pool):
             if server is not None:
                 server.stop()
         self._locked = self._pipelined = self._pool = None
+
+    @property
+    def pool(self) -> Optional[ForkServerPool]:
+        """The shared pool, if any mechanism has started it yet."""
+        return self._pool
+
+    @property
+    def autoscaler(self) -> Optional[PoolAutoscaler]:
+        """The running autoscaler (``autoscale`` mode only)."""
+        return self._autoscaler
 
     def __enter__(self) -> "ServiceWorkloads":
         return self
@@ -321,16 +369,36 @@ class ServiceWorkloads:
                 self._pipelined = ForkServer().start()
         self._pipelined.spawn(self.child_argv).wait()
 
-    def _pool_once(self) -> None:
+    def _ensure_pool(self) -> ForkServerPool:
         with self._init_lock:
             if self._pool is None:
-                # Pre-start every helper: a real spawn service warms its
-                # zygotes before taking traffic, and the measurement
-                # should see steady state, not interpreter boot time.
-                self._pool = ForkServerPool(
-                    self._pool_workers,
-                    prestart=self._pool_workers).start()
-        self._pool.spawn(self.child_argv).wait()
+                config = self._autoscale_config
+                if config is not None:
+                    # Start small and let the autoscaler earn capacity:
+                    # the elasticity IS the measurement.
+                    self._pool = ForkServerPool(
+                        config.min_workers,
+                        prestart=config.min_workers).start()
+                    self._autoscaler = PoolAutoscaler(
+                        self._pool, config).start()
+                else:
+                    # Pre-start every helper: a real spawn service warms
+                    # its zygotes before taking traffic, and the
+                    # measurement should see steady state, not
+                    # interpreter boot time.
+                    self._pool = ForkServerPool(
+                        self._pool_workers,
+                        prestart=self._pool_workers).start()
+        return self._pool
+
+    def _pool_once(self) -> None:
+        self._ensure_pool().spawn(self.child_argv).wait()
+
+    def _pool_batch_once(self) -> None:
+        pool = self._ensure_pool()
+        children = pool.spawn_batch([self.child_argv] * self.batch_size)
+        for child in children:
+            child.wait()
 
     def mechanisms(self) -> Dict[str, Callable[[], None]]:
         """Name -> one blocking spawn-and-wait call (thread-safe)."""
@@ -340,6 +408,7 @@ class ServiceWorkloads:
             "forkserver-locked": self._locked_once,
             "forkserver-pipelined": self._pipelined_once,
             "forkserver-pool": self._pool_once,
+            "forkserver-pool-batch": self._pool_batch_once,
         }
 
     def warm(self, names: Optional[Sequence[str]] = None) -> None:
@@ -358,6 +427,9 @@ class ServiceWorkloads:
         if name not in mechanisms:
             raise BenchError(
                 f"unknown mechanism {name!r}; have {sorted(mechanisms)}")
+        children = (self.batch_size if name == "forkserver-pool-batch"
+                    else 1)
         return measure_spawn_throughput(
             mechanisms[name], concurrency=concurrency,
-            requests_per_thread=requests_per_thread, mechanism=name)
+            requests_per_thread=requests_per_thread, mechanism=name,
+            children_per_call=children)

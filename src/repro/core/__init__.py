@@ -9,7 +9,15 @@ Highlights:
 * :class:`ForkServer` — the zygote pattern: fork a pristine helper, not
   the real parent — with a pipelined, correlation-id wire protocol.
 * :class:`ForkServerPool` — the zygote pattern as a *service*: requests
-  sharded across several helpers, with lazy start and crash recovery.
+  sharded across several helpers, with lazy start and crash recovery,
+  batched dispatch (:meth:`~ForkServerPool.spawn_batch`, N children in
+  one wire frame) and opportunistic request coalescing.
+* :class:`PoolAutoscaler` / :class:`AutoscaleConfig` — adaptive pool
+  sizing: the worker count follows queue depth and (optionally) the
+  p95 launch-latency histogram instead of a static configuration.
+* :func:`spawn_batch` — the policy-aware batch entry point: walks the
+  forkserver-pool → forkserver → posix_spawn degradation ladder for a
+  whole batch at once.
 * :func:`register_strategy` / :func:`strategies` / :func:`get_strategy`
   — the launch-strategy registry (the module-level ``STRATEGIES`` dict
   survives for old callers but is deprecated).
@@ -23,9 +31,11 @@ aggregates latency histograms per strategy.
 
 from .attrs import SpawnAttributes
 from .atfork import AtForkRegistry, fork_with_handlers, register
+from .autoscale import AutoscaleConfig, PoolAutoscaler
 from .file_actions import FileActions
-from .forkserver import ForkServer
+from .forkserver import ForkServer, SpawnRequest
 from .forkserver_pool import ForkServerPool
+from .framecache import FrameCache, frame_key
 from .pipeline import Pipeline, PipelineResult
 from .policy import (DEFAULT_FALLBACK, CircuitBreaker, SpawnPolicy,
                      breaker_for, reset_breakers)
@@ -37,20 +47,22 @@ from .strategies import (ForkExecStrategy, ForkServerPoolStrategy,
                          ForkServerStrategy,
                          PosixSpawnStrategy, Strategy, SubprocessStrategy,
                          get_strategy, pick_default_strategy,
-                         register_strategy, strategies)
+                         register_strategy, spawn_batch, strategies)
 from .strategies import _REGISTRY as STRATEGIES  # deprecated alias
 
 __all__ = [
-    "AtForkRegistry", "ChildProcess", "CircuitBreaker", "CompletedChild",
+    "AtForkRegistry", "AutoscaleConfig", "ChildProcess", "CircuitBreaker",
+    "CompletedChild",
     "DEFAULT_FALLBACK", "FileActions",
     "ForkExecStrategy",
     "ForkServer", "ForkServerPool", "ForkServerPoolStrategy",
-    "ForkServerStrategy", "Hazard",
-    "Pipeline", "PipelineResult",
+    "ForkServerStrategy", "FrameCache", "Hazard",
+    "Pipeline", "PipelineResult", "PoolAutoscaler",
     "PosixSpawnStrategy", "ProcessBuilder", "STRATEGIES", "SpawnAttributes",
-    "SpawnPolicy", "SpawnPool",
+    "SpawnPolicy", "SpawnPool", "SpawnRequest",
     "SpawnedIO", "Strategy", "SubprocessStrategy", "assess", "breaker_for",
-    "fork_with_handlers", "get_strategy", "guarded_fork", "is_fork_safe",
+    "fork_with_handlers", "frame_key", "get_strategy", "guarded_fork",
+    "is_fork_safe",
     "callable_spec", "pick_default_strategy", "register", "register_strategy",
-    "reset_breakers", "run", "strategies",
+    "reset_breakers", "run", "spawn_batch", "strategies",
 ]

@@ -1,0 +1,218 @@
+"""Adaptive pool sizing: capacity follows traffic, not configuration.
+
+A fixed-size :class:`~repro.core.forkserver_pool.ForkServerPool` makes
+the operator pick the worker count up front — exactly the "provisioned
+concurrency" the serverless literature (NPC, PAPERS.md) identifies as
+the cost center.  :class:`PoolAutoscaler` closes the loop instead: it
+polls the pool's queue-depth signal (the same sum the
+``pool_queue_depth`` gauge reports) and, optionally, the
+``spawn_latency_ns`` p95 histogram in :mod:`repro.obs`, and moves the
+worker ceiling with :meth:`ForkServerPool.grow` /
+:meth:`ForkServerPool.shrink`:
+
+* **scale up** when load per worker stays above ``high_watermark`` for
+  ``sustain_seconds`` (a sustained backlog, not a blip), bounded by
+  ``max_workers``;
+* **scale down** when load per worker stays at or below
+  ``low_watermark`` for ``idle_ttl`` seconds, bounded by
+  ``min_workers`` — and only ever removing *idle* slots, which is what
+  keeps the PR-5 resilience story intact: a helper mid-spawn, holding
+  unreaped children, or being struck toward its per-worker breaker is
+  never yanked by the autoscaler;
+* every move emits ``pool_scale_up`` / ``pool_scale_down`` counters
+  (via the pool), refreshes the ``pool_workers`` gauge, and writes an
+  ``autoscale`` event to the telemetry sink.
+
+The decision logic lives in :meth:`poll_once`, which takes an explicit
+``now`` so tests drive it with a fake clock; :meth:`start` merely runs
+it on a daemon thread every ``interval`` seconds.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import SpawnError
+from ..obs import TELEMETRY
+
+
+@dataclass(frozen=True)
+class AutoscaleConfig:
+    """Tuning knobs for :class:`PoolAutoscaler`.
+
+    Attributes:
+        min_workers: floor the pool never shrinks below.
+        max_workers: ceiling the pool never grows past.
+        high_watermark: load per worker that counts as pressure.
+        low_watermark: load per worker that counts as idle.
+        sustain_seconds: how long pressure must persist before growing.
+        idle_ttl: how long idleness must persist before shrinking.
+        interval: polling period of the background thread.
+        step: slots added/removed per decision.
+        latency_target_ns: optional p95 launch-latency target; when the
+            ``spawn_latency_ns`` histogram (strategy
+            ``forkserver-pool``) has grown since the last poll and its
+            p95 exceeds this, it counts as pressure even if queue depth
+            alone would not.  Needs telemetry enabled to contribute.
+    """
+
+    min_workers: int = 1
+    max_workers: int = 8
+    high_watermark: float = 2.0
+    low_watermark: float = 0.5
+    sustain_seconds: float = 0.25
+    idle_ttl: float = 5.0
+    interval: float = 0.05
+    step: int = 1
+    latency_target_ns: Optional[int] = None
+
+    def __post_init__(self):
+        if self.min_workers < 1:
+            raise SpawnError(
+                f"min_workers must be >= 1: {self.min_workers}")
+        if self.max_workers < self.min_workers:
+            raise SpawnError(
+                f"max_workers ({self.max_workers}) < min_workers "
+                f"({self.min_workers})")
+        if self.step < 1:
+            raise SpawnError(f"step must be >= 1: {self.step}")
+        if self.low_watermark > self.high_watermark:
+            raise SpawnError(
+                f"low_watermark ({self.low_watermark}) > high_watermark "
+                f"({self.high_watermark})")
+
+
+class PoolAutoscaler:
+    """Grow/shrink a :class:`ForkServerPool` from its load signals.
+
+    Usable as a context manager around a started pool::
+
+        pool = ForkServerPool(8, prestart=1)
+        with pool, PoolAutoscaler(pool, AutoscaleConfig(max_workers=8)):
+            ...  # capacity now follows traffic
+
+    All decisions happen in :meth:`poll_once`; the background thread
+    only supplies the cadence.  ``scale_ups`` / ``scale_downs`` count
+    this autoscaler's own moves (the pool's counters aggregate manual
+    :meth:`grow`/:meth:`shrink` calls too).
+    """
+
+    def __init__(self, pool, config: Optional[AutoscaleConfig] = None):
+        self._pool = pool
+        self.config = config if config is not None else AutoscaleConfig()
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._high_since: Optional[float] = None
+        self._idle_since: Optional[float] = None
+        self._last_latency_count = 0
+        self.scale_ups = 0
+        self.scale_downs = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None
+
+    def start(self) -> "PoolAutoscaler":
+        """Run :meth:`poll_once` every ``interval`` seconds (idempotent)."""
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="pool-autoscaler", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        thread, self._thread = self._thread, None
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=10.0)
+
+    def __enter__(self) -> "PoolAutoscaler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.config.interval):
+            try:
+                self.poll_once()
+            except SpawnError:
+                return  # pool closed under us; nothing left to scale
+
+    # -- the decision ----------------------------------------------------
+
+    def _latency_pressure(self) -> bool:
+        """p95 launch latency over target since the last poll?"""
+        target = self.config.latency_target_ns
+        if target is None or not TELEMETRY.enabled:
+            return False
+        hist = TELEMETRY.metrics.histogram(
+            "spawn_latency_ns", strategy="forkserver-pool")
+        count, last = hist.count, self._last_latency_count
+        self._last_latency_count = count
+        if count <= last:  # no fresh samples; stale p95 proves nothing
+            return False
+        p95 = hist.percentile(0.95)
+        return p95 is not None and p95 > target
+
+    def poll_once(self, now: Optional[float] = None) -> Optional[str]:
+        """One scaling decision; returns ``"up"``, ``"down"``, or ``None``.
+
+        Thread-safe and clock-injectable: tests call it directly with a
+        fake ``now`` to walk the sustain/TTL windows deterministically.
+        """
+        if now is None:
+            now = time.monotonic()
+        config = self.config
+        with self._lock:
+            pool = self._pool
+            depth = pool.queue_depth()
+            size = pool.size
+            TELEMETRY.gauge("pool_workers", size)
+            per_worker = depth / size if size else float(depth)
+            pressured = (per_worker >= config.high_watermark
+                         or self._latency_pressure())
+            decision: Optional[str] = None
+            if pressured and size < config.max_workers:
+                self._idle_since = None
+                if self._high_since is None:
+                    self._high_since = now
+                elif now - self._high_since >= config.sustain_seconds:
+                    grow_by = min(config.step, config.max_workers - size)
+                    new_size = pool.grow(grow_by)
+                    self.scale_ups += 1
+                    self._high_since = None  # next growth needs fresh sustain
+                    decision = "up"
+                    TELEMETRY.event("autoscale", action="scale_up",
+                                    workers=new_size, queue_depth=depth)
+            elif (per_worker <= config.low_watermark
+                  and size > config.min_workers):
+                self._high_since = None
+                if self._idle_since is None:
+                    self._idle_since = now
+                elif now - self._idle_since >= config.idle_ttl:
+                    removed = pool.shrink(
+                        min(config.step, size - config.min_workers))
+                    if removed:
+                        self.scale_downs += 1
+                        decision = "down"
+                        TELEMETRY.event("autoscale", action="scale_down",
+                                        workers=size - removed,
+                                        queue_depth=depth)
+                    # Busy slots can refuse the shrink (removed == 0);
+                    # either way the TTL restarts so repeated shrinks
+                    # each earn their own idle window.
+                    self._idle_since = now
+            else:
+                self._high_since = None
+                self._idle_since = None
+            return decision

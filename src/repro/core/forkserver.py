@@ -34,14 +34,21 @@ import struct
 import sys
 import threading
 import time
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..errors import SpawnError, SpawnTimeout
 from ..faults import FAULTS
 from ..obs import NULL_TRACE, TELEMETRY
+from .framecache import FrameCache, frame_key
 from .result import ChildProcess
 
 _LEN = struct.Struct("!I")
+
+# Linux caps one SCM_RIGHTS control message at SCM_MAX_FD descriptors;
+# a batch's grants all ride in one message, so this bounds batch size
+# (3 stdio fds per member).  The helper sizes its ancillary buffer to
+# match — anything past it would be silently truncated by the kernel.
+_SCM_MAX_FD = 253
 
 #: The helper's entire program.  Deliberately dependency-free: it must
 #: stay importable-nothing so its fork cost is the floor, not the
@@ -134,7 +141,7 @@ def recv_exact(n):
 def recv_request():
     fds = array.array("i")
     msg, ancdata, flags, addr = sock.recvmsg(
-        LEN.size, socket.CMSG_LEN(16 * array.array("i").itemsize))
+        LEN.size, socket.CMSG_LEN(253 * array.array("i").itemsize))
     if not msg:
         raise SystemExit(0)
     for level, ctype, data in ancdata:
@@ -182,6 +189,32 @@ def reap():
         else:
             statuses[pid] = status
 
+def spawn_one(req, grant):
+    # fork+exec one request whose stdio triple is ``grant``; closes the
+    # granted fds on the helper side.  Raises OSError if the fork itself
+    # fails (EAGAIN under pid pressure) with the grant still open — the
+    # caller owns cleanup so a batch can account for every member.
+    pid = os.fork()
+    t_fork = time.monotonic_ns()
+    if pid == 0:
+        try:
+            for target, fd in enumerate(grant):  # stdio triple
+                os.dup2(fd, target)
+            for fd in grant:
+                if fd > 2:
+                    os.close(fd)
+            if req.get("cwd"):
+                os.chdir(req["cwd"])
+            env = req.get("env")
+            argv = req["argv"]
+            os.execvpe(argv[0], argv,
+                       env if env is not None else os.environ)
+        except BaseException:
+            os._exit(127)
+    for fd in grant:
+        os.close(fd)
+    return pid, t_fork
+
 running = True
 while running:
     ready, _, _ = select.select([sock, rwake], [], [])
@@ -220,25 +253,7 @@ while running:
             send_reply(rid, {"error":
                              "EACCES: exec refused (injected fault)"})
         else:
-            pid = os.fork()
-            t_fork = time.monotonic_ns()
-            if pid == 0:
-                try:
-                    for target, fd in enumerate(fds):  # stdio triple
-                        os.dup2(fd, target)
-                    for fd in fds:
-                        if fd > 2:
-                            os.close(fd)
-                    if request.get("cwd"):
-                        os.chdir(request["cwd"])
-                    env = request.get("env")
-                    argv = request["argv"]
-                    os.execvpe(argv[0], argv,
-                               env if env is not None else os.environ)
-                except BaseException:
-                    os._exit(127)
-            for fd in fds:
-                os.close(fd)
+            pid, t_fork = spawn_one(request, fds)
             # The client's trace id rides next to the correlation id;
             # echo it with our fork timestamp (CLOCK_MONOTONIC is
             # system-wide on Linux, so the client can splice it into
@@ -247,6 +262,63 @@ while running:
             if request.get("trace") is not None:
                 reply["trace"] = request["trace"]
             send_reply(rid, reply)
+    elif op == "batch":
+        # N spawns, one frame, one reply: the whole batch's fd grants
+        # arrived concatenated in request order (member i's stdio triple
+        # is the next reqs[i]["nfds"] fds).  All-or-nothing: a grant
+        # mismatch or a failed fork refuses/undoes the ENTIRE batch so
+        # the client never has to guess which members ran.
+        reqs = request.get("reqs") or []
+        want = sum(r.get("nfds", 0) for r in reqs)
+        if not reqs or len(fds) != want:
+            for fd in fds:
+                os.close(fd)
+            send_reply(rid, {"error": "EPROTO: batch of %d expected %d "
+                                      "fds, got %d"
+                                      % (len(reqs), want, len(fds))})
+        elif fault("refuse_exec") is not None:
+            for fd in fds:
+                os.close(fd)
+            send_reply(rid, {"error":
+                             "EACCES: batch exec refused (injected fault)"})
+        else:
+            results = []
+            error = None
+            offset = 0
+            for req in reqs:
+                nfds = req.get("nfds", 0)
+                grant = fds[offset:offset + nfds]
+                offset += nfds
+                try:
+                    pid, t_fork = spawn_one(req, grant)
+                except OSError as exc:
+                    error = ("EAGAIN: batch member %d failed to fork: %s"
+                             % (len(results), exc))
+                    for fd in grant + fds[offset:]:
+                        try:
+                            os.close(fd)
+                        except OSError:
+                            pass
+                    break
+                results.append({"pid": pid, "t_fork_ns": t_fork})
+            if error is not None:
+                # Undo the partial batch: no silent survivors.  These
+                # pids were forked moments ago and nothing has waited on
+                # them (reap() only runs between loop iterations), so
+                # kill+waitpid here is race-free.
+                for res in results:
+                    try:
+                        os.kill(res["pid"], signal.SIGKILL)
+                    except OSError:
+                        pass
+                for res in results:
+                    try:
+                        os.waitpid(res["pid"], 0)
+                    except OSError:
+                        pass
+                send_reply(rid, {"error": error})
+            else:
+                send_reply(rid, {"results": results})
     elif op == "wait":
         pid = request["pid"]
         if pid in statuses:
@@ -281,6 +353,49 @@ class _Pending:
         self.reply: Optional[dict] = None
 
 
+class SpawnRequest:
+    """One member of a batched spawn: argv plus its per-child wiring.
+
+    The batch wire op ships N of these in a single frame; each member's
+    stdio triple travels in the shared SCM_RIGHTS grant, concatenated in
+    request order.  Plain sequences of argv strings are accepted anywhere
+    a batch is taken — :func:`SpawnRequest.coerce` wraps them.
+    """
+
+    __slots__ = ("argv", "env", "cwd", "stdin", "stdout", "stderr")
+
+    def __init__(self, argv: Sequence[str], *,
+                 env: Optional[Dict[str, str]] = None,
+                 cwd: Optional[str] = None,
+                 stdin: int = 0, stdout: int = 1, stderr: int = 2):
+        if not argv:
+            raise SpawnError("empty argv in batch member")
+        self.argv = [os.fspath(a) for a in argv]
+        self.env = env
+        self.cwd = cwd
+        self.stdin = stdin
+        self.stdout = stdout
+        self.stderr = stderr
+
+    @classmethod
+    def coerce(cls, item: Union["SpawnRequest", Sequence[str]],
+               **defaults) -> "SpawnRequest":
+        if isinstance(item, cls):
+            return item
+        return cls(item, **defaults)
+
+    def wire(self) -> dict:
+        """The member's share of the batch frame (fds travel separately)."""
+        return {"argv": self.argv, "env": self.env, "cwd": self.cwd,
+                "nfds": 3}
+
+    def grant(self) -> tuple:
+        return (self.stdin, self.stdout, self.stderr)
+
+    def __repr__(self):
+        return f"<SpawnRequest {self.argv!r}>"
+
+
 class ForkServer:
     """Handle on one running forkserver helper.
 
@@ -295,7 +410,12 @@ class ForkServer:
     #: helper is presumed wedged and torn down forcibly.
     shutdown_timeout: float = 2.0
 
-    def __init__(self, *, pipelined: bool = True):
+    #: Seconds the boot handshake in :meth:`start` may take.  A helper
+    #: that never answers its first ping (damaged frame, wedged loop)
+    #: must fail the start loudly, not hang the caller forever.
+    start_timeout: float = 10.0
+
+    def __init__(self, *, pipelined: bool = True, frame_cache: int = 256):
         self._sock: Optional[socket.socket] = None
         self._pid: Optional[int] = None
         self._pipelined = bool(pipelined)
@@ -305,6 +425,14 @@ class ForkServer:
         self._next_id = 0
         self._reader: Optional[threading.Thread] = None
         self._dead: Optional[str] = None  # why the channel died, once it has
+        # Preserialized frames for repeated spawn shapes; 0 disables.
+        self._frames: Optional[FrameCache] = (
+            FrameCache(frame_cache) if frame_cache else None)
+
+    @property
+    def frame_cache(self) -> Optional[FrameCache]:
+        """The frame LRU (``None`` when disabled) — for stats and tests."""
+        return self._frames
 
     # -- lifecycle -------------------------------------------------------
 
@@ -358,7 +486,9 @@ class ForkServer:
                 name=f"forkserver-reader-{self._pid}", daemon=True)
             self._reader.start()
         try:
-            if self._roundtrip({"op": "ping"}).get("ok") is not True:
+            ping = self._roundtrip({"op": "ping"},
+                                   timeout=self.start_timeout)
+            if ping.get("ok") is not True:
                 raise SpawnError("forkserver failed its first ping")
         except Exception:
             self.stop()
@@ -463,29 +593,42 @@ class ForkServer:
         return self._sock
 
     @staticmethod
-    def _send(sock: socket.socket, obj: dict, fds: Sequence[int] = ()) -> None:
+    def _send(sock: socket.socket, body: bytes, fds: Sequence[int] = (),
+              op: Optional[str] = None) -> None:
         """One request as ONE ``sendmsg``: header and body coalesced.
 
         Splitting header and body across two syscalls doubled the
         per-request syscall bill and, under pipelining, would let two
         writers interleave their halves; the send lock plus a single
-        vectored write keeps each frame contiguous.
+        vectored write keeps each frame contiguous.  The header and body
+        go out as two iovecs — the kernel gathers them, so the old
+        ``header + body`` concatenation (a full copy of every frame,
+        cached or not) never happens; the rare partial-write tail is
+        drained through a ``memoryview`` so resends slice without
+        copying either.
         """
-        body = json.dumps(obj).encode()
-        message = _LEN.pack(len(body)) + body
+        header = _LEN.pack(len(body))
         send_fds = list(fds)
-        fault = FAULTS.fire("forkserver.frame", op=obj.get("op"))
+        fault = FAULTS.fire("forkserver.frame", op=op)
         if fault is not None:
             # Chaos path: damage the frame on its way out (truncate,
-            # corrupt, or strip the SCM_RIGHTS grant).
-            message, send_fds = fault.mutate_frame(message, send_fds)
+            # corrupt, or strip the SCM_RIGHTS grant).  Mutation needs
+            # the contiguous frame, so only this path pays the copy.
+            message, send_fds = fault.mutate_frame(header + body, send_fds)
+            buffers = [message]
+            total = len(message)
+        else:
+            buffers = [header, body]
+            total = len(header) + len(body)
         ancdata = []
         if send_fds:
             ancdata = [(socket.SOL_SOCKET, socket.SCM_RIGHTS,
                         array.array("i", send_fds).tobytes())]
-        sent = sock.sendmsg([message], ancdata)
-        while sent < len(message):  # rare partial write; fds already went
-            sent += sock.send(message[sent:])
+        sent = sock.sendmsg(buffers, ancdata)
+        if sent < total:  # rare partial write; fds already went
+            rest = memoryview(b"".join(buffers))[sent:]
+            while rest:
+                rest = rest[sock.send(rest):]
 
     @staticmethod
     def _recv(sock: socket.socket) -> dict:
@@ -528,10 +671,21 @@ class ForkServer:
         for pending in stranded:
             pending.event.set()
 
+    @staticmethod
+    def _encode(obj: dict, rid: int) -> bytes:
+        """The default frame body: full JSON encode, id spliced in."""
+        return json.dumps(dict(obj, id=rid)).encode()
+
     def _roundtrip(self, obj: dict, fds: Sequence[int] = (),
                    trace=NULL_TRACE,
-                   timeout: Optional[float] = None) -> dict:
+                   timeout: Optional[float] = None,
+                   encode: Optional[Callable[[dict, int], bytes]] = None,
+                   ) -> dict:
         """One request/reply exchange, optionally under a deadline.
+
+        ``encode`` builds the frame body given (obj, correlation id);
+        the frame cache passes a splicer here so repeat shapes skip the
+        JSON encode entirely.
 
         A ``timeout`` expiry POISONS the channel: the helper may be
         wedged mid-frame or mid-read, so no later frame can be trusted
@@ -541,8 +695,11 @@ class ForkServer:
         worker and retries elsewhere.
         """
         sock = self._require_sock()
+        if encode is None:
+            encode = self._encode
         if not self._pipelined:
-            return self._roundtrip_locked(sock, obj, fds, trace, timeout)
+            return self._roundtrip_locked(sock, obj, fds, trace, timeout,
+                                          encode)
         with self._state_lock:
             if self._dead is not None:
                 raise SpawnError(f"forkserver channel is dead: {self._dead}")
@@ -551,8 +708,9 @@ class ForkServer:
             pending = _Pending()
             self._pending[rid] = pending
         try:
+            body = encode(obj, rid)
             with self._send_lock:
-                self._send(sock, dict(obj, id=rid), fds)
+                self._send(sock, body, fds, op=obj.get("op"))
             trace.stage("framed", request_id=rid)
         except OSError as exc:
             with self._state_lock:
@@ -579,7 +737,8 @@ class ForkServer:
 
     def _roundtrip_locked(self, sock: socket.socket, obj: dict,
                           fds: Sequence[int], trace,
-                          timeout: Optional[float]) -> dict:
+                          timeout: Optional[float],
+                          encode: Callable[[dict, int], bytes]) -> dict:
         """Historical baseline: one global lock around the round-trip —
         every caller waits for every other caller.  A ``timeout``
         bounds each phase (lock acquisition, then the reply read)."""
@@ -596,7 +755,7 @@ class ForkServer:
             rid = self._next_id
             self._next_id += 1
             try:
-                self._send(sock, dict(obj, id=rid), fds)
+                self._send(sock, encode(obj, rid), fds, op=obj.get("op"))
                 trace.stage("framed", request_id=rid)
                 FAULTS.fire("forkserver.request", helper_pid=self._pid,
                             op=obj.get("op"))
@@ -676,13 +835,21 @@ class ForkServer:
         # and refuse (EPROTO) instead of wiring the child to ITS stdio.
         request = {"op": "spawn", "argv": [os.fspath(a) for a in argv],
                    "env": env, "cwd": cwd, "nfds": 3}
-        if trace:
+        encode = None
+        if self._frames is not None and (stdin, stdout, stderr) == (0, 1, 2):
+            # Default-stdio spawns are the repeatable shape worth
+            # caching; fd-bearing requests (fresh pipes every call) are
+            # deliberately never cached — see framecache.py.
+            encode = self._frame_encoder(
+                request, trace.trace_id if trace else None)
+        elif trace:
             request["trace"] = trace.trace_id
         try:
             FAULTS.fire("forkserver.spawn", helper_pid=self._pid,
                         argv=list(request["argv"]))
             reply = self._roundtrip(request, fds=(stdin, stdout, stderr),
-                                    trace=trace, timeout=deadline)
+                                    trace=trace, timeout=deadline,
+                                    encode=encode)
             if "pid" not in reply:
                 raise SpawnError(f"forkserver refused spawn: {reply}")
         except SpawnError as exc:
@@ -695,6 +862,111 @@ class ForkServer:
             trace.success(reply["pid"])
         return ChildProcess(reply["pid"], argv=argv, strategy="forkserver",
                             reaper=self._reap, trace=trace)
+
+    def _frame_encoder(self, request: dict, trace_id: Optional[str]):
+        """A frame builder that splices per-call bytes onto a cached tail.
+
+        The invariant part of the frame — everything but the correlation
+        id and trace id — is memoized in :class:`FrameCache` keyed on
+        the request's *content*, so a repeat shape skips ``json.dumps``
+        of argv/env entirely.  The key snapshots content at call time:
+        mutate the env dict or argv and the next call misses, never
+        reusing a stale frame.
+        """
+        frames = self._frames
+        key = frame_key(request["argv"], request["env"], request["cwd"])
+
+        def encode(obj: dict, rid: int) -> bytes:
+            tail = frames.lookup(key)
+            if tail is None:
+                # [1:] drops the opening brace; the prefix re-opens it.
+                tail = json.dumps(request).encode()[1:]
+                frames.store(key, tail)
+                TELEMETRY.count("frame_cache_misses")
+            else:
+                TELEMETRY.count("frame_cache_hits")
+            if trace_id is None:
+                prefix = '{"id":%d,' % rid
+            else:
+                prefix = '{"id":%d,"trace":%s,' % (rid, json.dumps(trace_id))
+            return prefix.encode() + tail
+
+        return encode
+
+    def spawn_batch(self, requests: Sequence, *,
+                    traces: Optional[Sequence] = None,
+                    deadline: Optional[float] = None) -> List[ChildProcess]:
+        """Fork+exec N children in ONE wire round-trip.
+
+        ``requests`` is a sequence of :class:`SpawnRequest` (bare argv
+        sequences are coerced).  The whole batch travels as a single
+        frame and a single ``sendmsg`` — every member's stdio triple in
+        one SCM_RIGHTS grant — and the helper forks all N before
+        replying, so the per-spawn wire cost (encode + syscall + context
+        switch) is paid once per *batch*.
+
+        All-or-nothing: a damaged frame, lost grant, or failed fork
+        fails the ENTIRE batch with :class:`SpawnError` (the helper
+        kills any members it had already forked).  No member is ever
+        silently dropped; a pool above retries the whole batch per its
+        :class:`~repro.core.policy.SpawnPolicy`.
+
+        ``traces`` optionally carries one per-member trace owned by the
+        caller; otherwise (telemetry on) the server starts and owns one
+        trace per member.
+        """
+        if not requests:
+            raise SpawnError("empty batch")
+        reqs = [SpawnRequest.coerce(item) for item in requests]
+        owns = traces is None
+        if owns:
+            traces = [TELEMETRY.trace("forkserver", req.argv)
+                      for req in reqs]
+            for trace in traces:
+                trace.stage("dispatch", helper_pid=self._pid,
+                            batch=len(reqs))
+        elif len(traces) != len(reqs):
+            raise SpawnError("one trace per batch member required")
+        fds: List[int] = []
+        for req in reqs:
+            fds.extend(req.grant())
+        TELEMETRY.count("fd_grants", len(fds))
+        TELEMETRY.observe("spawn_batch_size", len(reqs))
+        request = {"op": "batch", "reqs": [req.wire() for req in reqs]}
+        try:
+            if len(fds) > _SCM_MAX_FD:
+                raise SpawnError(
+                    f"batch of {len(reqs)} needs {len(fds)} fd grants; "
+                    f"one SCM_RIGHTS message carries at most "
+                    f"{_SCM_MAX_FD} (= {_SCM_MAX_FD // 3} members) — "
+                    f"split the batch")
+            FAULTS.fire("forkserver.spawn", helper_pid=self._pid,
+                        argv=list(reqs[0].argv), batch=len(reqs))
+            reply = self._roundtrip(request, fds=fds, trace=traces[0],
+                                    timeout=deadline)
+            results = reply.get("results")
+            if results is None:
+                raise SpawnError(f"forkserver refused batch: {reply}")
+            if len(results) != len(reqs):
+                raise SpawnError(
+                    f"forkserver protocol error: batch of {len(reqs)} "
+                    f"got {len(results)} results")
+        except SpawnError as exc:
+            if owns:
+                for trace in traces:
+                    trace.failure(exc)
+            raise
+        children = []
+        for req, trace, result in zip(reqs, traces, results):
+            trace.stage("forked", t_ns=result.get("t_fork_ns"),
+                        pid=result["pid"], helper_pid=self._pid)
+            if owns:
+                trace.success(result["pid"])
+            children.append(
+                ChildProcess(result["pid"], argv=req.argv,
+                             strategy="forkserver", reaper=self._reap,
+                             trace=trace))
+        return children
 
     def _reap(self, pid: int, flags: int) -> Optional[int]:
         """Wait on a child through the helper.

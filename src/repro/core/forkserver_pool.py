@@ -6,9 +6,18 @@ single-threaded helper — the helper's fork loop becomes the ceiling.
 :class:`ForkServerPool` shards requests across several helpers:
 
 * **least-loaded dispatch** — each spawn goes to the helper with the
-  fewest outstanding children and in-flight requests;
+  fewest outstanding children and in-flight requests, and a *batch*
+  lands as its full member count so one helper never silently absorbs
+  a whole coalesced batch at single-spawn price;
+* **request batching** — :meth:`ForkServerPool.spawn_batch` ships N
+  spawns in one wire frame, and an opportunistic coalescer
+  (``max_batch`` > 1) transparently merges concurrent single
+  :meth:`spawn` calls into batches;
 * **lazy worker start** — helpers launch on demand as offered load
   grows, so an idle pool costs one process, not N;
+* **elastic capacity** — :meth:`grow` / :meth:`shrink` move the worker
+  ceiling at runtime; :class:`~repro.core.autoscale.PoolAutoscaler`
+  drives them from the queue-depth signal;
 * **dead-worker recovery** — a helper that dies (crash, SIGKILL) is
   detected on first contact, discarded, and replaced; the request
   retries on a live worker;
@@ -29,7 +38,7 @@ from typing import List, Optional, Sequence
 from ..errors import SpawnError
 from ..faults import FAULTS
 from ..obs import TELEMETRY
-from .forkserver import ForkServer
+from .forkserver import ForkServer, SpawnRequest
 from .policy import SpawnPolicy
 from .result import ChildProcess
 
@@ -50,6 +59,106 @@ class _Slot:
         self.strikes = 0  # consecutive live-helper failures (breaker input)
 
 
+class _Waiter:
+    """One coalesced caller's future: its child, or the batch's error."""
+
+    __slots__ = ("event", "child", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.child: Optional[ChildProcess] = None
+        self.error: Optional[BaseException] = None
+
+
+class _Coalescer:
+    """Opportunistic batching: concurrent single spawns share one frame.
+
+    Callers enqueue a :class:`SpawnRequest` and block; a flusher thread
+    gathers up to ``max_batch`` requests — waiting at most
+    ``max_delay_us`` after the first arrival — and dispatches them as
+    ONE batched wire op through the pool.  Under concurrency the delay
+    never actually costs latency (the batch fills before the window
+    closes); a lone caller pays at most the window.
+
+    The whole batch succeeds or fails together, per the pool's
+    :class:`~repro.core.policy.SpawnPolicy`; a failure is delivered to
+    every coalesced caller, never silently swallowed for some subset.
+    """
+
+    __slots__ = ("_pool", "_max_batch", "_delay", "_cond", "_queue",
+                 "_thread", "_closed", "batches", "coalesced_spawns")
+
+    def __init__(self, pool: "ForkServerPool", max_batch: int,
+                 max_delay_us: float):
+        self._pool = pool
+        self._max_batch = max_batch
+        self._delay = max(0.0, max_delay_us) / 1e6
+        self._cond = threading.Condition()
+        self._queue: List[tuple] = []
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        self.batches = 0          # batches actually dispatched
+        self.coalesced_spawns = 0  # spawns that rode those batches
+
+    def submit(self, request: SpawnRequest) -> ChildProcess:
+        waiter = _Waiter()
+        with self._cond:
+            if self._closed:
+                raise SpawnError("pool is closed")
+            self._queue.append((request, waiter))
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._run, name="pool-coalescer", daemon=True)
+                self._thread.start()
+            self._cond.notify_all()
+        waiter.event.wait()
+        if waiter.error is not None:
+            raise waiter.error
+        return waiter.child
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if not self._queue:  # closed and drained
+                    return
+                # First request in hand: hold the window open for more.
+                deadline = time.monotonic() + self._delay
+                while len(self._queue) < self._max_batch and not self._closed:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+                batch = self._queue[:self._max_batch]
+                del self._queue[:self._max_batch]
+            self._flush(batch)
+
+    def _flush(self, batch: List[tuple]) -> None:
+        self.batches += 1
+        self.coalesced_spawns += len(batch)
+        try:
+            children = self._pool._spawn_batch(
+                [request for request, _ in batch])
+        except BaseException as exc:
+            for _, waiter in batch:
+                waiter.error = exc
+                waiter.event.set()
+        else:
+            for (_, waiter), child in zip(batch, children):
+                waiter.child = child
+                waiter.event.set()
+
+    def stop(self) -> None:
+        """Refuse new submissions; the flusher drains what is queued."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+            thread = self._thread
+        if thread is not None:
+            thread.join(timeout=10.0)
+
+
 class ForkServerPool:
     """Shard spawn requests across up to ``workers`` forkserver helpers.
 
@@ -64,7 +173,8 @@ class ForkServerPool:
     """
 
     def __init__(self, workers: int = DEFAULT_WORKERS, *, prestart: int = 1,
-                 policy: Optional[SpawnPolicy] = None):
+                 policy: Optional[SpawnPolicy] = None,
+                 max_batch: int = 1, max_delay_us: float = 200.0):
         if workers < 1:
             raise SpawnError("need at least one worker")
         self._slots = [_Slot() for _ in range(workers)]
@@ -73,13 +183,35 @@ class ForkServerPool:
         self._lock = threading.Lock()
         self._closed = False
         self._respawns = 0
+        # max_batch > 1 turns on transparent coalescing: concurrent
+        # single spawns merge into batched wire ops, up to max_batch
+        # members per frame, holding the window open max_delay_us after
+        # the first arrival.
+        self._coalescer: Optional[_Coalescer] = (
+            _Coalescer(self, max_batch, max_delay_us)
+            if max_batch > 1 else None)
 
     # -- introspection ---------------------------------------------------
 
     @property
     def size(self) -> int:
-        """Maximum number of helpers this pool will run."""
-        return len(self._slots)
+        """Current worker ceiling (moves with :meth:`grow`/:meth:`shrink`)."""
+        with self._lock:
+            return len(self._slots)
+
+    @property
+    def coalescer(self) -> Optional["_Coalescer"]:
+        """The coalescing queue (``None`` unless ``max_batch > 1``)."""
+        return self._coalescer
+
+    def queue_depth(self) -> int:
+        """In-flight requests plus unreaped children, pool-wide.
+
+        This is the signal the :class:`~repro.core.autoscale.PoolAutoscaler`
+        polls (and the same sum the ``pool_queue_depth`` gauge reports).
+        """
+        with self._lock:
+            return sum(s.load for s in self._slots)
 
     @property
     def started_workers(self) -> int:
@@ -120,7 +252,13 @@ class ForkServerPool:
         return self
 
     def stop(self) -> None:
-        """Shut every helper down (idempotent)."""
+        """Shut every helper down (idempotent).
+
+        The coalescer drains first — queued coalesced spawns flush
+        against the still-open pool — so no caller's request is
+        silently dropped by the shutdown."""
+        if self._coalescer is not None:
+            self._coalescer.stop()
         with self._lock:
             if self._closed:
                 return
@@ -136,6 +274,69 @@ class ForkServerPool:
                     server.abort()
             except Exception:
                 pass
+
+    # -- elasticity --------------------------------------------------------
+
+    def grow(self, count: int = 1) -> int:
+        """Raise the worker ceiling by ``count`` slots; returns the new size.
+
+        New slots are cold: the existing lazy-boot path starts a helper
+        the moment load lands on one, so growing costs nothing until the
+        capacity is actually used.  Emits the ``pool_scale_up`` counter
+        and refreshes the ``pool_workers`` gauge.
+        """
+        if count < 1:
+            return self.size
+        with self._lock:
+            if self._closed:
+                raise SpawnError("pool is closed")
+            for _ in range(count):
+                self._slots.append(_Slot())
+            size = len(self._slots)
+        TELEMETRY.count("pool_scale_up", count)
+        TELEMETRY.gauge("pool_workers", size)
+        return size
+
+    def shrink(self, count: int = 1) -> int:
+        """Remove up to ``count`` IDLE slots; returns how many went.
+
+        Only slots with zero load are taken — a helper mid-spawn or
+        holding unreaped children keeps running, so scaling down can
+        never strand a request — and the pool never drops below one
+        slot.  Cold (never-booted) slots go first; a retired helper is
+        stopped outside the lock.  Emits ``pool_scale_down`` and
+        refreshes ``pool_workers``.
+        """
+        victims: List[_Slot] = []
+        with self._lock:
+            if self._closed:
+                return 0
+            for _ in range(max(0, count)):
+                if len(self._slots) <= 1:
+                    break
+                idle = next((s for s in self._slots
+                             if s.load == 0 and s.server is None), None)
+                if idle is None:
+                    idle = next((s for s in self._slots if s.load == 0),
+                                None)
+                if idle is None:
+                    break
+                self._slots.remove(idle)
+                victims.append(idle)
+            size = len(self._slots)
+        for slot in victims:
+            if slot.server is not None:
+                try:
+                    if slot.server.healthy:
+                        slot.server.stop()
+                    else:
+                        slot.server.abort()
+                except Exception:
+                    pass
+        if victims:
+            TELEMETRY.count("pool_scale_down", len(victims))
+            TELEMETRY.gauge("pool_workers", size)
+        return len(victims)
 
     def __enter__(self) -> "ForkServerPool":
         return self.start()
@@ -158,13 +359,20 @@ class ForkServerPool:
             except Exception:
                 pass
 
-    def _pick(self) -> _Slot:
+    def _pick(self, weight: int = 1) -> _Slot:
         """Choose a slot: least-loaded live helper, growing lazily.
 
         An idle live helper wins outright; otherwise a not-yet-started
         slot is booted (load demands more overlap); otherwise the
         least-loaded live helper takes the request.  Dead helpers found
         along the way are retired in place.
+
+        ``weight`` is the number of spawns this pick carries — 1 for a
+        single request, the member count for a batch.  The chosen
+        slot's load is bumped by the FULL weight, so least-loaded
+        dispatch sees a coalesced batch as the N children it is: one
+        slot cannot absorb batch after batch while its load account
+        claims it is nearly idle.
 
         Booting a helper costs a fresh interpreter (~tens of ms), so it
         happens OUTSIDE the pool lock: the cold slot is reserved (load
@@ -182,15 +390,15 @@ class ForkServerPool:
                 live = [s for s in self._slots if s.server is not None]
                 best = min(live, key=lambda s: s.load, default=None)
                 if best is not None and best.load == 0:
-                    best.load += 1
+                    best.load += weight
                     return best
                 cold = next((s for s in self._slots
                              if s.server is None and s.load == 0), None)
                 if cold is not None:
-                    cold.load += 1  # reserve: marks the slot as booting
+                    cold.load += weight  # reserve: marks the slot as booting
                     boot_slot = cold
                 elif best is not None:
-                    best.load += 1
+                    best.load += weight
                     return best
             if boot_slot is None:
                 time.sleep(0.001)  # every slot is mid-boot; one will land
@@ -199,7 +407,7 @@ class ForkServerPool:
                 server = ForkServer().start()
                 TELEMETRY.count("pool_worker_boot")
             except Exception:
-                self._release(boot_slot)
+                self._release(boot_slot, weight)
                 raise
             with self._lock:
                 if self._closed:
@@ -211,9 +419,9 @@ class ForkServerPool:
                 boot_slot.server = server
             return boot_slot
 
-    def _release(self, slot: _Slot) -> None:
+    def _release(self, slot: _Slot, weight: int = 1) -> None:
         with self._lock:
-            slot.load = max(0, slot.load - 1)
+            slot.load = max(0, slot.load - weight)
 
     def _strike(self, slot: _Slot, threshold: Optional[int]) -> None:
         """Record a live-helper failure; retire the helper when it flaps.
@@ -290,9 +498,21 @@ class ForkServerPool:
         ``deadline`` likewise overrides the policy's per-attempt
         deadline.  With neither, behaviour is the historical
         no-retry, no-deadline dispatch.
+
+        With coalescing on (``max_batch > 1``) a plain call — no
+        per-call trace, policy, or deadline override — is routed
+        through the coalescing queue and may share a wire frame with
+        concurrent callers; the contract (one :class:`ChildProcess`
+        back, errors raised here) is unchanged.
         """
         if not argv:
             raise SpawnError("empty argv")
+        coalescer = self._coalescer
+        if (coalescer is not None and trace is None and policy is None
+                and deadline is None):
+            return coalescer.submit(
+                SpawnRequest(argv, env=env, cwd=cwd, stdin=stdin,
+                             stdout=stdout, stderr=stderr))
         if policy is None:
             policy = self._policy
         if deadline is None and policy is not None:
@@ -373,3 +593,109 @@ class ForkServerPool:
             return wrapped
         raise SpawnError(
             f"no forkserver worker could spawn {argv!r}: {last_error}")
+
+    def spawn_batch(self, requests: Sequence, *,
+                    env=None, cwd=None,
+                    policy: Optional[SpawnPolicy] = None,
+                    deadline: Optional[float] = None) -> List[ChildProcess]:
+        """Spawn N children in ONE wire round-trip to one helper.
+
+        ``requests`` is a sequence of argv sequences or
+        :class:`~repro.core.forkserver.SpawnRequest` members (for
+        per-member env/cwd/stdio); ``env``/``cwd`` apply to bare argv
+        members.  The batch is dispatched to the least-loaded helper at
+        its FULL weight (N load units, released one by one as children
+        are reaped), with the same resilience contract as :meth:`spawn`:
+        dead-worker failover inside an attempt, whole-batch retries and
+        deadlines per the :class:`SpawnPolicy`, strikes against flapping
+        workers.  All-or-nothing — on failure every member's error is
+        the batch's error; no member is silently dropped.
+        """
+        if not requests:
+            raise SpawnError("empty batch")
+        reqs = [SpawnRequest.coerce(item, env=env, cwd=cwd)
+                for item in requests]
+        return self._spawn_batch(reqs, policy=policy, deadline=deadline)
+
+    def _spawn_batch(self, reqs: List[SpawnRequest], *,
+                     policy: Optional[SpawnPolicy] = None,
+                     deadline: Optional[float] = None) -> List[ChildProcess]:
+        """Policy loop for an already-coerced batch (also the coalescer's
+        entry point, bypassing the coalescing route in :meth:`spawn`)."""
+        if policy is None:
+            policy = self._policy
+        if deadline is None and policy is not None:
+            deadline = policy.deadline
+        attempts = policy.attempts() if policy is not None else 1
+        threshold = policy.breaker_threshold if policy is not None else None
+        traces = [TELEMETRY.trace("forkserver-pool", req.argv)
+                  for req in reqs]
+        for trace in traces:
+            trace.stage("dispatch", batch=len(reqs))
+        last_error: Optional[SpawnError] = None
+        for attempt in range(attempts):
+            if attempt:
+                TELEMETRY.count("spawn_retry", strategy="forkserver-pool",
+                                op="batch")
+                for trace in traces:
+                    trace.stage("retry", attempt=attempt)
+                delay = policy.backoff_delay(attempt - 1)
+                if delay:
+                    time.sleep(delay)
+            try:
+                return self._batch_attempt(reqs, traces, deadline, threshold)
+            except SpawnError as exc:
+                last_error = exc
+        for trace in traces:
+            trace.failure(last_error)
+        raise last_error
+
+    def _batch_attempt(self, reqs: List[SpawnRequest], traces,
+                       deadline: Optional[float],
+                       threshold: Optional[int]) -> List[ChildProcess]:
+        """One policy attempt for a batch: dispatch with dead-worker
+        failover, billed to one slot at the batch's full weight."""
+        weight = len(reqs)
+        last_error: Optional[SpawnError] = None
+        for _ in range(len(self._slots) + 1):
+            slot = self._pick(weight)
+            server = slot.server
+            try:
+                FAULTS.fire(
+                    "pool.batch", size=weight,
+                    helper_pid=server.helper_pid if server else None)
+            except Exception:
+                self._release(slot, weight)
+                raise
+            if TELEMETRY.enabled:
+                TELEMETRY.count("pool_dispatch")
+                with self._lock:
+                    depth = sum(s.load for s in self._slots)
+                TELEMETRY.gauge("pool_queue_depth", depth)
+            if server is None:  # retired between pick and use; go again
+                self._release(slot, weight)
+                continue
+            try:
+                children = server.spawn_batch(reqs, traces=traces,
+                                              deadline=deadline)
+            except SpawnError as exc:
+                self._release(slot, weight)
+                if server.healthy:
+                    # A live refusal: strike the worker, bill the policy.
+                    self._strike(slot, threshold)
+                    raise
+                last_error = exc
+                continue  # next _pick() retires it and tries elsewhere
+            with self._lock:
+                slot.strikes = 0
+            wrapped = []
+            for req, trace, child in zip(reqs, traces, children):
+                trace.success(child.pid)
+                wrapped.append(ChildProcess(
+                    child.pid, argv=req.argv, strategy="forkserver-pool",
+                    reaper=self._pool_reaper(slot, server, req.argv),
+                    trace=trace))
+            return wrapped
+        raise SpawnError(
+            f"no forkserver worker could spawn a batch of {weight}: "
+            f"{last_error}")

@@ -1,0 +1,112 @@
+"""Preserialized wire-frame caching for the forkserver fast path.
+
+A busy tenant spawns the same shape over and over: identical argv,
+identical environment, default stdio.  Encoding that request to JSON on
+every spawn is pure waste — the bytes are the same every time, only the
+correlation id (and optional trace id) differ.  :class:`FrameCache`
+memoizes the *invariant tail* of the encoded frame, keyed on the
+request's structural content, so a repeat spawn splices a tiny
+``{"id":N,`` prefix onto cached bytes instead of re-serialising argv
+and env.
+
+Correctness rules (enforced by the caller, tested in
+``tests/core/test_framecache.py``):
+
+* the key is built from the request's **content** at call time (argv
+  tuple, sorted env items, cwd), so mutating an env dict or argv list
+  after a cached spawn produces a different key — a miss, never a
+  stale frame;
+* requests carrying **non-default fd grants** (custom stdin/stdout/
+  stderr) are never cached: their shape is per-call (fresh pipes each
+  time), so caching them would only churn the LRU;
+* the cache is **bounded**: at most ``maxsize`` entries, evicting the
+  least recently used, so a tenant cycling through distinct shapes
+  cannot grow memory without limit.
+
+The cache is per-:class:`~repro.core.forkserver.ForkServer` and
+lock-protected (spawns arrive from many threads); hits and misses are
+counted locally and mirrored to :mod:`repro.obs` by the caller.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..errors import SpawnError
+
+#: Structural identity of one spawn request: argv, env content, cwd.
+FrameKey = Tuple[Tuple[str, ...], Optional[Tuple[Tuple[str, str], ...]],
+                 Optional[str]]
+
+
+def frame_key(argv: Sequence[str], env: Optional[Dict[str, str]],
+              cwd: Optional[str]) -> FrameKey:
+    """The structural cache key for a spawn request.
+
+    Snapshots content (not object identity): two dicts with equal items
+    share a key regardless of insertion order, and a dict mutated after
+    this call no longer matches the key built before the mutation.
+    """
+    return (tuple(argv),
+            None if env is None else tuple(sorted(env.items())),
+            cwd)
+
+
+class FrameCache:
+    """A bounded LRU of preserialized frame tails.
+
+    Values are the JSON-encoded request body minus its opening brace —
+    the caller splices ``{"id":N,`` (and optionally a trace id) in
+    front to finish the frame.  Thread-safe.
+    """
+
+    __slots__ = ("_lock", "_entries", "_maxsize", "hits", "misses",
+                 "evictions")
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize < 1:
+            raise SpawnError(f"frame cache needs maxsize >= 1: {maxsize}")
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[FrameKey, bytes]" = OrderedDict()
+        self._maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def lookup(self, key: FrameKey) -> Optional[bytes]:
+        """The cached tail for ``key``, refreshing its recency."""
+        with self._lock:
+            tail = self._entries.get(key)
+            if tail is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return tail
+
+    def store(self, key: FrameKey, tail: bytes) -> None:
+        """Remember ``tail`` for ``key``, evicting the LRU entry if full."""
+        with self._lock:
+            self._entries[key] = tail
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __repr__(self):
+        return (f"<FrameCache {len(self)}/{self._maxsize} "
+                f"hits={self.hits} misses={self.misses}>")

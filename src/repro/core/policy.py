@@ -18,6 +18,15 @@ story: helpers die mid-request, frames truncate, event loops stall.
 Every decision is visible through :mod:`repro.obs`: ``spawn_retry``,
 ``breaker_open`` and ``fallback`` counters, plus ``retry``/``fallback``
 trace stages on the request's :class:`~repro.obs.SpawnTrace`.
+
+**Batch semantics.**  A batched spawn (``spawn_batch`` on the pool, a
+server, or the :func:`repro.core.spawn_batch` ladder) treats the whole
+batch as *one unit of work* under the policy: the batch consumes one
+attempt, a mid-batch failure fails (and retries) the **entire batch**
+— the wire protocol is all-or-nothing, so no member is ever silently
+dropped — and a failed batch strikes its helper/breaker once, not once
+per member.  Deadlines bound the single batched round trip, not each
+member individually.
 """
 
 from __future__ import annotations

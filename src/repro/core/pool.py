@@ -28,9 +28,11 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence
 
 from ..errors import SpawnError
 from ..obs import TELEMETRY
+from .forkserver import SpawnRequest
 from .policy import SpawnPolicy
 from .result import ChildProcess
 from .spawn import ProcessBuilder
+from .strategies import ForkServerPoolStrategy, get_strategy
 
 _LEN = struct.Struct("!I")
 
@@ -91,17 +93,31 @@ def callable_spec(func: Callable) -> str:
 
 
 class _Worker:
-    """One spawned interpreter plus its request/response pipes."""
+    """One spawned interpreter plus its request/response pipes.
 
-    def __init__(self, strategy: Optional[str] = None):
-        builder = (ProcessBuilder(sys.executable, "-c", _WORKER_SOURCE)
-                   .stdin_from_pipe()
-                   .stdout_to_pipe())
-        if strategy is not None:
-            builder.strategy(strategy)
-        self.child: ChildProcess = builder.spawn()
-        self.stdin_fd = builder.io.stdin_fd
-        self.stdout_fd = builder.io.stdout_fd
+    Built either the classic way (spawn our own child through a
+    :class:`ProcessBuilder`) or around a pre-spawned child whose pipes
+    the pool already owns — the batched boot path, where N workers
+    arrive from a single :meth:`ForkServerPool.spawn_batch` wire op.
+    """
+
+    def __init__(self, strategy: Optional[str] = None, *,
+                 child: Optional[ChildProcess] = None,
+                 stdin_fd: Optional[int] = None,
+                 stdout_fd: Optional[int] = None):
+        if child is not None:
+            self.child = child
+            self.stdin_fd = stdin_fd
+            self.stdout_fd = stdout_fd
+        else:
+            builder = (ProcessBuilder(sys.executable, "-c", _WORKER_SOURCE)
+                       .stdin_from_pipe()
+                       .stdout_to_pipe())
+            if strategy is not None:
+                builder.strategy(strategy)
+            self.child = builder.spawn()
+            self.stdin_fd = builder.io.stdin_fd
+            self.stdout_fd = builder.io.stdout_fd
         self.busy = False
 
     def call(self, spec: str, args: tuple, kwargs: dict) -> Any:
@@ -164,11 +180,15 @@ class SpawnPool:
             raise SpawnError("need at least one worker")
         self._strategy = strategy
         self._policy = policy
-        self._workers: List[_Worker] = [_Worker(strategy)
-                                        for _ in range(workers)]
+        self._workers: List[_Worker] = []
         self._next = 0
         self._closed = False
         self._respawns = 0
+        try:
+            self.spawn_batch(workers)
+        except BaseException:
+            self.close()
+            raise
 
     # -- lifecycle -------------------------------------------------------
 
@@ -210,6 +230,67 @@ class SpawnPool:
         self._workers[index] = _Worker(self._strategy)
         self._respawns += 1
         TELEMETRY.count("pool_retire", pool="spawnpool")
+
+    def spawn_batch(self, count: int) -> List[int]:
+        """Grow the pool by ``count`` workers; returns their pids.
+
+        When the pool's strategy is ``"forkserver-pool"`` all ``count``
+        interpreters (argv plus their stdio pipe grants) travel to a
+        spawn-service helper in **one** batched wire frame via
+        :meth:`ForkServerPool.spawn_batch` — one ``sendmsg``, one fork
+        loop, one reply — instead of ``count`` round trips.  Any other
+        strategy boots the workers one at a time, same as before.
+        """
+        self._require_open()
+        if count < 1:
+            return []
+        workers = self._boot_batched(count)
+        if workers is None:
+            workers = [_Worker(self._strategy) for _ in range(count)]
+        self._workers.extend(workers)
+        return [w.child.pid for w in workers]
+
+    def _boot_batched(self, count: int) -> Optional[List[_Worker]]:
+        """Boot ``count`` workers through one batched wire op, or None
+        when the configured strategy cannot batch."""
+        if self._strategy is None:
+            return None
+        try:
+            strategy = get_strategy(self._strategy)
+        except SpawnError:
+            return None
+        if not isinstance(strategy, ForkServerPoolStrategy):
+            return None
+        argv = [sys.executable, "-c", _WORKER_SOURCE]
+        # Per worker: a stdin pipe the pool writes and a stdout pipe the
+        # pool reads; the child ends ride the batch frame as fd grants.
+        pipes: List[tuple] = []  # (parent_w, child_r, parent_r, child_w)
+        try:
+            requests = []
+            for _ in range(count):
+                child_r, parent_w = os.pipe()
+                parent_r, child_w = os.pipe()
+                pipes.append((parent_w, child_r, parent_r, child_w))
+                requests.append(SpawnRequest(
+                    argv, stdin=child_r, stdout=child_w))
+            children = strategy.pool().spawn_batch(
+                requests, policy=self._policy)
+        except BaseException:
+            for parent_w, child_r, parent_r, child_w in pipes:
+                for fd in (parent_w, child_r, parent_r, child_w):
+                    try:
+                        os.close(fd)
+                    except OSError:
+                        pass
+            raise
+        workers = []
+        for (parent_w, child_r, parent_r, child_w), child in zip(
+                pipes, children):
+            os.close(child_r)
+            os.close(child_w)
+            workers.append(_Worker(
+                child=child, stdin_fd=parent_w, stdout_fd=parent_r))
+        return workers
 
     def submit(self, func: Callable, *args, **kwargs) -> Any:
         """Run one call on the next worker; returns its result.

@@ -46,11 +46,12 @@ from typing import Dict, List, Optional, Sequence
 
 from ..errors import SpawnError
 from ..faults import FAULTS
-from ..obs import NULL_TRACE
+from ..obs import NULL_TRACE, TELEMETRY
 from .attrs import SpawnAttributes
 from .file_actions import FileActions
-from .forkserver import ForkServer
+from .forkserver import ForkServer, SpawnRequest
 from .forkserver_pool import ForkServerPool
+from .policy import breaker_for
 from .result import ChildProcess
 
 
@@ -400,3 +401,100 @@ def pick_default_strategy(attrs: SpawnAttributes) -> Strategy:
     if posix.available() and not attrs.needs_helper_hop():
         return posix
     return _REGISTRY["fork_exec"]
+
+
+def _batch_via_posix_spawn(reqs) -> List[ChildProcess]:
+    """The ladder's floor: per-member direct ``posix_spawn``.
+
+    The wire amortisation is gone at this tier, but every member still
+    runs — degradation trades throughput for availability, never
+    members.  ``cwd`` cannot be expressed here (posix_spawn has no such
+    attribute), so batches that need it fail loudly instead.
+    """
+    children = []
+    try:
+        for req in reqs:
+            if req.cwd:
+                raise SpawnError(
+                    "posix_spawn batch fallback cannot express cwd")
+            trace = TELEMETRY.trace("posix_spawn", req.argv)
+            path = _resolve_executable(req.argv)
+            file_actions = [(os.POSIX_SPAWN_DUP2, fd, target)
+                            for target, fd in enumerate(req.grant())
+                            if fd != target]
+            pid = os.posix_spawn(
+                path, list(req.argv),
+                req.env if req.env is not None else os.environ,
+                file_actions=file_actions)
+            trace.stage("execed", pid=pid)
+            trace.success(pid)
+            children.append(ChildProcess(pid, argv=req.argv,
+                                         strategy="posix_spawn",
+                                         trace=trace))
+    except BaseException:
+        # All-or-nothing even at the floor: reverse what already ran.
+        for child in children:
+            try:
+                child.kill()
+                child.wait(timeout=5)
+            except Exception:
+                pass
+        raise
+    return children
+
+
+def spawn_batch(requests: Sequence, *, env=None, cwd=None,
+                policy=None, deadline=None) -> List[ChildProcess]:
+    """Batched spawn through the full degradation ladder.
+
+    The batch goes to the shared forkserver *pool* first (one wire
+    frame, the pool's own failover/retries per ``policy``); when that
+    tier is exhausted or its breaker is open, the batch degrades down
+    ``policy.fallback`` — ``"forkserver"`` keeps the single-frame wire
+    amortisation on one dedicated helper, ``"posix_spawn"`` runs each
+    member directly as the floor.  Tier transitions share the same
+    breaker registry and ``fallback``/``breaker_open`` counters as
+    :class:`~repro.core.spawn.ProcessBuilder`'s policy executor, so the
+    PR-5 resilience ladder holds for batches exactly as it does for
+    single spawns.
+
+    The contract is all-or-nothing at every tier: the caller gets all N
+    children or an exception — members are never silently dropped.
+    """
+    if not requests:
+        raise SpawnError("empty batch")
+    reqs = [SpawnRequest.coerce(item, env=env, cwd=cwd)
+            for item in requests]
+    chain = ["forkserver-pool"]
+    if policy is not None:
+        chain += [name for name in policy.fallback if name not in chain]
+    last_error: Optional[BaseException] = None
+    for index, name in enumerate(chain):
+        if name not in ("forkserver-pool", "forkserver", "posix_spawn"):
+            continue  # tiers with no batch path are skipped, not guessed at
+        if index:
+            TELEMETRY.count("fallback", strategy=name)
+        breaker = breaker_for(name, policy)
+        if not breaker.allow():
+            last_error = last_error or SpawnError(
+                f"circuit breaker open for strategy {name!r}")
+            continue
+        try:
+            if name == "forkserver-pool":
+                children = _REGISTRY[name].pool().spawn_batch(
+                    reqs, policy=policy, deadline=deadline)
+            elif name == "forkserver":
+                children = _REGISTRY[name].server().spawn_batch(
+                    reqs, deadline=deadline)
+            else:
+                children = _batch_via_posix_spawn(reqs)
+        except (SpawnError, OSError) as exc:
+            last_error = exc
+            if breaker.record_failure():
+                TELEMETRY.count("breaker_open", strategy=name)
+            continue
+        breaker.record_success()
+        return children
+    raise SpawnError(
+        f"every tier in {chain!r} failed to spawn the batch of "
+        f"{len(reqs)}: {last_error}") from last_error

@@ -70,8 +70,9 @@ KIND_POINTS: Dict[str, str] = {
 POINTS = (
     "forkserver.frame",    # ForkServer._send, one wire frame
     "forkserver.request",  # ForkServer._roundtrip, frame sent, reply pending
-    "forkserver.spawn",    # ForkServer.spawn entry
+    "forkserver.spawn",    # ForkServer.spawn / spawn_batch entry
     "pool.dispatch",       # ForkServerPool.spawn, per dispatch attempt
+    "pool.batch",          # ForkServerPool.spawn_batch, per batch dispatch
     "strategy.launch",     # every registered Strategy.launch entry
     "builder.pipe",        # ProcessBuilder pipe allocation
     "builder.spawn",       # ProcessBuilder.spawn entry

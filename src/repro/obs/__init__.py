@@ -118,6 +118,18 @@ class Telemetry:
         if self._enabled:
             self.metrics.gauge(name, **labels).set(value)
 
+    def event(self, kind: str, **fields) -> None:
+        """Emit a free-form structured event to the sink (no-op when off).
+
+        For non-spawn actors — the pool autoscaler, health checks —
+        whose actions are part of the service timeline but belong to no
+        single spawn trace.
+        """
+        if self._enabled and self._sink is not None:
+            payload = {"event": kind, "t_ns": time.monotonic_ns()}
+            payload.update(fields)
+            self._sink.emit(payload)
+
 
 #: The process-wide instance every instrumented call site uses.
 TELEMETRY = Telemetry()

@@ -16,8 +16,8 @@ from repro.errors import BenchError
 class TestRegistry:
     EXPECTED = {"fig1-real", "fig1-sim", "t1-api", "t2-micro",
                 "t3-overcommit", "t4-compose", "t5-throughput",
-                "f2-scaling", "a1-ablation", "a2-aslr", "a3-emulation",
-                "a4-fdtable", "calibrate"}
+                "t6-autoscale", "f2-scaling", "a1-ablation", "a2-aslr",
+                "a3-emulation", "a4-fdtable", "calibrate"}
 
     def test_every_design_md_experiment_registered(self):
         assert {e.experiment_id for e in all_experiments()} == self.EXPECTED
@@ -105,7 +105,25 @@ class TestRealExperiments:
         # so a noisy CI box cannot flake this.)
         assert loaded["forkserver-pool_per_sec"] > \
             1.5 * loaded["forkserver-locked_per_sec"]
+        # And batching beats round-tripping each spawn individually.
+        assert loaded["forkserver-pool-batch_per_sec"] > \
+            loaded["forkserver-pool_per_sec"]
         assert "pipelined pool" in result.notes
+
+    def test_t6_autoscale_quick(self):
+        result = run("t6-autoscale", quick=True)
+        phases = {r["phase"]: r for r in result.rows}
+        assert set(phases) == {"warm", "burst", "cooldown", "idle"}
+        burst = phases["burst"]
+        assert burst["errors"] == 0
+        assert burst["p95_ns"] > 0
+        # The autoscaler must have reacted to the burst...
+        assert burst["scale_ups"] >= 1
+        assert burst["workers"] > phases["warm"]["workers"]
+        # ...and given the capacity back once traffic stopped.
+        assert phases["idle"]["workers"] == 1
+        assert phases["idle"]["scale_downs"] >= 1
+        assert "capacity follows traffic" in result.notes
 
 
 class TestCli:
@@ -145,3 +163,14 @@ class TestCli:
     def test_run_parallel_unknown_fails_fast(self, capsys):
         assert cli_main(["run", "nope", "--parallel"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    def test_set_overrides_kwargs(self, capsys):
+        # fig1-sim takes a list kwarg; --set decodes JSON values.
+        assert cli_main(["run", "fig1-sim", "--quick", "--json",
+                         "--set", "sizes=[1048576,2097152]"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["rows"]) == 2
+
+    def test_set_rejects_malformed_pair(self, capsys):
+        assert cli_main(["run", "t1-api", "--set", "nonsense"]) == 2
+        assert "KEY=VALUE" in capsys.readouterr().err

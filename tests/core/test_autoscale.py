@@ -1,0 +1,165 @@
+"""PoolAutoscaler decisions, driven with a stub pool and a fake clock."""
+
+import time
+
+import pytest
+
+from repro.core import ForkServerPool
+from repro.core.autoscale import AutoscaleConfig, PoolAutoscaler
+from repro.errors import SpawnError
+from repro.obs import TELEMETRY
+
+
+class StubPool:
+    """A pool with scriptable depth and purely arithmetic grow/shrink."""
+
+    def __init__(self, size=1, depth=0):
+        self.size = size
+        self.depth = depth
+        self.grown = 0
+        self.shrunk = 0
+
+    def queue_depth(self):
+        return self.depth
+
+    def grow(self, count=1):
+        self.size += count
+        self.grown += count
+        return self.size
+
+    def shrink(self, count=1):
+        removed = min(count, self.size - 1)
+        self.size -= removed
+        self.shrunk += removed
+        return removed
+
+
+CONFIG = AutoscaleConfig(min_workers=1, max_workers=4,
+                         high_watermark=2.0, low_watermark=0.5,
+                         sustain_seconds=1.0, idle_ttl=5.0)
+
+
+class TestConfigValidation:
+    def test_rejects_nonsense(self):
+        with pytest.raises(SpawnError):
+            AutoscaleConfig(min_workers=0)
+        with pytest.raises(SpawnError):
+            AutoscaleConfig(min_workers=4, max_workers=2)
+        with pytest.raises(SpawnError):
+            AutoscaleConfig(step=0)
+        with pytest.raises(SpawnError):
+            AutoscaleConfig(low_watermark=3.0, high_watermark=2.0)
+
+
+class TestScaleUp:
+    def test_needs_sustained_pressure(self):
+        pool = StubPool(size=1, depth=10)
+        scaler = PoolAutoscaler(pool, CONFIG)
+        assert scaler.poll_once(now=0.0) is None   # opens the window
+        assert scaler.poll_once(now=0.5) is None   # not sustained yet
+        assert scaler.poll_once(now=1.1) == "up"
+        assert pool.size == 2
+        assert scaler.scale_ups == 1
+
+    def test_blip_resets_the_window(self):
+        pool = StubPool(size=1, depth=10)
+        scaler = PoolAutoscaler(pool, CONFIG)
+        scaler.poll_once(now=0.0)
+        pool.depth = 0                              # pressure vanished
+        scaler.poll_once(now=0.9)
+        pool.depth = 10
+        assert scaler.poll_once(now=1.5) is None    # fresh window
+        assert pool.size == 1
+
+    def test_each_growth_earns_its_own_window(self):
+        pool = StubPool(size=1, depth=100)
+        scaler = PoolAutoscaler(pool, CONFIG)
+        scaler.poll_once(now=0.0)
+        assert scaler.poll_once(now=1.1) == "up"
+        assert scaler.poll_once(now=1.2) is None    # window restarted
+        assert scaler.poll_once(now=2.3) == "up"
+        assert pool.size == 3
+
+    def test_never_past_max(self):
+        pool = StubPool(size=4, depth=100)
+        scaler = PoolAutoscaler(pool, CONFIG)
+        for now in (0.0, 1.1, 2.2, 3.3):
+            assert scaler.poll_once(now=now) is None
+        assert pool.size == 4
+
+
+class TestScaleDown:
+    def test_needs_idle_ttl(self):
+        pool = StubPool(size=4, depth=0)
+        scaler = PoolAutoscaler(pool, CONFIG)
+        assert scaler.poll_once(now=0.0) is None
+        assert scaler.poll_once(now=4.0) is None
+        assert scaler.poll_once(now=5.1) == "down"
+        assert pool.size == 3
+        assert scaler.scale_downs == 1
+
+    def test_never_below_min(self):
+        pool = StubPool(size=1, depth=0)
+        scaler = PoolAutoscaler(pool, CONFIG)
+        for now in (0.0, 6.0, 12.0, 18.0):
+            assert scaler.poll_once(now=now) is None
+        assert pool.size == 1
+
+    def test_traffic_resets_the_ttl(self):
+        pool = StubPool(size=4, depth=0)
+        scaler = PoolAutoscaler(pool, CONFIG)
+        scaler.poll_once(now=0.0)
+        pool.depth = 10                             # burst interrupts
+        scaler.poll_once(now=4.0)
+        pool.depth = 0
+        assert scaler.poll_once(now=6.0) is None    # TTL restarted
+        assert pool.size == 4
+
+
+class TestLatencyPressure:
+    def test_stale_histogram_is_not_pressure(self):
+        config = AutoscaleConfig(max_workers=4, sustain_seconds=0.0,
+                                 latency_target_ns=1)
+        pool = StubPool(size=1, depth=0)            # no queue pressure
+        TELEMETRY.enable(sink=None, reset_metrics=True)
+        try:
+            hist = TELEMETRY.metrics.histogram(
+                "spawn_latency_ns", strategy="forkserver-pool")
+            scaler = PoolAutoscaler(pool, config)
+            hist.record(10_000_000)
+            scaler.poll_once(now=0.0)               # fresh sample: pressure
+            hist.record(10_000_000)
+            assert scaler.poll_once(now=1.0) == "up"
+            # No new samples since: the stale p95 proves nothing.
+            assert scaler.poll_once(now=2.0) is None
+            assert scaler.poll_once(now=3.0) is None
+            assert pool.size == 2
+        finally:
+            TELEMETRY.disable()
+
+
+class TestLifecycle:
+    def test_background_thread_scales_a_real_pool(self):
+        config = AutoscaleConfig(min_workers=1, max_workers=2,
+                                 high_watermark=1.0, sustain_seconds=0.0,
+                                 idle_ttl=60.0, interval=0.01)
+        with ForkServerPool(1, prestart=1) as pool:
+            with PoolAutoscaler(pool, config) as scaler:
+                assert scaler.running
+                children = [pool.spawn(["/bin/sleep", "0.3"])
+                            for _ in range(4)]
+                deadline = 200
+                while pool.size < 2 and deadline > 0:
+                    time.sleep(0.01)
+                    deadline -= 1
+                assert pool.size == 2
+                for child in children:
+                    assert child.wait(timeout=10) == 0
+            assert not scaler.running
+
+    def test_stop_is_idempotent(self):
+        scaler = PoolAutoscaler(StubPool(), CONFIG)
+        scaler.start()
+        scaler.stop()
+        scaler.stop()
+        assert not scaler.running

@@ -1,0 +1,142 @@
+"""Batched spawning: one wire frame, N children, honest load accounting."""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.core import (ForkServer, ForkServerPool, SpawnPool, SpawnRequest,
+                        spawn_batch)
+from repro.core.strategies import get_strategy
+from repro.errors import SpawnError
+
+
+class TestForkServerBatch:
+    def test_statuses_in_request_order(self):
+        with ForkServer() as server:
+            children = server.spawn_batch(
+                [["/bin/sh", "-c", f"exit {code}"] for code in (3, 0, 7)])
+            assert [c.wait(timeout=10) for c in children] == [3, 0, 7]
+
+    def test_per_member_stdio(self):
+        with ForkServer() as server:
+            read_fd, write_fd = os.pipe()
+            children = server.spawn_batch([
+                SpawnRequest(["/bin/echo", "batched"], stdout=write_fd),
+                SpawnRequest(["/bin/true"]),
+            ])
+            os.close(write_fd)
+            assert [c.wait(timeout=10) for c in children] == [0, 0]
+            with open(read_fd, "rb") as out:
+                assert out.read() == b"batched\n"
+
+    def test_empty_batch_rejected(self):
+        with ForkServer() as server:
+            with pytest.raises(SpawnError):
+                server.spawn_batch([])
+
+    def test_batch_larger_than_old_ancillary_cap(self):
+        # Regression: 3 fds per member crosses 16 total at 6 members;
+        # the helper's ancillary buffer must hold a full batch grant,
+        # not silently truncate it into an EPROTO refusal.
+        with ForkServer() as server:
+            children = server.spawn_batch([["/bin/true"]] * 10)
+            assert [c.wait(timeout=10) for c in children] == [0] * 10
+
+    def test_batch_past_scm_rights_limit_is_refused_loudly(self):
+        # One SCM_RIGHTS message carries at most 253 fds (84 members);
+        # a bigger batch fails with a clear error before hitting the
+        # wire, and the channel stays healthy.
+        with ForkServer() as server:
+            with pytest.raises(SpawnError) as excinfo:
+                server.spawn_batch([["/bin/true"]] * 85)
+            assert "split the batch" in str(excinfo.value)
+            assert server.healthy
+            assert server.spawn(["/bin/true"]).wait(timeout=10) == 0
+
+    def test_locked_channel_batches_too(self):
+        with ForkServer(pipelined=False) as server:
+            children = server.spawn_batch([["/bin/true"]] * 3)
+            assert [c.wait(timeout=10) for c in children] == [0, 0, 0]
+
+
+class TestPoolBatch:
+    def test_exit_codes_in_order(self):
+        with ForkServerPool(2) as pool:
+            children = pool.spawn_batch(
+                [["/bin/sh", "-c", f"exit {code}"] for code in range(5)])
+            assert [c.wait(timeout=10) for c in children] == list(range(5))
+
+    def test_batch_billed_at_member_count(self):
+        # Load accounting is the pool's dispatch signal: a batch of 4
+        # sleeping children must weigh 4, not 1, while they run.
+        with ForkServerPool(2) as pool:
+            children = pool.spawn_batch([["/bin/sleep", "0.4"]] * 4)
+            assert pool.queue_depth() == 4
+            for child in children:
+                assert child.wait(timeout=10) == 0
+            deadline = 50
+            while pool.queue_depth() > 0 and deadline > 0:
+                time.sleep(0.05)
+                deadline -= 1
+            # Each reaped child releases exactly one unit.
+            assert pool.queue_depth() == 0
+
+    def test_grow_and_shrink(self):
+        with ForkServerPool(1) as pool:
+            assert pool.grow(2) == 3
+            assert pool.size == 3
+            assert pool.shrink(10) == 2  # floor of one slot
+            assert pool.size == 1
+            assert pool.spawn(["/bin/true"]).wait(timeout=10) == 0
+
+
+class TestCoalescer:
+    def test_concurrent_singles_coalesce(self):
+        with ForkServerPool(2, max_batch=4, max_delay_us=20000) as pool:
+            results = [None] * 8
+
+            def one(index):
+                results[index] = pool.spawn(["/bin/true"]).wait(timeout=10)
+
+            threads = [threading.Thread(target=one, args=(i,))
+                       for i in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert results == [0] * 8
+            coalescer = pool.coalescer
+            assert coalescer.coalesced_spawns == 8
+            assert coalescer.batches < 8  # actually merged some frames
+
+    def test_disabled_by_default(self):
+        with ForkServerPool(1) as pool:
+            assert pool.coalescer is None
+
+
+class TestSpawnPoolBatchBoot:
+    def test_workers_boot_through_one_batch(self):
+        try:
+            with SpawnPool(3, strategy="forkserver-pool") as pool:
+                assert len(pool.worker_pids()) == 3
+                assert pool.map(abs, [-1, -2, -3, -4]) == [1, 2, 3, 4]
+                pids = pool.spawn_batch(2)
+                assert len(pids) == 2 and pool.size == 5
+        finally:
+            get_strategy("forkserver-pool").shutdown()
+
+    def test_default_strategy_still_sequential(self):
+        with SpawnPool(2) as pool:
+            assert pool.map(abs, [-5, 5]) == [5, 5]
+
+
+class TestLadderBatch:
+    def test_module_function_spawns_via_pool(self):
+        try:
+            children = spawn_batch([["/bin/sh", "-c", "exit 4"],
+                                    ["/bin/true"]])
+            assert [c.wait(timeout=10) for c in children] == [4, 0]
+        finally:
+            get_strategy("forkserver-pool").shutdown()

@@ -1,0 +1,118 @@
+"""Frame cache correctness: content keys, fd bypass, bounded LRU."""
+
+import os
+
+import pytest
+
+from repro.core import ForkServer
+from repro.core.framecache import FrameCache, frame_key
+from repro.errors import SpawnError
+
+
+class TestFrameKey:
+    def test_same_shape_same_key(self):
+        assert frame_key(["/bin/true"], {"A": "1"}, "/tmp") == \
+            frame_key(["/bin/true"], {"A": "1"}, "/tmp")
+
+    def test_env_order_does_not_matter(self):
+        assert frame_key(["x"], {"A": "1", "B": "2"}, None) == \
+            frame_key(["x"], {"B": "2", "A": "1"}, None)
+
+    def test_no_env_differs_from_empty_env(self):
+        # env=None means "inherit"; env={} means "empty" — different
+        # wire payloads, so they must never share a cached frame.
+        assert frame_key(["x"], None, None) != frame_key(["x"], {}, None)
+
+    def test_any_field_changes_the_key(self):
+        base = frame_key(["x", "y"], {"A": "1"}, "/tmp")
+        assert frame_key(["x", "z"], {"A": "1"}, "/tmp") != base
+        assert frame_key(["x", "y"], {"A": "2"}, "/tmp") != base
+        assert frame_key(["x", "y"], {"A": "1"}, "/var") != base
+
+
+class TestFrameCacheLru:
+    def test_hit_miss_counters(self):
+        cache = FrameCache(4)
+        key = frame_key(["x"], None, None)
+        assert cache.lookup(key) is None
+        cache.store(key, b"tail")
+        assert cache.lookup(key) == b"tail"
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_eviction_bounds_memory(self):
+        cache = FrameCache(3)
+        keys = [frame_key([f"argv{i}"], None, None) for i in range(10)]
+        for key in keys:
+            cache.store(key, b"tail")
+        assert len(cache) == 3
+        assert cache.evictions == 7
+        # The survivors are the most recently stored.
+        assert cache.lookup(keys[-1]) == b"tail"
+        assert cache.lookup(keys[0]) is None
+
+    def test_lookup_refreshes_recency(self):
+        cache = FrameCache(2)
+        a, b, c = (frame_key([name], None, None) for name in "abc")
+        cache.store(a, b"a")
+        cache.store(b, b"b")
+        assert cache.lookup(a) == b"a"  # a is now most recent
+        cache.store(c, b"c")            # evicts b, not a
+        assert cache.lookup(a) == b"a"
+        assert cache.lookup(b) is None
+
+    def test_invalid_maxsize_rejected(self):
+        with pytest.raises(SpawnError):
+            FrameCache(0)
+
+
+class TestForkServerIntegration:
+    def test_repeated_shape_hits(self):
+        with ForkServer() as server:
+            for _ in range(3):
+                assert server.spawn(["/bin/true"]).wait(timeout=10) == 0
+            assert server.frame_cache.misses == 1
+            assert server.frame_cache.hits == 2
+
+    def test_mutated_argv_misses_and_runs_the_new_argv(self):
+        # The key is content-based: mutating the SAME list object after
+        # a cached spawn must produce a fresh frame, never a stale one.
+        with ForkServer() as server:
+            argv = ["/bin/echo", "first"]
+            r1, w1 = os.pipe()
+            child = server.spawn(argv, stdout=w1)
+            os.close(w1)
+            assert child.wait(timeout=10) == 0
+            os.close(r1)
+            argv[1] = "second"
+            r2, w2 = os.pipe()
+            child = server.spawn(argv, stdout=w2)
+            os.close(w2)
+            assert child.wait(timeout=10) == 0
+            with open(r2, "rb") as out:
+                assert out.read() == b"second\n"
+
+    def test_mutated_env_misses(self):
+        with ForkServer() as server:
+            env = {"MARKER": "1", "PATH": os.environ.get("PATH", "")}
+            server.spawn(["/bin/true"], env=env).wait(timeout=10)
+            misses = server.frame_cache.misses
+            env["MARKER"] = "2"
+            server.spawn(["/bin/true"], env=env).wait(timeout=10)
+            assert server.frame_cache.misses == misses + 1
+
+    def test_fd_bearing_requests_never_cached(self):
+        with ForkServer() as server:
+            read_fd, write_fd = os.pipe()
+            try:
+                child = server.spawn(["/bin/echo", "hi"], stdout=write_fd)
+                assert child.wait(timeout=10) == 0
+            finally:
+                os.close(write_fd)
+                os.close(read_fd)
+            assert len(server.frame_cache) == 0
+
+    def test_cache_disabled(self):
+        with ForkServer(frame_cache=0) as server:
+            assert server.frame_cache is None
+            assert server.spawn(["/bin/true"]).wait(timeout=10) == 0

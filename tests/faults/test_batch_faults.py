@@ -1,0 +1,145 @@
+"""Chaos inside a batch: the all-or-nothing contract under injected faults.
+
+A batch must never partially succeed in silence — a damaged frame, a
+lost fd grant, or a murdered helper fails (or retries) the WHOLE batch,
+and the degradation ladder keeps working when whole tiers go dark.
+"""
+
+import pytest
+
+from repro.core import (ForkServer, ForkServerPool, SpawnPolicy,
+                        breaker_for, spawn_batch)
+from repro.core.strategies import get_strategy
+from repro.errors import SpawnError
+from repro.faults import FAULTS, FaultPlan
+from repro.obs import TELEMETRY
+
+BATCH = [["/bin/sh", "-c", "exit 1"], ["/bin/true"], ["/bin/sh", "-c",
+                                                      "exit 2"]]
+
+
+class TestTruncatedBatchFrame:
+    def test_whole_batch_fails_loudly(self):
+        with ForkServer() as server:
+            with FAULTS.active(FaultPlan().add("truncate_frame")):
+                with pytest.raises(SpawnError):
+                    server.spawn_batch(BATCH, deadline=1.0)
+            assert not server.healthy
+
+    def test_pool_with_policy_retries_whole_batch(self):
+        policy = SpawnPolicy(retries=2, deadline=1.0, backoff=0.01)
+        with ForkServerPool(2, policy=policy) as pool:
+            with FAULTS.active(FaultPlan().add("truncate_frame")):
+                children = pool.spawn_batch(BATCH)
+                # Every member arrives, in order — nothing dropped.
+                assert [c.wait(timeout=10) for c in children] == [1, 0, 2]
+
+
+class TestDroppedBatchGrant:
+    def test_helper_refuses_with_eproto(self):
+        # nfds arithmetic covers batches: 3 members expect 9 fds, the
+        # fault strips them all, the helper refuses instead of wiring
+        # children to its own stdio.
+        with ForkServer() as server:
+            with FAULTS.active(FaultPlan().add("drop_fd_grant")):
+                with pytest.raises(SpawnError) as excinfo:
+                    server.spawn_batch(BATCH)
+            assert "EPROTO" in str(excinfo.value)
+            # A refusal is not a crash: the helper batches again fine.
+            assert server.healthy
+            children = server.spawn_batch(BATCH)
+            assert [c.wait(timeout=10) for c in children] == [1, 0, 2]
+
+    def test_pool_with_policy_retries_past_it(self):
+        policy = SpawnPolicy(retries=2, backoff=0.01)
+        with ForkServerPool(2, policy=policy) as pool:
+            with FAULTS.active(FaultPlan().add("drop_fd_grant")):
+                children = pool.spawn_batch(BATCH)
+                assert [c.wait(timeout=10) for c in children] == [1, 0, 2]
+
+
+class TestKilledHelperMidBatch:
+    def test_forkserver_batch_dies_loudly(self):
+        with ForkServer() as server:
+            with FAULTS.active(FaultPlan().add("kill_helper")):
+                with pytest.raises(SpawnError):
+                    server.spawn_batch(BATCH, deadline=5.0)
+            assert not server.healthy
+
+    def test_pool_recovers_whole_batch(self):
+        policy = SpawnPolicy(retries=2, deadline=5.0, backoff=0.01)
+        with ForkServerPool(2, policy=policy) as pool:
+            with FAULTS.active(FaultPlan().add("kill_helper")):
+                children = pool.spawn_batch(BATCH)
+                assert [c.wait(timeout=10) for c in children] == [1, 0, 2]
+            assert pool.respawns >= 1
+
+    def test_pool_batch_point_is_injectable(self):
+        # The dedicated pool.batch fault point: the helper is shot at
+        # batch-dispatch time, before the frame hits the wire.
+        policy = SpawnPolicy(retries=2, deadline=5.0, backoff=0.01)
+        with ForkServerPool(2, policy=policy) as pool:
+            plan = FaultPlan().add("kill_helper", point="pool.batch")
+            with FAULTS.active(plan):
+                children = pool.spawn_batch(BATCH)
+                assert [c.wait(timeout=10) for c in children] == [1, 0, 2]
+
+
+class TestDegradationLadder:
+    def _drain(self, children, codes):
+        assert [c.wait(timeout=10) for c in children] == codes
+
+    def test_open_pool_breaker_degrades_to_forkserver(self):
+        policy = SpawnPolicy(breaker_threshold=1, breaker_cooldown=60.0,
+                             fallback=("forkserver", "posix_spawn"))
+        breaker_for("forkserver-pool", policy).record_failure()
+        try:
+            TELEMETRY.enable(sink=None, reset_metrics=True)
+            children = spawn_batch(BATCH, policy=policy)
+            self._drain(children, [1, 0, 2])
+            fallbacks = {labels.get("strategy"): counter.value
+                         for name, labels, counter
+                         in TELEMETRY.metrics.counters()
+                         if name == "fallback"}
+            assert fallbacks.get("forkserver", 0) >= 1
+        finally:
+            TELEMETRY.disable()
+            get_strategy("forkserver").shutdown()
+
+    def test_ladder_bottoms_out_at_posix_spawn(self):
+        policy = SpawnPolicy(breaker_threshold=1, breaker_cooldown=60.0,
+                             fallback=("forkserver", "posix_spawn"))
+        breaker_for("forkserver-pool", policy).record_failure()
+        breaker_for("forkserver", policy).record_failure()
+        children = spawn_batch(BATCH, policy=policy)
+        self._drain(children, [1, 0, 2])
+
+    def test_exhausted_ladder_raises(self):
+        policy = SpawnPolicy(breaker_threshold=1, breaker_cooldown=60.0,
+                             fallback=("forkserver",))
+        breaker_for("forkserver-pool", policy).record_failure()
+        breaker_for("forkserver", policy).record_failure()
+        with pytest.raises(SpawnError) as excinfo:
+            spawn_batch(BATCH, policy=policy)
+        assert "forkserver" in str(excinfo.value)
+
+    def test_ladder_survives_chaos_end_to_end(self):
+        # Frames truncating AND helpers dying, repeatedly: the batch
+        # still lands via whichever tier survives, members intact.
+        policy = SpawnPolicy(retries=1, deadline=2.0, backoff=0.01,
+                             breaker_threshold=2,
+                             fallback=("forkserver", "posix_spawn"))
+        plan = (FaultPlan()
+                .add("truncate_frame", times=2)
+                .add("kill_helper", times=1, after=1))
+        try:
+            # Warm the ladder first: chaos strikes a *running* system,
+            # not the boot handshakes (those are covered by the bounded
+            # start_timeout, but a 10s ping stall has no place here).
+            self._drain(spawn_batch(BATCH, policy=policy), [1, 0, 2])
+            with FAULTS.active(plan):
+                children = spawn_batch(BATCH, policy=policy)
+                self._drain(children, [1, 0, 2])
+        finally:
+            get_strategy("forkserver-pool").shutdown()
+            get_strategy("forkserver").shutdown()
