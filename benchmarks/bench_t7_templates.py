@@ -1,0 +1,46 @@
+"""T7 — template zygotes: leased warm children vs the generic pool.
+
+pytest-benchmark times a burst of preload-heavy workers served by a
+specialised template registry, and checks the headline claim directly:
+the lease path must clearly out-serve the generic forkserver pool,
+which boots a fresh interpreter (and re-pays the imports) per child.
+``repro-bench run t7-templates`` prints the full three-section sweep.
+"""
+
+import pytest
+
+from repro.bench.workloads import TemplateWorkloads
+
+CONCURRENCY = 8
+REQUESTS = 4
+
+
+@pytest.fixture(scope="module")
+def service():
+    """One warm pool + template registry pair for the module."""
+    with TemplateWorkloads() as workloads:
+        workloads.warm()
+        yield workloads
+
+
+def test_template_lease_burst(benchmark, service):
+    last = {}
+
+    def burst():
+        last["result"] = service.measure(
+            "template-lease", concurrency=CONCURRENCY,
+            requests_per_thread=REQUESTS)
+
+    benchmark.pedantic(burst, rounds=3, warmup_rounds=1, iterations=1)
+    assert last["result"].errors == 0
+    assert last["result"].requests == CONCURRENCY * REQUESTS
+
+
+def test_template_beats_generic_pool(service):
+    """The provisioned-concurrency bar: lease >= 2x pool throughput."""
+    pool = service.measure("forkserver-pool", concurrency=CONCURRENCY,
+                           requests_per_thread=2)
+    lease = service.measure("template-lease", concurrency=CONCURRENCY,
+                            requests_per_thread=REQUESTS)
+    assert pool.errors == 0 and lease.errors == 0
+    assert lease.per_second >= 2.0 * pool.per_second

@@ -3,13 +3,16 @@
 
 This example builds the situation the paper's Figure 1 describes — a
 parent holding hundreds of megabytes of dirty heap that needs to launch
-many short-lived helpers — and shows three ways out, timing each:
+many short-lived helpers — and shows four ways out, timing each:
 
 * ``fork+exec`` directly from the big parent (pays for the heap every
   time),
 * ``posix_spawn`` from the big parent (constant),
 * a :class:`~repro.core.ForkServer` started *before* the heap grew
-  (constant: the pristine helper forks, not us).
+  (constant: the pristine helper forks, not us),
+* a :class:`~repro.core.TemplateRegistry` lease (constant, and one step
+  further: the children are *pre-forked and parked* before the ballast
+  exists, so a launch is a checkout, not a fork at all).
 
 Run with ``python examples/zygote_pool.py``; it allocates 256 MiB.
 """
@@ -19,7 +22,8 @@ import os
 from repro.bench.ballast import Ballast
 from repro.bench.stats import format_ns
 from repro.bench.timing import measure
-from repro.core import ForkServer
+from repro.core import (AutoscaleConfig, ForkServer, TemplateProfile,
+                        TemplateRegistry)
 
 BALLAST_BYTES = 256 << 20
 JOBS = 12
@@ -45,8 +49,18 @@ def main() -> None:
     # entire trick, and why Android starts its zygote at boot.
     server = ForkServer().start()
 
+    # The template registry goes one further: its helper pre-forks a
+    # parked stock of children NOW, so later launches just lease one.
+    # (The snappy restock interval keeps up with this back-to-back loop.)
+    registry = TemplateRegistry(autoscale=AutoscaleConfig(
+        idle_ttl=5.0, interval=0.005, step=2))
+    registry.register(TemplateProfile("warm", stock=4, max_stock=32))
+
     def forkserver_once() -> None:
         server.spawn(["/bin/true"]).wait(timeout=30)
+
+    def template_once() -> None:
+        registry.spawn("warm", ["/bin/true"]).wait(timeout=30)
 
     print(f"growing the parent by {BALLAST_BYTES >> 20} MiB of dirty heap...")
     with Ballast(BALLAST_BYTES):
@@ -57,7 +71,10 @@ def main() -> None:
                                    warmup=2),
             "forkserver (zygote)": measure(forkserver_once, repeats=JOBS,
                                            warmup=2),
+            "template lease (parked)": measure(template_once, repeats=JOBS,
+                                               warmup=2),
         }
+    registry.close()
     server.stop()
 
     print(f"\nlaunching /bin/true x{JOBS}, parent holding "

@@ -17,6 +17,9 @@ Usage::
     repro-bench run t5-throughput --faults plan.json   # chaos soak
     repro-bench run t5-throughput --quick --json > now.json
     repro-bench compare benchmarks/baselines/t5_baseline.json now.json
+    repro-bench run t7-templates --quick --json > t7.json
+    repro-bench compare benchmarks/baselines/t7_baseline.json t7.json \
+        --metric speedup --tolerance 0.65   # the template >=2x bar
 
 ``--faults`` activates a :mod:`repro.faults` plan for the duration of
 the run — the chaos soak: the same experiments, now with helpers dying

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import os
 import subprocess
+import sys
 import threading
 import time
 from dataclasses import dataclass
@@ -34,12 +35,20 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..core.autoscale import AutoscaleConfig, PoolAutoscaler
 from ..core.forkserver import ForkServer
 from ..core.forkserver_pool import ForkServerPool
+from ..core.templates import TemplateProfile, TemplateRegistry
 from ..errors import BenchError
 from .ballast import Ballast
 from .stats import Summary
 from .timing import measure
 
 TRIVIAL_CHILD = "/bin/true"
+
+#: The preload set for the template-zygote workloads: stdlib modules a
+#: service worker plausibly needs, chosen because importing them cold
+#: costs real time (parsing, bytecode, C extension init) — the cost a
+#: specialised zygote pays once instead of per child.
+PRELOAD_MODULES = ("json", "logging", "csv", "decimal", "argparse",
+                   "email.parser", "ssl")
 
 #: Default child for the throughput workloads: a process that does a
 #: little "work" (here: 10ms of sleep standing in for I/O) before
@@ -80,11 +89,15 @@ class Workloads:
 
     def __init__(self):
         self._forkserver: Optional[ForkServer] = None
+        self._templates: Optional[TemplateRegistry] = None
 
     def close(self) -> None:
         if self._forkserver is not None:
             self._forkserver.stop()
             self._forkserver = None
+        if self._templates is not None:
+            self._templates.close()
+            self._templates = None
 
     def __enter__(self) -> "Workloads":
         return self
@@ -105,6 +118,28 @@ class Workloads:
         if self._forkserver is None:
             self._forkserver = ForkServer().start()
 
+    def start_templates(self) -> None:
+        """Warm the template registry now (call before ballast).
+
+        The registry keeps a few pre-forked children parked, so a
+        ``template`` measurement is a lease plus wait — no page-table
+        walk of *this* (possibly huge) process anywhere on the path.
+        The restock interval is bench-tuned: back-to-back latency
+        probes drain the stock faster than production traffic would.
+        """
+        if self._templates is None:
+            registry = TemplateRegistry(autoscale=AutoscaleConfig(
+                idle_ttl=5.0, interval=0.005, step=2))
+            registry.register(TemplateProfile("bench", stock=4,
+                                              max_stock=32), warm=True)
+            self._templates = registry
+
+    def _template_once(self) -> None:
+        if self._templates is None:
+            self.start_templates()
+        child = self._templates.spawn("bench", [TRIVIAL_CHILD])
+        child.wait(timeout=30)
+
     def mechanisms(self) -> Dict[str, Callable[[], None]]:
         """Name -> one-shot creation callable."""
         return {
@@ -113,6 +148,7 @@ class Workloads:
             "posix_spawn": _posix_spawn_once,
             "subprocess": _subprocess_once,
             "forkserver": self._forkserver_once,
+            "template": self._template_once,
         }
 
     def measure_mechanism(self, name: str, *, repeats: int = 20,
@@ -151,6 +187,8 @@ class Workloads:
         """
         names = names or ["fork_exec", "posix_spawn", "forkserver"]
         self.start_forkserver()
+        if "template" in names:
+            self.start_templates()
         rows = []
         for size in sizes:
             with Ballast(size):
@@ -433,3 +471,119 @@ class ServiceWorkloads:
             mechanisms[name], concurrency=concurrency,
             requests_per_thread=requests_per_thread, mechanism=name,
             children_per_call=children)
+
+
+# ---------------------------------------------------------------------------
+# The specialisation axis: preload-heavy workers, generic vs template (T7).
+# ---------------------------------------------------------------------------
+
+
+class TemplateWorkloads:
+    """Preload-heavy spawn throughput: generic pool vs specialised zygote.
+
+    The job is the same for both mechanisms — "give me a Python worker
+    with :data:`PRELOAD_MODULES` available, let it run, wait for it" —
+    but they pay for the imports at different times:
+
+    * ``forkserver-pool`` — the generic spawn service launches a *fresh*
+      interpreter per request (``python -c 'import ...'``): every child
+      pays interpreter boot plus the full import chain.
+    * ``template-lease`` — a :class:`~repro.core.templates.TemplateServer`
+      specialised with the same preloads keeps pre-forked children
+      parked; a lease hands one of them the payload, which finds every
+      module already in ``sys.modules``.
+
+    The gap between the two is the provisioned-concurrency argument in
+    one number.  Servers start lazily and are shared; use as a context
+    manager for teardown.
+    """
+
+    MECHANISMS = ("forkserver-pool", "template-lease")
+
+    def __init__(self, modules: Optional[Sequence[str]] = None, *,
+                 pool_workers: int = 4, stock: int = 8,
+                 max_stock: int = 32):
+        self.modules = tuple(modules or PRELOAD_MODULES)
+        if not self.modules:
+            raise BenchError("need at least one preload module")
+        self.code = "import " + ", ".join(self.modules)
+        self.child_argv = [sys.executable, "-c", self.code]
+        self._pool_workers = pool_workers
+        self._stock = stock
+        self._max_stock = max_stock
+        self._init_lock = threading.Lock()
+        self._pool: Optional[ForkServerPool] = None
+        self._registry: Optional[TemplateRegistry] = None
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.stop()
+            self._pool = None
+        if self._registry is not None:
+            self._registry.close()
+            self._registry = None
+
+    def __enter__(self) -> "TemplateWorkloads":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def registry(self) -> Optional[TemplateRegistry]:
+        """The shared registry, if the lease mechanism has started it."""
+        return self._registry
+
+    def _ensure_pool(self) -> ForkServerPool:
+        with self._init_lock:
+            if self._pool is None:
+                self._pool = ForkServerPool(
+                    self._pool_workers,
+                    prestart=self._pool_workers).start()
+        return self._pool
+
+    def _ensure_registry(self) -> TemplateRegistry:
+        with self._init_lock:
+            if self._registry is None:
+                registry = TemplateRegistry(autoscale=AutoscaleConfig(
+                    idle_ttl=5.0, interval=0.005, step=4))
+                registry.register(
+                    TemplateProfile("preload", preload=self.modules,
+                                    stock=self._stock,
+                                    max_stock=self._max_stock), warm=True)
+                self._registry = registry
+        return self._registry
+
+    def _pool_once(self) -> None:
+        self._ensure_pool().spawn(self.child_argv).wait(timeout=60)
+
+    def _lease_once(self) -> None:
+        child = self._ensure_registry().spawn("preload", code=self.code)
+        child.wait(timeout=60)
+
+    def mechanisms(self) -> Dict[str, Callable[[], None]]:
+        """Name -> one blocking spawn-and-wait call (thread-safe)."""
+        return {
+            "forkserver-pool": self._pool_once,
+            "template-lease": self._lease_once,
+        }
+
+    def warm(self, names: Optional[Sequence[str]] = None) -> None:
+        """Run each mechanism once: boots servers, pages the imports."""
+        mechanisms = self.mechanisms()
+        for name in (names or self.MECHANISMS):
+            if name not in mechanisms:
+                raise BenchError(
+                    f"unknown mechanism {name!r}; have {sorted(mechanisms)}")
+            mechanisms[name]()
+
+    def measure(self, name: str, *, concurrency: int,
+                requests_per_thread: int) -> ThroughputResult:
+        """Throughput of one mechanism at one offered concurrency."""
+        mechanisms = self.mechanisms()
+        if name not in mechanisms:
+            raise BenchError(
+                f"unknown mechanism {name!r}; have {sorted(mechanisms)}")
+        return measure_spawn_throughput(
+            mechanisms[name], concurrency=concurrency,
+            requests_per_thread=requests_per_thread, mechanism=name)

@@ -37,8 +37,8 @@ from .forkserver import ForkServer, SpawnRequest
 from .forkserver_pool import ForkServerPool
 from .framecache import FrameCache, frame_key
 from .pipeline import Pipeline, PipelineResult
-from .policy import (DEFAULT_FALLBACK, CircuitBreaker, SpawnPolicy,
-                     breaker_for, reset_breakers)
+from .policy import (DEFAULT_FALLBACK, TEMPLATE_FALLBACK, CircuitBreaker,
+                     SpawnPolicy, breaker_for, reset_breakers)
 from .pool import SpawnPool, callable_spec
 from .result import ChildProcess, CompletedChild
 from .safety import Hazard, assess, guarded_fork, is_fork_safe
@@ -46,8 +46,11 @@ from .spawn import ProcessBuilder, SpawnedIO, run
 from .strategies import (ForkExecStrategy, ForkServerPoolStrategy,
                          ForkServerStrategy,
                          PosixSpawnStrategy, Strategy, SubprocessStrategy,
+                         TemplateStrategy,
                          get_strategy, pick_default_strategy,
                          register_strategy, spawn_batch, strategies)
+from .templates import (TemplateMiss, TemplateProfile, TemplateRegistry,
+                        TemplateServer)
 from .strategies import _REGISTRY as STRATEGIES  # deprecated alias
 
 __all__ = [
@@ -60,7 +63,9 @@ __all__ = [
     "Pipeline", "PipelineResult", "PoolAutoscaler",
     "PosixSpawnStrategy", "ProcessBuilder", "STRATEGIES", "SpawnAttributes",
     "SpawnPolicy", "SpawnPool", "SpawnRequest",
-    "SpawnedIO", "Strategy", "SubprocessStrategy", "assess", "breaker_for",
+    "SpawnedIO", "Strategy", "SubprocessStrategy", "TEMPLATE_FALLBACK",
+    "TemplateMiss", "TemplateProfile", "TemplateRegistry", "TemplateServer",
+    "TemplateStrategy", "assess", "breaker_for",
     "fork_with_handlers", "frame_key", "get_strategy", "guarded_fork",
     "is_fork_safe",
     "callable_spec", "pick_default_strategy", "register", "register_strategy",

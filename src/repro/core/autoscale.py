@@ -128,12 +128,32 @@ class PoolAutoscaler:
         self._thread.start()
         return self
 
-    def stop(self) -> None:
-        thread, self._thread = self._thread, None
-        if thread is None:
-            return
+    #: Seconds :meth:`stop` waits for the poll thread before abandoning
+    #: it.  The thread is a daemon, so an abandoned (wedged) poll loop
+    #: cannot keep the process alive — it just loses the race.
+    join_timeout: float = 2.0
+
+    def stop(self, timeout: Optional[float] = None) -> bool:
+        """Stop the poll thread; idempotent, bounded, re-entrant.
+
+        Returns ``True`` once the thread is known gone.  A wedged
+        :meth:`poll_once` (e.g. a pool whose lock is held forever)
+        cannot hang the caller: after ``timeout`` seconds (default
+        :attr:`join_timeout`) the daemon thread is abandoned with an
+        ``autoscale`` ``stop_timeout`` event and ``False`` is returned.
+        Safe to call twice, from two threads at once, and from inside
+        the poll thread itself (the self-join is skipped).
+        """
         self._stop.set()
-        thread.join(timeout=10.0)
+        thread, self._thread = self._thread, None
+        if thread is None or thread is threading.current_thread():
+            return True
+        thread.join(timeout=self.join_timeout if timeout is None else timeout)
+        if thread.is_alive():
+            TELEMETRY.event("autoscale", action="stop_timeout",
+                            thread=thread.name)
+            return False
+        return True
 
     def __enter__(self) -> "PoolAutoscaler":
         return self.start()

@@ -129,6 +129,8 @@ signal.set_wakeup_fd(wwake)
 statuses = {}  # pid -> status: exited, not yet reported to the client
 parked = {}    # pid -> [request id, ...]: blocking waits awaiting exit
 
+#<EXT:GLOBALS>  (specialised helpers splice extra state/functions here)
+
 def recv_exact(n):
     buf = b""
     while len(buf) < n:
@@ -335,8 +337,10 @@ while running:
             parked.setdefault(pid, []).append(rid)
         else:
             send_reply(rid, {"status": None})
+    #<EXT:OPS>  (specialised helpers splice extra elif branches here)
     else:
         send_reply(rid, {"error": "bad op"})
+#<EXT:SHUTDOWN>  (specialised helpers splice teardown here)
 # Shutdown: sweep whatever already exited so no zombie outlives the
 # service by our hand; still-running children are init's from here.
 reap()
@@ -460,6 +464,16 @@ class ForkServer:
         with self._state_lock:
             return len(self._pending)
 
+    @classmethod
+    def _server_source(cls) -> str:
+        """The helper program :meth:`start` boots.
+
+        Subclasses override this to splice extra state and wire ops into
+        the ``#<EXT:...>`` markers of :data:`_SERVER_SOURCE` — the event
+        loop, framing, reaping, and fault plumbing stay shared.
+        """
+        return _SERVER_SOURCE
+
     def start(self) -> "ForkServer":
         """Launch the helper (idempotent)."""
         if self.running:
@@ -476,7 +490,8 @@ class ForkServer:
             env["REPRO_HELPER_FAULTS"] = helper_faults
         self._pid = os.posix_spawn(
             sys.executable,
-            [sys.executable, "-c", _SERVER_SOURCE, str(theirs.fileno())],
+            [sys.executable, "-c", self._server_source(),
+             str(theirs.fileno())],
             env)
         theirs.close()
         self._sock = ours
@@ -881,8 +896,10 @@ class ForkServer:
             if tail is None:
                 # [1:] drops the opening brace; the prefix re-opens it.
                 tail = json.dumps(request).encode()[1:]
-                frames.store(key, tail)
+                evicted = frames.store(key, tail)
                 TELEMETRY.count("frame_cache_misses")
+                if evicted:
+                    TELEMETRY.count("frame_cache_evictions", evicted)
             else:
                 TELEMETRY.count("frame_cache_hits")
             if trace_id is None:

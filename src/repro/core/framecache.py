@@ -94,14 +94,21 @@ class FrameCache:
             self.hits += 1
             return tail
 
-    def store(self, key: FrameKey, tail: bytes) -> None:
-        """Remember ``tail`` for ``key``, evicting the LRU entry if full."""
+    def store(self, key: FrameKey, tail: bytes) -> int:
+        """Remember ``tail`` for ``key``, evicting the LRU entry if full.
+
+        Returns the number of entries evicted to make room (0 or 1 in
+        practice) so callers can mirror eviction pressure to telemetry.
+        """
+        evicted = 0
         with self._lock:
             self._entries[key] = tail
             self._entries.move_to_end(key)
             while len(self._entries) > self._maxsize:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+                evicted += 1
+        return evicted
 
     def clear(self) -> None:
         with self._lock:

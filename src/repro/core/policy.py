@@ -44,6 +44,12 @@ from ..errors import SpawnError
 #: last (it needs no service at all, so it is the natural floor).
 DEFAULT_FALLBACK = ("forkserver", "posix_spawn")
 
+#: The ladder below a template lease: when a profile's warm stock is
+#: exhausted (or its helper is gone), degrade to the generic pool, then
+#: a single generic helper, then the constant-cost floor.  Same shape
+#: as the paper's remedy list, one rung higher.
+TEMPLATE_FALLBACK = ("forkserver-pool",) + DEFAULT_FALLBACK
+
 
 @dataclass(frozen=True)
 class SpawnPolicy:

@@ -389,10 +389,71 @@ class ForkServerStrategy(Strategy):
         return child
 
 
+@register_strategy("template")
+class TemplateStrategy(Strategy):
+    """Launch by leasing a pre-forked child from a warm template zygote.
+
+    The top rung of the ladder: a shared
+    :class:`~repro.core.templates.TemplateRegistry` keeps one generic
+    profile warm (parked children with no preloads — per-request env
+    and cwd ride in the lease itself), so a launch that hits stock is
+    one wire round trip with no fork of the client and no exec setup in
+    the helper.  A miss degrades through the registry's own
+    :data:`~repro.core.policy.TEMPLATE_FALLBACK` ladder, so this
+    strategy never strands a request on an empty stock.  Profiles with
+    preloaded modules are the registry API's business — register them
+    on :meth:`registry` directly.
+    """
+
+    #: The always-registered profile plain launches lease from.
+    GENERIC_PROFILE = "generic"
+
+    def __init__(self):
+        self._registry = None
+        self._lock = threading.Lock()
+
+    def available(self) -> bool:
+        return hasattr(os, "fork")
+
+    def registry(self):
+        """The shared registry, started (with its generic profile) lazily."""
+        from .templates import TemplateProfile, TemplateRegistry
+        with self._lock:
+            if self._registry is None or self._registry.closed:
+                registry = TemplateRegistry()
+                registry.register(TemplateProfile(self.GENERIC_PROFILE),
+                                  warm=True)
+                self._registry = registry
+            return self._registry
+
+    def shutdown(self) -> None:
+        """Close the shared registry (a later launch warms a fresh one)."""
+        with self._lock:
+            registry, self._registry = self._registry, None
+        if registry is not None:
+            registry.close()
+
+    def launch(self, argv, actions, attrs, trace=NULL_TRACE) -> ChildProcess:
+        attrs.validate()
+        self._fire_launch(argv)
+        _reject_unwirable_attrs(self.name, attrs)
+        stdio, opened = _stdio_grant(actions)
+        try:
+            child = self.registry().spawn(
+                self.GENERIC_PROFILE, argv, env=attrs.effective_env(),
+                cwd=attrs.cwd, stdin=stdio[0], stdout=stdio[1],
+                stderr=stdio[2], trace=trace, deadline=attrs.deadline)
+        finally:
+            for handle in opened:
+                os.close(handle)
+        return child
+
+
 # Helpers are real processes; make sure an interpreter that used the
 # shared services does not strand them at exit.
 atexit.register(_REGISTRY["forkserver-pool"].shutdown)
 atexit.register(_REGISTRY["forkserver"].shutdown)
+atexit.register(_REGISTRY["template"].shutdown)
 
 
 def pick_default_strategy(attrs: SpawnAttributes) -> Strategy:

@@ -1,0 +1,916 @@
+"""Template zygotes: provisioned-concurrency spawn without the fork tax.
+
+The generic forkserver removes the paper's Figure 1 penalty — the
+helper's address space is tiny, so forking *it* is cheap — but every
+child it execs still boots from nothing: interpreter start, imports,
+environment setup, all paid inside the request's latency.  The
+serverless literature (NPC, PAPERS.md) names the fix: **specialize warm
+templates per workload** and fork from the nearest prepared state,
+provisioning concurrency only where traffic warrants it.
+
+This module is that remedy, three layers deep:
+
+* :class:`TemplateProfile` — the declarative shape of one workload:
+  modules to preload, env/cwd to apply, files to pre-open, and how many
+  children to keep parked.
+* :class:`TemplateServer` — a :class:`~repro.core.forkserver.ForkServer`
+  whose helper is *specialized* to one profile and keeps a bounded
+  stock of **pre-forked, parked children**.  A ``lease`` hands the
+  oldest parked child its argv (exec mode) or a code payload that runs
+  inside the already-warm runtime (zygote mode) in one wire round trip
+  — O(1) regardless of the client's heap and free of the child-side
+  boot tax.
+* :class:`TemplateRegistry` — the profiles, LRU-bounded so only the hot
+  ones stay warm; a background restock thread refills leased stock and
+  grows the per-profile target under miss pressure (the
+  :class:`~repro.core.autoscale.AutoscaleConfig` knobs), and every miss
+  degrades down the :data:`~repro.core.policy.TEMPLATE_FALLBACK` ladder
+  (template → forkserver-pool → forkserver → posix_spawn) behind the
+  same shared circuit breakers as the rest of the spawn stack.
+
+Telemetry: ``template_lease`` / ``template_lease_miss`` /
+``template_park`` / ``template_unpark`` / ``template_evict`` counters,
+a ``template_stock`` gauge per profile, and ``template`` events for
+warm/evict decisions — see docs/OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import SpawnError
+from ..obs import TELEMETRY
+from .autoscale import AutoscaleConfig
+from .forkserver import ForkServer
+from .policy import TEMPLATE_FALLBACK, SpawnPolicy, breaker_for
+from .result import ChildProcess
+
+
+class TemplateMiss(SpawnError):
+    """A lease found no parked child (stock exhausted or still filling)."""
+
+
+# ---------------------------------------------------------------------------
+# Helper-side extension: spliced into the generic helper's EXT markers.
+# Same dependency-free dialect as _SERVER_SOURCE — the helper must stay
+# cheap to fork.
+# ---------------------------------------------------------------------------
+
+_TEMPLATE_GLOBALS = r"""# Template zygote state: pre-forked parked children awaiting a lease,
+# oldest first.  Each entry pairs a child pid with OUR end of its wake
+# socketpair; closing that end is how a park is withdrawn (the child
+# sees EOF and exits 0 on its own).
+stock = []
+
+def lease_recv(chan):
+    # Parked-child side: block for the lease frame (length-prefixed
+    # JSON plus up to 3 SCM_RIGHTS stdio fds).  (None, []) on EOF.
+    fds = array.array("i")
+    header = b""
+    while len(header) < LEN.size:
+        msg, ancdata, flags, addr = chan.recvmsg(
+            LEN.size - len(header),
+            socket.CMSG_LEN(3 * array.array("i").itemsize))
+        if not msg:
+            return None, []
+        header += msg
+        for level, ctype, data in ancdata:
+            if level == socket.SOL_SOCKET and ctype == socket.SCM_RIGHTS:
+                fds.frombytes(data[:len(data) - len(data) % fds.itemsize])
+    (length,) = LEN.unpack(header)
+    body = b""
+    while len(body) < length:
+        chunk = chan.recv(length - len(body))
+        if not chunk:
+            return None, []
+        body += chunk
+    return json.loads(body), list(fds)
+
+def park_child():
+    # Fork one child that BLOCKS inside the warm runtime until leased.
+    # It inherits everything specialize prepared — imported modules,
+    # env, cwd, pre-opened fds — at zero marginal cost; that payoff is
+    # the whole point of the template.
+    ours, theirs = socket.socketpair()
+    pid = os.fork()
+    if pid == 0:
+        status = 0
+        try:
+            ours.close()
+            sock.close()
+            signal.set_wakeup_fd(-1)
+            signal.signal(signal.SIGCHLD, signal.SIG_DFL)
+            os.close(rwake)
+            os.close(wwake)
+            for sibling_pid, chan in stock:
+                chan.close()  # siblings' wake ends must EOF without us
+            req, grant = lease_recv(theirs)
+            if req is None:
+                os._exit(0)  # the helper withdrew the park
+            for target, fd in enumerate(grant):
+                os.dup2(fd, target)
+            for fd in grant:
+                if fd > 2:
+                    os.close(fd)
+            if req.get("cwd"):
+                os.chdir(req["cwd"])
+            env = req.get("env")
+            if req.get("argv"):
+                argv = req["argv"]
+                os.execvpe(argv[0], argv,
+                           env if env is not None else os.environ)
+            # Zygote mode: run the payload INSIDE this warm runtime —
+            # no exec, so the template's preloaded imports are free.
+            if env:
+                os.environ.update(env)
+            try:
+                exec(req.get("code") or "", {"__name__": "__main__"})
+            except SystemExit as e:
+                if isinstance(e.code, int):
+                    status = e.code
+                elif e.code is not None:
+                    status = 1
+        except BaseException:
+            status = 125
+        os._exit(status)
+    theirs.close()
+    return pid, ours
+
+def lease_send(body, fds):
+    # Helper side: hand the oldest LIVE parked child its lease.  A
+    # child that died while parked shows up as a send error (its end of
+    # the socketpair is closed); skip it and try the next.
+    while stock:
+        pid, chan = stock.pop(0)
+        ancdata = []
+        if fds:
+            ancdata = [(socket.SOL_SOCKET, socket.SCM_RIGHTS,
+                        array.array("i", fds).tobytes())]
+        try:
+            chan.sendmsg([LEN.pack(len(body)) + body], ancdata)
+        except OSError:
+            try:
+                chan.close()
+            except OSError:
+                pass
+            continue
+        chan.close()
+        return pid
+    return None"""
+
+
+_TEMPLATE_OPS = r"""    elif op == "specialize":
+        # Warm this helper into its profile: env/cwd apply to US (and
+        # so to every child we park or fork), preloads import once HERE
+        # so parked children inherit the warm modules, and preopen
+        # paths become inherited read-only fds.
+        failed = []
+        for key, value in (request.get("env") or {}).items():
+            os.environ[key] = value
+        if request.get("cwd"):
+            try:
+                os.chdir(request["cwd"])
+            except OSError as exc:
+                failed.append("cwd: %s" % exc)
+        for name in request.get("preload") or []:
+            try:
+                __import__(name)
+            except Exception as exc:
+                failed.append("%s: %s" % (name, exc))
+        opened = 0
+        for path in request.get("preopen") or []:
+            try:
+                fd = os.open(path, os.O_RDONLY)
+                os.set_inheritable(fd, True)
+                opened += 1
+            except OSError as exc:
+                failed.append("%s: %s" % (path, exc))
+        send_reply(rid, {"ok": not failed, "failed": failed,
+                         "opened": opened})
+    elif op == "park":
+        try:
+            pid, chan = park_child()
+        except OSError as exc:
+            send_reply(rid, {"error": "EAGAIN: park failed: %s" % exc,
+                             "stock": len(stock)})
+        else:
+            stock.append((pid, chan))
+            send_reply(rid, {"pid": pid, "stock": len(stock)})
+    elif op == "unpark":
+        if stock:
+            pid, chan = stock.pop(0)
+            try:
+                chan.close()  # EOF -> the parked child exits on its own
+            except OSError:
+                pass
+            send_reply(rid, {"pid": pid, "stock": len(stock)})
+        else:
+            send_reply(rid, {"pid": None, "stock": 0})
+    elif op == "lease":
+        want = request.get("nfds")
+        if want is not None and len(fds) != want:
+            for fd in fds:
+                os.close(fd)
+            send_reply(rid, {"error": "EPROTO: expected %d fds, got %d"
+                                      % (want, len(fds)),
+                             "stock": len(stock)})
+        elif fault("refuse_exec") is not None:
+            for fd in fds:
+                os.close(fd)
+            send_reply(rid, {"error":
+                             "EACCES: lease refused (injected fault)",
+                             "stock": len(stock)})
+        else:
+            payload = json.dumps({
+                "argv": request.get("argv"),
+                "code": request.get("code"),
+                "env": request.get("env"),
+                "cwd": request.get("cwd"),
+            }).encode()
+            pid = lease_send(payload, fds)
+            t_lease = time.monotonic_ns()
+            for fd in fds:
+                os.close(fd)
+            if pid is None:
+                send_reply(rid, {"error": "EAGAIN: warm stock exhausted",
+                                 "stock": 0})
+            else:
+                reply = {"pid": pid, "t_fork_ns": t_lease,
+                         "stock": len(stock)}
+                if request.get("trace") is not None:
+                    reply["trace"] = request["trace"]
+                send_reply(rid, reply)"""
+
+
+_TEMPLATE_SHUTDOWN = r"""# Withdraw the parked stock: closing each wake end EOFs its child (it
+# exits 0 on its own); wait for each so none outlives the template.
+for parked_pid, parked_chan in stock:
+    try:
+        parked_chan.close()
+    except OSError:
+        pass
+for parked_pid, parked_chan in stock:
+    try:
+        os.waitpid(parked_pid, 0)
+    except OSError:
+        pass
+del stock[:]"""
+
+
+def _splice(source: str, marker: str, block: str) -> str:
+    """Replace one ``#<EXT:marker>`` line of the helper source."""
+    needle = "#<EXT:%s>" % marker
+    lines = source.split("\n")
+    for index, line in enumerate(lines):
+        if line.lstrip().startswith(needle):
+            lines[index] = block
+            return "\n".join(lines)
+    raise SpawnError(f"helper source lost its {needle} marker")
+
+
+# ---------------------------------------------------------------------------
+# Client side
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TemplateProfile:
+    """The declarative shape of one workload's warm template.
+
+    Attributes:
+        name: registry key for this profile.
+        preload: module names the helper imports once at specialize
+            time; parked children inherit them warm (zygote mode runs
+            them for free, exec mode still benefits from page sharing
+            until the exec).
+        env: environment applied to the helper (inherited by every
+            child it parks or forks); per-lease env layers on top.
+        cwd: working directory applied to the helper.
+        preopen: paths opened read-only in the helper, inheritable.
+        stock: parked children to keep ready (the provisioned floor).
+        max_stock: ceiling miss-driven growth may reach.
+    """
+
+    name: str
+    preload: Tuple[str, ...] = ()
+    env: Optional[Mapping[str, str]] = None
+    cwd: Optional[str] = None
+    preopen: Tuple[str, ...] = ()
+    stock: int = 2
+    max_stock: int = 8
+
+    def __post_init__(self):
+        object.__setattr__(self, "preload", tuple(self.preload))
+        object.__setattr__(self, "preopen", tuple(self.preopen))
+        if not self.name:
+            raise SpawnError("template profile needs a name")
+        if self.stock < 0:
+            raise SpawnError(f"stock must be >= 0: {self.stock}")
+        if self.max_stock < max(1, self.stock):
+            raise SpawnError(
+                f"max_stock ({self.max_stock}) < stock ({self.stock})")
+
+
+class TemplateServer(ForkServer):
+    """A forkserver specialized to one :class:`TemplateProfile`.
+
+    :meth:`start` boots the (extended) helper, applies the profile's
+    ``specialize`` op, and parks the initial stock.  :meth:`lease`
+    checks a parked child out in one round trip; :meth:`park` /
+    :meth:`unpark` move the stock level; the inherited
+    :meth:`~ForkServer.spawn` still works for plain fork+exec through
+    the specialized helper.
+
+    The frame cache is off by default here: lease frames carry per-call
+    payloads and live stock counts, so there is no repeatable tail to
+    memoize.
+    """
+
+    _source_cache: Optional[str] = None
+
+    def __init__(self, profile: TemplateProfile, *,
+                 pipelined: bool = True, frame_cache: int = 0):
+        super().__init__(pipelined=pipelined, frame_cache=frame_cache)
+        self.profile = profile
+        self._stock_lock = threading.Lock()
+        self._stock = 0
+
+    @classmethod
+    def _server_source(cls) -> str:
+        if cls._source_cache is None:
+            source = ForkServer._server_source()
+            source = _splice(source, "GLOBALS", _TEMPLATE_GLOBALS)
+            source = _splice(source, "OPS", _TEMPLATE_OPS)
+            cls._source_cache = _splice(source, "SHUTDOWN",
+                                        _TEMPLATE_SHUTDOWN)
+        return cls._source_cache
+
+    def start(self) -> "TemplateServer":
+        """Boot + specialize + park the initial stock (idempotent)."""
+        if self.running:
+            return self
+        super().start()
+        try:
+            self.specialize()
+            self.restock()
+        except Exception:
+            self.stop()
+            raise
+        return self
+
+    def specialize(self) -> dict:
+        """Apply the profile to the live helper; raises on any failure."""
+        profile = self.profile
+        reply = self._roundtrip({"op": "specialize",
+                                 "env": dict(profile.env or {}),
+                                 "cwd": profile.cwd,
+                                 "preload": list(profile.preload),
+                                 "preopen": list(profile.preopen)},
+                                timeout=self.start_timeout)
+        if reply.get("ok") is not True:
+            raise SpawnError(
+                f"template {profile.name!r} failed to specialize: "
+                f"{reply.get('failed') or reply}")
+        return reply
+
+    @property
+    def stock(self) -> int:
+        """Parked children ready to lease (client-side view)."""
+        with self._stock_lock:
+            return self._stock
+
+    def _sync_stock(self, reply: dict, delta: int) -> None:
+        with self._stock_lock:
+            level = reply.get("stock")
+            self._stock = (level if isinstance(level, int)
+                           else max(0, self._stock + delta))
+
+    def park(self, timeout: Optional[float] = None) -> int:
+        """Pre-fork one parked child; returns its pid."""
+        reply = self._roundtrip({"op": "park"}, timeout=timeout)
+        if reply.get("pid") is None:
+            raise SpawnError(
+                f"template {self.profile.name!r} park refused: "
+                f"{reply.get('error', reply)}")
+        self._sync_stock(reply, +1)
+        TELEMETRY.count("template_park", profile=self.profile.name)
+        return reply["pid"]
+
+    def unpark(self, timeout: Optional[float] = None) -> Optional[int]:
+        """Withdraw one parked child (it exits 0); ``None`` when empty."""
+        reply = self._roundtrip({"op": "unpark"}, timeout=timeout)
+        self._sync_stock(reply, -1)
+        if reply.get("pid") is not None:
+            TELEMETRY.count("template_unpark", profile=self.profile.name)
+        return reply.get("pid")
+
+    def restock(self, target: Optional[int] = None) -> int:
+        """Park until the stock reaches ``target`` (profile default)."""
+        if target is None:
+            target = self.profile.stock
+        target = min(target, self.profile.max_stock)
+        parked = 0
+        while self.healthy and self.stock < target:
+            self.park()
+            parked += 1
+        return parked
+
+    def lease(self, argv: Optional[Sequence[str]] = None, *,
+              code: Optional[str] = None,
+              env: Optional[Dict[str, str]] = None,
+              cwd: Optional[str] = None,
+              stdin: int = 0, stdout: int = 1, stderr: int = 2,
+              trace=None, deadline: Optional[float] = None) -> ChildProcess:
+        """Check a parked child out in one round trip.
+
+        Exactly one of ``argv`` (exec mode: the parked child execs the
+        program) or ``code`` (zygote mode: the payload runs inside the
+        warm, preloaded runtime — no exec, no import tax) must be
+        given.  Raises :class:`TemplateMiss` when the stock is empty —
+        the caller (usually :class:`TemplateRegistry`) degrades down
+        the ladder and lets the restock thread refill.
+        """
+        if (argv is None) == (code is None):
+            raise SpawnError("lease takes exactly one of argv= or code=")
+        if argv is not None and not argv:
+            raise SpawnError("empty argv")
+        label = ([os.fspath(a) for a in argv] if argv is not None
+                 else [sys.executable, "-c", "<template payload>"])
+        owns = trace is None or not trace
+        if owns:
+            trace = TELEMETRY.trace("template", label)
+            trace.stage("dispatch", helper_pid=self._pid)
+        TELEMETRY.count("fd_grants", 3)
+        request = {"op": "lease",
+                   "argv": label if argv is not None else None,
+                   "code": code, "env": env, "cwd": cwd, "nfds": 3}
+        if trace:
+            request["trace"] = trace.trace_id
+        try:
+            reply = self._roundtrip(request, fds=(stdin, stdout, stderr),
+                                    trace=trace, timeout=deadline)
+            if "pid" not in reply:
+                self._sync_stock(reply, 0)
+                error = str(reply.get("error", reply))
+                if "EAGAIN" in error:
+                    raise TemplateMiss(
+                        f"template {self.profile.name!r}: {error}")
+                raise SpawnError(
+                    f"template {self.profile.name!r} refused lease: {error}")
+        except SpawnError as exc:
+            if owns:
+                trace.failure(exc)
+            raise
+        self._sync_stock(reply, -1)
+        TELEMETRY.count("template_lease", profile=self.profile.name)
+        trace.stage("forked", t_ns=reply.get("t_fork_ns"),
+                    pid=reply["pid"], helper_pid=self._pid)
+        if owns:
+            trace.success(reply["pid"])
+        return ChildProcess(reply["pid"], argv=label, strategy="template",
+                            reaper=self._reap, trace=trace)
+
+
+class _Entry:
+    """One profile's registry slot: its server (when warm) and targets."""
+
+    __slots__ = ("profile", "server", "target", "last_used", "warm_pending")
+
+    def __init__(self, profile: TemplateProfile, now: float):
+        self.profile = profile
+        self.server: Optional[TemplateServer] = None
+        self.target = profile.stock
+        self.last_used = now
+        self.warm_pending = False
+
+
+class TemplateRegistry:
+    """Specialized zygotes keyed by workload profile, LRU-bounded.
+
+    At most ``max_templates`` profiles hold a warm helper at once;
+    warming one past the bound evicts the least recently *used* warm
+    template (its helper and parked stock are torn down — later spawns
+    for it ride the generic ladder until it is re-warmed).  A spawn
+    that finds warm stock leases in O(1); a miss degrades down
+    ``policy.fallback`` (default
+    :data:`~repro.core.policy.TEMPLATE_FALLBACK`) for *this* request
+    while the background restock thread refills — and, under sustained
+    misses, grows the profile's stock target by ``autoscale.step`` up
+    to ``profile.max_stock``, decaying back after ``autoscale.idle_ttl``
+    seconds without traffic (the same elasticity contract as
+    :class:`~repro.core.autoscale.PoolAutoscaler`, applied to parked
+    children instead of pool workers).
+
+    Usable as a context manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(self, *, max_templates: int = 4,
+                 policy: Optional[SpawnPolicy] = None,
+                 autoscale: Optional[AutoscaleConfig] = None,
+                 miss_grace: float = 0.25):
+        if max_templates < 1:
+            raise SpawnError(f"max_templates must be >= 1: {max_templates}")
+        if miss_grace < 0:
+            raise SpawnError(f"miss_grace must be >= 0: {miss_grace}")
+        self._max_templates = max_templates
+        #: After a stock miss with a *live* helper, wait up to this many
+        #: seconds for the restock thread to park a replacement before
+        #: degrading — a burst briefly outrunning the warm stock waits a
+        #: beat instead of paying a cold spawn.  0 degrades immediately.
+        self.miss_grace = miss_grace
+        self.policy = (policy if policy is not None
+                       else SpawnPolicy(fallback=TEMPLATE_FALLBACK))
+        self.autoscale = (autoscale if autoscale is not None
+                          else AutoscaleConfig(idle_ttl=5.0, interval=0.05))
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        self.evictions = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def __enter__(self) -> "TemplateRegistry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop the restock thread and every warm helper (idempotent)."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            thread, self._thread = self._thread, None
+            servers = [entry.server for entry in self._entries.values()
+                       if entry.server is not None]
+            for entry in self._entries.values():
+                entry.server = None
+            self._cond.notify_all()
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=5.0)
+        for server in servers:
+            try:
+                server.stop()
+            except Exception:
+                pass
+
+    # -- profiles --------------------------------------------------------
+
+    def register(self, profile: TemplateProfile, *,
+                 warm: bool = True) -> TemplateProfile:
+        """Add a profile; ``warm=True`` boots its helper synchronously."""
+        with self._lock:
+            if self._closed:
+                raise SpawnError("template registry is closed")
+            if profile.name in self._entries:
+                raise SpawnError(
+                    f"template profile {profile.name!r} already registered")
+            self._entries[profile.name] = _Entry(profile, time.monotonic())
+        if warm:
+            self.warm(profile.name)
+        return profile
+
+    def profiles(self) -> List[str]:
+        with self._lock:
+            return list(self._entries)
+
+    @property
+    def warm_count(self) -> int:
+        """Profiles currently holding a live helper."""
+        with self._lock:
+            return sum(1 for entry in self._entries.values()
+                       if entry.server is not None
+                       and entry.server.healthy)
+
+    def stock(self, name: str) -> int:
+        """Parked children ready for ``name`` right now (0 when cold)."""
+        entry = self._require(name, touch=False)
+        server = entry.server
+        return server.stock if server is not None and server.healthy else 0
+
+    def server_for(self, name: str) -> Optional[TemplateServer]:
+        """The profile's live server, or ``None`` when cold (tests)."""
+        entry = self._require(name, touch=False)
+        return entry.server
+
+    def _require(self, name: str, *, touch: bool) -> _Entry:
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                raise SpawnError(
+                    f"unknown template profile {name!r}; registered: "
+                    f"{sorted(self._entries)}")
+            if touch:
+                self._entries.move_to_end(name)
+                entry.last_used = time.monotonic()
+            return entry
+
+    # -- warming + eviction ----------------------------------------------
+
+    def warm(self, name: str) -> TemplateServer:
+        """Boot (or replace) the profile's helper and park its stock.
+
+        Synchronous; warming past ``max_templates`` evicts the LRU warm
+        template.  The restock thread calls this lazily after a miss on
+        a cold profile, so callers normally never need to.
+        """
+        entry = self._require(name, touch=True)
+        return self._boot(entry)
+
+    def _boot(self, entry: _Entry) -> TemplateServer:
+        with self._lock:
+            if self._closed:
+                raise SpawnError("template registry is closed")
+            current = entry.server
+            if current is not None and current.healthy:
+                entry.warm_pending = False
+                return current
+        server = TemplateServer(entry.profile)
+        server.start()
+        with self._lock:
+            if self._closed:
+                stale, evicted = server, []
+            else:
+                stale, entry.server = entry.server, server
+                entry.warm_pending = False
+                evicted = self._evict_over_bound(keep=entry)
+                TELEMETRY.event("template", action="warm",
+                                profile=entry.profile.name)
+        for old in ([stale] if stale is not None else []) + evicted:
+            try:
+                old.stop()
+            except Exception:
+                pass
+        if stale is server:
+            raise SpawnError("template registry is closed")
+        server.restock(entry.target)
+        TELEMETRY.gauge("template_stock", server.stock,
+                        profile=entry.profile.name)
+        return server
+
+    def _evict_over_bound(self, keep: _Entry) -> List[TemplateServer]:
+        """LRU-evict warm templates past the bound (lock held)."""
+        victims: List[TemplateServer] = []
+        while True:
+            warm = [entry for entry in self._entries.values()
+                    if entry.server is not None]
+            if len(warm) <= self._max_templates:
+                return victims
+            victim = next(entry for entry in self._entries.values()
+                          if entry.server is not None and entry is not keep)
+            victims.append(victim.server)
+            victim.server = None
+            victim.target = victim.profile.stock
+            self.evictions += 1
+            TELEMETRY.count("template_evict", profile=victim.profile.name)
+            TELEMETRY.event("template", action="evict",
+                            profile=victim.profile.name)
+
+    # -- the spawn path --------------------------------------------------
+
+    def spawn(self, name: str, argv: Optional[Sequence[str]] = None, *,
+              code: Optional[str] = None,
+              env: Optional[Dict[str, str]] = None,
+              cwd: Optional[str] = None,
+              stdin: int = 0, stdout: int = 1, stderr: int = 2,
+              trace=None, deadline: Optional[float] = None) -> ChildProcess:
+        """Lease from the profile's warm stock, or degrade down the ladder.
+
+        The fast path is one wire round trip to the template helper.
+        An empty-stock miss with a live helper waits up to
+        ``miss_grace`` seconds for the restock thread to park a
+        replacement; a cold profile, a dead helper, or an expired grace
+        window sends THIS request through ``policy.fallback`` (a code
+        payload becomes a ``python -c`` spawn that re-pays the imports:
+        that is the honest cold-start cost the template exists to
+        avoid) while the restock thread re-warms in the background.
+        """
+        entry = self._require(name, touch=True)
+        server = entry.server
+        if server is not None and server.healthy:
+            try:
+                child = server.lease(argv, code=code, env=env, cwd=cwd,
+                                     stdin=stdin, stdout=stdout,
+                                     stderr=stderr, trace=trace,
+                                     deadline=deadline)
+            except TemplateMiss:
+                # Stock exhausted but the helper is alive: the restock
+                # thread is already refilling, so a short bounded wait
+                # for a fresh parked child beats a cold spawn.
+                self._note_miss(entry)
+                child = self._lease_after_restock(
+                    entry, argv, code, env, cwd, stdin, stdout, stderr,
+                    trace, deadline)
+                if child is not None:
+                    self._kick()
+                    return child
+            except SpawnError:
+                # Dead helper mid-lease: this request degrades and the
+                # thread repairs.
+                self._note_miss(entry)
+            else:
+                self._kick()
+                return child
+        else:
+            self._note_miss(entry)
+        return self._degrade(entry, argv, code, env, cwd,
+                             stdin, stdout, stderr, deadline)
+
+    def _lease_after_restock(self, entry: _Entry, argv, code, env, cwd,
+                             stdin: int, stdout: int, stderr: int,
+                             trace, deadline: Optional[float]
+                             ) -> Optional[ChildProcess]:
+        """Retry the lease for up to ``miss_grace`` seconds after a miss.
+
+        Returns ``None`` when the window closes or the helper dies —
+        the caller degrades down the ladder.
+        """
+        grace = self.miss_grace
+        if deadline is not None:
+            grace = min(grace, deadline)
+        limit = time.monotonic() + grace
+        while True:
+            remaining = limit - time.monotonic()
+            if remaining <= 0:
+                return None
+            with self._cond:
+                if self._closed:
+                    return None
+                server = entry.server
+                if (server is None or not server.healthy
+                        or server.stock < 1):
+                    self._cond.wait(timeout=min(self.autoscale.interval,
+                                                remaining))
+                    server = entry.server
+            if server is None or not server.healthy or server.stock < 1:
+                continue
+            try:
+                return server.lease(argv, code=code, env=env, cwd=cwd,
+                                    stdin=stdin, stdout=stdout,
+                                    stderr=stderr, trace=trace,
+                                    deadline=deadline)
+            except TemplateMiss:
+                continue
+            except SpawnError:
+                return None
+
+    def _note_miss(self, entry: _Entry) -> None:
+        TELEMETRY.count("template_lease_miss", profile=entry.profile.name)
+        with self._cond:
+            if self._closed:
+                return
+            entry.target = min(entry.target + self.autoscale.step,
+                               entry.profile.max_stock)
+            entry.warm_pending = True
+            self._ensure_thread()
+            self._cond.notify_all()
+
+    def _kick(self) -> None:
+        with self._cond:
+            if not self._closed:
+                self._ensure_thread()
+                self._cond.notify_all()
+
+    def _degrade(self, entry: _Entry, argv, code, env, cwd,
+                 stdin: int, stdout: int, stderr: int,
+                 deadline: Optional[float]) -> ChildProcess:
+        profile = entry.profile
+        if argv is not None:
+            run_argv = [os.fspath(a) for a in argv]
+        else:
+            preamble = ("import %s\n" % ", ".join(profile.preload)
+                        if profile.preload else "")
+            run_argv = [sys.executable, "-c", preamble + (code or "")]
+        merged_env = env
+        if profile.env:
+            merged_env = dict(profile.env)
+            merged_env.update(env or {})
+        run_cwd = cwd if cwd is not None else profile.cwd
+        policy = self.policy
+        last_error: Optional[BaseException] = None
+        for tier in policy.fallback or TEMPLATE_FALLBACK:
+            breaker = breaker_for(tier, policy)
+            if not breaker.allow():
+                TELEMETRY.count("breaker_open", strategy=tier)
+                last_error = last_error or SpawnError(
+                    f"circuit breaker open for strategy {tier!r}")
+                continue
+            try:
+                child = self._spawn_via(tier, run_argv, merged_env, run_cwd,
+                                        stdin, stdout, stderr, deadline)
+            except (SpawnError, OSError) as exc:
+                breaker.record_failure()
+                last_error = exc
+                continue
+            breaker.record_success()
+            TELEMETRY.count("fallback", strategy=tier)
+            return child
+        raise SpawnError(
+            f"template {profile.name!r}: warm stock empty and every "
+            f"fallback tier in {tuple(policy.fallback)!r} failed: "
+            f"{last_error}") from last_error
+
+    @staticmethod
+    def _spawn_via(tier: str, argv, env, cwd, stdin: int, stdout: int,
+                   stderr: int, deadline: Optional[float]) -> ChildProcess:
+        from .strategies import get_strategy  # lazy: avoids import cycle
+        if tier == "forkserver-pool":
+            return get_strategy(tier).pool().spawn(
+                argv, env=env, cwd=cwd, stdin=stdin, stdout=stdout,
+                stderr=stderr, deadline=deadline)
+        if tier == "forkserver":
+            return get_strategy(tier).server().spawn(
+                argv, env=env, cwd=cwd, stdin=stdin, stdout=stdout,
+                stderr=stderr, deadline=deadline)
+        if tier == "posix_spawn":
+            if cwd:
+                raise SpawnError(
+                    "posix_spawn fallback cannot express cwd")
+            trace = TELEMETRY.trace("posix_spawn", argv)
+            file_actions = [(os.POSIX_SPAWN_DUP2, fd, target)
+                            for target, fd in enumerate((stdin, stdout,
+                                                         stderr))
+                            if fd != target]
+            pid = os.posix_spawnp(
+                argv[0], list(argv),
+                env if env is not None else os.environ,
+                file_actions=file_actions)
+            trace.stage("execed", pid=pid)
+            trace.success(pid)
+            return ChildProcess(pid, argv=argv, strategy="posix_spawn",
+                                trace=trace)
+        raise SpawnError(f"unknown fallback tier {tier!r}")
+
+    # -- background restock ----------------------------------------------
+
+    def _ensure_thread(self) -> None:
+        if self._thread is None and not self._closed:
+            self._thread = threading.Thread(
+                target=self._restock_loop, name="template-restock",
+                daemon=True)
+            self._thread.start()
+
+    def _restock_loop(self) -> None:
+        while True:
+            with self._cond:
+                if self._closed:
+                    return
+                self._cond.wait(timeout=self.autoscale.interval)
+                if self._closed:
+                    return
+                now = time.monotonic()
+                for entry in self._entries.values():
+                    # Idle decay: stock grown under miss pressure drifts
+                    # back to the profile floor once traffic stops, one
+                    # step per elapsed TTL (mirrors PoolAutoscaler).
+                    if (entry.target > entry.profile.stock
+                            and now - entry.last_used
+                            >= self.autoscale.idle_ttl):
+                        entry.target = max(entry.profile.stock,
+                                           entry.target
+                                           - self.autoscale.step)
+                        entry.last_used = now
+                work = list(self._entries.values())
+            for entry in work:
+                try:
+                    self._service(entry)
+                except SpawnError:
+                    continue
+
+    def _service(self, entry: _Entry) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            server = entry.server
+            pending = entry.warm_pending
+            target = entry.target
+        if server is None or not server.healthy:
+            if pending:
+                self._boot(entry)
+            return
+        parked = 0
+        while server.healthy and server.stock < target:
+            server.park()
+            parked += 1
+        while server.healthy and server.stock > target:
+            if server.unpark() is None:
+                break
+        TELEMETRY.gauge("template_stock", server.stock,
+                        profile=entry.profile.name)
+        if parked:
+            # Wake clients sitting out a miss-grace window.
+            with self._cond:
+                self._cond.notify_all()

@@ -758,6 +758,27 @@ class AddressSpace:
                 self.counters.pages_copied += 1
                 child.pagetable.install(vpn, PTE(frame, writable=True))
 
+    def snapshot(self, *, name: Optional[str] = None
+                 ) -> "AddressSpaceSnapshot":
+        """Checkpoint this space as a frozen COW spawn source.
+
+        Pays fork's write-protect sweep against the live parent ONCE,
+        producing a frozen copy that is never executed and never
+        written.  Each later :meth:`AddressSpaceSnapshot.restore_into`
+        COW-forks from the *frozen* image, whose size is fixed at
+        checkpoint time — so restore cost stays flat no matter how
+        large the live parent grows afterwards (the template-zygote
+        story, replayed in the simulator's pagetable machinery).
+        """
+        self._check_alive()
+        frozen = AddressSpace(
+            self.config, allocator=self.allocator, tlb=self.tlb,
+            commit=self.commit, counters=self.counters,
+            rng=random.Random(0),
+            name=name if name is not None else f"{self.name}@snap")
+        self.fork_into(frozen)
+        return AddressSpaceSnapshot(frozen, source=self.name)
+
     # ------------------------------------------------------------------
     # Accounting and teardown
     # ------------------------------------------------------------------
@@ -799,3 +820,49 @@ class AddressSpace:
     def __repr__(self):
         return (f"<AddressSpace {self.name!r} asid={self.asid} "
                 f"vmas={len(self.vmas)} rss={self.resident_pages()}p>")
+
+
+class AddressSpaceSnapshot:
+    """A frozen address-space checkpoint, usable as a spawn source.
+
+    Produced by :meth:`AddressSpace.snapshot`.  The wrapped space holds
+    COW references to the checkpointed pages; every restore is a pure
+    COW share of that fixed-size image.  :meth:`destroy` releases the
+    frames (restored children keep theirs — frame refcounting already
+    handles shared aggregates outliving any one space).
+    """
+
+    __slots__ = ("space", "source", "restores")
+
+    def __init__(self, space: AddressSpace, *, source: str = "?"):
+        self.space = space
+        self.source = source
+        self.restores = 0
+
+    @property
+    def name(self) -> str:
+        return self.space.name
+
+    @property
+    def dead(self) -> bool:
+        return self.space.dead
+
+    def resident_pages(self) -> int:
+        return self.space.resident_pages()
+
+    def virtual_bytes(self) -> int:
+        return self.space.virtual_bytes()
+
+    def restore_into(self, child: AddressSpace) -> None:
+        """COW-fork the frozen image into a fresh, empty ``child``."""
+        if self.space.dead:
+            raise SimError(f"snapshot {self.name!r} has been destroyed")
+        self.space.fork_into(child)
+        self.restores += 1
+
+    def destroy(self) -> None:
+        self.space.destroy()
+
+    def __repr__(self):
+        return (f"<AddressSpaceSnapshot {self.name!r} of {self.source!r} "
+                f"restores={self.restores}>")

@@ -40,7 +40,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..errors import (DeadlockError, SimError, SimMemoryError, SimOSError,
                       SimSegfault)
-from .addrspace import AddressSpace
+from .addrspace import AddressSpace, AddressSpaceSnapshot
 from .fdtable import FDTable
 from .frames import FrameAllocator
 from .fs import VFS
@@ -157,6 +157,8 @@ class Kernel(ProcessSyscalls, FileSyscalls, MemorySyscalls, SignalSyscalls,
         self._fdt_refs: Dict[int, int] = {}
         self._embryos: Dict[int, Process] = {}
         self._next_handle = 1
+        #: Live address-space checkpoints by handle (sys_snapshot).
+        self.snapshots: Dict[int, AddressSpaceSnapshot] = {}
         #: OOM-killer log: (victim_pid, rss_bytes_at_kill) tuples.
         self.oom_kills: List[tuple] = []
         self._fixed_ns = 0.0
@@ -300,6 +302,70 @@ class Kernel(ProcessSyscalls, FileSyscalls, MemorySyscalls, SignalSyscalls,
         self.attach_thread(proc, image.func(self._proxy, *argv), name="main")
         self.counters.exec_loads += 1
         return proc
+
+    # ------------------------------------------------------------------
+    # Snapshots: checkpointed address spaces as spawn sources
+    # ------------------------------------------------------------------
+
+    def take_snapshot(self, proc: Process, *,
+                      name: Optional[str] = None) -> int:
+        """Checkpoint ``proc``'s address space; returns a handle.
+
+        The one-time write-protect sweep against the live space happens
+        here (inside :meth:`AddressSpace.snapshot`); every later
+        :meth:`spawn_from_snapshot` COW-shares the frozen image, whose
+        size never changes again.
+        """
+        snapshot = proc.addrspace.snapshot(name=name)
+        handle = self._next_handle
+        self._next_handle += 1
+        self.snapshots[handle] = snapshot
+        return handle
+
+    def lookup_snapshot(self, handle: int) -> AddressSpaceSnapshot:
+        snapshot = self.snapshots.get(handle)
+        if snapshot is None or snapshot.dead:
+            raise SimOSError("EBADF", f"no such snapshot handle: {handle}")
+        return snapshot
+
+    def drop_snapshot(self, handle: int) -> None:
+        """Release a snapshot's frames (children keep their COW shares)."""
+        snapshot = self.snapshots.pop(handle, None)
+        if snapshot is None:
+            raise SimOSError("EBADF", f"no such snapshot handle: {handle}")
+        snapshot.destroy()
+
+    def spawn_from_snapshot(self, snapshot: AddressSpaceSnapshot,
+                            child_main, *args, parent: Process,
+                            name: Optional[str] = None) -> Process:
+        """Materialise a child process from a frozen checkpoint.
+
+        The child's memory is a COW share of the snapshot — the *live*
+        parent's address space is never walked, so (like spawn, unlike
+        fork) the cost does not grow with the parent.  Descriptors are
+        inherited from the calling parent, signals start fresh, and the
+        child runs ``child_main(sys, *args)`` as its continuation.
+        """
+        child_name = name if name is not None else f"{snapshot.name}+restore"
+        child_as = self.make_address_space(child_name)
+        try:
+            snapshot.restore_into(child_as)
+        except Exception:
+            child_as.destroy()
+            raise
+        child = Process(self.new_pid(), parent.pid, name=child_name)
+        child.addrspace = child_as
+        self.as_acquire(child_as)
+        child.fdtable = parent.fdtable.clone_for_fork()
+        self.fdt_acquire(child.fdtable)
+        child.signals = SignalState()
+        child.argv = list(parent.argv)
+        child.cwd = parent.cwd
+        child.origin = "snapshot"
+        self.adopt(child, parent)
+        self.attach_thread(child, child_main(self._proxy, *args),
+                           name="main")
+        return child
 
     # ------------------------------------------------------------------
     # Process teardown

@@ -142,6 +142,9 @@ class Process:
         self.mutexes: Dict[int, Mutex] = {}
         self.cwd = "/"
         self.argv: List[str] = []
+        #: How this process came to exist: "boot", "fork", "vfork",
+        #: "clone", "spawn" or "snapshot" — experiments group on it.
+        self.origin = "boot"
         #: Job control: True between SIGSTOP and SIGCONT — threads keep
         #: their states but none is scheduled.
         self.stopped = False

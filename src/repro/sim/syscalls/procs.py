@@ -67,6 +67,7 @@ class ProcessSyscalls(KernelFacet):
         child.mutexes = parent.fork_mutex_table()
         child.argv = list(parent.argv)
         child.cwd = parent.cwd
+        child.origin = "fork"
         self.adopt(child, parent)
         self.attach_thread(child, child_main(self.make_proxy(), *args),
                            name="main")
@@ -93,6 +94,7 @@ class ProcessSyscalls(KernelFacet):
         child.signals = parent.signals.fork_copy()
         child.mutexes = parent.mutexes  # same memory, genuinely shared
         child.argv = list(parent.argv)
+        child.origin = "vfork"
         self.adopt(child, parent)
         self.attach_thread(child, child_main(self.make_proxy(), *args),
                            name="main")
@@ -140,6 +142,7 @@ class ProcessSyscalls(KernelFacet):
         else:
             child.signals = parent.signals.fork_copy()
         child.argv = list(parent.argv)
+        child.origin = "clone"
         self.adopt(child, parent)
         self.attach_thread(child, child_main(self.make_proxy(), *args),
                            name="main")
@@ -220,6 +223,7 @@ class ProcessSyscalls(KernelFacet):
             child.signals.apply_exec()
         child.argv = [path, *argv]
         child.cwd = parent.cwd
+        child.origin = "spawn"
         self.counters.exec_loads += 1
         self.adopt(child, parent)
         self.attach_thread(child, image.func(self.make_proxy(), *argv),
@@ -240,6 +244,46 @@ class ProcessSyscalls(KernelFacet):
             child.fdtable.close(fd)
         else:
             raise SimOSError("EINVAL", f"bad file action {action!r}")
+
+    # ------------------------------------------------------------------
+    # snapshot / restore: a checkpointed process as a spawn source
+    # ------------------------------------------------------------------
+
+    def sys_snapshot(self, thread, *, name=None) -> int:
+        """Checkpoint the calling process's address space; returns a handle.
+
+        This is the template-zygote idea applied to memory: pay the
+        fork-like write-protect sweep *once*, against the live space as
+        it is right now, and get back a frozen image that later
+        :meth:`sys_spawn_from_snapshot` calls COW-share.  The charge here
+        is the same as fork's (it walks the same page tables); the payoff
+        is that every restore afterwards costs like spawn, no matter how
+        large the live parent grows.
+        """
+        self.charge_fixed(self.cost.fixed_fork_ns)
+        return self.take_snapshot(thread.process, name=name)
+
+    def sys_spawn_from_snapshot(self, thread, handle: int,
+                                child_main, *args) -> int:
+        """Materialise a child from a snapshot handle; returns its pid.
+
+        Costs like :meth:`sys_spawn` — fixed, independent of the live
+        parent — because the child's memory comes from the frozen image,
+        not from walking the caller's page tables.  Descriptors are
+        inherited from the caller; signals start fresh (spawn semantics,
+        not fork semantics).  ``EBADF`` if the handle is unknown or the
+        snapshot has been dropped.
+        """
+        snapshot = self.lookup_snapshot(handle)
+        self.charge_fixed(self.cost.fixed_spawn_ns)
+        child = self.spawn_from_snapshot(snapshot, child_main, *args,
+                                         parent=thread.process)
+        return child.pid
+
+    def sys_snapshot_drop(self, thread, handle: int) -> int:
+        """Release a snapshot's frames; existing children are unaffected."""
+        self.drop_snapshot(handle)
+        return 0
 
     # ------------------------------------------------------------------
     # exit and wait

@@ -17,7 +17,7 @@ class TestRegistry:
     def test_all_mechanisms_present(self, workloads):
         assert set(workloads.mechanisms()) == {
             "fork_exec", "fork_only", "posix_spawn", "subprocess",
-            "forkserver"}
+            "forkserver", "template"}
 
     def test_unknown_mechanism_rejected(self, workloads):
         with pytest.raises(BenchError):

@@ -1,5 +1,6 @@
 """PoolAutoscaler decisions, driven with a stub pool and a fake clock."""
 
+import threading
 import time
 
 import pytest
@@ -7,7 +8,7 @@ import pytest
 from repro.core import ForkServerPool
 from repro.core.autoscale import AutoscaleConfig, PoolAutoscaler
 from repro.errors import SpawnError
-from repro.obs import TELEMETRY
+from repro.obs import RingBufferSink, TELEMETRY
 
 
 class StubPool:
@@ -163,3 +164,96 @@ class TestLifecycle:
         scaler.stop()
         scaler.stop()
         assert not scaler.running
+
+
+class TestStopHardening:
+    """stop() must be idempotent, bounded, and safe from any thread."""
+
+    def test_stop_returns_true_on_clean_shutdown(self):
+        scaler = PoolAutoscaler(StubPool(), CONFIG)
+        scaler.start()
+        assert scaler.stop() is True
+        assert scaler.stop() is True  # second stop: nothing to join
+        assert not scaler.running
+
+    def test_stop_without_start_is_a_noop(self):
+        scaler = PoolAutoscaler(StubPool(), CONFIG)
+        assert scaler.stop() is True
+        assert not scaler.running
+
+    def test_wedged_poll_cannot_hang_stop(self):
+        release = threading.Event()
+        entered = threading.Event()
+
+        class WedgedPool(StubPool):
+            def queue_depth(self):
+                entered.set()
+                release.wait(30)  # the poll thread jams in here
+                return 0
+
+        config = AutoscaleConfig(min_workers=1, max_workers=4,
+                                 interval=0.01)
+        scaler = PoolAutoscaler(WedgedPool(), config)
+        scaler.start()
+        assert entered.wait(5)
+        sink = RingBufferSink()
+        TELEMETRY.enable(sink, reset_metrics=True)
+        try:
+            started = time.monotonic()
+            assert scaler.stop(timeout=0.1) is False
+            elapsed = time.monotonic() - started
+        finally:
+            TELEMETRY.disable()
+            release.set()
+        assert elapsed < 1.0  # bounded: did not wait out the wedge
+        assert not scaler.running
+        assert any(e.get("action") == "stop_timeout"
+                   for e in sink.events())
+
+    def test_stop_from_inside_the_poll_thread(self):
+        results = []
+
+        class SelfStoppingPool(StubPool):
+            def __init__(self):
+                super().__init__()
+                self.scaler = None
+
+            def queue_depth(self):
+                # A pool callback stopping its own scaler must not
+                # self-join (deadlock) — it just signals and returns.
+                results.append(self.scaler.stop())
+                return 0
+
+        pool = SelfStoppingPool()
+        config = AutoscaleConfig(min_workers=1, max_workers=4,
+                                 interval=0.01)
+        scaler = PoolAutoscaler(pool, config)
+        pool.scaler = scaler
+        scaler.start()
+        deadline = time.monotonic() + 5
+        while not results and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert results and results[0] is True
+        assert not scaler.running
+
+    def test_concurrent_stops_both_return(self):
+        scaler = PoolAutoscaler(StubPool(), CONFIG)
+        scaler.start()
+        outcomes = []
+        stoppers = [threading.Thread(target=lambda:
+                                     outcomes.append(scaler.stop()))
+                    for _ in range(2)]
+        for thread in stoppers:
+            thread.start()
+        for thread in stoppers:
+            thread.join(timeout=5)
+        assert len(outcomes) == 2 and all(outcomes)
+        assert not scaler.running
+
+    def test_restart_after_stop(self):
+        scaler = PoolAutoscaler(StubPool(), CONFIG)
+        scaler.start()
+        assert scaler.stop() is True
+        scaler.start()
+        assert scaler.running
+        assert scaler.stop() is True

@@ -1,6 +1,8 @@
 """Frame cache correctness: content keys, fd bypass, bounded LRU."""
 
+import json
 import os
+import threading
 
 import pytest
 
@@ -116,3 +118,106 @@ class TestForkServerIntegration:
         with ForkServer(frame_cache=0) as server:
             assert server.frame_cache is None
             assert server.spawn(["/bin/true"]).wait(timeout=10) == 0
+
+
+class TestConcurrency:
+    """Hammer the LRU from many threads: counters stay exact, no bleed."""
+
+    THREADS = 8
+    KEYS_PER_THREAD = 50
+
+    @staticmethod
+    def _run_threads(worker, count):
+        failures = []
+
+        def guarded(index):
+            try:
+                worker(index)
+            except BaseException as exc:  # surfaced in the main thread
+                failures.append(exc)
+
+        threads = [threading.Thread(target=guarded, args=(index,))
+                   for index in range(count)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not failures, failures
+
+    def test_no_lost_entries_without_eviction_pressure(self):
+        cache = FrameCache(self.THREADS * self.KEYS_PER_THREAD)
+
+        def worker(index):
+            for j in range(self.KEYS_PER_THREAD):
+                key = frame_key([f"cmd-{index}-{j}"], None, None)
+                cache.store(key, f"tail-{index}-{j}".encode())
+
+        self._run_threads(worker, self.THREADS)
+        assert cache.evictions == 0
+        assert len(cache) == self.THREADS * self.KEYS_PER_THREAD
+        for index in range(self.THREADS):
+            for j in range(self.KEYS_PER_THREAD):
+                key = frame_key([f"cmd-{index}-{j}"], None, None)
+                assert cache.lookup(key) == f"tail-{index}-{j}".encode()
+
+    def test_entry_accounting_exact_under_eviction_churn(self):
+        # Every store inserts a distinct key; every eviction removes
+        # exactly one entry — so stores == final size + evictions even
+        # with all threads churning a tiny cache at once.
+        cache = FrameCache(4)
+
+        def worker(index):
+            for j in range(self.KEYS_PER_THREAD):
+                key = frame_key([f"cmd-{index}-{j}"], None, None)
+                cache.store(key, b"tail")
+
+        self._run_threads(worker, self.THREADS)
+        stores = self.THREADS * self.KEYS_PER_THREAD
+        assert len(cache) <= 4
+        assert len(cache) + cache.evictions == stores
+
+    def test_hit_miss_counters_exact_under_contention(self):
+        cache = FrameCache(self.THREADS * 2)
+        lookups_per_thread = 3 * self.KEYS_PER_THREAD
+
+        def worker(index):
+            key = frame_key([f"cmd-{index}"], None, None)
+            for j in range(lookups_per_thread):
+                if cache.lookup(key) is None:
+                    cache.store(key, b"tail")
+
+        self._run_threads(worker, self.THREADS)
+        total = self.THREADS * lookups_per_thread
+        assert cache.hits + cache.misses == total
+        # Each thread owns a distinct key, so exactly its first lookup
+        # misses; everything after is a hit on its own entry.
+        assert cache.misses == self.THREADS
+        assert cache.hits == total - self.THREADS
+
+    def test_splice_path_never_bleeds_ids_or_traces(self):
+        # The cached tail is shared across callers; the spliced prefix
+        # (correlation id + trace id) is per call.  Encode from many
+        # threads against one tiny cache and verify every frame carries
+        # ITS OWN id, trace and payload — no cross-request bleed.
+        server = ForkServer(frame_cache=2)  # never started: encoder only
+        frames = []
+        lock = threading.Lock()
+
+        def worker(index):
+            for j in range(self.KEYS_PER_THREAD):
+                request = {"op": "spawn",
+                           "argv": [f"/bin/worker-{index}"],
+                           "env": {"SLOT": str(index)},
+                           "cwd": None, "nfds": 3}
+                rid = index * self.KEYS_PER_THREAD + j
+                encode = server._frame_encoder(request, f"trace-{index}")
+                with lock:
+                    frames.append((index, rid, encode(request, rid)))
+
+        self._run_threads(worker, self.THREADS)
+        for index, rid, frame in frames:
+            decoded = json.loads(frame)
+            assert decoded["id"] == rid
+            assert decoded["trace"] == f"trace-{index}"
+            assert decoded["argv"] == [f"/bin/worker-{index}"]
+            assert decoded["env"] == {"SLOT": str(index)}

@@ -1,0 +1,402 @@
+"""Template zygotes: profiles, specialized servers, and the registry.
+
+The wire-level lease machinery (park, unpark, SCM_RIGHTS stdio grants,
+zygote-mode payloads) gets exercised against real helpers; the registry
+tests cover warm/evict LRU bookkeeping, the miss-grace window, target
+autoscaling with idle decay, and the degradation ladder down to the
+posix_spawn floor.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core import TemplateProfile, TemplateRegistry, TemplateServer, run
+from repro.core.autoscale import AutoscaleConfig
+from repro.core.strategies import _REGISTRY
+from repro.core.templates import TemplateMiss, _splice
+from repro.errors import SpawnError
+from repro.obs import TELEMETRY, RingBufferSink
+
+
+def read_all(fd: int) -> bytes:
+    chunks = []
+    while True:
+        chunk = os.read(fd, 4096)
+        if not chunk:
+            os.close(fd)
+            return b"".join(chunks)
+        chunks.append(chunk)
+
+
+def lease_output(server, *, argv=None, code=None, env=None) -> bytes:
+    """Lease with stdout piped back; waits the child out."""
+    r, w = os.pipe()
+    try:
+        child = server.lease(argv, code=code, env=env, stdout=w)
+    finally:
+        os.close(w)
+    data = read_all(r)
+    assert child.wait(timeout=30) == 0
+    return data
+
+
+class TestProfile:
+    def test_rejects_nonsense(self):
+        with pytest.raises(SpawnError):
+            TemplateProfile("")
+        with pytest.raises(SpawnError):
+            TemplateProfile("p", stock=-1)
+        with pytest.raises(SpawnError):
+            TemplateProfile("p", stock=4, max_stock=2)
+
+    def test_zero_stock_is_a_valid_floor(self):
+        profile = TemplateProfile("cold", stock=0, max_stock=2)
+        assert profile.stock == 0
+
+    def test_sequences_coerce_to_tuples(self):
+        profile = TemplateProfile("p", preload=["json"], preopen=["/etc"])
+        assert profile.preload == ("json",)
+        assert profile.preopen == ("/etc",)
+
+
+class TestSplice:
+    def test_missing_marker_raises(self):
+        with pytest.raises(SpawnError):
+            _splice("no markers here\n", "GLOBALS", "x = 1")
+
+    def test_server_source_has_every_extension_spliced(self):
+        source = TemplateServer._server_source()
+        assert "#<EXT:" not in source            # all three markers used
+        for op in ("specialize", "park", "unpark", "lease"):
+            assert f'op == "{op}"' in source
+        compile(source, "<template helper>", "exec")  # still valid python
+
+
+@pytest.fixture
+def server():
+    srv = TemplateServer(TemplateProfile("t", stock=2, max_stock=6))
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+class TestTemplateServer:
+    def test_start_specializes_and_parks_the_floor(self, server):
+        assert server.start() is server      # idempotent
+        assert server.healthy
+        assert server.stock == 2
+
+    def test_exec_mode_lease(self, server):
+        out = lease_output(server, argv=["/bin/echo", "leased"])
+        assert out == b"leased\n"
+        assert server.stock == 1             # one checked out
+
+    def test_leased_child_reports_template_strategy(self, server):
+        child = server.lease(["/bin/true"])
+        assert child.strategy == "template"
+        assert child.wait(timeout=30) == 0
+
+    def test_zygote_mode_runs_inside_the_warm_runtime(self):
+        # The parked child must already HAVE the preloaded module —
+        # that is the entire point of specializing the template.
+        srv = TemplateServer(TemplateProfile(
+            "warmed", preload=("decimal",), stock=1, max_stock=2))
+        srv.start()
+        try:
+            out = lease_output(srv, code=(
+                "import sys\n"
+                "sys.stdout.write("
+                "'warm' if 'decimal' in sys.modules else 'cold')\n"))
+        finally:
+            srv.stop()
+        assert out == b"warm"
+
+    def test_zygote_mode_systemexit_becomes_returncode(self, server):
+        assert server.lease(code="raise SystemExit(7)").wait(timeout=30) == 7
+        assert server.lease(
+            code="raise SystemExit('boom')").wait(timeout=30) == 1
+
+    def test_zygote_mode_crash_is_status_125(self, server):
+        assert server.lease(code="1/0").wait(timeout=30) == 125
+
+    def test_zygote_mode_env_overlays(self, server):
+        out = lease_output(server, code=(
+            "import os, sys\n"
+            "sys.stdout.write(os.environ['TPL_LEASE'])\n"),
+            env={"TPL_LEASE": "per-call"})
+        assert out == b"per-call"
+
+    def test_lease_takes_exactly_one_payload(self, server):
+        with pytest.raises(SpawnError):
+            server.lease(["/bin/true"], code="pass")
+        with pytest.raises(SpawnError):
+            server.lease()
+        with pytest.raises(SpawnError):
+            server.lease([])
+
+    def test_empty_stock_raises_template_miss(self):
+        srv = TemplateServer(TemplateProfile("dry", stock=0, max_stock=2))
+        srv.start()
+        try:
+            with pytest.raises(TemplateMiss):
+                srv.lease(["/bin/true"])
+            assert srv.healthy               # a miss is not a crash
+        finally:
+            srv.stop()
+
+    def test_park_unpark_move_the_stock_level(self, server):
+        pid = server.park()
+        assert pid > 0
+        assert server.stock == 3
+        assert server.unpark() is not None
+        assert server.unpark() is not None
+        assert server.unpark() is not None
+        assert server.stock == 0
+        assert server.unpark() is None       # empty: no pid, no error
+
+    def test_restock_caps_at_max_stock(self, server):
+        assert server.restock(4) == 2        # 2 parked at start
+        assert server.stock == 4
+        assert server.restock(99) == 2       # clamped to max_stock=6
+        assert server.stock == 6
+
+    def test_profile_env_and_cwd_inherited_by_leases(self, tmp_path):
+        workdir = os.path.realpath(str(tmp_path))
+        srv = TemplateServer(TemplateProfile(
+            "shaped", env={"TPL_PROFILE": "baked-in"}, cwd=workdir,
+            stock=2, max_stock=4))
+        srv.start()
+        try:
+            out = lease_output(srv, argv=[
+                "/bin/sh", "-c", 'echo "$TPL_PROFILE"; pwd'])
+        finally:
+            srv.stop()
+        assert out.decode().split("\n")[:2] == ["baked-in", workdir]
+
+    def test_specialize_reports_preopened_fds(self, tmp_path):
+        path = tmp_path / "preopen.txt"
+        path.write_text("warm file\n")
+        srv = TemplateServer(TemplateProfile(
+            "opened", preopen=(str(path),), stock=0, max_stock=1))
+        srv.start()
+        try:
+            reply = srv.specialize()         # re-applying is harmless
+            assert reply["opened"] == 1
+        finally:
+            srv.stop()
+
+    def test_bad_preload_fails_start_and_stops_the_helper(self):
+        srv = TemplateServer(TemplateProfile(
+            "broken", preload=("no_such_module_xyz",)))
+        with pytest.raises(SpawnError):
+            srv.start()
+        assert not srv.running
+
+    def test_parked_children_drain_on_stop(self, server):
+        pids = [server.park() for _ in range(2)]
+        server.stop()
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if not any(_alive(pid) for pid in pids):
+                return
+            time.sleep(0.02)
+        pytest.fail(f"parked children outlived their template: {pids}")
+
+
+def _alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+SNAPPY = AutoscaleConfig(idle_ttl=5.0, interval=0.005, step=2)
+
+
+class TestRegistry:
+    def test_constructor_validation(self):
+        with pytest.raises(SpawnError):
+            TemplateRegistry(max_templates=0)
+        with pytest.raises(SpawnError):
+            TemplateRegistry(miss_grace=-0.1)
+
+    def test_register_warm_and_lease(self):
+        with TemplateRegistry(autoscale=SNAPPY) as registry:
+            registry.register(TemplateProfile("p", stock=2, max_stock=4))
+            assert registry.profiles() == ["p"]
+            assert registry.warm_count == 1
+            assert registry.stock("p") == 2
+            child = registry.spawn("p", ["/bin/true"])
+            assert child.strategy == "template"
+            assert child.wait(timeout=30) == 0
+
+    def test_duplicate_and_unknown_profiles_rejected(self):
+        with TemplateRegistry() as registry:
+            registry.register(TemplateProfile("p"), warm=False)
+            with pytest.raises(SpawnError):
+                registry.register(TemplateProfile("p"), warm=False)
+            with pytest.raises(SpawnError):
+                registry.spawn("ghost", ["/bin/true"])
+            with pytest.raises(SpawnError):
+                registry.warm("ghost")
+
+    def test_register_cold_keeps_no_helper(self):
+        with TemplateRegistry() as registry:
+            registry.register(TemplateProfile("lazy"), warm=False)
+            assert registry.warm_count == 0
+            assert registry.server_for("lazy") is None
+            assert registry.stock("lazy") == 0
+
+    def test_close_is_idempotent_and_fences_register(self):
+        registry = TemplateRegistry()
+        registry.register(TemplateProfile("p"), warm=False)
+        registry.close()
+        registry.close()
+        assert registry.closed
+        with pytest.raises(SpawnError):
+            registry.register(TemplateProfile("late"), warm=False)
+        with pytest.raises(SpawnError):
+            registry.warm("p")
+
+    def test_lru_eviction_past_the_template_bound(self):
+        with TemplateRegistry(max_templates=1, autoscale=SNAPPY) as registry:
+            registry.register(TemplateProfile("old", stock=1, max_stock=2))
+            assert registry.warm_count == 1
+            registry.register(TemplateProfile("hot", stock=1, max_stock=2))
+            assert registry.evictions == 1
+            assert registry.warm_count == 1
+            assert registry.server_for("old") is None
+            assert registry.server_for("hot") is not None
+            # The evicted profile still spawns — down the ladder.
+            child = registry.spawn("hot", ["/bin/true"])
+            assert child.wait(timeout=30) == 0
+
+    def test_miss_grace_rides_out_a_drained_stock(self):
+        # Drain the warm stock behind the registry's back, then spawn:
+        # the miss must wait for the restock thread instead of paying
+        # a cold fallback spawn.
+        with TemplateRegistry(autoscale=SNAPPY) as registry:
+            registry.register(TemplateProfile("p", stock=1, max_stock=8))
+            drained = registry.server_for("p").lease(["/bin/true"])
+            assert drained.wait(timeout=30) == 0
+            child = registry.spawn("p", ["/bin/true"])
+            assert child.strategy == "template"
+            assert child.wait(timeout=30) == 0
+
+    def test_miss_grows_the_stock_target(self):
+        with TemplateRegistry(autoscale=SNAPPY,
+                              miss_grace=0.0) as registry:
+            profile = TemplateProfile("p", stock=1, max_stock=4)
+            registry.register(profile)
+            entry = registry._entries["p"]
+            assert entry.target == 1
+            drained = registry.server_for("p").lease(["/bin/true"])
+            assert drained.wait(timeout=30) == 0
+            try:
+                child = registry.spawn("p", ["/bin/true"])
+                assert child.wait(timeout=30) == 0
+            finally:
+                _REGISTRY["forkserver-pool"].shutdown()
+            assert entry.target == 1 + SNAPPY.step
+
+    def test_idle_decay_returns_target_to_the_floor(self):
+        decay = AutoscaleConfig(idle_ttl=0.05, interval=0.01, step=2)
+        with TemplateRegistry(autoscale=decay,
+                              miss_grace=0.5) as registry:
+            registry.register(TemplateProfile("p", stock=1, max_stock=8))
+            drained = registry.server_for("p").lease(["/bin/true"])
+            assert drained.wait(timeout=30) == 0
+            child = registry.spawn("p", ["/bin/true"])   # miss: target grows
+            assert child.wait(timeout=30) == 0
+            entry = registry._entries["p"]
+            assert entry.target > 1
+            deadline = time.monotonic() + 5
+            while entry.target > 1 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert entry.target == 1
+
+    def test_lease_telemetry_counters(self):
+        sink = RingBufferSink()
+        TELEMETRY.enable(sink, reset_metrics=True)
+        try:
+            with TemplateRegistry(autoscale=SNAPPY) as registry:
+                registry.register(TemplateProfile("p", stock=1, max_stock=4))
+                child = registry.spawn("p", ["/bin/true"])
+                assert child.wait(timeout=30) == 0
+            metrics = TELEMETRY.metrics
+            assert metrics.counter("template_lease", profile="p").value == 1
+            assert metrics.counter("template_park", profile="p").value >= 1
+            assert metrics.gauge("template_stock", profile="p").value >= 0
+            assert any(e.get("action") == "warm" for e in sink.events())
+        finally:
+            TELEMETRY.disable()
+
+
+class TestDegradationLadder:
+    def test_cold_stock_with_no_grace_rides_the_pool(self):
+        sink = RingBufferSink()
+        TELEMETRY.enable(sink, reset_metrics=True)
+        try:
+            with TemplateRegistry(autoscale=SNAPPY,
+                                  miss_grace=0.0) as registry:
+                registry.register(TemplateProfile("dry", stock=0,
+                                                  max_stock=2))
+                child = registry.spawn("dry", ["/bin/echo", "fell back"])
+                assert child.strategy == "forkserver-pool"
+                assert child.wait(timeout=30) == 0
+            metrics = TELEMETRY.metrics
+            assert metrics.counter("template_lease_miss",
+                                   profile="dry").value >= 1
+            assert metrics.counter("fallback",
+                                   strategy="forkserver-pool").value >= 1
+        finally:
+            TELEMETRY.disable()
+            _REGISTRY["forkserver-pool"].shutdown()
+
+    def test_code_payload_degrades_to_python_dash_c_with_preloads(self):
+        with TemplateRegistry(autoscale=SNAPPY,
+                              miss_grace=0.0) as registry:
+            registry.register(TemplateProfile(
+                "dry", preload=("decimal",), stock=0, max_stock=2))
+            try:
+                # The fallback must re-pay the imports the template
+                # would have given us for free — but honestly: the
+                # preamble makes the preloaded names importable.
+                child = registry.spawn("dry", code=(
+                    "import sys\n"
+                    "sys.exit(0 if 'decimal' in sys.modules else 9)\n"))
+                assert child.strategy == "forkserver-pool"
+                assert child.wait(timeout=30) == 0
+            finally:
+                _REGISTRY["forkserver-pool"].shutdown()
+
+    def test_posix_spawn_floor(self):
+        child = TemplateRegistry._spawn_via(
+            "posix_spawn", ["/bin/true"], None, None, 0, 1, 2, None)
+        assert child.strategy == "posix_spawn"
+        assert child.wait(timeout=30) == 0
+
+    def test_posix_spawn_floor_cannot_express_cwd(self):
+        with pytest.raises(SpawnError):
+            TemplateRegistry._spawn_via(
+                "posix_spawn", ["/bin/true"], None, "/tmp", 0, 1, 2, None)
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(SpawnError):
+            TemplateRegistry._spawn_via(
+                "warp-drive", ["/bin/true"], None, None, 0, 1, 2, None)
+
+
+class TestTemplateStrategyIntegration:
+    def test_run_through_the_template_strategy(self):
+        try:
+            done = run("/bin/echo", "via template", strategy="template")
+        finally:
+            _REGISTRY["template"].shutdown()
+        assert done.returncode == 0
+        assert done.stdout == b"via template\n"

@@ -75,7 +75,7 @@ def chaos_hygiene():
         yield
     finally:
         FAULTS.deactivate()
-        for name in ("forkserver-pool", "forkserver"):
+        for name in ("template", "forkserver-pool", "forkserver"):
             _REGISTRY[name].shutdown()
         reset_breakers()
         faulthandler.cancel_dump_traceback_later()

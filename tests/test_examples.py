@@ -62,6 +62,7 @@ class TestExamples:
     def test_zygote_pool(self):
         out = run_example("zygote_pool.py", timeout=300.0)
         assert "vs fork+exec" in out
+        assert "template lease (parked)" in out
 
     def test_spawn_service(self):
         out = run_example("spawn_service.py")
