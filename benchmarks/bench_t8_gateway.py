@@ -1,0 +1,68 @@
+"""T8 — the spawn gateway: wire-path smoke plus the fairness gate.
+
+pytest-benchmark times a burst of spawns through a live gateway daemon
+(the full path: frame, SCM_RIGHTS stdio grant, admission, WFQ
+dispatch, spawn, wait round trip), then a plain test runs a short
+multi-tenant overload storm and asserts the three T8 acceptance
+properties directly: fairness ratio <= 2x, load shedding engaged, and
+zero unhandled server exceptions.  ``repro-bench run t8-gateway``
+prints the full storm; ``repro-bench compare
+benchmarks/baselines/t8_baseline.json`` gates its fairness_score.
+"""
+
+import os
+import shutil
+import tempfile
+
+import pytest
+
+from repro.bench.experiments import run
+from repro.gateway import (GatewayClient, GatewayConfig, GatewayServer,
+                           TenantConfig)
+
+BURST = 8
+
+
+@pytest.fixture(scope="module")
+def gateway():
+    """One daemon + connected client pair for the module."""
+    tempdir = tempfile.mkdtemp(prefix="repro-bench-t8-smoke-")
+    address = os.path.join(tempdir, "gateway.sock")
+    server = GatewayServer(GatewayConfig(
+        unix_path=address,
+        tenants={"bench": TenantConfig(name="bench", token="bench-token",
+                                       max_queue=256)},
+        max_inflight=8, drain_grace=5.0)).start()
+    client = GatewayClient(address, tenant="bench",
+                           token="bench-token").connect()
+    try:
+        yield server, client
+    finally:
+        client.close()
+        server.stop()
+        shutil.rmtree(tempdir, ignore_errors=True)
+
+
+def test_gateway_spawn_burst(benchmark, gateway):
+    server, client = gateway
+
+    def burst():
+        children = [client.spawn(("/bin/true",)) for _ in range(BURST)]
+        return [child.wait(timeout=30) for child in children]
+
+    codes = benchmark.pedantic(burst, rounds=3, warmup_rounds=1,
+                               iterations=1)
+    assert codes == [0] * BURST
+    assert server.stats()["internal_errors"] == 0
+
+
+def test_gateway_fairness_under_overload():
+    """The T8 acceptance bar, asserted rather than eyeballed."""
+    result = run("t8-gateway", quick=True, duration=1.0)
+    summary = result.rows[-1]
+    assert summary["section"] == "overload"
+    assert summary["tenants"] >= 4
+    assert summary["fairness_ratio"] <= 2.0
+    assert summary["shed"] > 0, "the storm never overloaded the daemon"
+    assert summary["internal_errors"] == 0
+    assert summary["client_errors"] == 0

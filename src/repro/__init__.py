@@ -13,16 +13,18 @@ The package has four faces:
   table of the paper's evaluation (see DESIGN.md / EXPERIMENTS.md).
 """
 
-from .errors import (BenchError, DeadlockError, FaultPlanError,
-                     ForkSafetyError, LintError,
+from .errors import (AuthError, BenchError, DeadlockError, FaultPlanError,
+                     ForkSafetyError, GatewayError, GatewayProtocolError,
+                     LintError, Overloaded, RateLimited,
                      ReproError, SimError, SimMemoryError, SimOSError,
                      SimSegfault, SpawnError, SpawnTimeout)
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "BenchError", "DeadlockError", "FaultPlanError", "ForkSafetyError",
-    "LintError",
+    "AuthError", "BenchError", "DeadlockError", "FaultPlanError",
+    "ForkSafetyError", "GatewayError", "GatewayProtocolError",
+    "LintError", "Overloaded", "RateLimited",
     "ReproError", "SimError", "SimMemoryError", "SimOSError", "SimSegfault",
     "SpawnError", "SpawnTimeout", "__version__",
 ]

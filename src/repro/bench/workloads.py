@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.autoscale import AutoscaleConfig, PoolAutoscaler
+from ..core.batch import BatchRequest
 from ..core.forkserver import ForkServer
 from ..core.forkserver_pool import ForkServerPool
 from ..core.templates import TemplateProfile, TemplateRegistry
@@ -434,7 +435,8 @@ class ServiceWorkloads:
 
     def _pool_batch_once(self) -> None:
         pool = self._ensure_pool()
-        children = pool.spawn_batch([self.child_argv] * self.batch_size)
+        children = pool.spawn_batch(
+            BatchRequest.of([self.child_argv] * self.batch_size))
         for child in children:
             child.wait()
 

@@ -32,6 +32,7 @@ aggregates latency histograms per strategy.
 from .attrs import SpawnAttributes
 from .atfork import AtForkRegistry, fork_with_handlers, register
 from .autoscale import AutoscaleConfig, PoolAutoscaler
+from .batch import BatchRequest, BatchResult
 from .file_actions import FileActions
 from .forkserver import ForkServer, SpawnRequest
 from .forkserver_pool import ForkServerPool
@@ -51,10 +52,28 @@ from .strategies import (ForkExecStrategy, ForkServerPoolStrategy,
                          register_strategy, spawn_batch, strategies)
 from .templates import (TemplateMiss, TemplateProfile, TemplateRegistry,
                         TemplateServer)
-from .strategies import _REGISTRY as STRATEGIES  # deprecated alias
+
+
+def __getattr__(attr: str):
+    # Deprecated alias: ``repro.core.STRATEGIES`` still resolves (to the
+    # live registry) but warns, same as the strategies-module shim.  The
+    # old eager ``from .strategies import _REGISTRY as STRATEGIES``
+    # bypassed that warning entirely.
+    if attr == "STRATEGIES":
+        import warnings
+        warnings.warn(
+            "repro.core.STRATEGIES is deprecated and will be removed in "
+            "repro 2.0; use strategies() / get_strategy() / "
+            "register_strategy()",
+            DeprecationWarning, stacklevel=2)
+        from .strategies import _REGISTRY
+        return _REGISTRY
+    raise AttributeError(f"module {__name__!r} has no attribute {attr!r}")
+
 
 __all__ = [
-    "AtForkRegistry", "AutoscaleConfig", "ChildProcess", "CircuitBreaker",
+    "AtForkRegistry", "AutoscaleConfig", "BatchRequest", "BatchResult",
+    "ChildProcess", "CircuitBreaker",
     "CompletedChild",
     "DEFAULT_FALLBACK", "FileActions",
     "ForkExecStrategy",

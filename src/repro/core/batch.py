@@ -1,0 +1,196 @@
+"""The one batch shape every ``spawn_batch`` speaks.
+
+Before this module the four batch entry points — ``ForkServer``,
+``ForkServerPool``, ``SpawnPool``, and the module-level ladder in
+:mod:`repro.core.strategies` — each grew their own signature: bare argv
+sequences here, ``env``/``cwd`` kwargs there, a worker *count* on the
+process pool.  The gateway protocol has to serialize exactly one shape,
+so this module defines it:
+
+* :class:`BatchRequest` — N :class:`~repro.core.forkserver.SpawnRequest`
+  members plus the batch-wide ``policy`` and ``deadline``.  Build one
+  with :meth:`BatchRequest.of` (which coerces bare argv sequences and
+  applies ``env``/``cwd`` defaults), or rebuild one from the wire with
+  :meth:`BatchRequest.from_wire`.
+* :class:`BatchResult` — the N children, plus which strategy tier
+  actually served the batch.  It is a real ``Sequence`` of
+  :class:`~repro.core.result.ChildProcess`, so every historical caller
+  that ``len()``-ed, indexed, iterated, or ``zip``-ed the old plain
+  list keeps working unchanged.
+
+The legacy call shapes still resolve — a bare sequence handed to any
+``spawn_batch`` is coerced through :func:`coerce_batch` — but they warn:
+:class:`DeprecationWarning`, removal in 2.0.  New code builds a
+:class:`BatchRequest` and passes it everywhere.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..errors import SpawnError
+from .forkserver import SpawnRequest
+from .policy import SpawnPolicy
+from .result import ChildProcess
+
+#: The version the legacy-shape shims promise to disappear in.
+LEGACY_BATCH_REMOVAL = "2.0"
+
+
+def warn_legacy_batch(entry: str, hint: str = "") -> None:
+    """One deprecation warning, same wording everywhere."""
+    warnings.warn(
+        f"{entry} with a legacy argument shape is deprecated and will be "
+        f"removed in repro {LEGACY_BATCH_REMOVAL}; pass a BatchRequest"
+        f"{hint}",
+        DeprecationWarning, stacklevel=3)
+
+
+class BatchRequest:
+    """N spawn-request members plus the batch-wide execution terms.
+
+    ``members`` are :class:`SpawnRequest` instances; ``policy`` and
+    ``deadline`` govern the whole batch (the contract is all-or-nothing,
+    so there is no per-member deadline).  Instances are iterable and
+    sized like the member list.
+    """
+
+    __slots__ = ("members", "policy", "deadline")
+
+    def __init__(self, members: Sequence[SpawnRequest], *,
+                 policy: Optional[SpawnPolicy] = None,
+                 deadline: Optional[float] = None):
+        members = list(members)
+        for member in members:
+            if not isinstance(member, SpawnRequest):
+                raise SpawnError(
+                    f"BatchRequest members must be SpawnRequest, got "
+                    f"{type(member).__name__}; use BatchRequest.of() to "
+                    f"coerce argv sequences")
+        self.members = members
+        self.policy = policy
+        self.deadline = deadline
+
+    @classmethod
+    def of(cls, requests: Sequence, *,
+           env: Optional[Dict[str, str]] = None,
+           cwd: Optional[str] = None,
+           policy: Optional[SpawnPolicy] = None,
+           deadline: Optional[float] = None) -> "BatchRequest":
+        """The convenience constructor: coerce anything batch-shaped.
+
+        ``requests`` may mix bare argv sequences and ready
+        :class:`SpawnRequest` members; ``env``/``cwd`` are defaults for
+        the bare ones (a ready member keeps its own).
+        """
+        if isinstance(requests, cls):
+            if policy is not None or deadline is not None:
+                return cls(requests.members,
+                           policy=policy if policy is not None
+                           else requests.policy,
+                           deadline=deadline if deadline is not None
+                           else requests.deadline)
+            return requests
+        members = [SpawnRequest.coerce(item, env=env, cwd=cwd)
+                   for item in requests]
+        return cls(members, policy=policy, deadline=deadline)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self):
+        return iter(self.members)
+
+    def __bool__(self) -> bool:
+        return bool(self.members)
+
+    # -- the gateway's serialization ------------------------------------
+
+    def wire(self) -> List[dict]:
+        """The members as wire objects (fd grants travel separately)."""
+        return [member.wire() for member in self.members]
+
+    @classmethod
+    def from_wire(cls, payload: Sequence, *,
+                  policy: Optional[SpawnPolicy] = None,
+                  deadline: Optional[float] = None) -> "BatchRequest":
+        """Rebuild a batch from :meth:`wire` output (stdio re-granted
+        by the transport, so members come back on default stdio)."""
+        members = []
+        for item in payload:
+            if not isinstance(item, dict) or "argv" not in item:
+                raise SpawnError(f"malformed batch member: {item!r}")
+            members.append(SpawnRequest(item["argv"], env=item.get("env"),
+                                        cwd=item.get("cwd")))
+        return cls(members, policy=policy, deadline=deadline)
+
+    def __repr__(self):
+        return (f"<BatchRequest n={len(self.members)} "
+                f"deadline={self.deadline}>")
+
+
+class BatchResult(Sequence):
+    """The N children a batch produced, and who produced them.
+
+    A real ``Sequence`` of :class:`ChildProcess` — ``len``, indexing,
+    slicing, iteration, and ``zip`` behave exactly like the plain list
+    the batch entry points used to return — plus:
+
+    * :attr:`strategy` — the tier that actually served the batch
+      (``"forkserver-pool"``, ``"forkserver"``, or ``"posix_spawn"``
+      after ladder degradation);
+    * :attr:`pids` — the children's pids, in request order.
+    """
+
+    __slots__ = ("children", "strategy")
+
+    def __init__(self, children: Sequence[ChildProcess],
+                 strategy: str = "?"):
+        self.children = list(children)
+        self.strategy = strategy
+
+    @property
+    def pids(self) -> List[int]:
+        return [child.pid for child in self.children]
+
+    def __len__(self) -> int:
+        return len(self.children)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return BatchResult(self.children[index], self.strategy)
+        return self.children[index]
+
+    def __eq__(self, other):
+        if isinstance(other, BatchResult):
+            return (self.children == other.children
+                    and self.strategy == other.strategy)
+        if isinstance(other, (list, tuple)):
+            return list(self.children) == list(other)
+        return NotImplemented
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __repr__(self):
+        return (f"<BatchResult n={len(self.children)} "
+                f"via {self.strategy}>")
+
+
+def coerce_batch(entry: str, requests: Union[BatchRequest, Sequence], *,
+                 env: Optional[Dict[str, str]] = None,
+                 cwd: Optional[str] = None,
+                 policy: Optional[SpawnPolicy] = None,
+                 deadline: Optional[float] = None) -> BatchRequest:
+    """The shared front door of every ``spawn_batch``.
+
+    A :class:`BatchRequest` passes through (kwargs override its terms);
+    anything else is the legacy shape — coerced so it keeps working,
+    but with the deprecation warning that names ``entry``.
+    """
+    if not isinstance(requests, BatchRequest):
+        warn_legacy_batch(entry)
+    return BatchRequest.of(requests, env=env, cwd=cwd, policy=policy,
+                           deadline=deadline)

@@ -910,13 +910,14 @@ class ForkServer:
 
         return encode
 
-    def spawn_batch(self, requests: Sequence, *,
+    def spawn_batch(self, requests, *,
                     traces: Optional[Sequence] = None,
-                    deadline: Optional[float] = None) -> List[ChildProcess]:
+                    deadline: Optional[float] = None) -> "BatchResult":
         """Fork+exec N children in ONE wire round-trip.
 
-        ``requests`` is a sequence of :class:`SpawnRequest` (bare argv
-        sequences are coerced).  The whole batch travels as a single
+        ``requests`` is a :class:`~repro.core.batch.BatchRequest` (the
+        unified batch shape; bare sequences still coerce but warn —
+        removal in 2.0).  The whole batch travels as a single
         frame and a single ``sendmsg`` — every member's stdio triple in
         one SCM_RIGHTS grant — and the helper forks all N before
         replying, so the per-spawn wire cost (encode + syscall + context
@@ -932,9 +933,17 @@ class ForkServer:
         caller; otherwise (telemetry on) the server starts and owns one
         trace per member.
         """
-        if not requests:
+        from .batch import BatchRequest, BatchResult, coerce_batch
+        if not isinstance(requests, BatchRequest):
+            batch = coerce_batch("ForkServer.spawn_batch", requests,
+                                 deadline=deadline)
+        else:
+            batch = requests
+        if deadline is None:
+            deadline = batch.deadline
+        if not batch:
             raise SpawnError("empty batch")
-        reqs = [SpawnRequest.coerce(item) for item in requests]
+        reqs = batch.members
         owns = traces is None
         if owns:
             traces = [TELEMETRY.trace("forkserver", req.argv)
@@ -983,7 +992,7 @@ class ForkServer:
                 ChildProcess(result["pid"], argv=req.argv,
                              strategy="forkserver", reaper=self._reap,
                              trace=trace))
-        return children
+        return BatchResult(children, strategy="forkserver")
 
     def _reap(self, pid: int, flags: int) -> Optional[int]:
         """Wait on a child through the helper.

@@ -594,16 +594,16 @@ class ForkServerPool:
         raise SpawnError(
             f"no forkserver worker could spawn {argv!r}: {last_error}")
 
-    def spawn_batch(self, requests: Sequence, *,
+    def spawn_batch(self, requests, *,
                     env=None, cwd=None,
                     policy: Optional[SpawnPolicy] = None,
-                    deadline: Optional[float] = None) -> List[ChildProcess]:
+                    deadline: Optional[float] = None) -> "BatchResult":
         """Spawn N children in ONE wire round-trip to one helper.
 
-        ``requests`` is a sequence of argv sequences or
-        :class:`~repro.core.forkserver.SpawnRequest` members (for
-        per-member env/cwd/stdio); ``env``/``cwd`` apply to bare argv
-        members.  The batch is dispatched to the least-loaded helper at
+        ``requests`` is a :class:`~repro.core.batch.BatchRequest` (the
+        unified batch shape; bare sequences and the loose ``env``/
+        ``cwd`` kwargs still coerce but warn — removal in 2.0).  The
+        batch is dispatched to the least-loaded helper at
         its FULL weight (N load units, released one by one as children
         are reaped), with the same resilience contract as :meth:`spawn`:
         dead-worker failover inside an attempt, whole-batch retries and
@@ -611,15 +611,22 @@ class ForkServerPool:
         workers.  All-or-nothing — on failure every member's error is
         the batch's error; no member is silently dropped.
         """
-        if not requests:
+        from .batch import BatchRequest, coerce_batch
+        if not isinstance(requests, BatchRequest):
+            batch = coerce_batch("ForkServerPool.spawn_batch", requests,
+                                 env=env, cwd=cwd, policy=policy,
+                                 deadline=deadline)
+        else:
+            batch = BatchRequest.of(requests, policy=policy,
+                                    deadline=deadline)
+        if not batch:
             raise SpawnError("empty batch")
-        reqs = [SpawnRequest.coerce(item, env=env, cwd=cwd)
-                for item in requests]
-        return self._spawn_batch(reqs, policy=policy, deadline=deadline)
+        return self._spawn_batch(batch.members, policy=batch.policy,
+                                 deadline=batch.deadline)
 
     def _spawn_batch(self, reqs: List[SpawnRequest], *,
                      policy: Optional[SpawnPolicy] = None,
-                     deadline: Optional[float] = None) -> List[ChildProcess]:
+                     deadline: Optional[float] = None) -> "BatchResult":
         """Policy loop for an already-coerced batch (also the coalescer's
         entry point, bypassing the coalescing route in :meth:`spawn`)."""
         if policy is None:
@@ -652,9 +659,10 @@ class ForkServerPool:
 
     def _batch_attempt(self, reqs: List[SpawnRequest], traces,
                        deadline: Optional[float],
-                       threshold: Optional[int]) -> List[ChildProcess]:
+                       threshold: Optional[int]) -> "BatchResult":
         """One policy attempt for a batch: dispatch with dead-worker
         failover, billed to one slot at the batch's full weight."""
+        from .batch import BatchRequest, BatchResult
         weight = len(reqs)
         last_error: Optional[SpawnError] = None
         for _ in range(len(self._slots) + 1):
@@ -676,7 +684,8 @@ class ForkServerPool:
                 self._release(slot, weight)
                 continue
             try:
-                children = server.spawn_batch(reqs, traces=traces,
+                children = server.spawn_batch(BatchRequest(reqs),
+                                              traces=traces,
                                               deadline=deadline)
             except SpawnError as exc:
                 self._release(slot, weight)
@@ -695,7 +704,7 @@ class ForkServerPool:
                     child.pid, argv=req.argv, strategy="forkserver-pool",
                     reaper=self._pool_reaper(slot, server, req.argv),
                     trace=trace))
-            return wrapped
+            return BatchResult(wrapped, strategy="forkserver-pool")
         raise SpawnError(
             f"no forkserver worker could spawn a batch of {weight}: "
             f"{last_error}")

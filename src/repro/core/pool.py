@@ -28,6 +28,7 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence
 
 from ..errors import SpawnError
 from ..obs import TELEMETRY
+from .batch import BatchRequest
 from .forkserver import SpawnRequest
 from .policy import SpawnPolicy
 from .result import ChildProcess
@@ -185,7 +186,7 @@ class SpawnPool:
         self._closed = False
         self._respawns = 0
         try:
-            self.spawn_batch(workers)
+            self.add_workers(workers)
         except BaseException:
             self.close()
             raise
@@ -231,7 +232,7 @@ class SpawnPool:
         self._respawns += 1
         TELEMETRY.count("pool_retire", pool="spawnpool")
 
-    def spawn_batch(self, count: int) -> List[int]:
+    def add_workers(self, count: int) -> List[int]:
         """Grow the pool by ``count`` workers; returns their pids.
 
         When the pool's strategy is ``"forkserver-pool"`` all ``count``
@@ -249,6 +250,19 @@ class SpawnPool:
             workers = [_Worker(self._strategy) for _ in range(count)]
         self._workers.extend(workers)
         return [w.child.pid for w in workers]
+
+    def spawn_batch(self, count: int) -> List[int]:
+        """Deprecated alias for :meth:`add_workers` (removal in 2.0).
+
+        The name collided with the real batch entry points — which take
+        a :class:`~repro.core.batch.BatchRequest` of argv members, not a
+        worker count — and the collision is exactly the incoherence the
+        unified batch API removes.
+        """
+        from .batch import warn_legacy_batch
+        warn_legacy_batch("SpawnPool.spawn_batch",
+                          hint="-taking entry point or add_workers()")
+        return self.add_workers(count)
 
     def _boot_batched(self, count: int) -> Optional[List[_Worker]]:
         """Boot ``count`` workers through one batched wire op, or None
@@ -274,7 +288,7 @@ class SpawnPool:
                 requests.append(SpawnRequest(
                     argv, stdin=child_r, stdout=child_w))
             children = strategy.pool().spawn_batch(
-                requests, policy=self._policy)
+                BatchRequest(requests, policy=self._policy))
         except BaseException:
             for parent_w, child_r, parent_r, child_w in pipes:
                 for fd in (parent_w, child_r, parent_r, child_w):

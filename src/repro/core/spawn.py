@@ -228,6 +228,16 @@ class ProcessBuilder:
         self._actions.add_dup2(fd, 0)
         return self
 
+    def stderr_to_fd(self, fd: int) -> "ProcessBuilder":
+        """Child stderr writes to an existing descriptor.
+
+        Completes the fd-wiring triple with :meth:`stdin_from_fd` and
+        :meth:`stdout_to_fd` — the shape the gateway daemon needs to
+        replay a client's SCM_RIGHTS stdio grant onto a local spawn.
+        """
+        self._actions.add_dup2(fd, 2)
+        return self
+
     def close_fd(self, fd: int) -> "ProcessBuilder":
         """Explicitly close a descriptor in the child."""
         self._actions.add_close(fd)

@@ -136,8 +136,9 @@ def __getattr__(attr: str):
     # Deprecation shim: module-level STRATEGIES keeps working but warns.
     if attr == "STRATEGIES":
         warnings.warn(
-            "repro.core.strategies.STRATEGIES is deprecated; use "
-            "strategies() / get_strategy() / register_strategy()",
+            "repro.core.strategies.STRATEGIES is deprecated and will be "
+            "removed in repro 2.0; use strategies() / get_strategy() / "
+            "register_strategy()",
             DeprecationWarning, stacklevel=2)
         return _REGISTRY
     raise AttributeError(f"module {__name__!r} has no attribute {attr!r}")
@@ -449,11 +450,115 @@ class TemplateStrategy(Strategy):
         return child
 
 
+@register_strategy("gateway")
+class GatewayStrategy(Strategy):
+    """Launch through a spawn-gateway daemon (see :mod:`repro.gateway`).
+
+    The same ProcessBuilder program runs in-process or against a
+    network daemon: with ``REPRO_GATEWAY`` set (a Unix-socket path,
+    plus optional ``REPRO_GATEWAY_TENANT``/``REPRO_GATEWAY_TOKEN``) the
+    strategy dials that external daemon; otherwise it boots an
+    *embedded* daemon — a :class:`~repro.gateway.server.GatewayServer`
+    on a private Unix socket inside this process, one ``local`` tenant
+    — lazily on first launch, the way the pool strategy boots its pool.
+    Either way the request crosses the gateway wire protocol, so what
+    this strategy measures is the cost of spawn *as a service*.
+    """
+
+    def __init__(self):
+        self._client = None
+        self._server = None
+        self._socket_dir = None
+        self._lock = threading.Lock()
+
+    def available(self) -> bool:
+        return hasattr(os, "fork")
+
+    def client(self):
+        """The shared client, dialed (booting an embedded daemon if no
+        external one is configured) on first use."""
+        with self._lock:
+            if self._client is None or not self._client.healthy:
+                self._teardown_locked()
+                self._client = self._dial()
+            return self._client
+
+    def _dial(self):
+        from ..gateway.client import GatewayClient
+        external = os.environ.get("REPRO_GATEWAY")
+        if external:
+            return GatewayClient(
+                external,
+                tenant=os.environ.get("REPRO_GATEWAY_TENANT", "local"),
+                token=os.environ.get("REPRO_GATEWAY_TOKEN", "local"),
+            ).connect()
+        import secrets
+        import tempfile
+        from ..gateway.config import GatewayConfig, TenantConfig
+        from ..gateway.server import GatewayServer
+        from .policy import DEFAULT_FALLBACK, SpawnPolicy
+        token = secrets.token_hex(16)
+        self._socket_dir = tempfile.mkdtemp(prefix="repro-gateway-")
+        config = GatewayConfig(
+            unix_path=os.path.join(self._socket_dir, "gateway.sock"),
+            tenants={"local": TenantConfig(
+                name="local", token=token, max_queue=256,
+                strategy="forkserver-pool",
+                policy=SpawnPolicy(deadline=30.0, retries=1,
+                                   fallback=DEFAULT_FALLBACK))})
+        self._server = GatewayServer(config).start()
+        from ..gateway.client import GatewayClient as _Client
+        return _Client(self._server.unix_path, tenant="local",
+                       token=token).connect()
+
+    def _teardown_locked(self) -> None:
+        client, self._client = self._client, None
+        if client is not None:
+            try:
+                client.close()
+            except Exception:
+                pass
+        server, self._server = self._server, None
+        if server is not None:
+            try:
+                server.stop()
+            except Exception:
+                pass
+        socket_dir, self._socket_dir = self._socket_dir, None
+        if socket_dir is not None:
+            try:
+                os.rmdir(socket_dir)
+            except OSError:
+                pass
+
+    def shutdown(self) -> None:
+        """Close the client and stop any embedded daemon (a later
+        launch dials or boots a fresh one)."""
+        with self._lock:
+            self._teardown_locked()
+
+    def launch(self, argv, actions, attrs, trace=NULL_TRACE) -> ChildProcess:
+        attrs.validate()
+        self._fire_launch(argv)
+        _reject_unwirable_attrs(self.name, attrs)
+        stdio, opened = _stdio_grant(actions)
+        try:
+            child = self.client().spawn(
+                argv, env=attrs.effective_env(), cwd=attrs.cwd,
+                stdin=stdio[0], stdout=stdio[1], stderr=stdio[2],
+                trace=trace, deadline=attrs.deadline)
+        finally:
+            for handle in opened:
+                os.close(handle)
+        return child
+
+
 # Helpers are real processes; make sure an interpreter that used the
 # shared services does not strand them at exit.
 atexit.register(_REGISTRY["forkserver-pool"].shutdown)
 atexit.register(_REGISTRY["forkserver"].shutdown)
 atexit.register(_REGISTRY["template"].shutdown)
+atexit.register(_REGISTRY["gateway"].shutdown)
 
 
 def pick_default_strategy(attrs: SpawnAttributes) -> Strategy:
@@ -504,9 +609,14 @@ def _batch_via_posix_spawn(reqs) -> List[ChildProcess]:
     return children
 
 
-def spawn_batch(requests: Sequence, *, env=None, cwd=None,
-                policy=None, deadline=None) -> List[ChildProcess]:
+def spawn_batch(requests, *, env=None, cwd=None,
+                policy=None, deadline=None) -> "BatchResult":
     """Batched spawn through the full degradation ladder.
+
+    ``requests`` is a :class:`~repro.core.batch.BatchRequest` — the one
+    batch shape every tier (and the gateway wire protocol) shares; bare
+    sequences and the loose ``env``/``cwd`` kwargs still coerce but
+    warn (removal in 2.0).
 
     The batch goes to the shared forkserver *pool* first (one wire
     frame, the pool's own failover/retries per ``policy``); when that
@@ -520,12 +630,21 @@ def spawn_batch(requests: Sequence, *, env=None, cwd=None,
     single spawns.
 
     The contract is all-or-nothing at every tier: the caller gets all N
-    children or an exception — members are never silently dropped.
+    children (a :class:`~repro.core.batch.BatchResult` naming the tier
+    that served them) or an exception — members are never silently
+    dropped.
     """
-    if not requests:
+    from .batch import BatchRequest, BatchResult, coerce_batch
+    if not isinstance(requests, BatchRequest):
+        batch = coerce_batch("repro.core.spawn_batch", requests,
+                             env=env, cwd=cwd, policy=policy,
+                             deadline=deadline)
+    else:
+        batch = BatchRequest.of(requests, policy=policy, deadline=deadline)
+    if not batch:
         raise SpawnError("empty batch")
-    reqs = [SpawnRequest.coerce(item, env=env, cwd=cwd)
-            for item in requests]
+    reqs = batch.members
+    policy, deadline = batch.policy, batch.deadline
     chain = ["forkserver-pool"]
     if policy is not None:
         chain += [name for name in policy.fallback if name not in chain]
@@ -543,10 +662,10 @@ def spawn_batch(requests: Sequence, *, env=None, cwd=None,
         try:
             if name == "forkserver-pool":
                 children = _REGISTRY[name].pool().spawn_batch(
-                    reqs, policy=policy, deadline=deadline)
+                    BatchRequest(reqs, policy=policy, deadline=deadline))
             elif name == "forkserver":
                 children = _REGISTRY[name].server().spawn_batch(
-                    reqs, deadline=deadline)
+                    BatchRequest(reqs, deadline=deadline))
             else:
                 children = _batch_via_posix_spawn(reqs)
         except (SpawnError, OSError) as exc:
@@ -555,7 +674,7 @@ def spawn_batch(requests: Sequence, *, env=None, cwd=None,
                 TELEMETRY.count("breaker_open", strategy=name)
             continue
         breaker.record_success()
-        return children
+        return BatchResult(list(children), strategy=name)
     raise SpawnError(
         f"every tier in {chain!r} failed to spawn the batch of "
         f"{len(reqs)}: {last_error}") from last_error

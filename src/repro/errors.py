@@ -35,6 +35,70 @@ class SpawnTimeout(SpawnError):
     """
 
 
+class GatewayError(ReproError):
+    """Root for spawn-gateway failures (client- and server-side).
+
+    Every public entry point of :mod:`repro.gateway` raises only
+    descendants of this class (which is itself a :class:`ReproError`),
+    and each subclass carries a stable wire ``code`` so a protocol
+    error frame and the exception it becomes round-trip losslessly —
+    see :data:`repro.gateway.protocol.ERROR_CODES`.
+    """
+
+    #: Stable protocol error code for this class (wire ``error.code``).
+    code = "gateway"
+
+    def __init__(self, message: str = "", *,
+                 retry_after: "float | None" = None):
+        super().__init__(message or self.code)
+        #: Seconds the client should wait before retrying (``None`` when
+        #: retrying sooner is fine); populated for backpressure errors.
+        self.retry_after = retry_after
+
+
+class GatewayProtocolError(GatewayError):
+    """A malformed frame or request the gateway could not interpret.
+
+    Covers oversized or truncated length prefixes, non-UTF-8 or junk
+    JSON bodies, missing required fields and unknown ops.  The framing
+    layer raises it instead of letting codec exceptions (``ValueError``,
+    ``UnicodeDecodeError``, ``struct.error``) leak to callers.
+    """
+
+    code = "protocol"
+
+
+class AuthError(GatewayError):
+    """The connection is not authenticated (bad tenant or token).
+
+    Raised for an unknown tenant name, a wrong token, or an operation
+    attempted before the ``hello`` handshake.
+    """
+
+    code = "auth"
+
+
+class RateLimited(GatewayError):
+    """The tenant exceeded its token-bucket rate limit.
+
+    ``retry_after`` carries the seconds until the bucket refills enough
+    to admit one request — the wire protocol's Retry-After hint.
+    """
+
+    code = "rate_limited"
+
+
+class Overloaded(GatewayError):
+    """The gateway shed the request (queue full, or draining).
+
+    Backpressure made visible: the tenant's bounded queue is full, or
+    the daemon is in SIGTERM drain and refuses new work.
+    ``retry_after`` hints when capacity is expected back.
+    """
+
+    code = "overloaded"
+
+
 class FaultPlanError(ReproError):
     """A fault-injection plan could not be parsed or validated.
 

@@ -1,0 +1,44 @@
+"""repro.gateway — the spawn service as a network-facing daemon.
+
+The paper's complaint is that ``fork`` couples process creation to one
+process's private state; :mod:`repro.core` replaces that with explicit
+builders, pools, and template zygotes — but as a single-process
+*library*.  This package turns the library into a *service*: an asyncio
+daemon listening on a Unix socket (and optionally TCP) that multiplexes
+many tenants over the same warm spawn machinery.
+
+The pieces:
+
+* :mod:`repro.gateway.protocol` — the length-prefixed JSON wire
+  protocol (``hello``/``spawn``/``spawn_batch``/``lease``/``wait``/
+  ``stats``/``drain``), an incremental :class:`FrameDecoder` that turns
+  arbitrary bytes into frames or typed protocol errors, and the
+  two-way mapping between wire error codes and the
+  :class:`~repro.errors.GatewayError` hierarchy.
+* :mod:`repro.gateway.config` — :class:`TenantConfig` (auth token,
+  queue bound, token-bucket rate, weighted-fair share, spawn policy)
+  and :class:`GatewayConfig` (listeners, executor width, drain grace).
+* :mod:`repro.gateway.server` — :class:`GatewayServer`: per-tenant
+  admission control, weighted-fair queueing, token-bucket rate limits,
+  bounded queues with load shedding and Retry-After hints, graceful
+  drain on SIGTERM, and counters/histograms through :mod:`repro.obs`.
+* :mod:`repro.gateway.client` — :class:`GatewayClient`, a synchronous
+  pipelined client, and the ``gateway`` launch strategy that lets the
+  same :class:`~repro.core.ProcessBuilder` program run against the
+  daemon.
+
+Run a standalone daemon with ``python -m repro.gateway``; see
+``docs/GATEWAY.md`` for the protocol spec and tuning guide.
+"""
+
+from .client import GatewayClient
+from .config import GatewayConfig, TenantConfig
+from .protocol import (ERROR_CODES, FrameDecoder, MAX_FRAME_BYTES,
+                       decode_error, encode_error, encode_frame)
+from .server import GatewayServer
+
+__all__ = [
+    "ERROR_CODES", "FrameDecoder", "GatewayClient", "GatewayConfig",
+    "GatewayServer", "MAX_FRAME_BYTES", "TenantConfig",
+    "decode_error", "encode_error", "encode_frame",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.gateway`` — run a standalone spawn-gateway daemon."""
+
+import sys
+
+from .server import main
+
+if __name__ == "__main__":
+    sys.exit(main())

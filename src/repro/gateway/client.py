@@ -1,0 +1,360 @@
+"""GatewayClient: the synchronous, pipelined client for the daemon.
+
+The client mirrors the :class:`~repro.core.forkserver.ForkServer`
+channel design — one socket, a small send lock, a dedicated reader
+thread, and per-request futures matched by correlation id — so many
+threads can have spawns in flight at once without waiting on each
+other's round trips.
+
+Over a Unix socket the client grants the child's stdio triple as
+SCM_RIGHTS ancillary data, exactly like the forkserver wire protocol;
+over TCP no descriptors can travel, so spawns run with ``nfds=0`` (the
+child inherits the *daemon's* stdio) and requests that need stdio
+wiring are refused locally.
+
+Errors come back typed: a reply's ``error`` object decodes through
+:func:`repro.gateway.protocol.decode_error` into the
+:class:`~repro.errors.GatewayError` hierarchy, so callers catch
+:class:`~repro.errors.RateLimited` (with ``retry_after``) or
+:class:`~repro.errors.Overloaded` instead of parsing strings.
+"""
+
+from __future__ import annotations
+
+import array
+import os
+import socket
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.batch import BatchRequest, BatchResult
+from ..core.forkserver import _SCM_MAX_FD
+from ..core.result import ChildProcess
+from ..errors import (GatewayError, GatewayProtocolError, SpawnError,
+                      SpawnTimeout)
+from ..obs import NULL_TRACE, TELEMETRY
+from .protocol import (FrameDecoder, PROTOCOL_VERSION, decode_error,
+                       encode_frame)
+
+#: Address forms :class:`GatewayClient` accepts.
+Address = Union[str, Tuple[str, int]]
+
+
+def _encode_status(returncode: int) -> int:
+    """Re-encode a wire returncode as a raw waitpid status (the shape
+    :class:`ChildProcess` reapers speak)."""
+    if returncode < 0:
+        return -returncode  # killed by signal N -> low 7 bits
+    return returncode << 8
+
+
+class _Pending:
+    """One in-flight request's future: an event plus its eventual reply."""
+
+    __slots__ = ("event", "reply")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.reply: Optional[dict] = None
+
+
+class GatewayClient:
+    """A connection to one gateway daemon, as one tenant.
+
+    ``address`` is a Unix-socket path (str) or a ``(host, port)`` pair;
+    ``tenant``/``token`` authenticate the ``hello`` handshake.  Usable
+    as a context manager and safe to share across threads.
+    """
+
+    #: Seconds the hello handshake (and default round trips) may take.
+    default_timeout = 10.0
+
+    def __init__(self, address: Address, *, tenant: str, token: str,
+                 timeout: Optional[float] = None):
+        self.address = address
+        self.tenant = tenant
+        self._token = token
+        self._timeout = (timeout if timeout is not None
+                         else self.default_timeout)
+        self._sock: Optional[socket.socket] = None
+        self._is_unix = isinstance(address, str)
+        self._send_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._pending: Dict[int, _Pending] = {}
+        self._next_id = 0
+        self._reader: Optional[threading.Thread] = None
+        self._dead: Optional[str] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    @property
+    def healthy(self) -> bool:
+        return self._sock is not None and self._dead is None
+
+    def connect(self) -> "GatewayClient":
+        """Dial the daemon and run the ``hello`` handshake (idempotent)."""
+        if self.connected:
+            return self
+        self._dead = None
+        if self._is_unix:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            sock.settimeout(self._timeout)
+            sock.connect(self.address)
+            sock.settimeout(None)
+        except OSError as exc:
+            sock.close()
+            raise GatewayError(
+                f"cannot reach gateway at {self.address!r}: {exc}") from exc
+        self._sock = sock
+        self._reader = threading.Thread(
+            target=self._read_replies, args=(sock,),
+            name="gateway-client-reader", daemon=True)
+        self._reader.start()
+        try:
+            reply = self._roundtrip({"op": "hello", "tenant": self.tenant,
+                                     "token": self._token},
+                                    timeout=self._timeout)
+            if reply.get("ok") is not True:
+                raise GatewayError(f"gateway refused hello: {reply}")
+            version = reply.get("version")
+            if version != PROTOCOL_VERSION:
+                raise GatewayProtocolError(
+                    f"gateway speaks protocol {version}, this client "
+                    f"speaks {PROTOCOL_VERSION}")
+        except Exception:
+            self.close()
+            raise
+        return self
+
+    def close(self) -> None:
+        """Hang up (idempotent); in-flight requests fail fast."""
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._fail_pending("gateway client closed")
+        reader, self._reader = self._reader, None
+        if reader is not None and reader is not threading.current_thread():
+            reader.join(timeout=2.0)
+
+    def __enter__(self) -> "GatewayClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the wire ---------------------------------------------------------
+
+    def _read_replies(self, sock: socket.socket) -> None:
+        decoder = FrameDecoder()
+        while True:
+            try:
+                data = sock.recv(65536)
+                if not data:
+                    raise GatewayError("gateway hung up")
+                replies = decoder.feed(data)
+            except Exception as exc:
+                self._fail_pending(str(exc) or type(exc).__name__)
+                return
+            for reply in replies:
+                with self._state_lock:
+                    pending = self._pending.pop(reply.get("id"), None)
+                if pending is not None:
+                    pending.reply = reply
+                    pending.event.set()
+                elif "error" in reply and reply.get("id") is None:
+                    # An un-addressed error frame is the daemon telling
+                    # us the *stream* is broken (framing error) — every
+                    # in-flight request on it is lost.
+                    error = decode_error(reply["error"])
+                    self._fail_pending(str(error))
+                    return
+
+    def _fail_pending(self, why: str) -> None:
+        with self._state_lock:
+            if self._dead is None:
+                self._dead = why
+            stranded = list(self._pending.values())
+            self._pending.clear()
+        for pending in stranded:
+            pending.event.set()
+
+    def _roundtrip(self, obj: dict, fds: Sequence[int] = (),
+                   timeout: Optional[float] = None) -> dict:
+        """One pipelined request/reply exchange; raises typed errors."""
+        sock = self._sock
+        if sock is None:
+            raise GatewayError("gateway client is not connected")
+        with self._state_lock:
+            if self._dead is not None:
+                raise GatewayError(
+                    f"gateway channel is dead: {self._dead}")
+            rid = self._next_id
+            self._next_id += 1
+            pending = _Pending()
+            self._pending[rid] = pending
+        frame = encode_frame(dict(obj, id=rid))
+        ancdata = []
+        if fds:
+            ancdata = [(socket.SOL_SOCKET, socket.SCM_RIGHTS,
+                        array.array("i", list(fds)).tobytes())]
+        try:
+            with self._send_lock:
+                sent = sock.sendmsg([frame], ancdata)
+                while sent < len(frame):
+                    sent += sock.send(memoryview(frame)[sent:])
+        except OSError as exc:
+            with self._state_lock:
+                self._pending.pop(rid, None)
+            self._fail_pending(str(exc) or type(exc).__name__)
+            raise GatewayError(f"gateway channel failed: {exc}") from exc
+        except Exception:
+            with self._state_lock:
+                self._pending.pop(rid, None)
+            raise
+        if not pending.event.wait(timeout):
+            with self._state_lock:
+                self._pending.pop(rid, None)
+            raise SpawnTimeout(
+                f"gateway request {rid} ({obj.get('op')}) exceeded its "
+                f"{timeout}s deadline")
+        if pending.reply is None:
+            raise GatewayError(f"gateway died before replying: "
+                               f"{self._dead}")
+        if "error" in pending.reply:
+            raise decode_error(pending.reply["error"])
+        return pending.reply
+
+    def _require_fd_transport(self, what: str) -> None:
+        if not self._is_unix:
+            raise GatewayError(
+                f"{what} needs stdio fd grants, which only travel over "
+                f"a unix-socket connection (this client is on TCP)")
+
+    # -- operations --------------------------------------------------------
+
+    def spawn(self, argv: Sequence[str], *,
+              env: Optional[Dict[str, str]] = None,
+              cwd: Optional[str] = None,
+              stdin: int = 0, stdout: int = 1, stderr: int = 2,
+              trace=NULL_TRACE,
+              deadline: Optional[float] = None) -> ChildProcess:
+        """Spawn ``argv`` through the gateway; returns a live handle.
+
+        Over a Unix socket the stdio triple is granted as SCM_RIGHTS
+        (so pipes wire up exactly like a local spawn); the returned
+        :class:`ChildProcess` reaps through the gateway's ``wait`` op —
+        the child is the *daemon's* child, like forkserver children.
+        """
+        if not argv:
+            raise SpawnError("empty argv")
+        request = {"op": "spawn",
+                   "argv": [os.fspath(a) for a in argv],
+                   "env": env, "cwd": cwd}
+        fds: Sequence[int] = ()
+        if self._is_unix:
+            request["nfds"] = 3
+            fds = (stdin, stdout, stderr)
+            TELEMETRY.count("fd_grants", 3)
+        elif (stdin, stdout, stderr) != (0, 1, 2):
+            self._require_fd_transport("stdio wiring")
+        else:
+            request["nfds"] = 0
+        trace.stage("dispatch", gateway=str(self.address))
+        reply = self._roundtrip(request, fds=fds,
+                                timeout=deadline or self._timeout)
+        if "pid" not in reply:
+            raise GatewayError(f"gateway refused spawn: {reply}")
+        trace.stage("forked", pid=reply["pid"])
+        return ChildProcess(reply["pid"], argv=argv, strategy="gateway",
+                            reaper=self._reap, trace=trace)
+
+    def spawn_batch(self, requests, *,
+                    deadline: Optional[float] = None) -> BatchResult:
+        """Spawn N children in one wire round trip (a
+        :class:`BatchRequest`; bare sequences coerce but warn)."""
+        from ..core.batch import coerce_batch
+        if not isinstance(requests, BatchRequest):
+            batch = coerce_batch("GatewayClient.spawn_batch", requests,
+                                 deadline=deadline)
+        else:
+            batch = requests
+        if deadline is None:
+            deadline = batch.deadline
+        if not batch:
+            raise SpawnError("empty batch")
+        request = {"op": "spawn_batch", "reqs": batch.wire()}
+        fds: List[int] = []
+        if self._is_unix:
+            for member in batch.members:
+                fds.extend(member.grant())
+            if len(fds) > _SCM_MAX_FD:
+                raise SpawnError(
+                    f"batch of {len(batch)} needs {len(fds)} fd grants; "
+                    f"one SCM_RIGHTS message carries at most "
+                    f"{_SCM_MAX_FD} — split the batch")
+            request["nfds"] = 3
+            TELEMETRY.count("fd_grants", len(fds))
+        else:
+            for member in batch.members:
+                if member.grant() != (0, 1, 2):
+                    self._require_fd_transport("batch stdio wiring")
+            request["nfds"] = 0
+        reply = self._roundtrip(request, fds=fds,
+                                timeout=deadline or self._timeout)
+        pids = reply.get("pids")
+        if pids is None or len(pids) != len(batch):
+            raise GatewayError(f"gateway refused batch: {reply}")
+        children = [
+            ChildProcess(pid, argv=member.argv, strategy="gateway",
+                         reaper=self._reap)
+            for pid, member in zip(pids, batch.members)]
+        return BatchResult(children, strategy="gateway")
+
+    def lease(self, count: int, ttl: float = 10.0) -> dict:
+        """Reserve ``count`` rate-limit-exempt admission credits for
+        ``ttl`` seconds (provisioned concurrency for a known burst)."""
+        reply = self._roundtrip({"op": "lease", "count": count,
+                                 "ttl": ttl}, timeout=self._timeout)
+        return reply.get("lease", {})
+
+    def stats(self) -> dict:
+        """The daemon's stats snapshot (queues, sheds, per-tenant)."""
+        reply = self._roundtrip({"op": "stats"}, timeout=self._timeout)
+        return reply.get("stats", {})
+
+    def drain(self) -> None:
+        """Ask the daemon to drain (refuse new, finish admitted)."""
+        self._roundtrip({"op": "drain"}, timeout=self._timeout)
+
+    def _reap(self, pid: int, flags: int) -> Optional[int]:
+        """ChildProcess reaper: wait through the daemon.
+
+        Non-blocking polls answer immediately; a blocking wait parks
+        until the daemon's SIGCHLD path reports the exit.
+        """
+        reply = self._roundtrip({"op": "wait", "pid": pid,
+                                 "block": flags == 0})
+        status = reply.get("status")
+        if status is None:
+            return None
+        return _encode_status(status)
+
+    def __repr__(self):
+        state = ("healthy" if self.healthy
+                 else "closed" if not self.connected else "dead")
+        return (f"<GatewayClient {self.address!r} tenant={self.tenant} "
+                f"{state}>")

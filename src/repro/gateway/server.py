@@ -1,0 +1,909 @@
+"""The spawn gateway daemon: many tenants, one warm spawn service.
+
+:class:`GatewayServer` listens on a Unix socket (and optionally TCP),
+speaks the length-prefixed JSON protocol of
+:mod:`repro.gateway.protocol`, and maps every admitted request onto the
+library's strategy ladder — template zygotes, the forkserver pool, a
+single forkserver, or direct ``posix_spawn`` — through each tenant's
+:class:`~repro.core.policy.SpawnPolicy`.
+
+The interesting part is what happens *before* a request reaches the
+ladder.  Admission control runs per tenant, in order:
+
+1. **auth** — the connection's ``hello`` must present the tenant's
+   token (compared in constant time) before any other op is served;
+2. **drain** — a draining gateway refuses new spawns with
+   :class:`~repro.errors.Overloaded` and a Retry-After hint while
+   completing everything already admitted;
+3. **rate** — a token bucket (``rate``/``burst``) answers bursts above
+   the tenant's contract with :class:`~repro.errors.RateLimited` and
+   the exact seconds until a token exists;
+4. **queue bound** — each tenant owns a bounded queue; past
+   ``max_queue`` the gateway *sheds* (:class:`Overloaded`) instead of
+   buffering without bound — the load-shedding half of backpressure.
+
+Admitted work is scheduled by **weighted fair queueing** (start-time
+fair queueing over per-tenant virtual clocks): each dispatch advances
+its tenant's clock by ``cost/weight``, and the scheduler always serves
+the backlogged tenant with the smallest clock — so a tenant flooding
+its queue cannot starve the others, and a weight-2 tenant drains twice
+as fast as a weight-1 tenant under contention.
+
+Dispatch itself runs on a bounded thread executor (the spawn ladder is
+blocking I/O); ``max_inflight`` is the daemon-wide concurrency bound.
+Everything is observable through :mod:`repro.obs`: queue-depth gauges,
+shed/rate-limit counters, and per-tenant launch-latency histograms.
+
+The event loop runs in a dedicated thread; ``start()``/``stop()`` are
+ordinary blocking calls, which is what lets the ``gateway`` strategy
+embed a daemon inside the client process.  Socket I/O uses raw
+non-blocking sockets with ``loop.add_reader`` — not asyncio streams —
+because stdio descriptors arrive as SCM_RIGHTS ancillary data, which
+only ``recvmsg`` on the real socket can see.
+"""
+
+from __future__ import annotations
+
+import array
+import asyncio
+import hmac
+import json
+import os
+import socket
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Deque, Dict, List, Optional
+
+from ..core.batch import BatchRequest
+from ..core.policy import (DEFAULT_FALLBACK, SpawnPolicy, breaker_for)
+from ..core.spawn import ProcessBuilder
+from ..errors import (AuthError, GatewayError, GatewayProtocolError,
+                      Overloaded, RateLimited, SpawnError)
+from ..obs import TELEMETRY
+from .config import GatewayConfig, TenantConfig, TokenBucket
+from .protocol import (FrameDecoder, PROTOCOL_VERSION, check_request,
+                       encode_error, encode_frame)
+
+#: Longest lease (admission credits) a tenant may hold, seconds.
+MAX_LEASE_TTL = 60.0
+
+#: How much ancillary (fd-grant) space one recvmsg is willing to parse.
+_FD_BUFFER = socket.CMSG_SPACE(253 * array.array("i").itemsize)
+
+
+class _Connection:
+    """One client connection: socket, decoder, granted fds, identity."""
+
+    __slots__ = ("sock", "fd", "is_unix", "decoder", "pending_fds",
+                 "tenant", "outbuf", "writing", "closed", "peer",
+                 "close_after_flush")
+
+    def __init__(self, sock: socket.socket, is_unix: bool, peer: str):
+        self.sock = sock
+        self.fd = sock.fileno()
+        self.is_unix = is_unix
+        self.decoder = FrameDecoder()
+        self.pending_fds: List[int] = []
+        self.tenant: Optional[str] = None
+        self.outbuf = bytearray()
+        self.writing = False
+        self.closed = False
+        self.close_after_flush = False
+        self.peer = peer
+
+
+class _Job:
+    """One admitted unit of work, waiting in its tenant's queue."""
+
+    __slots__ = ("conn", "rid", "kind", "payload", "fds", "cost",
+                 "tenant", "t_enqueued")
+
+    def __init__(self, conn: _Connection, rid: Optional[int], kind: str,
+                 payload: dict, fds: List[int], cost: int, tenant: str):
+        self.conn = conn
+        self.rid = rid
+        self.kind = kind
+        self.payload = payload
+        self.fds = fds
+        self.cost = cost
+        self.tenant = tenant
+        self.t_enqueued = time.monotonic()
+
+
+class _TenantState:
+    """Everything the gateway tracks about one tenant at runtime."""
+
+    __slots__ = ("config", "bucket", "queue", "vtime", "inflight",
+                 "children", "policy", "lease_credits", "lease_expiry",
+                 "counters")
+
+    def __init__(self, config: TenantConfig):
+        self.config = config
+        self.bucket: Optional[TokenBucket] = None
+        if config.rate is not None:
+            self.bucket = TokenBucket(
+                config.rate, config.burst if config.burst else config.rate)
+        self.queue: Deque[_Job] = deque()
+        self.vtime = 0.0
+        self.inflight = 0
+        self.children: Dict[int, object] = {}
+        self.policy = config.policy or SpawnPolicy(
+            deadline=10.0, retries=1, fallback=DEFAULT_FALLBACK)
+        self.lease_credits = 0
+        self.lease_expiry = 0.0
+        self.counters = {"admitted": 0, "completed": 0, "failed": 0,
+                         "shed": 0, "rate_limited": 0}
+
+    def take_lease_credit(self, now: float) -> bool:
+        if self.lease_credits > 0 and now < self.lease_expiry:
+            self.lease_credits -= 1
+            return True
+        return False
+
+
+class GatewayServer:
+    """The multi-tenant spawn daemon (see the module docstring).
+
+    Lifecycle: ``start()`` binds the listeners and boots the event-loop
+    thread; ``drain()`` flips the daemon into refuse-new/finish-admitted
+    mode; ``stop()`` drains (bounded by ``config.drain_grace``), closes
+    every connection, and joins the loop.  Usable as a context manager.
+    """
+
+    def __init__(self, config: GatewayConfig):
+        self.config = config
+        self._tenants = {name: _TenantState(cfg)
+                         for name, cfg in config.tenants.items()}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._listeners: List[socket.socket] = []
+        self._connections: Dict[int, _Connection] = {}
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._inflight = 0
+        self._vclock = 0.0
+        self._wake: Optional[asyncio.Event] = None
+        self._scheduler_task = None
+        self._draining = False
+        self._drained = threading.Event()
+        self._started = threading.Event()
+        self._stopped = threading.Event()
+        self._closing = False
+        self._unix_path: Optional[str] = None
+        self._tcp_port: Optional[int] = None
+        self._internal_errors = 0
+        self._boot_error: Optional[BaseException] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def unix_path(self) -> Optional[str]:
+        """The bound Unix-socket path (``None`` when not listening)."""
+        return self._unix_path
+
+    @property
+    def tcp_port(self) -> Optional[int]:
+        """The bound TCP port (resolved even when configured as 0)."""
+        return self._tcp_port
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def start(self) -> "GatewayServer":
+        """Bind the listeners and boot the loop thread (idempotent)."""
+        if self._thread is not None:
+            return self
+        self._bind_listeners()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.executor_threads
+            or self.config.max_inflight,
+            thread_name_prefix="gateway-spawn")
+        self._thread = threading.Thread(target=self._run_loop,
+                                        name="gateway-loop", daemon=True)
+        self._thread.start()
+        self._started.wait(timeout=10.0)
+        if self._boot_error is not None:
+            error, self._boot_error = self._boot_error, None
+            self.stop()
+            raise GatewayError(f"gateway failed to start: {error}")
+        if not self._started.is_set():
+            self.stop()
+            raise GatewayError("gateway event loop failed to start")
+        return self
+
+    def _bind_listeners(self) -> None:
+        if self.config.unix_path is not None:
+            path = self.config.unix_path
+            try:
+                if os.path.exists(path):
+                    os.unlink(path)  # stale socket from a dead daemon
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.bind(path)
+            except OSError as exc:
+                raise GatewayError(
+                    f"cannot listen on unix socket {path!r}: {exc}") from exc
+            sock.listen(self.config.accept_backlog)
+            sock.setblocking(False)
+            self._listeners.append(sock)
+            self._unix_path = path
+        if self.config.tcp_port is not None:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            try:
+                sock.bind((self.config.tcp_host, self.config.tcp_port))
+            except OSError as exc:
+                sock.close()
+                raise GatewayError(
+                    f"cannot listen on {self.config.tcp_host}:"
+                    f"{self.config.tcp_port}: {exc}") from exc
+            sock.listen(self.config.accept_backlog)
+            sock.setblocking(False)
+            self._listeners.append(sock)
+            self._tcp_port = sock.getsockname()[1]
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            self._wake = asyncio.Event()
+            for sock in self._listeners:
+                is_unix = sock.family == socket.AF_UNIX
+                loop.add_reader(sock.fileno(), self._on_accept, sock,
+                                is_unix)
+            self._scheduler_task = loop.create_task(self._scheduler())
+            self._started.set()
+            loop.run_forever()
+        except BaseException as exc:  # boot failed; unblock start()
+            self._boot_error = exc
+            self._started.set()
+        finally:
+            try:
+                pending = asyncio.all_tasks(loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True))
+            except Exception:
+                pass
+            loop.close()
+            self._stopped.set()
+
+    def drain(self, *_signal_args) -> None:
+        """Refuse new spawns; finish everything already admitted.
+
+        Thread- and signal-safe: this is the SIGTERM handler.  Queued
+        and in-flight work completes; new ``spawn``/``spawn_batch``
+        requests get :class:`Overloaded` with a Retry-After hint.
+        """
+        loop = self._loop
+        if loop is None or self._stopped.is_set():
+            self._draining = True
+            self._drained.set()
+            return
+        loop.call_soon_threadsafe(self._begin_drain)
+
+    def _begin_drain(self) -> None:
+        if not self._draining:
+            self._draining = True
+            TELEMETRY.event("gateway_drain")
+        self._check_drained()
+
+    def _check_drained(self) -> None:
+        if not self._draining:
+            return
+        if self._inflight == 0 and not any(
+                t.queue for t in self._tenants.values()):
+            self._drained.set()
+
+    def stop(self) -> None:
+        """Drain (bounded), close everything, join the loop (idempotent)."""
+        self.drain()
+        self._drained.wait(timeout=self.config.drain_grace)
+        self._closing = True
+        loop = self._loop
+        if loop is not None and not self._stopped.is_set():
+            loop.call_soon_threadsafe(self._shutdown_in_loop)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        for sock in self._listeners:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._listeners = []
+        if self._unix_path is not None:
+            try:
+                os.unlink(self._unix_path)
+            except OSError:
+                pass
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+        # Reap whatever the tenants still hold so no zombie outlives us.
+        for tenant in self._tenants.values():
+            for child in list(tenant.children.values()):
+                try:
+                    child.poll()
+                except Exception:
+                    pass
+            tenant.children.clear()
+        self._loop = None
+
+    def _shutdown_in_loop(self) -> None:
+        for sock in self._listeners:
+            try:
+                self._loop.remove_reader(sock.fileno())
+            except Exception:
+                pass
+        for conn in list(self._connections.values()):
+            self._close_connection(conn)
+        # Fail whatever is still queued (grace expired before it ran).
+        for tenant in self._tenants.values():
+            while tenant.queue:
+                job = tenant.queue.popleft()
+                self._close_job_fds(job)
+        self._loop.stop()
+
+    def __enter__(self) -> "GatewayServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- connection plumbing ---------------------------------------------
+
+    def _on_accept(self, listener: socket.socket, is_unix: bool) -> None:
+        try:
+            sock, addr = listener.accept()
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            return
+        sock.setblocking(False)
+        peer = self._unix_path if is_unix else f"{addr[0]}:{addr[1]}"
+        conn = _Connection(sock, is_unix, str(peer))
+        self._connections[conn.fd] = conn
+        self._loop.add_reader(conn.fd, self._on_readable, conn)
+        TELEMETRY.count("gateway_connections")
+
+    def _close_connection(self, conn: _Connection) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        self._connections.pop(conn.fd, None)
+        try:
+            self._loop.remove_reader(conn.fd)
+        except Exception:
+            pass
+        if conn.writing:
+            try:
+                self._loop.remove_writer(conn.fd)
+            except Exception:
+                pass
+        for fd in conn.pending_fds:
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        conn.pending_fds = []
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+
+    def _on_readable(self, conn: _Connection) -> None:
+        if conn.closed:
+            return
+        try:
+            if conn.is_unix:
+                data, ancdata, _flags, _addr = conn.sock.recvmsg(
+                    65536, _FD_BUFFER)
+                for level, ctype, payload in ancdata:
+                    if (level == socket.SOL_SOCKET
+                            and ctype == socket.SCM_RIGHTS):
+                        fds = array.array("i")
+                        fds.frombytes(
+                            payload[:len(payload)
+                                    - len(payload) % fds.itemsize])
+                        conn.pending_fds.extend(fds)
+            else:
+                data = conn.sock.recv(65536)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close_connection(conn)
+            return
+        if not data:
+            self._close_connection(conn)
+            return
+        try:
+            frames = conn.decoder.feed(data)
+        except GatewayProtocolError as exc:
+            # The stream cannot be re-aligned: answer, flush, hang up.
+            self._send(conn, encode_error(exc))
+            conn.close_after_flush = True
+            self._flush_or_close(conn)
+            return
+        for frame in frames:
+            self._handle_frame(conn, frame)
+            if conn.closed or conn.close_after_flush:
+                break
+
+    def _send(self, conn: _Connection, obj: dict) -> None:
+        if conn.closed:
+            return
+        try:
+            conn.outbuf += encode_frame(obj)
+        except GatewayError:
+            # A reply too large to frame: report it in a frame that fits.
+            conn.outbuf += encode_frame(encode_error(
+                GatewayProtocolError("reply exceeded the frame limit"),
+                obj.get("id")))
+        self._flush_or_close(conn)
+
+    def _flush_or_close(self, conn: _Connection) -> None:
+        if conn.closed:
+            return
+        if conn.outbuf:
+            try:
+                sent = conn.sock.send(conn.outbuf)
+                del conn.outbuf[:sent]
+            except (BlockingIOError, InterruptedError):
+                pass
+            except OSError:
+                self._close_connection(conn)
+                return
+        if conn.outbuf and not conn.writing:
+            conn.writing = True
+            self._loop.add_writer(conn.fd, self._on_writable, conn)
+        elif not conn.outbuf:
+            if conn.writing:
+                conn.writing = False
+                try:
+                    self._loop.remove_writer(conn.fd)
+                except Exception:
+                    pass
+            if conn.close_after_flush:
+                self._close_connection(conn)
+
+    def _on_writable(self, conn: _Connection) -> None:
+        self._flush_or_close(conn)
+
+    # -- request handling ------------------------------------------------
+
+    def _handle_frame(self, conn: _Connection, frame: dict) -> None:
+        """One request frame, end to end.  MUST NOT raise: every error
+        becomes a typed error reply (that invariant is what 'zero
+        unhandled server exceptions' means in the t8 gate)."""
+        rid: Optional[int] = None
+        try:
+            op, rid = check_request(frame)
+            if op == "hello":
+                self._op_hello(conn, rid, frame)
+            elif conn.tenant is None:
+                raise AuthError("say hello first (tenant + token)")
+            elif op == "spawn":
+                self._op_spawn(conn, rid, frame)
+            elif op == "spawn_batch":
+                self._op_spawn_batch(conn, rid, frame)
+            elif op == "lease":
+                self._op_lease(conn, rid, frame)
+            elif op == "wait":
+                self._op_wait(conn, rid, frame)
+            elif op == "stats":
+                self._send(conn, {"id": rid, "stats": self.stats()})
+            elif op == "drain":
+                self._begin_drain()
+                self._send(conn, {"id": rid, "draining": True})
+        except GatewayError as exc:
+            self._send(conn, encode_error(exc, rid))
+            if isinstance(exc, AuthError):
+                conn.close_after_flush = True
+                self._flush_or_close(conn)
+        except Exception as exc:  # the backstop: never kill the loop
+            self._internal_errors += 1
+            TELEMETRY.count("gateway_internal_errors")
+            self._send(conn, encode_error(
+                GatewayError(f"internal error: {exc}"), rid))
+
+    def _op_hello(self, conn: _Connection, rid: Optional[int],
+                  frame: dict) -> None:
+        name = frame.get("tenant")
+        token = frame.get("token")
+        tenant = self._tenants.get(name) if isinstance(name, str) else None
+        if (tenant is None or not isinstance(token, str)
+                or not hmac.compare_digest(
+                    token.encode(), tenant.config.token.encode())):
+            TELEMETRY.count("gateway_auth_failures")
+            raise AuthError("unknown tenant or bad token")
+        conn.tenant = name
+        self._send(conn, {"id": rid, "ok": True,
+                          "version": PROTOCOL_VERSION, "tenant": name})
+
+    def _take_fds(self, conn: _Connection, frame: dict,
+                  members: int = 1) -> List[int]:
+        """Claim this request's granted stdio fds (``nfds`` per member).
+
+        ``nfds`` must be 0 (inherit the daemon's stdio) or 3 per
+        member; a grant the kernel did not actually deliver is a
+        protocol error, mirroring the forkserver's lost-grant check.
+        """
+        nfds = frame.get("nfds", 0)
+        if nfds not in (0, 3):
+            raise GatewayProtocolError(f"nfds must be 0 or 3, got {nfds!r}")
+        total = nfds * members
+        if total == 0:
+            return []
+        if not conn.is_unix:
+            raise GatewayProtocolError(
+                "fd grants need a unix-socket connection; TCP clients "
+                "must spawn with nfds=0")
+        if len(conn.pending_fds) < total:
+            raise GatewayProtocolError(
+                f"request claims {total} granted fds but only "
+                f"{len(conn.pending_fds)} arrived (lost SCM_RIGHTS grant)")
+        fds, conn.pending_fds = (conn.pending_fds[:total],
+                                 conn.pending_fds[total:])
+        return fds
+
+    def _admit(self, conn: _Connection, cost: int) -> _TenantState:
+        """The admission ladder: drain, rate, queue bound — in order."""
+        tenant = self._tenants[conn.tenant]
+        now = time.monotonic()
+        if self._draining:
+            raise Overloaded(
+                "gateway is draining; try another instance",
+                retry_after=self.config.drain_grace)
+        if tenant.bucket is not None and not tenant.take_lease_credit(now):
+            admitted, retry_after = tenant.bucket.take()
+            if not admitted:
+                tenant.counters["rate_limited"] += 1
+                TELEMETRY.count("gateway_rate_limited", tenant=conn.tenant)
+                raise RateLimited(
+                    f"tenant {conn.tenant!r} over its "
+                    f"{tenant.config.rate:g} req/s contract",
+                    retry_after=retry_after)
+        if len(tenant.queue) + cost > tenant.config.max_queue:
+            tenant.counters["shed"] += 1
+            TELEMETRY.count("gateway_shed", tenant=conn.tenant)
+            # The hint scales with how deep the backlog is: a full queue
+            # behind a slow ladder needs a longer back-off than a blip.
+            hint = self.config.retry_after_hint * max(1, len(tenant.queue))
+            raise Overloaded(
+                f"tenant {conn.tenant!r} queue is full "
+                f"({tenant.config.max_queue})", retry_after=hint)
+        limit = tenant.config.max_children
+        if limit is not None and (
+                len(tenant.children) + tenant.inflight + cost > limit):
+            tenant.counters["shed"] += 1
+            TELEMETRY.count("gateway_shed", tenant=conn.tenant)
+            raise Overloaded(
+                f"tenant {conn.tenant!r} at its {limit}-children limit; "
+                f"wait() some first",
+                retry_after=self.config.retry_after_hint)
+        return tenant
+
+    def _enqueue(self, tenant: _TenantState, job: _Job) -> None:
+        was_empty = not tenant.queue
+        tenant.queue.append(job)
+        tenant.counters["admitted"] += 1
+        if was_empty:
+            # A newly backlogged tenant joins at the current virtual
+            # clock — it gets its fair share from now on, not a refund
+            # for the time it was idle (that refund is exactly how one
+            # tenant would starve the rest after sitting out a burst).
+            tenant.vtime = max(tenant.vtime, self._vclock)
+        TELEMETRY.count("gateway_requests", tenant=job.tenant, op=job.kind)
+        TELEMETRY.gauge("gateway_queue_depth",
+                        sum(len(t.queue) for t in self._tenants.values()))
+        self._wake.set()
+
+    def _op_spawn(self, conn: _Connection, rid: Optional[int],
+                  frame: dict) -> None:
+        argv = frame.get("argv")
+        if (not isinstance(argv, list) or not argv
+                or not all(isinstance(a, str) for a in argv)):
+            raise GatewayProtocolError(f"spawn needs a non-empty string "
+                                       f"argv, got {argv!r}")
+        env = frame.get("env")
+        if env is not None and not isinstance(env, dict):
+            raise GatewayProtocolError("env must be an object or null")
+        cwd = frame.get("cwd")
+        if cwd is not None and not isinstance(cwd, str):
+            raise GatewayProtocolError("cwd must be a string or null")
+        fds = self._take_fds(conn, frame)
+        try:
+            tenant = self._admit(conn, 1)
+        except GatewayError:
+            self._close_fds(fds)
+            raise
+        self._enqueue(tenant, _Job(conn, rid, "spawn",
+                                   {"argv": argv, "env": env, "cwd": cwd},
+                                   fds, 1, conn.tenant))
+
+    def _op_spawn_batch(self, conn: _Connection, rid: Optional[int],
+                        frame: dict) -> None:
+        reqs = frame.get("reqs")
+        if not isinstance(reqs, list) or not reqs:
+            raise GatewayProtocolError("spawn_batch needs a non-empty "
+                                       "reqs list")
+        try:
+            batch = BatchRequest.from_wire(reqs)
+        except SpawnError as exc:
+            raise GatewayProtocolError(str(exc)) from exc
+        fds = self._take_fds(conn, frame, members=len(reqs))
+        try:
+            tenant = self._admit(conn, len(reqs))
+        except GatewayError:
+            self._close_fds(fds)
+            raise
+        self._enqueue(tenant, _Job(conn, rid, "batch", {"batch": batch},
+                                   fds, len(reqs), conn.tenant))
+
+    def _op_lease(self, conn: _Connection, rid: Optional[int],
+                  frame: dict) -> None:
+        """Lease admission credits: ``count`` spawns exempt from the
+        rate limit for ``ttl`` seconds — provisioned concurrency for a
+        burst the tenant knows is coming.  Queue bounds still apply."""
+        tenant = self._tenants[conn.tenant]
+        count = frame.get("count", 1)
+        ttl = frame.get("ttl", 10.0)
+        if not isinstance(count, int) or count < 1:
+            raise GatewayProtocolError(f"lease count must be a positive "
+                                       f"integer, got {count!r}")
+        if not isinstance(ttl, (int, float)) or ttl <= 0:
+            raise GatewayProtocolError(f"lease ttl must be > 0, "
+                                       f"got {ttl!r}")
+        if self._draining:
+            raise Overloaded("gateway is draining",
+                             retry_after=self.config.drain_grace)
+        granted = min(count, tenant.config.max_queue)
+        ttl = min(float(ttl), MAX_LEASE_TTL)
+        tenant.lease_credits = granted
+        tenant.lease_expiry = time.monotonic() + ttl
+        TELEMETRY.count("gateway_leases", tenant=conn.tenant)
+        self._send(conn, {"id": rid,
+                          "lease": {"count": granted, "ttl": ttl}})
+
+    def _op_wait(self, conn: _Connection, rid: Optional[int],
+                 frame: dict) -> None:
+        tenant = self._tenants[conn.tenant]
+        pid = frame.get("pid")
+        if not isinstance(pid, int):
+            raise GatewayProtocolError(f"wait needs an integer pid, "
+                                       f"got {pid!r}")
+        child = tenant.children.get(pid)
+        if child is None:
+            raise GatewayError(f"pid {pid} is not a live child of tenant "
+                               f"{conn.tenant!r}")
+        block = bool(frame.get("block", True))
+
+        def wait_blocking():
+            # Own thread, not the executor: a blocking wait parks for
+            # the child's whole runtime and must never eat a spawn slot.
+            try:
+                status = child.wait()
+            except SpawnError as exc:
+                self._loop.call_soon_threadsafe(
+                    self._send, conn, encode_error(GatewayError(str(exc)),
+                                                   rid))
+                return
+            tenant.children.pop(pid, None)
+            self._loop.call_soon_threadsafe(
+                self._send, conn, {"id": rid, "status": status})
+
+        if block:
+            threading.Thread(target=wait_blocking, daemon=True,
+                             name=f"gateway-wait-{pid}").start()
+        else:
+            try:
+                status = child.poll()
+            except SpawnError as exc:
+                raise GatewayError(str(exc)) from exc
+            if status is not None:
+                tenant.children.pop(pid, None)
+            self._send(conn, {"id": rid, "status": status})
+
+    # -- the weighted-fair scheduler -------------------------------------
+
+    async def _scheduler(self) -> None:
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            while self._inflight < self.config.max_inflight:
+                tenant = self._pick_tenant()
+                if tenant is None:
+                    break
+                job = tenant.queue.popleft()
+                # Start-time fair queueing: the global clock follows the
+                # dispatched tenant's start tag; its finish tag advances
+                # by cost/weight, so heavier tenants accrue time slower
+                # and get picked proportionally more often.
+                self._vclock = max(self._vclock, tenant.vtime)
+                tenant.vtime += job.cost / tenant.config.weight
+                tenant.inflight += 1
+                self._inflight += 1
+                TELEMETRY.gauge("gateway_inflight", self._inflight)
+                future = self._loop.run_in_executor(
+                    self._executor, self._execute, job)
+                future.add_done_callback(
+                    lambda fut, job=job, tenant=tenant:
+                    self._job_done(job, tenant, fut))
+
+    def _pick_tenant(self) -> Optional[_TenantState]:
+        best = None
+        for tenant in self._tenants.values():
+            if tenant.queue and (best is None
+                                 or tenant.vtime < best.vtime):
+                best = tenant
+        return best
+
+    def _job_done(self, job: _Job, tenant: _TenantState, future) -> None:
+        self._inflight -= 1
+        tenant.inflight -= 1
+        TELEMETRY.gauge("gateway_inflight", self._inflight)
+        self._close_job_fds(job)
+        try:
+            reply = future.result()
+        except GatewayError as exc:
+            tenant.counters["failed"] += 1
+            self._send(job.conn, encode_error(exc, job.rid))
+        except (SpawnError, OSError) as exc:
+            tenant.counters["failed"] += 1
+            self._send(job.conn, encode_error(GatewayError(str(exc)),
+                                              job.rid))
+        except Exception as exc:
+            self._internal_errors += 1
+            tenant.counters["failed"] += 1
+            TELEMETRY.count("gateway_internal_errors")
+            self._send(job.conn, encode_error(
+                GatewayError(f"internal error: {exc}"), job.rid))
+        else:
+            tenant.counters["completed"] += 1
+            latency_ms = (time.monotonic() - job.t_enqueued) * 1e3
+            TELEMETRY.observe("gateway_latency_ms", latency_ms,
+                              tenant=job.tenant)
+            reply["id"] = job.rid
+            self._send(job.conn, reply)
+        self._wake.set()
+        self._check_drained()
+
+    # -- the blocking half (executor threads) ----------------------------
+
+    def _execute(self, job: _Job) -> dict:
+        """Run one admitted job through the tenant's strategy ladder.
+
+        Blocking — executor threads only.  Tenant breakers ride the
+        shared :func:`breaker_for` registry under a per-tenant key, so a
+        tenant whose spawns keep failing stops consuming ladder attempts
+        while everyone else's breaker stays closed.
+        """
+        tenant = self._tenants[job.tenant]
+        breaker = breaker_for(f"gateway:{job.tenant}", tenant.policy)
+        if not breaker.allow():
+            raise Overloaded(
+                f"tenant {job.tenant!r} circuit breaker is open",
+                retry_after=tenant.policy.breaker_cooldown)
+        try:
+            if job.kind == "spawn":
+                reply = self._execute_spawn(tenant, job)
+            else:
+                reply = self._execute_batch(tenant, job)
+        except (SpawnError, OSError):
+            breaker.record_failure()
+            raise
+        breaker.record_success()
+        return reply
+
+    def _execute_spawn(self, tenant: _TenantState, job: _Job) -> dict:
+        payload = job.payload
+        builder = (ProcessBuilder(*payload["argv"])
+                   .strategy(tenant.config.strategy)
+                   .policy(tenant.policy))
+        if payload["env"] is not None:
+            builder.env(payload["env"])
+        if payload["cwd"] is not None:
+            builder.cwd(payload["cwd"])
+        if job.fds:
+            (builder.stdin_from_fd(job.fds[0])
+                    .stdout_to_fd(job.fds[1])
+                    .stderr_to_fd(job.fds[2]))
+        child = builder.spawn()
+        tenant.children[child.pid] = child
+        return {"pid": child.pid}
+
+    def _execute_batch(self, tenant: _TenantState, job: _Job) -> dict:
+        from ..core.strategies import spawn_batch
+        batch: BatchRequest = job.payload["batch"]
+        if job.fds:
+            for index, member in enumerate(batch.members):
+                member.stdin = job.fds[3 * index]
+                member.stdout = job.fds[3 * index + 1]
+                member.stderr = job.fds[3 * index + 2]
+        result = spawn_batch(BatchRequest(batch.members,
+                                          policy=tenant.policy,
+                                          deadline=tenant.policy.deadline))
+        for child in result:
+            tenant.children[child.pid] = child
+        return {"pids": result.pids, "strategy": result.strategy}
+
+    # -- stats ------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """A point-in-time snapshot (also the ``stats`` op's reply)."""
+        tenants = {}
+        for name, tenant in self._tenants.items():
+            tenants[name] = dict(tenant.counters,
+                                 queued=len(tenant.queue),
+                                 inflight=tenant.inflight,
+                                 children=len(tenant.children),
+                                 weight=tenant.config.weight,
+                                 vtime=round(tenant.vtime, 6))
+        return {"draining": self._draining,
+                "inflight": self._inflight,
+                "internal_errors": self._internal_errors,
+                "shed_total": sum(t.counters["shed"]
+                                  for t in self._tenants.values()),
+                "tenants": tenants}
+
+    # -- small helpers -----------------------------------------------------
+
+    @staticmethod
+    def _close_fds(fds: List[int]) -> None:
+        for fd in fds:
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+
+    def _close_job_fds(self, job: _Job) -> None:
+        self._close_fds(job.fds)
+        job.fds = []
+
+    def __repr__(self):
+        where = self._unix_path or f"tcp:{self._tcp_port}"
+        return (f"<GatewayServer {where} tenants={len(self._tenants)} "
+                f"{'draining' if self._draining else 'serving'}>")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.gateway``: run a standalone daemon.
+
+    Takes one argument — the JSON config path — plus ``--print-stats``
+    to dump a stats snapshot on exit.  SIGTERM (and SIGINT) drain
+    gracefully: in-flight and queued spawns complete, new ones are
+    refused with Retry-After, then the daemon exits 0.
+    """
+    import argparse
+    import signal
+
+    parser = argparse.ArgumentParser(
+        prog="repro.gateway", description="multi-tenant spawn daemon")
+    parser.add_argument("config", help="path to a gateway JSON config")
+    parser.add_argument("--print-stats", action="store_true",
+                        help="dump a stats snapshot to stdout on exit")
+    args = parser.parse_args(argv)
+
+    config = GatewayConfig.from_file(args.config)
+    server = GatewayServer(config).start()
+    done = threading.Event()
+
+    def on_signal(signum, frame):
+        server.drain()
+        done.set()
+
+    signal.signal(signal.SIGTERM, on_signal)
+    signal.signal(signal.SIGINT, on_signal)
+    where = server.unix_path or f"{config.tcp_host}:{server.tcp_port}"
+    print(f"gateway listening on {where} "
+          f"({len(config.tenants)} tenants)", flush=True)
+    done.wait()
+    server.stop()
+    if args.print_stats:
+        print(json.dumps(server.stats(), indent=2))
+    return 0

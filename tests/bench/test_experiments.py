@@ -16,7 +16,7 @@ from repro.errors import BenchError
 class TestRegistry:
     EXPECTED = {"fig1-real", "fig1-sim", "t1-api", "t2-micro",
                 "t3-overcommit", "t4-compose", "t5-throughput",
-                "t6-autoscale", "t7-templates", "f2-scaling",
+                "t6-autoscale", "t7-templates", "t8-gateway", "f2-scaling",
                 "a1-ablation", "a2-aslr", "a3-emulation", "a4-fdtable",
                 "calibrate"}
 

@@ -1,0 +1,158 @@
+"""The unified batch API: one request shape, one result shape, and
+legacy call shapes that keep working but say goodbye.
+
+Satellite coverage for the v2 coherence pass: ``BatchRequest`` is the
+only batch vocabulary (coercion, wire round trip, override semantics),
+``BatchResult`` is a drop-in ``Sequence`` for every caller that treated
+the old plain list as one, and each legacy ``spawn_batch`` shape warns
+with the same removal-versioned message on every entry point.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core import (BatchRequest, BatchResult, ForkServer, SpawnPool,
+                        SpawnPolicy, SpawnRequest, spawn_batch)
+from repro.core.batch import (LEGACY_BATCH_REMOVAL, coerce_batch,
+                              warn_legacy_batch)
+from repro.core.result import ChildProcess
+from repro.errors import SpawnError
+
+
+class TestBatchRequest:
+    def test_of_coerces_bare_argv_sequences(self):
+        batch = BatchRequest.of([["/bin/true"], ("/bin/echo", "hi")],
+                                env={"K": "V"}, cwd="/tmp")
+        assert len(batch) == 2
+        assert all(isinstance(m, SpawnRequest) for m in batch)
+        assert batch.members[1].argv == ["/bin/echo", "hi"]
+        assert batch.members[0].env == {"K": "V"}
+        assert batch.members[0].cwd == "/tmp"
+
+    def test_of_keeps_ready_members_as_is(self):
+        member = SpawnRequest(["/bin/true"], env={"OWN": "1"})
+        batch = BatchRequest.of([member, ["/bin/false"]],
+                                env={"DEFAULT": "1"})
+        assert batch.members[0] is member
+        assert batch.members[0].env == {"OWN": "1"}  # not overwritten
+        assert batch.members[1].env == {"DEFAULT": "1"}
+
+    def test_of_passes_a_batch_through_unchanged(self):
+        batch = BatchRequest.of([["/bin/true"]])
+        assert BatchRequest.of(batch) is batch
+
+    def test_of_overrides_terms_without_mutating_the_original(self):
+        policy = SpawnPolicy(deadline=5.0)
+        batch = BatchRequest.of([["/bin/true"]], deadline=1.0)
+        rebuilt = BatchRequest.of(batch, policy=policy, deadline=9.0)
+        assert rebuilt is not batch
+        assert rebuilt.members == batch.members
+        assert (rebuilt.policy, rebuilt.deadline) == (policy, 9.0)
+        assert (batch.policy, batch.deadline) == (None, 1.0)
+
+    def test_empty_batch_is_falsy(self):
+        assert not BatchRequest([])
+        assert BatchRequest.of([["/bin/true"]])
+
+    def test_constructor_rejects_non_members(self):
+        with pytest.raises(SpawnError) as excinfo:
+            BatchRequest([["/bin/true"]])  # bare argv needs .of()
+        assert "BatchRequest.of()" in str(excinfo.value)
+
+    def test_wire_round_trip(self):
+        batch = BatchRequest.of(
+            [["/bin/sh", "-c", "exit 1"], ["/bin/true"]],
+            env={"A": "B"}, cwd="/tmp")
+        again = BatchRequest.from_wire(batch.wire())
+        assert [m.argv for m in again] == [m.argv for m in batch]
+        assert again.members[0].env == {"A": "B"}
+        assert again.members[1].cwd == "/tmp"
+
+    def test_from_wire_rejects_malformed_members(self):
+        with pytest.raises(SpawnError):
+            BatchRequest.from_wire([{"no": "argv"}])
+        with pytest.raises(SpawnError):
+            BatchRequest.from_wire(["not-an-object"])
+
+
+class TestBatchResult:
+    def fake_children(self, n):
+        return [ChildProcess(1000 + i, argv=["/bin/true"],
+                             strategy="fake", reaper=lambda p, f: 0)
+                for i in range(n)]
+
+    def test_sequence_protocol(self):
+        children = self.fake_children(3)
+        result = BatchResult(children, strategy="forkserver-pool")
+        assert len(result) == 3
+        assert result[1] is children[1]
+        assert list(result) == children
+        assert [(a.pid, b.pid) for a, b in zip(children, result)] == [
+            (1000, 1000), (1001, 1001), (1002, 1002)]  # zip-able
+        assert result.pids == [1000, 1001, 1002]
+        assert result.strategy == "forkserver-pool"
+
+    def test_slicing_keeps_the_strategy_tag(self):
+        result = BatchResult(self.fake_children(4), strategy="forkserver")
+        tail = result[2:]
+        assert isinstance(tail, BatchResult)
+        assert tail.strategy == "forkserver"
+        assert tail.pids == [1002, 1003]
+
+    def test_equality_with_plain_lists_and_results(self):
+        children = self.fake_children(2)
+        result = BatchResult(children, strategy="posix_spawn")
+        assert result == children  # the historical plain-list contract
+        assert result == tuple(children)
+        assert result == BatchResult(children, strategy="posix_spawn")
+        assert result != BatchResult(children, strategy="forkserver")
+        assert result != children[:1]
+
+
+class TestLegacyShapesWarnButWork:
+    """Every entry point: the old shape still spawns, and the warning
+    names the caller and the removal version."""
+
+    def test_warning_wording_carries_the_removal_version(self):
+        with pytest.warns(DeprecationWarning,
+                          match=f"removed in repro {LEGACY_BATCH_REMOVAL}"):
+            warn_legacy_batch("Somewhere.spawn_batch")
+
+    def test_coerce_batch_warns_only_for_legacy_shapes(self):
+        with pytest.warns(DeprecationWarning, match="Entry.spawn_batch"):
+            coerce_batch("Entry.spawn_batch", [["/bin/true"]])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            coerce_batch("Entry.spawn_batch",
+                         BatchRequest.of([["/bin/true"]]))
+
+    def test_module_spawn_batch_legacy_sequence(self):
+        with pytest.warns(DeprecationWarning, match="spawn_batch"):
+            result = spawn_batch([["/bin/sh", "-c", "exit 4"],
+                                  ["/bin/true"]])
+        assert [c.wait(timeout=10) for c in result] == [4, 0]
+
+    def test_forkserver_spawn_batch_legacy_sequence(self):
+        with ForkServer() as server:
+            with pytest.warns(DeprecationWarning,
+                              match="ForkServer.spawn_batch"):
+                children = server.spawn_batch([["/bin/true"]] * 2)
+            assert [c.wait(timeout=10) for c in children] == [0, 0]
+
+    def test_spawnpool_spawn_batch_is_an_add_workers_alias(self):
+        with SpawnPool(1) as pool:
+            with pytest.warns(DeprecationWarning,
+                              match="SpawnPool.spawn_batch"):
+                pids = pool.spawn_batch(2)
+            assert len(pids) == 2
+            assert pool.size == 3
+
+
+def test_package_level_strategies_dict_is_deprecated():
+    # Satellite 2: the eager module-dict alias is gone; the lazy
+    # package attribute still resolves to the live registry but warns.
+    import repro.core
+    with pytest.warns(DeprecationWarning, match="repro.core.STRATEGIES"):
+        registry = repro.core.STRATEGIES
+    assert "gateway" in registry

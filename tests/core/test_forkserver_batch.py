@@ -6,8 +6,8 @@ import time
 
 import pytest
 
-from repro.core import (ForkServer, ForkServerPool, SpawnPool, SpawnRequest,
-                        spawn_batch)
+from repro.core import (BatchRequest, ForkServer, ForkServerPool,
+                        SpawnPool, SpawnRequest, spawn_batch)
 from repro.core.strategies import get_strategy
 from repro.errors import SpawnError
 
@@ -15,17 +15,17 @@ from repro.errors import SpawnError
 class TestForkServerBatch:
     def test_statuses_in_request_order(self):
         with ForkServer() as server:
-            children = server.spawn_batch(
-                [["/bin/sh", "-c", f"exit {code}"] for code in (3, 0, 7)])
+            children = server.spawn_batch(BatchRequest.of(
+                [["/bin/sh", "-c", f"exit {code}"] for code in (3, 0, 7)]))
             assert [c.wait(timeout=10) for c in children] == [3, 0, 7]
 
     def test_per_member_stdio(self):
         with ForkServer() as server:
             read_fd, write_fd = os.pipe()
-            children = server.spawn_batch([
+            children = server.spawn_batch(BatchRequest([
                 SpawnRequest(["/bin/echo", "batched"], stdout=write_fd),
                 SpawnRequest(["/bin/true"]),
-            ])
+            ]))
             os.close(write_fd)
             assert [c.wait(timeout=10) for c in children] == [0, 0]
             with open(read_fd, "rb") as out:
@@ -34,14 +34,15 @@ class TestForkServerBatch:
     def test_empty_batch_rejected(self):
         with ForkServer() as server:
             with pytest.raises(SpawnError):
-                server.spawn_batch([])
+                server.spawn_batch(BatchRequest([]))
 
     def test_batch_larger_than_old_ancillary_cap(self):
         # Regression: 3 fds per member crosses 16 total at 6 members;
         # the helper's ancillary buffer must hold a full batch grant,
         # not silently truncate it into an EPROTO refusal.
         with ForkServer() as server:
-            children = server.spawn_batch([["/bin/true"]] * 10)
+            children = server.spawn_batch(
+                BatchRequest.of([["/bin/true"]] * 10))
             assert [c.wait(timeout=10) for c in children] == [0] * 10
 
     def test_batch_past_scm_rights_limit_is_refused_loudly(self):
@@ -50,29 +51,32 @@ class TestForkServerBatch:
         # wire, and the channel stays healthy.
         with ForkServer() as server:
             with pytest.raises(SpawnError) as excinfo:
-                server.spawn_batch([["/bin/true"]] * 85)
+                server.spawn_batch(
+                    BatchRequest.of([["/bin/true"]] * 85))
             assert "split the batch" in str(excinfo.value)
             assert server.healthy
             assert server.spawn(["/bin/true"]).wait(timeout=10) == 0
 
     def test_locked_channel_batches_too(self):
         with ForkServer(pipelined=False) as server:
-            children = server.spawn_batch([["/bin/true"]] * 3)
+            children = server.spawn_batch(
+                BatchRequest.of([["/bin/true"]] * 3))
             assert [c.wait(timeout=10) for c in children] == [0, 0, 0]
 
 
 class TestPoolBatch:
     def test_exit_codes_in_order(self):
         with ForkServerPool(2) as pool:
-            children = pool.spawn_batch(
-                [["/bin/sh", "-c", f"exit {code}"] for code in range(5)])
+            children = pool.spawn_batch(BatchRequest.of(
+                [["/bin/sh", "-c", f"exit {code}"] for code in range(5)]))
             assert [c.wait(timeout=10) for c in children] == list(range(5))
 
     def test_batch_billed_at_member_count(self):
         # Load accounting is the pool's dispatch signal: a batch of 4
         # sleeping children must weigh 4, not 1, while they run.
         with ForkServerPool(2) as pool:
-            children = pool.spawn_batch([["/bin/sleep", "0.4"]] * 4)
+            children = pool.spawn_batch(
+                BatchRequest.of([["/bin/sleep", "0.4"]] * 4))
             assert pool.queue_depth() == 4
             for child in children:
                 assert child.wait(timeout=10) == 0
@@ -122,7 +126,7 @@ class TestSpawnPoolBatchBoot:
             with SpawnPool(3, strategy="forkserver-pool") as pool:
                 assert len(pool.worker_pids()) == 3
                 assert pool.map(abs, [-1, -2, -3, -4]) == [1, 2, 3, 4]
-                pids = pool.spawn_batch(2)
+                pids = pool.add_workers(2)
                 assert len(pids) == 2 and pool.size == 5
         finally:
             get_strategy("forkserver-pool").shutdown()
@@ -135,8 +139,9 @@ class TestSpawnPoolBatchBoot:
 class TestLadderBatch:
     def test_module_function_spawns_via_pool(self):
         try:
-            children = spawn_batch([["/bin/sh", "-c", "exit 4"],
-                                    ["/bin/true"]])
+            children = spawn_batch(
+                BatchRequest.of([["/bin/sh", "-c", "exit 4"],
+                                 ["/bin/true"]]))
             assert [c.wait(timeout=10) for c in children] == [4, 0]
         finally:
             get_strategy("forkserver-pool").shutdown()

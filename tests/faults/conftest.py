@@ -75,7 +75,8 @@ def chaos_hygiene():
         yield
     finally:
         FAULTS.deactivate()
-        for name in ("template", "forkserver-pool", "forkserver"):
+        for name in ("gateway", "template", "forkserver-pool",
+                     "forkserver"):
             _REGISTRY[name].shutdown()
         reset_breakers()
         faulthandler.cancel_dump_traceback_later()

@@ -7,15 +7,15 @@ and the degradation ladder keeps working when whole tiers go dark.
 
 import pytest
 
-from repro.core import (ForkServer, ForkServerPool, SpawnPolicy,
-                        breaker_for, spawn_batch)
+from repro.core import (BatchRequest, ForkServer, ForkServerPool,
+                        SpawnPolicy, breaker_for, spawn_batch)
 from repro.core.strategies import get_strategy
 from repro.errors import SpawnError
 from repro.faults import FAULTS, FaultPlan
 from repro.obs import TELEMETRY
 
-BATCH = [["/bin/sh", "-c", "exit 1"], ["/bin/true"], ["/bin/sh", "-c",
-                                                      "exit 2"]]
+BATCH = BatchRequest.of([["/bin/sh", "-c", "exit 1"], ["/bin/true"],
+                         ["/bin/sh", "-c", "exit 2"]])
 
 
 class TestTruncatedBatchFrame:

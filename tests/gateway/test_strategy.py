@@ -1,0 +1,91 @@
+"""The ``gateway`` strategy: the same ProcessBuilder program, served
+over the spawn-as-a-service wire.
+
+Covers both deployment shapes the strategy promises: the lazily booted
+*embedded* daemon (no configuration, private Unix socket inside this
+process) and an *external* daemon dialed through ``REPRO_GATEWAY``.
+Either way stdio pipes must wire up exactly like a local spawn — the
+SCM_RIGHTS grant is what makes ``stdout_to_pipe`` work at a distance.
+"""
+
+import pytest
+
+from repro.core import ProcessBuilder, run
+from repro.core.strategies import get_strategy, strategies
+from repro.gateway import GatewayConfig, GatewayServer, TenantConfig
+
+
+@pytest.fixture
+def gateway_strategy(monkeypatch):
+    """The singleton strategy, forced to the embedded shape, torn down
+    after the test so no daemon leaks into the next one."""
+    monkeypatch.delenv("REPRO_GATEWAY", raising=False)
+    strategy = get_strategy("gateway")
+    strategy.shutdown()
+    try:
+        yield strategy
+    finally:
+        strategy.shutdown()
+
+
+class TestRegistry:
+    def test_gateway_is_a_registered_strategy(self):
+        assert "gateway" in strategies()
+
+    def test_available_wherever_fork_is(self):
+        assert get_strategy("gateway").available() is True
+
+
+class TestEmbeddedDaemon:
+    def test_builder_round_trip_with_stdout_capture(self, gateway_strategy):
+        builder = (ProcessBuilder("/bin/sh", "-c", "echo spawned-remotely")
+                   .strategy("gateway").stdout_to_pipe())
+        child = builder.spawn()
+        output = builder.io.read_stdout()
+        assert child.wait(timeout=30) == 0
+        builder.io.close()
+        assert output == b"spawned-remotely\n"
+        assert child.strategy == "gateway"
+
+    def test_run_helper_goes_through_the_wire(self, gateway_strategy):
+        code, out = run("/bin/echo", "via-gateway", strategy="gateway",
+                        timeout=30)
+        assert (code, out) == (0, b"via-gateway\n")
+
+    def test_daemon_boots_lazily_and_shutdown_reclaims_it(
+            self, gateway_strategy):
+        assert gateway_strategy._server is None  # nothing before first use
+        assert run("/bin/true", strategy="gateway",
+                   timeout=30).returncode == 0
+        server = gateway_strategy._server
+        assert server is not None  # no REPRO_GATEWAY -> embedded daemon
+        assert server.stats()["tenants"]["local"]["completed"] >= 1
+        gateway_strategy.shutdown()
+        assert gateway_strategy._server is None
+        # The next launch boots a fresh daemon transparently.
+        assert run("/bin/true", strategy="gateway",
+                   timeout=30).returncode == 0
+        assert gateway_strategy._server is not server
+
+
+class TestExternalDaemon:
+    def test_dials_repro_gateway_env(self, tmp_path, monkeypatch):
+        address = str(tmp_path / "external.sock")
+        server = GatewayServer(GatewayConfig(
+            unix_path=address,
+            tenants={"ci": TenantConfig(name="ci", token="ci-token",
+                                        strategy="posix_spawn")})).start()
+        strategy = get_strategy("gateway")
+        strategy.shutdown()  # force the next launch to dial fresh
+        monkeypatch.setenv("REPRO_GATEWAY", address)
+        monkeypatch.setenv("REPRO_GATEWAY_TENANT", "ci")
+        monkeypatch.setenv("REPRO_GATEWAY_TOKEN", "ci-token")
+        try:
+            code, out = run("/bin/echo", "external", strategy="gateway",
+                            timeout=30)
+            assert (code, out) == (0, b"external\n")
+            assert strategy._server is None  # dialed, nothing embedded
+            assert server.stats()["tenants"]["ci"]["completed"] >= 1
+        finally:
+            strategy.shutdown()
+            server.stop()
