@@ -337,8 +337,18 @@ class GatewayClient:
         return reply.get("stats", {})
 
     def drain(self) -> None:
-        """Ask the daemon to drain (refuse new, finish admitted)."""
+        """Ask the daemon to drain (refuse new, finish admitted).
+
+        Admin tenants only: a non-admin tenant gets
+        :class:`~repro.errors.AuthError`, because drain denies spawn
+        service to every other tenant.
+        """
         self._roundtrip({"op": "drain"}, timeout=self._timeout)
+
+    def resume(self) -> None:
+        """Ask the daemon to leave drain mode (admin tenants only)."""
+        self._roundtrip({"op": "drain", "resume": True},
+                        timeout=self._timeout)
 
     def _reap(self, pid: int, flags: int) -> Optional[int]:
         """ChildProcess reaper: wait through the daemon.

@@ -50,6 +50,14 @@ class TenantConfig:
             server.
         max_children: bound on live (spawned, unreaped) children;
             ``None`` = unlimited.
+        max_waits: bound on concurrent *blocking* ``wait`` ops (each
+            parks a daemon thread for the child's whole runtime); past
+            it the gateway sheds with :class:`~repro.errors.Overloaded`
+            and the client should poll instead.
+        admin: whether this tenant may issue the ``drain`` op (flip
+            the whole daemon into/out of refuse-new mode).  Ordinary
+            tenants get :class:`~repro.errors.AuthError` — one tenant
+            must not be able to deny spawn service to the rest.
     """
 
     name: str
@@ -61,6 +69,8 @@ class TenantConfig:
     strategy: str = "forkserver-pool"
     policy: Optional[SpawnPolicy] = None
     max_children: Optional[int] = None
+    max_waits: int = 64
+    admin: bool = False
 
     def __post_init__(self):
         if not self.name:
@@ -76,6 +86,9 @@ class TenantConfig:
             raise GatewayError(f"tenant {self.name!r}: burst must be >= 1")
         if self.weight <= 0:
             raise GatewayError(f"tenant {self.name!r}: weight must be > 0")
+        if self.max_waits < 1:
+            raise GatewayError(
+                f"tenant {self.name!r}: max_waits must be >= 1")
         if self.strategy == "gateway":
             raise GatewayError(
                 f"tenant {self.name!r}: a gateway tenant cannot be served "
@@ -93,7 +106,9 @@ class TenantConfig:
             weight=float(data.get("weight", 1.0)),
             strategy=data.get("strategy", "forkserver-pool"),
             policy=policy,
-            max_children=data.get("max_children"))
+            max_children=data.get("max_children"),
+            max_waits=int(data.get("max_waits", 64)),
+            admin=bool(data.get("admin", False)))
 
 
 @dataclass
@@ -154,7 +169,8 @@ class GatewayConfig:
             max_inflight=int(data.get("max_inflight", 32)),
             executor_threads=data.get("executor_threads"),
             drain_grace=float(data.get("drain_grace", 30.0)),
-            retry_after_hint=float(data.get("retry_after_hint", 0.05)))
+            retry_after_hint=float(data.get("retry_after_hint", 0.05)),
+            accept_backlog=int(data.get("accept_backlog", 128)))
 
     @classmethod
     def from_file(cls, path: str) -> "GatewayConfig":

@@ -117,7 +117,7 @@ class _TenantState:
 
     __slots__ = ("config", "bucket", "queue", "vtime", "inflight",
                  "children", "policy", "lease_credits", "lease_expiry",
-                 "counters")
+                 "counters", "waiting")
 
     def __init__(self, config: TenantConfig):
         self.config = config
@@ -133,6 +133,7 @@ class _TenantState:
             deadline=10.0, retries=1, fallback=DEFAULT_FALLBACK)
         self.lease_credits = 0
         self.lease_expiry = 0.0
+        self.waiting = 0  # concurrent blocking waits (loop thread only)
         self.counters = {"admitted": 0, "completed": 0, "failed": 0,
                          "shed": 0, "rate_limited": 0}
 
@@ -192,9 +193,19 @@ class GatewayServer:
         return self._draining
 
     def start(self) -> "GatewayServer":
-        """Bind the listeners and boot the loop thread (idempotent)."""
+        """Bind the listeners and boot the loop thread (idempotent,
+        and restartable: a stopped server can ``start()`` again)."""
         if self._thread is not None:
             return self
+        # A restart after stop(): the lifecycle latches still reflect
+        # the old loop.  Reset them so this start() waits on the *new*
+        # loop and drain()/stop() don't short-circuit on stale events.
+        self._started.clear()
+        self._stopped.clear()
+        self._drained.clear()
+        self._draining = False
+        self._closing = False
+        self._boot_error = None
         self._bind_listeners()
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.executor_threads
@@ -286,11 +297,28 @@ class GatewayServer:
             return
         loop.call_soon_threadsafe(self._begin_drain)
 
+    def resume(self) -> None:
+        """Leave drain mode: admit new work again.
+
+        The un-drain half of :meth:`drain`.  A no-op while the server
+        is actually stopping (``stop()`` owns the drain latch then).
+        """
+        loop = self._loop
+        if loop is None or self._stopped.is_set():
+            return
+        loop.call_soon_threadsafe(self._end_drain)
+
     def _begin_drain(self) -> None:
         if not self._draining:
             self._draining = True
             TELEMETRY.event("gateway_drain")
         self._check_drained()
+
+    def _end_drain(self) -> None:
+        if self._draining and not self._closing:
+            self._draining = False
+            self._drained.clear()
+            TELEMETRY.event("gateway_resume")
 
     def _check_drained(self) -> None:
         if not self._draining:
@@ -498,12 +526,21 @@ class GatewayServer:
             elif op == "stats":
                 self._send(conn, {"id": rid, "stats": self.stats()})
             elif op == "drain":
-                self._begin_drain()
-                self._send(conn, {"id": rid, "draining": True})
+                self._op_drain(conn, rid, frame)
         except GatewayError as exc:
             self._send(conn, encode_error(exc, rid))
-            if isinstance(exc, AuthError):
+            if isinstance(exc, AuthError) and conn.tenant is None:
+                # A failed handshake hangs up; an authenticated tenant
+                # denied a privileged op keeps its connection.
                 conn.close_after_flush = True
+            elif conn.pending_fds:
+                # fds arrived with a request the handler never claimed
+                # them for.  The FIFO grant<->request association is
+                # lost, so drop the connection (closing the stranded
+                # fds) rather than wire them into a later request's
+                # child — same fatality as a framing error.
+                conn.close_after_flush = True
+            if conn.close_after_flush:
                 self._flush_or_close(conn)
         except Exception as exc:  # the backstop: never kill the loop
             self._internal_errors += 1
@@ -524,6 +561,26 @@ class GatewayServer:
         conn.tenant = name
         self._send(conn, {"id": rid, "ok": True,
                           "version": PROTOCOL_VERSION, "tenant": name})
+
+    def _op_drain(self, conn: _Connection, rid: Optional[int],
+                  frame: dict) -> None:
+        """Flip the daemon into (or, with ``resume``, out of) drain.
+
+        Admin tenants only: drain denies spawn service to *every*
+        tenant, so an ordinary tenant issuing it would be exactly the
+        cross-tenant starvation the admission ladder exists to prevent.
+        """
+        tenant = self._tenants[conn.tenant]
+        if not tenant.config.admin:
+            TELEMETRY.count("gateway_auth_failures")
+            raise AuthError(
+                f"tenant {conn.tenant!r} is not an admin; the drain op "
+                f"affects every tenant and needs an admin token")
+        if frame.get("resume"):
+            self._end_drain()
+        else:
+            self._begin_drain()
+        self._send(conn, {"id": rid, "draining": self._draining})
 
     def _take_fds(self, conn: _Connection, frame: dict,
                   members: int = 1) -> List[int]:
@@ -605,19 +662,22 @@ class GatewayServer:
 
     def _op_spawn(self, conn: _Connection, rid: Optional[int],
                   frame: dict) -> None:
-        argv = frame.get("argv")
-        if (not isinstance(argv, list) or not argv
-                or not all(isinstance(a, str) for a in argv)):
-            raise GatewayProtocolError(f"spawn needs a non-empty string "
-                                       f"argv, got {argv!r}")
-        env = frame.get("env")
-        if env is not None and not isinstance(env, dict):
-            raise GatewayProtocolError("env must be an object or null")
-        cwd = frame.get("cwd")
-        if cwd is not None and not isinstance(cwd, str):
-            raise GatewayProtocolError("cwd must be a string or null")
+        # Claim this request's grant *before* validating anything else:
+        # a rejected request must not leave its fds in pending_fds for
+        # the next request to claim FIFO (cross-request misassociation).
         fds = self._take_fds(conn, frame)
         try:
+            argv = frame.get("argv")
+            if (not isinstance(argv, list) or not argv
+                    or not all(isinstance(a, str) for a in argv)):
+                raise GatewayProtocolError(f"spawn needs a non-empty "
+                                           f"string argv, got {argv!r}")
+            env = frame.get("env")
+            if env is not None and not isinstance(env, dict):
+                raise GatewayProtocolError("env must be an object or null")
+            cwd = frame.get("cwd")
+            if cwd is not None and not isinstance(cwd, str):
+                raise GatewayProtocolError("cwd must be a string or null")
             tenant = self._admit(conn, 1)
         except GatewayError:
             self._close_fds(fds)
@@ -630,14 +690,17 @@ class GatewayServer:
                         frame: dict) -> None:
         reqs = frame.get("reqs")
         if not isinstance(reqs, list) or not reqs:
+            # Without a member count the grant size is unknowable; if
+            # fds did arrive, the _handle_frame backstop hangs up the
+            # connection so they cannot leak into a later request.
             raise GatewayProtocolError("spawn_batch needs a non-empty "
                                        "reqs list")
-        try:
-            batch = BatchRequest.from_wire(reqs)
-        except SpawnError as exc:
-            raise GatewayProtocolError(str(exc)) from exc
         fds = self._take_fds(conn, frame, members=len(reqs))
         try:
+            try:
+                batch = BatchRequest.from_wire(reqs)
+            except SpawnError as exc:
+                raise GatewayProtocolError(str(exc)) from exc
             tenant = self._admit(conn, len(reqs))
         except GatewayError:
             self._close_fds(fds)
@@ -687,17 +750,37 @@ class GatewayServer:
             # Own thread, not the executor: a blocking wait parks for
             # the child's whole runtime and must never eat a spawn slot.
             try:
-                status = child.wait()
-            except SpawnError as exc:
+                try:
+                    status = child.wait()
+                except SpawnError as exc:
+                    self._loop.call_soon_threadsafe(
+                        self._send, conn,
+                        encode_error(GatewayError(str(exc)), rid))
+                    return
+                tenant.children.pop(pid, None)
                 self._loop.call_soon_threadsafe(
-                    self._send, conn, encode_error(GatewayError(str(exc)),
-                                                   rid))
-                return
-            tenant.children.pop(pid, None)
-            self._loop.call_soon_threadsafe(
-                self._send, conn, {"id": rid, "status": status})
+                    self._send, conn, {"id": rid, "status": status})
+            finally:
+                try:
+                    self._loop.call_soon_threadsafe(
+                        self._wait_finished, tenant)
+                except RuntimeError:
+                    pass  # loop already closed mid-shutdown
 
         if block:
+            # Each blocking wait parks one daemon thread until the
+            # child exits; unbounded, a tenant with many live children
+            # could exhaust the daemon's threads.  max_waits is the
+            # admission bound for this op.
+            limit = tenant.config.max_waits
+            if tenant.waiting >= limit:
+                tenant.counters["shed"] += 1
+                TELEMETRY.count("gateway_shed", tenant=conn.tenant)
+                raise Overloaded(
+                    f"tenant {conn.tenant!r} at its {limit} concurrent "
+                    f"blocking waits; poll with block=false instead",
+                    retry_after=self.config.retry_after_hint)
+            tenant.waiting += 1
             threading.Thread(target=wait_blocking, daemon=True,
                              name=f"gateway-wait-{pid}").start()
         else:
@@ -708,6 +791,9 @@ class GatewayServer:
             if status is not None:
                 tenant.children.pop(pid, None)
             self._send(conn, {"id": rid, "status": status})
+
+    def _wait_finished(self, tenant: _TenantState) -> None:
+        tenant.waiting -= 1
 
     # -- the weighted-fair scheduler -------------------------------------
 
@@ -841,6 +927,7 @@ class GatewayServer:
             tenants[name] = dict(tenant.counters,
                                  queued=len(tenant.queue),
                                  inflight=tenant.inflight,
+                                 waiting=tenant.waiting,
                                  children=len(tenant.children),
                                  weight=tenant.config.weight,
                                  vtime=round(tenant.vtime, 6))

@@ -9,6 +9,7 @@ oversized claims, spawning past every bound — the daemon answers with a
 *typed* error and ``stats()["internal_errors"]`` stays zero.
 """
 
+import array
 import json
 import os
 import signal
@@ -242,6 +243,66 @@ class TestAdmission:
         finally:
             server.stop()
 
+    def test_blocking_wait_cap_sheds(self, tmp_path):
+        # Every blocking wait parks one daemon thread; max_waits is the
+        # admission bound that keeps a tenant with many live children
+        # from exhausting them.  Past the cap: Overloaded, not a thread.
+        tenants = {"acme": TenantConfig(name="acme", max_waits=1, **FAST)}
+        server = make_server(tmp_path, tenants=tenants)
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.connect(server.unix_path)
+            sock.settimeout(10.0)
+            decoder = FrameDecoder()
+            replies = []
+
+            def recv_until(count):
+                while len(replies) < count:
+                    data = sock.recv(65536)
+                    if not data:
+                        break
+                    replies.extend(decoder.feed(data))
+
+            sock.sendall(encode_frame({"op": "hello", "id": 0,
+                                       "tenant": "acme", "token": TOKEN}))
+            recv_until(1)
+            for rid in (1, 2):
+                sock.sendall(encode_frame(
+                    {"op": "spawn", "id": rid,
+                     "argv": ["/bin/sleep", "0.4"], "nfds": 0}))
+            recv_until(3)
+            pids = {reply["id"]: reply["pid"] for reply in replies[1:]}
+            # The first blocking wait parks; the second trips the cap
+            # immediately (long before the 0.4s child exits).
+            sock.sendall(encode_frame({"op": "wait", "id": 3,
+                                       "pid": pids[1], "block": True}))
+            sock.sendall(encode_frame({"op": "wait", "id": 4,
+                                       "pid": pids[2], "block": True}))
+            recv_until(4)
+            shed = replies[3]
+            assert shed["id"] == 4
+            assert shed["error"]["code"] == "overloaded"
+            assert shed["error"]["retry_after"] > 0
+            recv_until(5)  # the parked wait still answers normally
+            assert replies[4] == {"id": 3, "status": 0}
+            # The slot freed: a non-blocking poll reaps the second child.
+            deadline = time.monotonic() + 5.0
+            status, rid = None, 5
+            while status is None and time.monotonic() < deadline:
+                sock.sendall(encode_frame({"op": "wait", "id": rid,
+                                           "pid": pids[2],
+                                           "block": False}))
+                recv_until(rid + 1)
+                status = replies[rid].get("status")
+                rid += 1
+                time.sleep(0.05)
+            assert status == 0
+            assert server.stats()["tenants"]["acme"]["shed"] >= 1
+            assert server.stats()["internal_errors"] == 0
+        finally:
+            sock.close()
+            server.stop()
+
     def test_max_children_bound(self, tmp_path):
         tenants = {"acme": TenantConfig(name="acme", max_children=1,
                                         **FAST)}
@@ -282,13 +343,68 @@ class TestDrain:
             server.stop()
 
     def test_drain_op_over_the_wire(self, tmp_path):
-        server = make_server(tmp_path)
+        tenants = {"ops": TenantConfig(name="ops", admin=True, **FAST)}
+        server = make_server(tmp_path, tenants=tenants)
         try:
-            with GatewayClient(server.unix_path, tenant="acme",
+            with GatewayClient(server.unix_path, tenant="ops",
                                token=TOKEN) as client:
                 client.drain()
                 with pytest.raises(Overloaded):
                     client.spawn(["/bin/true"])
+                # The un-drain path: resume reopens admission.
+                client.resume()
+                assert client.spawn(["/bin/true"]).wait(timeout=10) == 0
+        finally:
+            server.stop()
+
+    def test_drain_op_requires_admin(self, tmp_path):
+        # One ordinary tenant must not be able to deny spawn service
+        # to the whole fleet: drain is refused with a typed AuthError,
+        # and the connection (it authenticated fine) keeps serving.
+        server = make_server(tmp_path)
+        try:
+            with GatewayClient(server.unix_path, tenant="acme",
+                               token=TOKEN) as client:
+                with pytest.raises(AuthError):
+                    client.drain()
+                assert server.stats()["draining"] is False
+                assert client.spawn(["/bin/true"]).wait(timeout=10) == 0
+        finally:
+            server.stop()
+
+    def test_server_resume_reopens_admission(self, tmp_path):
+        server = make_server(tmp_path)
+        try:
+            with GatewayClient(server.unix_path, tenant="acme",
+                               token=TOKEN) as client:
+                server.drain()
+                deadline = time.monotonic() + 5.0
+                while (not server.stats()["draining"]
+                       and time.monotonic() < deadline):
+                    time.sleep(0.01)
+                with pytest.raises(Overloaded):
+                    client.spawn(["/bin/true"])
+                server.resume()
+                deadline = time.monotonic() + 5.0
+                while (server.stats()["draining"]
+                       and time.monotonic() < deadline):
+                    time.sleep(0.01)
+                assert client.spawn(["/bin/true"]).wait(timeout=10) == 0
+        finally:
+            server.stop()
+
+    def test_start_after_stop_serves_again(self, tmp_path):
+        server = make_server(tmp_path)
+        with GatewayClient(server.unix_path, tenant="acme",
+                           token=TOKEN) as client:
+            assert client.spawn(["/bin/true"]).wait(timeout=10) == 0
+        server.stop()
+        server.start()  # documented restartable: latches must reset
+        try:
+            assert server.stats()["draining"] is False
+            with GatewayClient(server.unix_path, tenant="acme",
+                               token=TOKEN) as client:
+                assert client.spawn(["/bin/true"]).wait(timeout=10) == 0
         finally:
             server.stop()
 
@@ -352,6 +468,108 @@ class TestMalformedClients:
             assert "grant" in replies[0]["error"]["message"]
             assert server.stats()["internal_errors"] == 0
         finally:
+            server.stop()
+
+    def test_rejected_spawn_does_not_strand_its_fd_grant(self, tmp_path):
+        # A spawn whose validation fails after granting stdio must not
+        # leave its fds in the connection's pending list for the *next*
+        # request to claim FIFO: the follow-up spawn's pipe must carry
+        # the follow-up's own output, and the rejected grant must be
+        # closed, not wired into anyone's child.
+        server = make_server(tmp_path)
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.connect(server.unix_path)
+            sock.settimeout(10.0)
+            decoder = FrameDecoder()
+            replies = []
+
+            def recv_until(count):
+                while len(replies) < count:
+                    data = sock.recv(65536)
+                    if not data:
+                        break
+                    replies.extend(decoder.feed(data))
+
+            def send_with_fds(frame, fds):
+                sock.sendmsg([encode_frame(frame)],
+                             [(socket.SOL_SOCKET, socket.SCM_RIGHTS,
+                               array.array("i", fds).tobytes())])
+
+            sock.sendall(encode_frame({"op": "hello", "id": 0,
+                                       "tenant": "acme", "token": TOKEN}))
+            recv_until(1)
+            assert replies[0].get("ok") is True
+            bad_r, bad_w = os.pipe()
+            good_r, good_w = os.pipe()
+            devnull = os.open(os.devnull, os.O_RDONLY)
+            try:
+                send_with_fds({"op": "spawn", "id": 1, "argv": [],
+                               "nfds": 3}, [devnull, bad_w, bad_w])
+                send_with_fds({"op": "spawn", "id": 2,
+                               "argv": ["/bin/sh", "-c", "echo good"],
+                               "nfds": 3}, [devnull, good_w, good_w])
+                recv_until(3)
+            finally:
+                os.close(devnull)
+                os.close(bad_w)
+                os.close(good_w)
+            by_id = {reply.get("id"): reply for reply in replies}
+            assert by_id[1]["error"]["code"] == "protocol"
+            assert "pid" in by_id[2]
+            sock.sendall(encode_frame({"op": "wait", "id": 3,
+                                       "pid": by_id[2]["pid"],
+                                       "block": True}))
+            recv_until(4)
+            with open(good_r, "rb") as out:
+                assert out.read() == b"good\n"
+            with open(bad_r, "rb") as out:
+                assert out.read() == b""  # the rejected grant is closed
+            assert server.stats()["internal_errors"] == 0
+        finally:
+            sock.close()
+            server.stop()
+
+    def test_short_fd_grant_hangs_up_the_connection(self, tmp_path):
+        # Claiming 3 fds while granting only 2 leaves the grant/request
+        # association unrecoverable: the daemon answers with a typed
+        # protocol error, then drops the connection (which closes the
+        # stranded fds) instead of letting a later request claim them.
+        server = make_server(tmp_path)
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.connect(server.unix_path)
+            sock.settimeout(10.0)
+            decoder = FrameDecoder()
+            replies = []
+            sock.sendall(encode_frame({"op": "hello", "id": 0,
+                                       "tenant": "acme", "token": TOKEN}))
+            while not replies:
+                replies.extend(decoder.feed(sock.recv(65536)))
+            read_fd, write_fd = os.pipe()
+            try:
+                sock.sendmsg(
+                    [encode_frame({"op": "spawn", "id": 1,
+                                   "argv": ["/bin/true"], "nfds": 3})],
+                    [(socket.SOL_SOCKET, socket.SCM_RIGHTS,
+                      array.array("i", [read_fd, write_fd]).tobytes())])
+            finally:
+                os.close(read_fd)
+                os.close(write_fd)
+            error = None
+            while True:
+                data = sock.recv(65536)
+                if not data:
+                    break  # the daemon hung up, as it must
+                for reply in decoder.feed(data):
+                    if "error" in reply:
+                        error = reply
+            assert error is not None
+            assert error["error"]["code"] == "protocol"
+            assert "grant" in error["error"]["message"]
+            assert server.stats()["internal_errors"] == 0
+        finally:
+            sock.close()
             server.stop()
 
     def test_malformed_op_payloads_are_protocol_errors(self, tmp_path):
@@ -470,14 +688,20 @@ class TestConfig:
         path.write_text(json.dumps({
             "unix_path": str(tmp_path / "gw.sock"),
             "max_inflight": 7,
+            "accept_backlog": 9,
             "tenants": [{"name": "a", "token": "ta", "rate": 10,
-                         "burst": 20, "weight": 2.0},
+                         "burst": 20, "weight": 2.0, "admin": True,
+                         "max_waits": 3},
                         {"name": "b", "token": "tb"}],
         }))
         config = GatewayConfig.from_file(str(path))
         assert config.max_inflight == 7
+        assert config.accept_backlog == 9
         assert config.tenants["a"].weight == 2.0
+        assert config.tenants["a"].admin is True
+        assert config.tenants["a"].max_waits == 3
         assert config.tenants["b"].rate is None
+        assert config.tenants["b"].admin is False
 
     def test_duplicate_tenant_rejected(self):
         with pytest.raises(GatewayError):
