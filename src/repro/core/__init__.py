@@ -38,8 +38,9 @@ from .forkserver import ForkServer, SpawnRequest
 from .forkserver_pool import ForkServerPool
 from .framecache import FrameCache, frame_key
 from .pipeline import Pipeline, PipelineResult
-from .policy import (DEFAULT_FALLBACK, TEMPLATE_FALLBACK, CircuitBreaker,
-                     SpawnPolicy, breaker_for, reset_breakers)
+from .policy import (DEFAULT_FALLBACK, GATEWAY_FALLBACK, TEMPLATE_FALLBACK,
+                     CircuitBreaker, SpawnPolicy, breaker_for,
+                     reset_breakers)
 from .pool import SpawnPool, callable_spec
 from .result import ChildProcess, CompletedChild
 from .safety import Hazard, assess, guarded_fork, is_fork_safe
@@ -76,7 +77,7 @@ __all__ = [
     "ChildProcess", "CircuitBreaker",
     "CompletedChild",
     "DEFAULT_FALLBACK", "FileActions",
-    "ForkExecStrategy",
+    "ForkExecStrategy", "GATEWAY_FALLBACK",
     "ForkServer", "ForkServerPool", "ForkServerPoolStrategy",
     "ForkServerStrategy", "FrameCache", "Hazard",
     "Pipeline", "PipelineResult", "PoolAutoscaler",

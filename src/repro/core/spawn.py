@@ -32,7 +32,7 @@ import os
 import time
 from typing import Dict, List, Optional
 
-from ..errors import SpawnError
+from ..errors import GatewayError, SpawnError
 from ..faults import FAULTS
 from ..obs import TELEMETRY
 from .attrs import SpawnAttributes
@@ -355,7 +355,7 @@ class ProcessBuilder:
                 try:
                     child = strategy.launch(self._argv, self._actions,
                                             self._attrs, trace=trace)
-                except (SpawnError, OSError) as exc:
+                except (SpawnError, GatewayError, OSError) as exc:
                     last_error = exc
                     if breaker.record_failure():
                         TELEMETRY.count("breaker_open", strategy=name)

@@ -459,15 +459,24 @@ class GatewayStrategy(Strategy):
     plus optional ``REPRO_GATEWAY_TENANT``/``REPRO_GATEWAY_TOKEN``) the
     strategy dials that external daemon; otherwise it boots an
     *embedded* daemon — a :class:`~repro.gateway.server.GatewayServer`
-    on a private Unix socket inside this process, one ``local`` tenant
-    — lazily on first launch, the way the pool strategy boots its pool.
+    under a :class:`~repro.gateway.supervisor.GatewaySupervisor` on a
+    private Unix socket inside this process, one ``local`` tenant —
+    lazily on first launch, the way the pool strategy boots its pool.
     Either way the request crosses the gateway wire protocol, so what
     this strategy measures is the cost of spawn *as a service*.
+
+    The channel is self-healing end to end: the client reconnects (and
+    re-authenticates) through connection loss with capped backoff, the
+    supervisor restarts a crashed embedded daemon and reaps anything it
+    orphaned, and a launch that still fails surfaces a typed
+    :class:`~repro.errors.GatewayError` that the
+    :class:`~repro.core.policy.SpawnPolicy` ladder
+    (:data:`~repro.core.policy.GATEWAY_FALLBACK`) degrades past.
     """
 
     def __init__(self):
         self._client = None
-        self._server = None
+        self._supervisor = None
         self._socket_dir = None
         self._lock = threading.Lock()
 
@@ -476,9 +485,16 @@ class GatewayStrategy(Strategy):
 
     def client(self):
         """The shared client, dialed (booting an embedded daemon if no
-        external one is configured) on first use."""
+        external one is configured) on first use.
+
+        An unhealthy client is *returned*, not replaced: it re-dials
+        and re-auths itself on the next op, and for the embedded shape
+        the supervisor is meanwhile restarting the daemon on the same
+        address — tearing the pair down here would discard both
+        recovery paths and orphan the daemon's children mid-flight.
+        """
         with self._lock:
-            if self._client is None or not self._client.healthy:
+            if self._client is None:
                 self._teardown_locked()
                 self._client = self._dial()
             return self._client
@@ -491,11 +507,12 @@ class GatewayStrategy(Strategy):
                 external,
                 tenant=os.environ.get("REPRO_GATEWAY_TENANT", "local"),
                 token=os.environ.get("REPRO_GATEWAY_TOKEN", "local"),
+                reconnect=True, rate_limit_retries=2,
             ).connect()
         import secrets
         import tempfile
         from ..gateway.config import GatewayConfig, TenantConfig
-        from ..gateway.server import GatewayServer
+        from ..gateway.supervisor import GatewaySupervisor
         from .policy import DEFAULT_FALLBACK, SpawnPolicy
         token = secrets.token_hex(16)
         self._socket_dir = tempfile.mkdtemp(prefix="repro-gateway-")
@@ -506,10 +523,10 @@ class GatewayStrategy(Strategy):
                 strategy="forkserver-pool",
                 policy=SpawnPolicy(deadline=30.0, retries=1,
                                    fallback=DEFAULT_FALLBACK))})
-        self._server = GatewayServer(config).start()
-        from ..gateway.client import GatewayClient as _Client
-        return _Client(self._server.unix_path, tenant="local",
-                       token=token).connect()
+        self._supervisor = GatewaySupervisor(config).start()
+        return GatewayClient(self._supervisor.address, tenant="local",
+                             token=token, reconnect=True,
+                             rate_limit_retries=2).connect()
 
     def _teardown_locked(self) -> None:
         client, self._client = self._client, None
@@ -518,10 +535,10 @@ class GatewayStrategy(Strategy):
                 client.close()
             except Exception:
                 pass
-        server, self._server = self._server, None
-        if server is not None:
+        supervisor, self._supervisor = self._supervisor, None
+        if supervisor is not None:
             try:
-                server.stop()
+                supervisor.stop()
             except Exception:
                 pass
         socket_dir, self._socket_dir = self._socket_dir, None

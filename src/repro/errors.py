@@ -99,6 +99,20 @@ class Overloaded(GatewayError):
     code = "overloaded"
 
 
+class GatewayConnectionLost(GatewayError):
+    """The connection to the gateway died with requests in flight.
+
+    Raised client-side when the daemon hangs up, resets the connection,
+    or the stream breaks mid-frame.  Every pending request on the
+    channel fails with this type, so callers can distinguish "the
+    daemon refused this request" (any other :class:`GatewayError`) from
+    "nobody knows what happened to this request" — the ambiguous
+    failure that must never be blindly retried for non-idempotent ops.
+    """
+
+    code = "conn_lost"
+
+
 class FaultPlanError(ReproError):
     """A fault-injection plan could not be parsed or validated.
 

@@ -22,11 +22,13 @@ from __future__ import annotations
 import os
 
 from .inject import FAULTS, FaultInjector
-from .plan import FRAME_KINDS, Fault, FaultPlan, KIND_POINTS, POINTS
+from .plan import (FRAME_KINDS, GATEWAY_SITE_KINDS, Fault, FaultPlan,
+                   KIND_POINTS, POINTS)
 
 __all__ = [
-    "FAULTS", "FRAME_KINDS", "Fault", "FaultInjector", "FaultPlan",
-    "KIND_POINTS", "POINTS", "install_env_plan",
+    "FAULTS", "FRAME_KINDS", "GATEWAY_SITE_KINDS", "Fault",
+    "FaultInjector", "FaultPlan", "KIND_POINTS", "POINTS",
+    "install_env_plan",
 ]
 
 #: Environment variable naming a plan file (or holding inline JSON).

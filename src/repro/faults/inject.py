@@ -24,7 +24,12 @@ import time
 from typing import List, Optional, Tuple
 
 from ..errors import SpawnError
-from .plan import FRAME_KINDS, Fault, FaultPlan
+from .plan import FRAME_KINDS, GATEWAY_SITE_KINDS, Fault, FaultPlan
+
+#: Kinds whose effect is applied by the injection site, not by
+#: :meth:`FaultInjector.fire` — they are returned untouched (and a
+#: stray ``seconds`` on them does not also sleep the hot path).
+_SITE_KINDS = FRAME_KINDS | GATEWAY_SITE_KINDS
 
 
 class FaultInjector:
@@ -89,7 +94,10 @@ class FaultInjector:
           stall, e.g. ``stall_helper`` pointed at ``pool.dispatch``).
 
         Frame-mutation kinds are returned untouched for the caller to
-        interpret via :meth:`Fault.mutate_frame`.
+        interpret via :meth:`Fault.mutate_frame`; the gateway family
+        (``conn_reset``, ``drop_reply``, ``kill_daemon``, ...) is
+        likewise interpreted by its injection site, which owns the
+        socket or daemon the fault needs.
         """
         plan = self._plan
         if plan is None:
@@ -106,7 +114,7 @@ class FaultInjector:
             if fault is None:
                 return None
             self._fired.append((point, fault.kind))
-        if fault.seconds and fault.kind not in FRAME_KINDS:
+        if fault.seconds and fault.kind not in _SITE_KINDS:
             time.sleep(fault.seconds)
         if fault.kind == "kill_helper":
             pid = context.get("helper_pid")

@@ -35,13 +35,35 @@ refuse_exec         strategy.launch       the launch raises SpawnError
 exhaust_fds         strategy.launch       the launch raises OSError(EMFILE)
                                           (point ``builder.pipe``: pipe
                                           allocation fails instead)
+conn_reset          gateway.frame         the client's gateway connection
+                                          resets before the frame is sent
+partial_frame       gateway.frame         the client sends half a frame,
+                                          then half-closes the connection
+stall_conn          gateway.frame         the client stalls ``seconds``
+                                          before each outgoing frame
+drop_reply          gateway.reply         the daemon silently drops one
+                                          reply frame (the client's
+                                          request deadline must save it)
+garbage_reply       gateway.reply         the daemon answers with bytes
+                                          that are not a protocol frame
+refuse_accept       gateway.accept        the daemon hangs up a freshly
+                                          accepted connection
+kill_daemon         gateway.daemon        the daemon crashes mid-request
+                                          (listeners, connections and
+                                          queued work all die; children
+                                          are orphaned for a supervisor
+                                          to reconcile)
 ==================  ====================  ==================================
 
 Client-side points fire through :data:`repro.faults.FAULTS`; the two
 ``helper`` kinds (plus ``refuse_exec`` when pointed there) are compiled
 into a ``REPRO_HELPER_FAULTS`` environment spec that
 :class:`~repro.core.forkserver.ForkServer` hands to helpers it starts
-*while the plan is active*.
+*while the plan is active*.  The ``gateway.*`` family fires inside
+:mod:`repro.gateway` — client-side kinds in
+:class:`~repro.gateway.client.GatewayClient`'s send path, server-side
+kinds on the daemon's accept/reply/dispatch paths — and is what the
+t9-chaos availability gauntlet drives.
 """
 
 from __future__ import annotations
@@ -63,6 +85,13 @@ KIND_POINTS: Dict[str, str] = {
     "delay_sigchld": "helper",
     "refuse_exec": "strategy.launch",
     "exhaust_fds": "strategy.launch",
+    "conn_reset": "gateway.frame",
+    "partial_frame": "gateway.frame",
+    "stall_conn": "gateway.frame",
+    "drop_reply": "gateway.reply",
+    "garbage_reply": "gateway.reply",
+    "refuse_accept": "gateway.accept",
+    "kill_daemon": "gateway.daemon",
 }
 
 #: Every injection point compiled into the stack (documentation and
@@ -77,10 +106,23 @@ POINTS = (
     "builder.pipe",        # ProcessBuilder pipe allocation
     "builder.spawn",       # ProcessBuilder.spawn entry
     "helper",              # inside the helper process (via env spec)
+    "gateway.connect",     # GatewayClient dial, before the hello
+    "gateway.frame",       # GatewayClient._roundtrip, one outgoing frame
+    "gateway.reply",       # GatewayServer._send, one outgoing reply
+    "gateway.accept",      # GatewayServer._on_accept, per new connection
+    "gateway.daemon",      # GatewayServer._handle_frame, the daemon itself
 )
 
 #: Kinds whose effect is a mutation of the outgoing wire frame.
 FRAME_KINDS = frozenset({"truncate_frame", "corrupt_frame", "drop_fd_grant"})
+
+#: Gateway kinds the injection *site* interprets (socket surgery, reply
+#: suppression, daemon crash) rather than :meth:`FaultInjector.fire`
+#: applying a generic effect.  Grouped with :data:`FRAME_KINDS` for the
+#: "don't also sleep" exemption in the injector.
+GATEWAY_SITE_KINDS = frozenset({
+    "conn_reset", "partial_frame", "drop_reply", "garbage_reply",
+    "refuse_accept", "kill_daemon"})
 
 
 @dataclass

@@ -23,12 +23,17 @@ The pieces:
   bounded queues with load shedding and Retry-After hints, graceful
   drain on SIGTERM, and counters/histograms through :mod:`repro.obs`.
 * :mod:`repro.gateway.client` — :class:`GatewayClient`, a synchronous
-  pipelined client, and the ``gateway`` launch strategy that lets the
-  same :class:`~repro.core.ProcessBuilder` program run against the
-  daemon.
+  pipelined client that self-heals across connection loss (typed
+  failures, capped-backoff reconnect with re-auth, re-issued waits),
+  and the ``gateway`` launch strategy that lets the same
+  :class:`~repro.core.ProcessBuilder` program run against the daemon.
+* :mod:`repro.gateway.supervisor` — :class:`GatewaySupervisor`:
+  wire-level ``ping`` health checks, bounded restart-on-crash, and
+  reconciliation of children a crashed daemon orphaned.
 
 Run a standalone daemon with ``python -m repro.gateway``; see
-``docs/GATEWAY.md`` for the protocol spec and tuning guide.
+``docs/GATEWAY.md`` for the protocol spec, the failure-mode catalogue,
+and the tuning guide.
 """
 
 from .client import GatewayClient
@@ -36,9 +41,11 @@ from .config import GatewayConfig, TenantConfig
 from .protocol import (ERROR_CODES, FrameDecoder, MAX_FRAME_BYTES,
                        decode_error, encode_error, encode_frame)
 from .server import GatewayServer
+from .supervisor import GatewaySupervisor, ping_gateway
 
 __all__ = [
     "ERROR_CODES", "FrameDecoder", "GatewayClient", "GatewayConfig",
-    "GatewayServer", "MAX_FRAME_BYTES", "TenantConfig",
-    "decode_error", "encode_error", "encode_frame",
+    "GatewayServer", "GatewaySupervisor", "MAX_FRAME_BYTES",
+    "TenantConfig", "decode_error", "encode_error", "encode_frame",
+    "ping_gateway",
 ]

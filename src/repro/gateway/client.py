@@ -1,10 +1,32 @@
-"""GatewayClient: the synchronous, pipelined client for the daemon.
+"""GatewayClient: the synchronous, pipelined, self-healing client.
 
 The client mirrors the :class:`~repro.core.forkserver.ForkServer`
 channel design — one socket, a small send lock, a dedicated reader
 thread, and per-request futures matched by correlation id — so many
 threads can have spawns in flight at once without waiting on each
 other's round trips.
+
+Unlike the forkserver channel, the gateway connection crosses a real
+network boundary, so the client owns a failure story:
+
+* a dead channel fails every in-flight request with the typed
+  :class:`~repro.errors.GatewayConnectionLost` (never a hang, never a
+  bare ``OSError``);
+* with ``reconnect`` enabled (the default) the next operation re-dials
+  with capped exponential backoff + jitter and **re-authenticates**
+  (the ``hello`` handshake runs on every dial — the daemon forgets the
+  tenant with the connection);
+* idempotent ops (``wait``, ``stats``, ``lease``, ``ping``, ...) are
+  re-issued transparently after a reconnect, so an in-flight child is
+  never lost to a connection blip: the daemon still holds it, and the
+  re-issued ``wait`` returns its real exit status;
+* ``spawn``/``spawn_batch`` are re-issued only when the request frame
+  provably never reached the daemon (nothing was sent) — a loss after
+  the frame was fully sent is ambiguous and surfaces as
+  :class:`GatewayConnectionLost` for the caller (or the
+  :class:`~repro.core.policy.SpawnPolicy` ladder) to arbitrate;
+* a :class:`~repro.errors.RateLimited` refusal with a Retry-After hint
+  is honoured for up to ``rate_limit_retries`` bounded sleeps.
 
 Over a Unix socket the client grants the child's stdio triple as
 SCM_RIGHTS ancillary data, exactly like the forkserver wire protocol;
@@ -23,15 +45,20 @@ from __future__ import annotations
 
 import array
 import os
+import random
 import socket
 import threading
+import time
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.batch import BatchRequest, BatchResult
 from ..core.forkserver import _SCM_MAX_FD
 from ..core.result import ChildProcess
-from ..errors import (GatewayError, GatewayProtocolError, SpawnError,
+from ..errors import (GatewayConnectionLost, GatewayError,
+                      GatewayProtocolError, RateLimited, SpawnError,
                       SpawnTimeout)
+from ..faults import FAULTS
 from ..obs import NULL_TRACE, TELEMETRY
 from .protocol import (FrameDecoder, PROTOCOL_VERSION, decode_error,
                        encode_frame)
@@ -49,13 +76,15 @@ def _encode_status(returncode: int) -> int:
 
 
 class _Pending:
-    """One in-flight request's future: an event plus its eventual reply."""
+    """One in-flight request's future: an event plus its eventual reply
+    (or the typed error the channel died with)."""
 
-    __slots__ = ("event", "reply")
+    __slots__ = ("event", "reply", "error")
 
     def __init__(self):
         self.event = threading.Event()
         self.reply: Optional[dict] = None
+        self.error: Optional[GatewayError] = None
 
 
 class GatewayClient:
@@ -64,26 +93,59 @@ class GatewayClient:
     ``address`` is a Unix-socket path (str) or a ``(host, port)`` pair;
     ``tenant``/``token`` authenticate the ``hello`` handshake.  Usable
     as a context manager and safe to share across threads.
+
+    Resilience knobs:
+
+    * ``reconnect`` — re-dial (and re-auth) automatically when the
+      channel dies; ``max_reconnects`` bounds the attempts per outage,
+      with exponential backoff from ``reconnect_backoff`` capped at
+      ``reconnect_backoff_max`` and spread over ``±reconnect_jitter``;
+    * ``rate_limit_retries`` — how many times one operation sleeps out
+      a :class:`~repro.errors.RateLimited` Retry-After hint before the
+      error is surfaced (0 = surface immediately, the cooperative
+      caller owns the backoff);
+    * ``join_timeout`` — seconds :meth:`close` waits for the reader
+      thread; a reader that fails to join is reported (``RuntimeWarning``
+      plus the ``gateway_reader_leak`` counter), never silently leaked.
     """
 
     #: Seconds the hello handshake (and default round trips) may take.
     default_timeout = 10.0
 
     def __init__(self, address: Address, *, tenant: str, token: str,
-                 timeout: Optional[float] = None):
+                 timeout: Optional[float] = None,
+                 reconnect: bool = True,
+                 max_reconnects: int = 5,
+                 reconnect_backoff: float = 0.05,
+                 reconnect_backoff_max: float = 2.0,
+                 reconnect_jitter: float = 0.5,
+                 rate_limit_retries: int = 0,
+                 join_timeout: float = 2.0):
         self.address = address
         self.tenant = tenant
         self._token = token
         self._timeout = (timeout if timeout is not None
                          else self.default_timeout)
+        self._reconnect = reconnect
+        self._max_reconnects = max(0, int(max_reconnects))
+        self._backoff = reconnect_backoff
+        self._backoff_max = reconnect_backoff_max
+        self._jitter = reconnect_jitter
+        self._rate_limit_retries = max(0, int(rate_limit_retries))
+        self._join_timeout = join_timeout
         self._sock: Optional[socket.socket] = None
         self._is_unix = isinstance(address, str)
         self._send_lock = threading.Lock()
         self._state_lock = threading.Lock()
+        self._conn_lock = threading.RLock()
         self._pending: Dict[int, _Pending] = {}
         self._next_id = 0
         self._reader: Optional[threading.Thread] = None
         self._dead: Optional[str] = None
+        self._generation = 0
+        self._ever_connected = False
+        self._closed = False
+        self._reconnects = 0
 
     # -- lifecycle -------------------------------------------------------
 
@@ -95,11 +157,29 @@ class GatewayClient:
     def healthy(self) -> bool:
         return self._sock is not None and self._dead is None
 
+    @property
+    def reconnects(self) -> int:
+        """Successful re-dials since this client was created."""
+        return self._reconnects
+
     def connect(self) -> "GatewayClient":
         """Dial the daemon and run the ``hello`` handshake (idempotent)."""
-        if self.connected:
-            return self
-        self._dead = None
+        with self._conn_lock:
+            self._closed = False
+            if self.healthy:
+                return self
+            self._dial_locked()
+        return self
+
+    def _dial_locked(self) -> None:
+        """Tear down whatever channel exists and dial a fresh one.
+
+        Runs the full ``hello`` re-auth on every dial; on any failure
+        the half-open socket is torn down before the error propagates.
+        Caller holds ``_conn_lock``.
+        """
+        self._teardown_locked("gateway client reconnecting")
+        FAULTS.fire("gateway.connect", tenant=self.tenant)
         if self._is_unix:
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         else:
@@ -112,15 +192,19 @@ class GatewayClient:
             sock.close()
             raise GatewayError(
                 f"cannot reach gateway at {self.address!r}: {exc}") from exc
-        self._sock = sock
+        with self._state_lock:
+            self._dead = None
+            self._sock = sock
+            generation = self._generation
         self._reader = threading.Thread(
-            target=self._read_replies, args=(sock,),
+            target=self._read_replies, args=(sock, generation),
             name="gateway-client-reader", daemon=True)
         self._reader.start()
         try:
-            reply = self._roundtrip({"op": "hello", "tenant": self.tenant,
-                                     "token": self._token},
-                                    timeout=self._timeout)
+            reply = self._roundtrip_once({"op": "hello",
+                                          "tenant": self.tenant,
+                                          "token": self._token},
+                                         timeout=self._timeout)
             if reply.get("ok") is not True:
                 raise GatewayError(f"gateway refused hello: {reply}")
             version = reply.get("version")
@@ -129,12 +213,19 @@ class GatewayClient:
                     f"gateway speaks protocol {version}, this client "
                     f"speaks {PROTOCOL_VERSION}")
         except Exception:
-            self.close()
+            self._teardown_locked("gateway handshake failed")
             raise
-        return self
+        self._ever_connected = True
 
-    def close(self) -> None:
-        """Hang up (idempotent); in-flight requests fail fast."""
+    def _teardown_locked(self, why: str) -> None:
+        """Close the current socket and fail its in-flight requests.
+
+        Caller holds ``_conn_lock``.  Advancing the generation first
+        means a stale reader thread noticing the closed socket later
+        cannot poison the *next* channel.
+        """
+        with self._state_lock:
+            self._generation += 1
         sock, self._sock = self._sock, None
         if sock is not None:
             try:
@@ -145,10 +236,27 @@ class GatewayClient:
                 sock.close()
             except OSError:
                 pass
-        self._fail_pending("gateway client closed")
+        self._fail_pending(why, generation=None)
         reader, self._reader = self._reader, None
         if reader is not None and reader is not threading.current_thread():
-            reader.join(timeout=2.0)
+            reader.join(timeout=self._join_timeout)
+            if reader.is_alive():
+                TELEMETRY.count("gateway_reader_leak")
+                warnings.warn(
+                    f"gateway reader thread failed to join within "
+                    f"{self._join_timeout}s; abandoning it "
+                    f"(address={self.address!r})", RuntimeWarning,
+                    stacklevel=3)
+
+    def close(self) -> None:
+        """Hang up (idempotent); in-flight requests fail fast.
+
+        A closed client stays closed: automatic reconnect is disabled
+        until an explicit :meth:`connect`.
+        """
+        with self._conn_lock:
+            self._closed = True
+            self._teardown_locked("gateway client closed")
 
     def __enter__(self) -> "GatewayClient":
         return self.connect()
@@ -158,19 +266,22 @@ class GatewayClient:
 
     # -- the wire ---------------------------------------------------------
 
-    def _read_replies(self, sock: socket.socket) -> None:
+    def _read_replies(self, sock: socket.socket, generation: int) -> None:
         decoder = FrameDecoder()
         while True:
             try:
                 data = sock.recv(65536)
                 if not data:
-                    raise GatewayError("gateway hung up")
+                    raise GatewayConnectionLost("gateway hung up")
                 replies = decoder.feed(data)
             except Exception as exc:
-                self._fail_pending(str(exc) or type(exc).__name__)
+                self._fail_pending(str(exc) or type(exc).__name__,
+                                   generation=generation)
                 return
             for reply in replies:
                 with self._state_lock:
+                    if self._generation != generation:
+                        return  # superseded channel; drop the stragglers
                     pending = self._pending.pop(reply.get("id"), None)
                 if pending is not None:
                     pending.reply = reply
@@ -180,63 +291,201 @@ class GatewayClient:
                     # us the *stream* is broken (framing error) — every
                     # in-flight request on it is lost.
                     error = decode_error(reply["error"])
-                    self._fail_pending(str(error))
+                    self._fail_pending(str(error), generation=generation)
                     return
 
-    def _fail_pending(self, why: str) -> None:
+    def _fail_pending(self, why: str,
+                      generation: Optional[int]) -> None:
+        """Mark the channel dead and fail every in-flight request with
+        a typed :class:`GatewayConnectionLost`.
+
+        ``generation`` guards stale reader threads: a reader whose
+        channel was already replaced must not poison the new one.
+        ``None`` means the caller (teardown) owns the current channel
+        unconditionally.
+        """
         with self._state_lock:
+            if generation is not None and generation != self._generation:
+                return
             if self._dead is None:
                 self._dead = why
             stranded = list(self._pending.values())
             self._pending.clear()
         for pending in stranded:
+            pending.error = GatewayConnectionLost(
+                f"gateway connection lost: {why}")
             pending.event.set()
 
+    # -- reconnect machinery ----------------------------------------------
+
+    def _reconnect_delay(self, attempt: int) -> float:
+        """Capped exponential backoff with symmetric jitter."""
+        base = min(self._backoff * (2.0 ** attempt), self._backoff_max)
+        if not self._jitter or not base:
+            return base
+        spread = self._jitter * (2.0 * random.random() - 1.0)
+        return max(0.0, base * (1.0 + spread))
+
+    def _ensure_channel(self, trace=NULL_TRACE) -> None:
+        """Make the channel usable, re-dialing (and re-authing) if dead.
+
+        Raises the last dial error when ``max_reconnects`` attempts all
+        fail, :class:`GatewayError` when the client was never connected
+        or was explicitly closed.
+        """
+        if self.healthy:
+            return
+        with self._conn_lock:
+            if self.healthy:
+                return
+            if self._closed:
+                raise GatewayError("gateway client is closed")
+            if not self._ever_connected:
+                raise GatewayError("gateway client is not connected")
+            if not self._reconnect:
+                raise GatewayConnectionLost(
+                    f"gateway channel is dead: {self._dead} "
+                    f"(reconnect disabled)")
+            last: Optional[Exception] = None
+            for attempt in range(self._max_reconnects):
+                if attempt:
+                    time.sleep(self._reconnect_delay(attempt - 1))
+                trace.stage("reconnect", attempt=attempt)
+                try:
+                    self._dial_locked()
+                except GatewayError as exc:
+                    last = exc
+                    continue
+                self._reconnects += 1
+                TELEMETRY.count("gateway_reconnect")
+                return
+            raise GatewayConnectionLost(
+                f"gateway at {self.address!r} unreachable after "
+                f"{self._max_reconnects} reconnect attempts: {last}")
+
     def _roundtrip(self, obj: dict, fds: Sequence[int] = (),
-                   timeout: Optional[float] = None) -> dict:
-        """One pipelined request/reply exchange; raises typed errors."""
+                   timeout: Optional[float] = None, *,
+                   retryable: bool = False, trace=NULL_TRACE) -> dict:
+        """One request/reply exchange, healed across channel death.
+
+        ``retryable`` ops are re-issued after a successful reconnect;
+        non-retryable ops (spawns) are re-issued only when the request
+        frame provably never left this process.  Rate-limit refusals
+        sleep out their Retry-After hint up to ``rate_limit_retries``
+        times.  Raises typed errors.
+        """
+        rate_budget = self._rate_limit_retries
+        reissues = 0
+        while True:
+            self._ensure_channel(trace)
+            try:
+                return self._roundtrip_once(obj, fds, timeout)
+            except RateLimitedPause as pause:
+                if rate_budget <= 0:
+                    raise pause.error from None
+                rate_budget -= 1
+                TELEMETRY.count("gateway_retry", why="rate_limited")
+                time.sleep(min(pause.error.retry_after or 0.0,
+                               self._backoff_max))
+            except GatewayConnectionLost as exc:
+                safe = retryable or getattr(exc, "unsent", False)
+                if (not safe or self._closed or not self._reconnect
+                        or reissues >= self._max_reconnects):
+                    raise
+                reissues += 1
+                TELEMETRY.count("gateway_retry", why="conn_lost")
+
+    def _roundtrip_once(self, obj: dict, fds: Sequence[int] = (),
+                        timeout: Optional[float] = None) -> dict:
+        """One exchange on the *current* channel; raises typed errors.
+
+        The correlation-map entry is popped on **every** exit path —
+        success, send failure, timeout, channel death, even a failed
+        ``encode_frame`` — so a dead waiter can never be written into
+        by a late reply, and the map cannot accumulate stale entries.
+        """
         sock = self._sock
         if sock is None:
             raise GatewayError("gateway client is not connected")
         with self._state_lock:
             if self._dead is not None:
-                raise GatewayError(
+                lost = GatewayConnectionLost(
                     f"gateway channel is dead: {self._dead}")
+                lost.unsent = True
+                raise lost
             rid = self._next_id
             self._next_id += 1
             pending = _Pending()
             self._pending[rid] = pending
-        frame = encode_frame(dict(obj, id=rid))
-        ancdata = []
-        if fds:
-            ancdata = [(socket.SOL_SOCKET, socket.SCM_RIGHTS,
-                        array.array("i", list(fds)).tobytes())]
+            generation = self._generation
         try:
-            with self._send_lock:
-                sent = sock.sendmsg([frame], ancdata)
-                while sent < len(frame):
-                    sent += sock.send(memoryview(frame)[sent:])
-        except OSError as exc:
+            frame = encode_frame(dict(obj, id=rid))
+            fault = FAULTS.fire("gateway.frame", tenant=self.tenant,
+                                op=obj.get("op"))
+            if fault is not None:
+                self._apply_frame_fault(fault, sock, frame, generation)
+            ancdata = []
+            if fds:
+                ancdata = [(socket.SOL_SOCKET, socket.SCM_RIGHTS,
+                            array.array("i", list(fds)).tobytes())]
+            sent = 0
+            try:
+                with self._send_lock:
+                    sent = sock.sendmsg([frame], ancdata)
+                    while sent < len(frame):
+                        sent += sock.send(memoryview(frame)[sent:])
+            except OSError as exc:
+                self._fail_pending(str(exc) or type(exc).__name__,
+                                   generation=generation)
+                lost = GatewayConnectionLost(
+                    f"gateway channel failed: {exc}")
+                # A partially sent frame can never be parsed, so the
+                # daemon provably did not act on it: safe to re-issue.
+                lost.unsent = sent < len(frame)
+                raise lost from exc
+            if not pending.event.wait(timeout):
+                raise SpawnTimeout(
+                    f"gateway request {rid} ({obj.get('op')}) exceeded "
+                    f"its {timeout}s deadline")
+            if pending.error is not None:
+                raise pending.error
+            if pending.reply is None:
+                raise GatewayConnectionLost(
+                    f"gateway died before replying: {self._dead}")
+            if "error" in pending.reply:
+                error = decode_error(pending.reply["error"])
+                if (isinstance(error, RateLimited)
+                        and error.retry_after is not None):
+                    raise RateLimitedPause(error)
+                raise error
+            return pending.reply
+        finally:
             with self._state_lock:
                 self._pending.pop(rid, None)
-            self._fail_pending(str(exc) or type(exc).__name__)
-            raise GatewayError(f"gateway channel failed: {exc}") from exc
-        except Exception:
-            with self._state_lock:
-                self._pending.pop(rid, None)
-            raise
-        if not pending.event.wait(timeout):
-            with self._state_lock:
-                self._pending.pop(rid, None)
-            raise SpawnTimeout(
-                f"gateway request {rid} ({obj.get('op')}) exceeded its "
-                f"{timeout}s deadline")
-        if pending.reply is None:
-            raise GatewayError(f"gateway died before replying: "
-                               f"{self._dead}")
-        if "error" in pending.reply:
-            raise decode_error(pending.reply["error"])
-        return pending.reply
+
+    def _apply_frame_fault(self, fault, sock: socket.socket,
+                           frame: bytes, generation: int) -> None:
+        """Interpret a ``gateway.frame`` fault against the live socket."""
+        if fault.kind == "conn_reset":
+            # Kill the transport out from under the send that follows:
+            # it fails like a peer RST, and the reader sees EOF.
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        elif fault.kind == "partial_frame":
+            try:
+                with self._send_lock:
+                    sock.send(frame[:max(1, len(frame) // 2)])
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._fail_pending("injected fault: partial frame",
+                               generation=generation)
+            lost = GatewayConnectionLost(
+                "injected fault: connection died mid-frame")
+            lost.unsent = True  # a half frame is never acted on
+            raise lost
 
     def _require_fd_transport(self, what: str) -> None:
         if not self._is_unix:
@@ -258,6 +507,10 @@ class GatewayClient:
         (so pipes wire up exactly like a local spawn); the returned
         :class:`ChildProcess` reaps through the gateway's ``wait`` op —
         the child is the *daemon's* child, like forkserver children.
+
+        A spawn is only re-issued across a reconnect when its frame
+        never reached the daemon; an ambiguous loss (frame sent, no
+        reply) raises :class:`~repro.errors.GatewayConnectionLost`.
         """
         if not argv:
             raise SpawnError("empty argv")
@@ -275,7 +528,8 @@ class GatewayClient:
             request["nfds"] = 0
         trace.stage("dispatch", gateway=str(self.address))
         reply = self._roundtrip(request, fds=fds,
-                                timeout=deadline or self._timeout)
+                                timeout=deadline or self._timeout,
+                                trace=trace)
         if "pid" not in reply:
             raise GatewayError(f"gateway refused spawn: {reply}")
         trace.stage("forked", pid=reply["pid"])
@@ -324,16 +578,23 @@ class GatewayClient:
             for pid, member in zip(pids, batch.members)]
         return BatchResult(children, strategy="gateway")
 
+    def ping(self) -> dict:
+        """Liveness probe (pre-auth on the daemon side): the pong reply."""
+        return self._roundtrip({"op": "ping"}, timeout=self._timeout,
+                               retryable=True)
+
     def lease(self, count: int, ttl: float = 10.0) -> dict:
         """Reserve ``count`` rate-limit-exempt admission credits for
         ``ttl`` seconds (provisioned concurrency for a known burst)."""
         reply = self._roundtrip({"op": "lease", "count": count,
-                                 "ttl": ttl}, timeout=self._timeout)
+                                 "ttl": ttl}, timeout=self._timeout,
+                                retryable=True)
         return reply.get("lease", {})
 
     def stats(self) -> dict:
         """The daemon's stats snapshot (queues, sheds, per-tenant)."""
-        reply = self._roundtrip({"op": "stats"}, timeout=self._timeout)
+        reply = self._roundtrip({"op": "stats"}, timeout=self._timeout,
+                                retryable=True)
         return reply.get("stats", {})
 
     def drain(self) -> None:
@@ -343,21 +604,24 @@ class GatewayClient:
         :class:`~repro.errors.AuthError`, because drain denies spawn
         service to every other tenant.
         """
-        self._roundtrip({"op": "drain"}, timeout=self._timeout)
+        self._roundtrip({"op": "drain"}, timeout=self._timeout,
+                        retryable=True)
 
     def resume(self) -> None:
         """Ask the daemon to leave drain mode (admin tenants only)."""
         self._roundtrip({"op": "drain", "resume": True},
-                        timeout=self._timeout)
+                        timeout=self._timeout, retryable=True)
 
     def _reap(self, pid: int, flags: int) -> Optional[int]:
         """ChildProcess reaper: wait through the daemon.
 
         Non-blocking polls answer immediately; a blocking wait parks
-        until the daemon's SIGCHLD path reports the exit.
+        until the daemon's SIGCHLD path reports the exit.  Retryable:
+        a connection lost mid-wait reconnects and re-issues the wait —
+        the child is the daemon's, so its status survives our blip.
         """
         reply = self._roundtrip({"op": "wait", "pid": pid,
-                                 "block": flags == 0})
+                                 "block": flags == 0}, retryable=True)
         status = reply.get("status")
         if status is None:
             return None
@@ -368,3 +632,12 @@ class GatewayClient:
                  else "closed" if not self.connected else "dead")
         return (f"<GatewayClient {self.address!r} tenant={self.tenant} "
                 f"{state}>")
+
+
+class RateLimitedPause(Exception):
+    """Internal control flow: a RateLimited reply whose Retry-After the
+    retry loop may sleep out (never escapes :meth:`_roundtrip`)."""
+
+    def __init__(self, error: RateLimited):
+        super().__init__(str(error))
+        self.error = error

@@ -32,8 +32,8 @@ import json
 import struct
 from typing import Dict, Iterator, List, Optional, Tuple, Type
 
-from ..errors import (AuthError, GatewayError, GatewayProtocolError,
-                      Overloaded, RateLimited)
+from ..errors import (AuthError, GatewayConnectionLost, GatewayError,
+                      GatewayProtocolError, Overloaded, RateLimited)
 
 _LEN = struct.Struct("!I")
 
@@ -44,8 +44,12 @@ _LEN = struct.Struct("!I")
 MAX_FRAME_BYTES = 4 * 1024 * 1024
 
 #: Every operation the daemon understands, and the protocol version the
-#: ``hello`` handshake advertises.
-OPS = ("hello", "spawn", "spawn_batch", "lease", "wait", "stats", "drain")
+#: ``hello`` handshake advertises.  ``ping`` is the liveness probe: it
+#: is answered *before* auth (it leaks nothing beyond "a daemon speaks
+#: this protocol here"), so a supervisor can health-check a daemon
+#: without holding a tenant token.
+OPS = ("hello", "ping", "spawn", "spawn_batch", "lease", "wait", "stats",
+       "drain")
 PROTOCOL_VERSION = 1
 
 #: code -> exception class, the one authoritative table.  ``decode``
@@ -54,7 +58,7 @@ PROTOCOL_VERSION = 1
 ERROR_CODES: Dict[str, Type[GatewayError]] = {
     cls.code: cls
     for cls in (GatewayError, GatewayProtocolError, AuthError,
-                RateLimited, Overloaded)
+                RateLimited, Overloaded, GatewayConnectionLost)
 }
 
 

@@ -61,6 +61,7 @@ from ..core.policy import (DEFAULT_FALLBACK, SpawnPolicy, breaker_for)
 from ..core.spawn import ProcessBuilder
 from ..errors import (AuthError, GatewayError, GatewayProtocolError,
                       Overloaded, RateLimited, SpawnError)
+from ..faults import FAULTS
 from ..obs import TELEMETRY
 from .config import GatewayConfig, TenantConfig, TokenBucket
 from .protocol import (FrameDecoder, PROTOCOL_VERSION, check_request,
@@ -192,6 +193,15 @@ class GatewayServer:
     def draining(self) -> bool:
         return self._draining
 
+    @property
+    def running(self) -> bool:
+        """Whether the event loop is (still) serving.
+
+        False before ``start()``, after ``stop()``, and — the case a
+        supervisor polls for — after the loop died on its own (a crash
+        fault, an unhandled loop error)."""
+        return self._thread is not None and not self._stopped.is_set()
+
     def start(self) -> "GatewayServer":
         """Bind the listeners and boot the loop thread (idempotent,
         and restartable: a stopped server can ``start()`` again)."""
@@ -295,7 +305,11 @@ class GatewayServer:
             self._draining = True
             self._drained.set()
             return
-        loop.call_soon_threadsafe(self._begin_drain)
+        try:
+            loop.call_soon_threadsafe(self._begin_drain)
+        except RuntimeError:  # loop died between the check and the call
+            self._draining = True
+            self._drained.set()
 
     def resume(self) -> None:
         """Leave drain mode: admit new work again.
@@ -306,7 +320,10 @@ class GatewayServer:
         loop = self._loop
         if loop is None or self._stopped.is_set():
             return
-        loop.call_soon_threadsafe(self._end_drain)
+        try:
+            loop.call_soon_threadsafe(self._end_drain)
+        except RuntimeError:
+            pass
 
     def _begin_drain(self) -> None:
         if not self._draining:
@@ -334,7 +351,10 @@ class GatewayServer:
         self._closing = True
         loop = self._loop
         if loop is not None and not self._stopped.is_set():
-            loop.call_soon_threadsafe(self._shutdown_in_loop)
+            try:
+                loop.call_soon_threadsafe(self._shutdown_in_loop)
+            except RuntimeError:
+                pass  # the loop crashed or closed on its own
         if self._thread is not None:
             self._thread.join(timeout=10.0)
             self._thread = None
@@ -377,6 +397,49 @@ class GatewayServer:
                 self._close_job_fds(job)
         self._loop.stop()
 
+    def _crash_in_loop(self) -> None:
+        """Die abruptly, the way a SIGKILLed daemon would (fault hook).
+
+        No drain, no goodbye frames: connections and queued work are
+        dropped on the floor and the loop stops.  Unlike :meth:`stop`,
+        the tenants' live children are *not* reaped or cleared — a
+        crash orphans them, and proving a
+        :class:`~repro.gateway.supervisor.GatewaySupervisor` reconciles
+        those orphans is the point of injecting one.  The drain latches
+        are released so a later ``stop()`` cleans up without waiting
+        out the grace period.
+        """
+        TELEMETRY.event("gateway_crash")
+        self._closing = True
+        self._draining = True
+        self._drained.set()
+        self._shutdown_in_loop()
+
+    def crash(self) -> None:
+        """Crash the daemon from any thread (tests and chaos drills)."""
+        loop = self._loop
+        if loop is None or self._stopped.is_set():
+            return
+        try:
+            loop.call_soon_threadsafe(self._crash_in_loop)
+        except RuntimeError:
+            pass
+        self._stopped.wait(timeout=10.0)
+
+    def take_orphans(self) -> Dict[int, object]:
+        """Claim the children a dead daemon stranded (pid -> handle).
+
+        A supervisor restarting a crashed server calls this *before*
+        ``stop()`` (which would merely poll-and-forget them): ownership
+        of every live child transfers to the caller, whose job is to
+        wait on each one so nothing is left a zombie.
+        """
+        orphans: Dict[int, object] = {}
+        for tenant in self._tenants.values():
+            orphans.update(tenant.children)
+            tenant.children.clear()
+        return orphans
+
     def __enter__(self) -> "GatewayServer":
         return self.start()
 
@@ -393,6 +456,15 @@ class GatewayServer:
         except OSError:
             return
         sock.setblocking(False)
+        fault = FAULTS.fire("gateway.accept")
+        if fault is not None and fault.kind == "refuse_accept":
+            # The daemon that answers the TCP/unix handshake but hangs
+            # up before speaking: the client sees an immediate EOF.
+            try:
+                sock.close()
+            except OSError:
+                pass
+            return
         peer = self._unix_path if is_unix else f"{addr[0]}:{addr[1]}"
         conn = _Connection(sock, is_unix, str(peer))
         self._connections[conn.fd] = conn
@@ -465,6 +537,20 @@ class GatewayServer:
     def _send(self, conn: _Connection, obj: dict) -> None:
         if conn.closed:
             return
+        fault = FAULTS.fire("gateway.reply", tenant=conn.tenant)
+        if fault is not None:
+            if fault.kind == "drop_reply":
+                # The reply evaporates; the client's own deadline (and
+                # its retry of retryable ops) is what must save it.
+                return
+            if fault.kind == "garbage_reply":
+                # A length prefix that checks out, a body that does not:
+                # the client's decoder must poison and surface a typed
+                # protocol error, never hang or crash the reader.
+                body = b"\xfe\xedgarbage\xff"
+                conn.outbuf += len(body).to_bytes(4, "big") + body
+                self._flush_or_close(conn)
+                return
         try:
             conn.outbuf += encode_frame(obj)
         except GatewayError:
@@ -509,10 +595,25 @@ class GatewayServer:
         becomes a typed error reply (that invariant is what 'zero
         unhandled server exceptions' means in the t8 gate)."""
         rid: Optional[int] = None
+        fault = FAULTS.fire("gateway.daemon", tenant=conn.tenant)
+        if fault is not None and fault.kind == "kill_daemon":
+            # The mid-request daemon crash: every connection, queued job
+            # and listener dies right now, no drain, no goodbye — and
+            # the children the tenants hold are orphaned for a
+            # supervisor to reconcile.  The request being handled never
+            # gets an answer, exactly like a real SIGKILL.
+            self._loop.call_soon(self._crash_in_loop)
+            return
         try:
             op, rid = check_request(frame)
             if op == "hello":
                 self._op_hello(conn, rid, frame)
+            elif op == "ping":
+                # Pre-auth on purpose: the liveness probe a supervisor
+                # (which holds no tenant token) health-checks with.
+                self._send(conn, {"id": rid, "pong": True,
+                                  "pid": os.getpid(),
+                                  "version": PROTOCOL_VERSION})
             elif conn.tenant is None:
                 raise AuthError("say hello first (tenant + token)")
             elif op == "spawn":
@@ -749,23 +850,29 @@ class GatewayServer:
         def wait_blocking():
             # Own thread, not the executor: a blocking wait parks for
             # the child's whole runtime and must never eat a spawn slot.
+            def post(*call) -> None:
+                # The daemon can stop (or be crash-injected) while this
+                # thread is parked in wait(); by the time the child
+                # exits the loop may be closed or already gone.
+                loop = self._loop
+                if loop is None:
+                    return
+                try:
+                    loop.call_soon_threadsafe(*call)
+                except RuntimeError:
+                    pass  # loop already closed mid-shutdown
+
             try:
                 try:
                     status = child.wait()
                 except SpawnError as exc:
-                    self._loop.call_soon_threadsafe(
-                        self._send, conn,
-                        encode_error(GatewayError(str(exc)), rid))
+                    post(self._send, conn,
+                         encode_error(GatewayError(str(exc)), rid))
                     return
                 tenant.children.pop(pid, None)
-                self._loop.call_soon_threadsafe(
-                    self._send, conn, {"id": rid, "status": status})
+                post(self._send, conn, {"id": rid, "status": status})
             finally:
-                try:
-                    self._loop.call_soon_threadsafe(
-                        self._wait_finished, tenant)
-                except RuntimeError:
-                    pass  # loop already closed mid-shutdown
+                post(self._wait_finished, tenant)
 
         if block:
             # Each blocking wait parks one daemon thread until the

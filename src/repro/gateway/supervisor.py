@@ -1,0 +1,265 @@
+"""GatewaySupervisor: keep one spawn daemon alive and zombie-free.
+
+The gateway daemon is a single point of failure by construction — one
+process fronting every tenant's spawns — so PR 11's availability story
+is incomplete without an answer to "what happens when the daemon
+dies?".  This module is that answer, in three parts:
+
+* **health checks** — the supervisor probes the daemon over the real
+  wire with the pre-auth ``ping`` op (plus a cheap liveness check on
+  the loop thread), so it detects not just a dead process but a wedged
+  one that accepts connections and never answers;
+* **bounded restart** — a failed daemon is restarted on the same
+  address (the Unix-socket path survives restarts, so resilient
+  clients simply reconnect), with exponential backoff between
+  consecutive failures so a crash loop cannot become a restart storm;
+  after ``max_restarts`` consecutive failures the supervisor gives up
+  and reports it, rather than burning CPU forever;
+* **orphan reconciliation** — a crashed daemon strands its tenants'
+  children (they are the daemon's children; nobody is left to ``wait``
+  on them).  Before restarting, the supervisor claims them via
+  :meth:`~repro.gateway.server.GatewayServer.take_orphans` and reaps
+  every one — polling first, escalating to SIGKILL after
+  ``orphan_grace`` — so a daemon crash never leaks a zombie.
+
+Counters: ``daemon_restart`` increments per restart,
+``orphans_reaped`` per reconciled child, both visible in
+``repro-bench metrics`` and gated by the t9-chaos experiment.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Dict, List, Optional
+
+from ..errors import GatewayError
+from ..obs import TELEMETRY
+from .config import GatewayConfig
+from .protocol import FrameDecoder, encode_frame
+from .server import GatewayServer
+
+
+def ping_gateway(address, timeout: float = 2.0) -> bool:
+    """One wire-level liveness probe: dial, ``ping``, expect a pong.
+
+    Token-free (the daemon answers ``ping`` before auth) and built on
+    a throwaway socket, so a supervisor can probe without holding a
+    tenant credential or disturbing the shared client channel.
+    """
+    family = (socket.AF_UNIX if isinstance(address, str)
+              else socket.AF_INET)
+    try:
+        with socket.socket(family, socket.SOCK_STREAM) as sock:
+            sock.settimeout(timeout)
+            sock.connect(address)
+            sock.sendall(encode_frame({"op": "ping", "id": 0}))
+            decoder = FrameDecoder()
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline:
+                data = sock.recv(4096)
+                if not data:
+                    return False
+                for frame in decoder.feed(data):
+                    return bool(frame.get("pong"))
+    except (OSError, GatewayError):
+        return False
+    return False
+
+
+class GatewaySupervisor:
+    """Run a :class:`GatewayServer` under restart-on-crash supervision.
+
+    ``start()`` boots the daemon and a monitor thread; the monitor
+    probes every ``check_interval`` seconds and restarts a dead or
+    unresponsive daemon (see the module docstring for the policy).
+    ``stop()`` shuts both down and reaps every remaining child.
+    Usable as a context manager.
+    """
+
+    def __init__(self, config: GatewayConfig, *,
+                 check_interval: float = 0.25,
+                 ping_timeout: float = 2.0,
+                 max_restarts: int = 8,
+                 restart_backoff: float = 0.05,
+                 restart_backoff_max: float = 2.0,
+                 healthy_reset: float = 5.0,
+                 orphan_grace: float = 5.0):
+        self.config = config
+        self._check_interval = check_interval
+        self._ping_timeout = ping_timeout
+        self._max_restarts = max_restarts
+        self._restart_backoff = restart_backoff
+        self._restart_backoff_max = restart_backoff_max
+        self._healthy_reset = healthy_reset
+        self._orphan_grace = orphan_grace
+        self._server: Optional[GatewayServer] = None
+        self._monitor: Optional[threading.Thread] = None
+        self._stop_event = threading.Event()
+        self._lock = threading.Lock()
+        self._consecutive_failures = 0
+        self._healthy_since = 0.0
+        #: Restarts performed over this supervisor's lifetime.
+        self.restarts = 0
+        #: Children reconciled (reaped) across restarts and shutdown.
+        self.orphans_reaped = 0
+        #: Set when ``max_restarts`` consecutive failures exhausted the
+        #: restart budget; the daemon stays down and clients must rely
+        #: on their :class:`~repro.core.policy.SpawnPolicy` ladder.
+        self.gave_up = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def server(self) -> Optional[GatewayServer]:
+        return self._server
+
+    @property
+    def address(self):
+        """Where clients dial: stable across daemon restarts."""
+        if self._server is not None and self._server.unix_path:
+            return self._server.unix_path
+        return self.config.unix_path
+
+    def start(self) -> "GatewaySupervisor":
+        """Boot the daemon and the monitor thread (idempotent)."""
+        with self._lock:
+            if self._monitor is not None:
+                return self
+            self._stop_event.clear()
+            self.gave_up = False
+            self._consecutive_failures = 0
+            if self._server is None:
+                self._server = GatewayServer(self.config)
+            self._server.start()
+            self._healthy_since = time.monotonic()
+            self._monitor = threading.Thread(
+                target=self._monitor_loop, name="gateway-supervisor",
+                daemon=True)
+            self._monitor.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop supervising, stop the daemon, reap every child."""
+        self._stop_event.set()
+        monitor, self._monitor = self._monitor, None
+        if monitor is not None and monitor is not threading.current_thread():
+            monitor.join(timeout=10.0)
+        with self._lock:
+            server, self._server = self._server, None
+        if server is not None:
+            self._reap(list(server.take_orphans().values()))
+            server.stop()
+
+    def __enter__(self) -> "GatewaySupervisor":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- health -----------------------------------------------------------
+
+    def healthy(self) -> bool:
+        """One probe, now: loop thread alive *and* a pong on the wire."""
+        server = self._server
+        if server is None or not server.running:
+            return False
+        return ping_gateway(self.address, timeout=self._ping_timeout)
+
+    def _monitor_loop(self) -> None:
+        while not self._stop_event.wait(self._check_interval):
+            if self.gave_up:
+                return
+            if self.healthy():
+                if (self._consecutive_failures
+                        and time.monotonic() - self._healthy_since
+                        >= self._healthy_reset):
+                    self._consecutive_failures = 0
+                continue
+            self._restart()
+
+    # -- restart ----------------------------------------------------------
+
+    def _restart(self) -> None:
+        """One supervised restart: reconcile orphans, back off, reboot."""
+        with self._lock:
+            if self._stop_event.is_set() or self._server is None:
+                return
+            self._consecutive_failures += 1
+            if self._consecutive_failures > self._max_restarts:
+                self.gave_up = True
+                TELEMETRY.event("gateway_restart_giveup",
+                                restarts=self.restarts)
+                return
+            server = self._server
+            orphans = list(server.take_orphans().values())
+            try:
+                server.stop()
+            except Exception:
+                pass
+            self._reap(orphans)
+            # Bounded restart-storm backoff: exponential in the run of
+            # consecutive failures, capped, and interruptible by stop().
+            delay = min(self._restart_backoff
+                        * (2.0 ** (self._consecutive_failures - 1)),
+                        self._restart_backoff_max)
+            if self._stop_event.wait(delay):
+                return
+            try:
+                server.start()
+            except GatewayError as exc:
+                TELEMETRY.event("gateway_restart_failed", error=str(exc))
+                return  # next monitor tick retries with more backoff
+            self.restarts += 1
+            self._healthy_since = time.monotonic()
+            TELEMETRY.count("daemon_restart")
+            TELEMETRY.event("gateway_restart", restarts=self.restarts)
+
+    # -- orphan reconciliation --------------------------------------------
+
+    def _reap(self, orphans: List[object]) -> None:
+        """Wait on every stranded child; escalate to SIGKILL past grace.
+
+        The children were launched by the daemon's executor threads
+        inside *this* process (the daemon is an embedded loop, not a
+        separate pid), so the handles' own reapers still work after the
+        loop died.
+        """
+        if not orphans:
+            return
+        remaining: Dict[int, object] = {
+            getattr(child, "pid", id(child)): child for child in orphans}
+        deadline = time.monotonic() + self._orphan_grace
+        while remaining and time.monotonic() < deadline:
+            for pid, child in list(remaining.items()):
+                try:
+                    if child.poll() is not None:
+                        remaining.pop(pid, None)
+                        self.orphans_reaped += 1
+                        TELEMETRY.count("orphans_reaped")
+                except Exception:
+                    # The handle is unreapable (its service died with
+                    # the daemon); escalation below will deal with it.
+                    break
+            if remaining:
+                time.sleep(0.02)
+        for pid, child in remaining.items():
+            try:
+                child.kill()
+            except Exception:
+                pass
+            try:
+                child.wait(timeout=2.0)
+            except Exception:
+                pass
+            self.orphans_reaped += 1
+            TELEMETRY.count("orphans_reaped")
+
+    def __repr__(self):
+        state = ("gave-up" if self.gave_up
+                 else "supervising" if self._monitor is not None
+                 else "stopped")
+        return (f"<GatewaySupervisor {self.address!r} {state} "
+                f"restarts={self.restarts} "
+                f"orphans_reaped={self.orphans_reaped}>")

@@ -1,0 +1,191 @@
+"""The gateway fault family, kind by kind, through the real stack.
+
+Each test activates a :class:`~repro.faults.FaultPlan` and proves the
+recovery story the tentpole promises: client-side faults (connection
+resets, half frames, stalls) heal through reconnect + re-auth;
+server-side faults (dropped and garbage replies, refused accepts)
+surface typed and bounded; and ``kill_daemon`` — the worst case — is
+healed end to end by the supervisor restarting the daemon and the
+``gateway`` *strategy*'s policy ladder absorbing the casualties.  The
+``chaos_hygiene`` fixture asserts the non-negotiables afterwards: no
+leaked fds, no leaked children, breakers reset.
+"""
+
+import pytest
+
+from repro.core import GATEWAY_FALLBACK, SpawnPolicy, run
+from repro.core.strategies import get_strategy
+from repro.errors import (GatewayConnectionLost, GatewayError, SpawnError,
+                          SpawnTimeout)
+from repro.faults import FAULTS, FaultPlan
+from repro.gateway import (GatewayClient, GatewayConfig, GatewayServer,
+                           GatewaySupervisor, TenantConfig)
+
+TOKEN = "chaos-token"
+
+
+@pytest.fixture
+def gateway(tmp_path):
+    """A supervised daemon plus a resilient client, chaos-tuned."""
+    supervisor = GatewaySupervisor(
+        GatewayConfig(
+            unix_path=str(tmp_path / "gw.sock"),
+            tenants={"acme": TenantConfig(name="acme", token=TOKEN,
+                                          strategy="posix_spawn")},
+            drain_grace=3.0),
+        check_interval=0.02, restart_backoff=0.01,
+        orphan_grace=2.0).start()
+    client = GatewayClient(supervisor.address, tenant="acme", token=TOKEN,
+                           timeout=5.0, reconnect=True, max_reconnects=8,
+                           reconnect_backoff=0.02).connect()
+    try:
+        yield supervisor, client
+    finally:
+        client.close()
+        supervisor.stop()
+
+
+def spawn_ok(client, n=1):
+    for _ in range(n):
+        assert client.spawn(("/bin/true",)).wait(timeout=30) == 0
+
+
+class TestClientSideKinds:
+    def test_conn_reset_heals_transparently(self, gateway):
+        _, client = gateway
+        spawn_ok(client)
+        plan = FaultPlan().add("conn_reset", times=2)
+        with FAULTS.active(plan):
+            spawn_ok(client, n=5)
+            assert ("gateway.frame", "conn_reset") in FAULTS.fired
+        assert client.reconnects >= 1
+
+    def test_partial_frame_heals_transparently(self, gateway):
+        """Half a frame can never be acted on, so the spawn is provably
+        unsent and safe to re-issue after the reconnect."""
+        _, client = gateway
+        spawn_ok(client)
+        plan = FaultPlan().add("partial_frame", times=1)
+        with FAULTS.active(plan):
+            spawn_ok(client, n=3)
+            assert ("gateway.frame", "partial_frame") in FAULTS.fired
+        assert client.reconnects >= 1
+
+    def test_stall_conn_is_slow_not_broken(self, gateway):
+        _, client = gateway
+        plan = FaultPlan().add("stall_conn", times=2, seconds=0.1)
+        with FAULTS.active(plan):
+            spawn_ok(client, n=3)
+            assert ("gateway.frame", "stall_conn") in FAULTS.fired
+        assert client.reconnects == 0  # a stall is not a death
+
+    def test_connect_fault_is_typed(self, tmp_path, gateway):
+        supervisor, _ = gateway
+        plan = FaultPlan().add("refuse_exec", point="gateway.connect")
+        fresh = GatewayClient(supervisor.address, tenant="acme",
+                              token=TOKEN, reconnect=False)
+        with FAULTS.active(plan):
+            with pytest.raises((GatewayError, SpawnError)):
+                fresh.connect()
+
+
+class TestServerSideKinds:
+    def test_drop_reply_times_out_typed_then_recovers(self, gateway):
+        """The daemon ate one reply: that request's deadline must save
+        the caller, and the *channel* must still be usable."""
+        _, client = gateway
+        spawn_ok(client)
+        plan = FaultPlan().add("drop_reply", times=1)
+        with FAULTS.active(plan):
+            with pytest.raises((SpawnTimeout, GatewayConnectionLost)):
+                child = client.spawn(("/bin/true",), deadline=1.0)
+                child.wait(timeout=1.0)
+            assert ("gateway.reply", "drop_reply") in FAULTS.fired
+            spawn_ok(client, n=2)
+
+    def test_garbage_reply_poisons_one_connection_only(self, gateway):
+        """Unframeable bytes from the daemon kill that connection with
+        a typed error; the next op heals through reconnect."""
+        _, client = gateway
+        spawn_ok(client)
+        plan = FaultPlan().add("garbage_reply", times=1)
+        with FAULTS.active(plan):
+            try:
+                child = client.spawn(("/bin/true",), deadline=2.0)
+                child.wait(timeout=5.0)
+            except (GatewayError, SpawnError):
+                pass  # the poisoned connection's casualty, typed
+            assert ("gateway.reply", "garbage_reply") in FAULTS.fired
+            spawn_ok(client, n=2)
+
+    def test_refuse_accept_costs_a_dial_not_the_service(self, gateway):
+        _, client = gateway
+        spawn_ok(client)
+        client._sock.shutdown(2)  # force the next op to re-dial
+        plan = FaultPlan().add("refuse_accept", times=1)
+        with FAULTS.active(plan):
+            # First re-dial is refused, the backoff retry gets through.
+            spawn_ok(client, n=2)
+            assert ("gateway.accept", "refuse_accept") in FAULTS.fired
+        assert client.reconnects >= 1
+
+
+class TestKillDaemon:
+    def test_supervisor_restarts_and_clients_recover(self, gateway):
+        supervisor, client = gateway
+        spawn_ok(client, n=2)
+        plan = FaultPlan().add("kill_daemon", times=1)
+        with FAULTS.active(plan):
+            # The kill fires on a dispatched frame; the request riding
+            # it may die (ambiguous loss) but the service must heal.
+            casualties = 0
+            for _ in range(6):
+                try:
+                    assert client.spawn(("/bin/true",)).wait(timeout=30) == 0
+                except (GatewayError, SpawnError):
+                    casualties += 1
+            assert ("gateway.daemon", "kill_daemon") in FAULTS.fired
+            assert casualties <= 1
+        assert supervisor.restarts >= 1
+        assert not supervisor.gave_up
+        spawn_ok(client, n=2)
+
+
+class TestStrategyLadder:
+    def test_unreachable_daemon_degrades_down_the_ladder(
+            self, tmp_path, monkeypatch):
+        """REPRO_GATEWAY pointing nowhere: the gateway tier fails typed
+        and the policy ladder serves the spawn from the template tier —
+        unavailability of the daemon costs latency, not the spawn."""
+        monkeypatch.setenv("REPRO_GATEWAY", str(tmp_path / "nobody.sock"))
+        get_strategy("gateway").shutdown()
+        result = run("/bin/echo", "degraded", strategy="gateway",
+                     timeout=30,
+                     policy=SpawnPolicy(deadline=15.0, retries=0,
+                                        backoff=0.01,
+                                        fallback=GATEWAY_FALLBACK))
+        assert (result.returncode, result.stdout) == (0, b"degraded\n")
+
+    def test_kill_daemon_self_heals_through_the_strategy(
+            self, monkeypatch):
+        """The full integration: embedded supervised daemon, resilient
+        client, policy ladder — kill_daemon mid-stream and every spawn
+        still lands."""
+        monkeypatch.delenv("REPRO_GATEWAY", raising=False)
+        strategy = get_strategy("gateway")
+        strategy.shutdown()
+        policy = SpawnPolicy(deadline=30.0, retries=2, backoff=0.05,
+                             fallback=GATEWAY_FALLBACK)
+        try:
+            assert run("/bin/true", strategy="gateway", timeout=30,
+                       policy=policy).returncode == 0
+            plan = FaultPlan().add("kill_daemon", times=1)
+            with FAULTS.active(plan):
+                for _ in range(4):
+                    assert run("/bin/true", strategy="gateway", timeout=60,
+                               policy=policy).returncode == 0
+                assert ("gateway.daemon", "kill_daemon") in FAULTS.fired
+            supervisor = strategy._supervisor
+            assert supervisor is not None and supervisor.restarts >= 1
+        finally:
+            strategy.shutdown()

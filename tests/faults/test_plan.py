@@ -15,6 +15,26 @@ class TestFault:
         assert Fault("truncate_frame").point == "forkserver.frame"
         assert Fault("stall_helper").point == "helper"
 
+    def test_gateway_kinds_default_to_gateway_points(self):
+        assert Fault("conn_reset").point == "gateway.frame"
+        assert Fault("partial_frame").point == "gateway.frame"
+        assert Fault("stall_conn").point == "gateway.frame"
+        assert Fault("drop_reply").point == "gateway.reply"
+        assert Fault("garbage_reply").point == "gateway.reply"
+        assert Fault("refuse_accept").point == "gateway.accept"
+        assert Fault("kill_daemon").point == "gateway.daemon"
+
+    def test_site_kinds_are_exempt_from_the_generic_sleep(self):
+        # The site interprets these (socket surgery, reply suppression,
+        # a daemon crash); the injector must not ALSO sleep for them.
+        # stall_conn is deliberately absent: its whole effect IS the
+        # injector's generic sleep.
+        from repro.faults import GATEWAY_SITE_KINDS
+        assert "stall_conn" not in GATEWAY_SITE_KINDS
+        assert GATEWAY_SITE_KINDS == {
+            "conn_reset", "partial_frame", "drop_reply", "garbage_reply",
+            "refuse_accept", "kill_daemon"}
+
     def test_unknown_kind_rejected(self):
         with pytest.raises(FaultPlanError):
             Fault("set_fire_to_the_rack")

@@ -1,0 +1,144 @@
+"""Property fuzz: the client's reply path against a hostile daemon.
+
+The reader thread is the one place a malicious or corrupt daemon
+touches client memory, so it gets the adversarial treatment: a fake
+server answers the hello handshake correctly and then replies to the
+next request with *arbitrary bytes*.  Whatever arrives — junk framing,
+valid frames with junk bodies, wrong correlation ids, half frames then
+EOF — the property is the same:
+
+* the blocked operation returns within its deadline with a **typed**
+  error (the :class:`~repro.errors.GatewayError` hierarchy or
+  :class:`~repro.errors.SpawnTimeout`), never a hang and never a raw
+  ``ValueError``/``struct.error`` escaping the reader;
+* the reader thread dies quietly instead of crashing the process;
+* the correlation map is empty afterwards (no stale entries).
+
+One listener serves all examples (hypothesis runs many), with a fresh
+connection per example so one example's poisoned decoder cannot leak
+into the next.
+"""
+
+import socket
+import threading
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.errors import GatewayError, SpawnError
+from repro.gateway import GatewayClient
+from repro.gateway.protocol import FrameDecoder, encode_frame
+
+TIMEOUT = 2.0
+
+
+class _EvilServer:
+    """Answers hello properly, then one scripted blob, then hangs up."""
+
+    def __init__(self, path):
+        self.path = path
+        self.reply_blob = b""
+        self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._listener.bind(path)
+        self._listener.listen(8)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            try:
+                self._one_connection(conn)
+            except Exception:
+                pass
+            finally:
+                conn.close()
+
+    def _one_connection(self, conn):
+        conn.settimeout(5.0)
+        decoder = FrameDecoder()
+        helloed = False
+        while not self._stop.is_set():
+            data = conn.recv(65536)
+            if not data:
+                return
+            for frame in decoder.feed(data):
+                if not helloed and frame.get("op") == "hello":
+                    helloed = True
+                    conn.sendall(encode_frame(
+                        {"id": frame.get("id"), "ok": True, "version": 1}))
+                else:
+                    # The request under test: answer with the blob.
+                    if self.reply_blob:
+                        conn.sendall(self.reply_blob)
+                    return  # then hang up
+
+    def stop(self):
+        self._stop.set()
+        self._listener.close()
+        self._thread.join(timeout=5.0)
+
+
+@pytest.fixture(scope="module")
+def evil(tmp_path_factory):
+    server = _EvilServer(str(tmp_path_factory.mktemp("fuzz") / "evil.sock"))
+    yield server
+    server.stop()
+
+
+def _exercise(evil, blob):
+    """One fuzz round: dial, send a stats op, meet the blob."""
+    evil.reply_blob = blob
+    client = GatewayClient(evil.path, tenant="fuzz", token="fuzz",
+                           timeout=TIMEOUT, reconnect=False).connect()
+    try:
+        with pytest.raises((GatewayError, SpawnError)):
+            client._roundtrip({"op": "stats"}, timeout=TIMEOUT)
+        assert client._pending == {}
+        reader = client._reader
+        if reader is not None:
+            reader.join(timeout=TIMEOUT)
+            assert not reader.is_alive()
+    finally:
+        client.close()
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(blob=st.binary(max_size=256))
+def test_raw_bytes_never_hang_or_crash_the_reader(evil, blob):
+    _exercise(evil, blob)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(payload=st.recursive(
+    st.none() | st.booleans() | st.integers() | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=3)
+    | st.dictionaries(st.text(max_size=8), children, max_size=3),
+    max_leaves=8))
+def test_validly_framed_junk_is_still_typed(evil, payload):
+    """A well-framed reply whose body is arbitrary JSON: wrong ids,
+    wrong shapes, junk error objects — all still typed errors."""
+    try:
+        blob = encode_frame(payload if isinstance(payload, dict)
+                            else {"junk": payload})
+    except GatewayError:
+        blob = b""
+    _exercise(evil, blob)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(data=st.binary(min_size=1, max_size=64),
+       cut=st.integers(min_value=1, max_value=63))
+def test_half_a_frame_then_eof_is_connection_lost(evil, data, cut):
+    """A frame truncated by EOF mid-body: the reader must translate
+    the dangling bytes into a typed channel death."""
+    frame = encode_frame({"id": 0, "pad": data.hex()})
+    _exercise(evil, frame[:min(cut, len(frame) - 1)])

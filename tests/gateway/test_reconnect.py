@@ -1,0 +1,273 @@
+"""The self-healing client: typed failure, re-auth, re-issued waits.
+
+The contract under test (docs/GATEWAY.md "failure modes"): a dead
+channel surfaces as the typed
+:class:`~repro.errors.GatewayConnectionLost` — never a hang, never a
+bare ``OSError`` — and with ``reconnect`` enabled the next operation
+re-dials, re-runs the ``hello`` re-auth, and re-issues idempotent ops
+so an in-flight child's exit status survives the blip.  Alongside ride
+the two hygiene regressions: the correlation map may not accumulate
+stale entries on *any* exit path, and a reader thread that fails to
+join within ``join_timeout`` is reported, not silently leaked.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import (GatewayConnectionLost, GatewayError,
+                          GatewayProtocolError, SpawnTimeout)
+from repro.gateway import (GatewayClient, GatewayConfig, GatewayServer,
+                           TenantConfig)
+from repro.gateway.protocol import FrameDecoder, encode_frame
+
+TOKEN = "reconnect-token"
+
+
+def make_server(tmp_path, **config_kwargs):
+    tenants = {"acme": TenantConfig(name="acme", token=TOKEN,
+                                    strategy="posix_spawn")}
+    config_kwargs.setdefault("unix_path", str(tmp_path / "gw.sock"))
+    config_kwargs.setdefault("drain_grace", 3.0)
+    return GatewayServer(GatewayConfig(tenants=tenants,
+                                       **config_kwargs)).start()
+
+
+class TestTypedConnectionLoss:
+    def test_channel_death_is_typed_not_a_hang(self, tmp_path):
+        server = make_server(tmp_path)
+        client = GatewayClient(server.unix_path, tenant="acme",
+                               token=TOKEN, reconnect=False).connect()
+        try:
+            assert client.ping()["pong"] is True
+            server.stop()
+            with pytest.raises((GatewayConnectionLost, GatewayError)):
+                client.ping()
+            # The channel is marked dead and stays typed on later ops.
+            assert not client.healthy
+            with pytest.raises(GatewayConnectionLost):
+                client.stats()
+        finally:
+            client.close()
+
+    def test_reconnect_disabled_says_so(self, tmp_path):
+        server = make_server(tmp_path)
+        client = GatewayClient(server.unix_path, tenant="acme",
+                               token=TOKEN, reconnect=False).connect()
+        try:
+            server.stop()
+            with pytest.raises(GatewayError):
+                client.ping()
+            with pytest.raises(GatewayConnectionLost,
+                               match="reconnect disabled"):
+                client.stats()
+        finally:
+            client.close()
+
+    def test_exhausted_reconnects_name_the_attempt_budget(self, tmp_path):
+        server = make_server(tmp_path)
+        client = GatewayClient(server.unix_path, tenant="acme",
+                               token=TOKEN, reconnect=True,
+                               max_reconnects=2,
+                               reconnect_backoff=0.01).connect()
+        try:
+            server.stop()
+            # The socket path is gone for good: every re-dial fails and
+            # the final error names the budget that was spent.
+            with pytest.raises(GatewayError):
+                client.ping()
+            with pytest.raises(GatewayConnectionLost,
+                               match="2 reconnect attempts"):
+                client.stats()
+        finally:
+            client.close()
+
+    def test_closed_client_stays_closed(self, tmp_path):
+        server = make_server(tmp_path)
+        client = GatewayClient(server.unix_path, tenant="acme",
+                               token=TOKEN).connect()
+        client.close()
+        try:
+            with pytest.raises(GatewayError, match="closed"):
+                client.ping()
+        finally:
+            server.stop()
+
+
+class TestReconnectSemantics:
+    def test_reauth_runs_before_the_retried_op(self, tmp_path):
+        """After a daemon restart the retried op must succeed — which is
+        only possible if the hello re-auth ran first, because every
+        authed op on a fresh connection is refused without it."""
+        server = make_server(tmp_path)
+        address = server.unix_path
+        client = GatewayClient(address, tenant="acme", token=TOKEN,
+                               reconnect=True, max_reconnects=8,
+                               reconnect_backoff=0.02).connect()
+        try:
+            assert client.stats()["tenants"]["acme"] is not None
+            server.stop()
+            # Same socket path, brand-new daemon: the old auth is gone.
+            server = make_server(tmp_path, unix_path=address)
+            stats = client.stats()  # retryable: reconnects + re-auths
+            assert stats["tenants"]["acme"]["completed"] == 0
+            assert client.reconnects == 1
+        finally:
+            client.close()
+            server.stop()
+
+    def test_wait_reissued_after_reconnect_returns_real_status(
+            self, tmp_path):
+        """A connection blip between spawn and wait must not lose the
+        child: the re-issued wait reports its true exit status."""
+        server = make_server(tmp_path)
+        client = GatewayClient(server.unix_path, tenant="acme",
+                               token=TOKEN, reconnect=True,
+                               reconnect_backoff=0.02).connect()
+        try:
+            child = client.spawn(("/bin/sh", "-c", "sleep 0.2; exit 7"))
+            # Kill the transport under the client; the daemon (and the
+            # child, which is the daemon's) are untouched.
+            client._sock.shutdown(socket.SHUT_RDWR)
+            assert child.wait(timeout=30) == 7
+            assert client.reconnects == 1
+        finally:
+            client.close()
+            server.stop()
+
+    def test_spawn_not_reissued_after_frame_was_sent(self, tmp_path):
+        """An ambiguous loss (spawn frame fully sent, then the daemon
+        vanished) must surface, not silently double-spawn."""
+        fake = _SilentServer(str(tmp_path / "hangup.sock"),
+                             hangup_on_request=True)
+        client = GatewayClient(fake.path, tenant="acme", token=TOKEN,
+                               reconnect=True, max_reconnects=3,
+                               reconnect_backoff=0.01).connect()
+        try:
+            with pytest.raises(GatewayConnectionLost):
+                client.spawn(("/bin/true",))
+            # Exactly one spawn frame ever reached a daemon: the loss
+            # was ambiguous, so nothing was re-issued.
+            assert fake.requests_seen == 1
+        finally:
+            client.close()
+            fake.stop()
+
+    def test_backoff_is_capped(self):
+        client = GatewayClient("/nonexistent.sock", tenant="t", token="t",
+                               reconnect_backoff=0.05,
+                               reconnect_backoff_max=0.2,
+                               reconnect_jitter=0.5)
+        for attempt in range(12):
+            delay = client._reconnect_delay(attempt)
+            assert 0.0 <= delay <= 0.2 * 1.5
+
+
+class _SilentServer:
+    """A fake daemon: answers hello correctly, then never replies (or,
+    with ``hangup_on_request``, closes the connection on the first
+    post-hello request — the "frame sent, daemon vanished" shape)."""
+
+    def __init__(self, path, hangup_on_request=False):
+        self.path = path
+        self.requests_seen = 0
+        self._hangup = hangup_on_request
+        self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._listener.bind(path)
+        self._listener.listen(4)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            decoder = FrameDecoder()
+            try:
+                while not self._stop.is_set():
+                    data = conn.recv(65536)
+                    if not data:
+                        break
+                    hangup = False
+                    for frame in decoder.feed(data):
+                        if frame.get("op") == "hello":
+                            conn.sendall(encode_frame(
+                                {"id": frame.get("id"), "ok": True,
+                                 "version": 1}))
+                        else:
+                            self.requests_seen += 1
+                            hangup = self._hangup
+                        # otherwise: silence
+                    if hangup:
+                        break
+            except Exception:
+                pass
+            finally:
+                conn.close()
+
+    def stop(self):
+        self._stop.set()
+        self._listener.close()
+        self._thread.join(timeout=5.0)
+
+
+class TestCorrelationMapHygiene:
+    def test_timeout_pops_the_pending_entry(self, tmp_path):
+        fake = _SilentServer(str(tmp_path / "silent.sock"))
+        client = GatewayClient(fake.path, tenant="acme", token=TOKEN,
+                               reconnect=False).connect()
+        try:
+            with pytest.raises(SpawnTimeout):
+                client._roundtrip({"op": "stats"}, timeout=0.2)
+            assert client._pending == {}
+        finally:
+            client.close()
+            fake.stop()
+
+    def test_encode_failure_pops_the_pending_entry(self, tmp_path):
+        """A frame the protocol refuses to encode (oversized) must not
+        strand its correlation-map entry."""
+        fake = _SilentServer(str(tmp_path / "silent.sock"))
+        client = GatewayClient(fake.path, tenant="acme", token=TOKEN,
+                               reconnect=False).connect()
+        try:
+            huge = {"op": "stats", "pad": "x" * (5 * 1024 * 1024)}
+            with pytest.raises(GatewayProtocolError):
+                client._roundtrip_once(huge, timeout=1.0)
+            assert client._pending == {}
+        finally:
+            client.close()
+            fake.stop()
+
+
+class TestReaderJoin:
+    def test_unjoinable_reader_warns_instead_of_hanging(self, tmp_path):
+        fake = _SilentServer(str(tmp_path / "silent.sock"))
+        client = GatewayClient(fake.path, tenant="acme", token=TOKEN,
+                               join_timeout=0.05).connect()
+        try:
+            # Swap in a reader stand-in that outlives any join attempt;
+            # close() must give up after join_timeout and say so.
+            stuck = threading.Thread(target=time.sleep, args=(20.0,),
+                                     daemon=True)
+            stuck.start()
+            client._reader = stuck
+            with pytest.warns(RuntimeWarning, match="failed to join"):
+                client.close()
+        finally:
+            fake.stop()
+
+    def test_clean_close_does_not_warn(self, tmp_path):
+        import warnings as warnings_module
+        fake = _SilentServer(str(tmp_path / "silent.sock"))
+        client = GatewayClient(fake.path, tenant="acme",
+                               token=TOKEN).connect()
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error", RuntimeWarning)
+            client.close()
+        fake.stop()

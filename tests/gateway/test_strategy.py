@@ -54,18 +54,20 @@ class TestEmbeddedDaemon:
 
     def test_daemon_boots_lazily_and_shutdown_reclaims_it(
             self, gateway_strategy):
-        assert gateway_strategy._server is None  # nothing before first use
+        # nothing before first use
+        assert gateway_strategy._supervisor is None
         assert run("/bin/true", strategy="gateway",
                    timeout=30).returncode == 0
-        server = gateway_strategy._server
-        assert server is not None  # no REPRO_GATEWAY -> embedded daemon
+        supervisor = gateway_strategy._supervisor
+        assert supervisor is not None  # no REPRO_GATEWAY -> embedded daemon
+        server = supervisor.server
         assert server.stats()["tenants"]["local"]["completed"] >= 1
         gateway_strategy.shutdown()
-        assert gateway_strategy._server is None
-        # The next launch boots a fresh daemon transparently.
+        assert gateway_strategy._supervisor is None
+        # The next launch boots a fresh supervised daemon transparently.
         assert run("/bin/true", strategy="gateway",
                    timeout=30).returncode == 0
-        assert gateway_strategy._server is not server
+        assert gateway_strategy._supervisor is not supervisor
 
 
 class TestExternalDaemon:
@@ -84,7 +86,7 @@ class TestExternalDaemon:
             code, out = run("/bin/echo", "external", strategy="gateway",
                             timeout=30)
             assert (code, out) == (0, b"external\n")
-            assert strategy._server is None  # dialed, nothing embedded
+            assert strategy._supervisor is None  # dialed, nothing embedded
             assert server.stats()["tenants"]["ci"]["completed"] >= 1
         finally:
             strategy.shutdown()
