@@ -75,6 +75,14 @@ class SpawnPolicy:
             before allowing a half-open probe.
         fallback: strategy names to degrade to, in order, when a tier
             is exhausted or its breaker is open.
+        retry_ambiguous: whether an *ambiguous* remote loss — the
+            gateway accepted the spawn frame and the channel died
+            before any reply, so the child may already be running —
+            may be retried or degraded down the ladder.  Off by
+            default: re-issuing an ambiguous spawn can execute the
+            command twice, which only the caller can know is safe
+            (idempotent workloads opt in; everything else gets the
+            typed :class:`~repro.errors.GatewayConnectionLost`).
     """
 
     deadline: Optional[float] = None
@@ -86,6 +94,7 @@ class SpawnPolicy:
     breaker_threshold: int = 3
     breaker_cooldown: float = 5.0
     fallback: Tuple[str, ...] = ()
+    retry_ambiguous: bool = False
 
     def __post_init__(self):
         if self.deadline is not None and self.deadline <= 0:

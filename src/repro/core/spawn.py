@@ -32,7 +32,7 @@ import os
 import time
 from typing import Dict, List, Optional
 
-from ..errors import GatewayError, SpawnError
+from ..errors import GatewayConnectionLost, GatewayError, SpawnError
 from ..faults import FAULTS
 from ..obs import TELEMETRY
 from .attrs import SpawnAttributes
@@ -326,6 +326,13 @@ class ProcessBuilder:
         whose breaker is open is skipped outright.  Moving down the
         chain stamps a ``fallback`` trace stage and counter, so the
         degradation is visible in ``repro-bench metrics``, not silent.
+
+        Spawns are only re-issued when it is safe: an ambiguous
+        gateway loss (the frame was fully sent, no reply ever came, so
+        the daemon may have already spawned the child) is re-raised —
+        stamped ``ambiguous_loss`` — instead of retried or degraded,
+        unless the policy's ``retry_ambiguous`` explicitly opts the
+        workload in.
         """
         pol = self._policy
         chain = [primary.name]
@@ -356,6 +363,20 @@ class ProcessBuilder:
                     child = strategy.launch(self._argv, self._actions,
                                             self._attrs, trace=trace)
                 except (SpawnError, GatewayError, OSError) as exc:
+                    if (isinstance(exc, GatewayConnectionLost)
+                            and not getattr(exc, "unsent", False)
+                            and not pol.retry_ambiguous):
+                        # The spawn frame reached the daemon and the
+                        # channel died before any reply: the child may
+                        # already be running, so a retry (or a fallback
+                        # tier) could execute the command twice.  Only
+                        # the caller knows whether that is safe —
+                        # surface the ambiguity unless the policy's
+                        # retry_ambiguous opted in.
+                        breaker.record_failure()
+                        TELEMETRY.count("ambiguous_loss", strategy=name)
+                        trace.stage("ambiguous_loss", strategy=name)
+                        raise
                     last_error = exc
                     if breaker.record_failure():
                         TELEMETRY.count("breaker_open", strategy=name)

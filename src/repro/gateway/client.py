@@ -103,7 +103,10 @@ class GatewayClient:
     * ``rate_limit_retries`` — how many times one operation sleeps out
       a :class:`~repro.errors.RateLimited` Retry-After hint before the
       error is surfaced (0 = surface immediately, the cooperative
-      caller owns the backoff);
+      caller owns the backoff); the honoured sleep is the daemon's
+      hint bounded by ``rate_limit_sleep_max`` — its own cap, *not*
+      the reconnect backoff cap, so a multi-second hint is actually
+      waited out instead of being re-asked too early;
     * ``join_timeout`` — seconds :meth:`close` waits for the reader
       thread; a reader that fails to join is reported (``RuntimeWarning``
       plus the ``gateway_reader_leak`` counter), never silently leaked.
@@ -120,6 +123,7 @@ class GatewayClient:
                  reconnect_backoff_max: float = 2.0,
                  reconnect_jitter: float = 0.5,
                  rate_limit_retries: int = 0,
+                 rate_limit_sleep_max: float = 30.0,
                  join_timeout: float = 2.0):
         self.address = address
         self.tenant = tenant
@@ -132,6 +136,7 @@ class GatewayClient:
         self._backoff_max = reconnect_backoff_max
         self._jitter = reconnect_jitter
         self._rate_limit_retries = max(0, int(rate_limit_retries))
+        self._rate_limit_sleep_max = max(0.0, rate_limit_sleep_max)
         self._join_timeout = join_timeout
         self._sock: Optional[socket.socket] = None
         self._is_unix = isinstance(address, str)
@@ -145,6 +150,10 @@ class GatewayClient:
         self._generation = 0
         self._ever_connected = False
         self._closed = False
+        #: Set by close() *before* it takes _conn_lock, so a reconnect
+        #: loop holding the lock notices promptly (its backoff waits on
+        #: this event) instead of blocking close() for the full budget.
+        self._close_event = threading.Event()
         self._reconnects = 0
 
     # -- lifecycle -------------------------------------------------------
@@ -166,6 +175,7 @@ class GatewayClient:
         """Dial the daemon and run the ``hello`` handshake (idempotent)."""
         with self._conn_lock:
             self._closed = False
+            self._close_event.clear()
             if self.healthy:
                 return self
             self._dial_locked()
@@ -252,8 +262,12 @@ class GatewayClient:
         """Hang up (idempotent); in-flight requests fail fast.
 
         A closed client stays closed: automatic reconnect is disabled
-        until an explicit :meth:`connect`.
+        until an explicit :meth:`connect`.  Raising the close flag
+        before taking the lock lets an in-progress reconnect (which
+        holds the lock across its backoff waits) bail out promptly
+        instead of making close() wait out the whole reconnect budget.
         """
+        self._close_event.set()
         with self._conn_lock:
             self._closed = True
             self._teardown_locked("gateway client closed")
@@ -349,7 +363,14 @@ class GatewayClient:
             last: Optional[Exception] = None
             for attempt in range(self._max_reconnects):
                 if attempt:
-                    time.sleep(self._reconnect_delay(attempt - 1))
+                    # An Event wait, not a sleep: close() sets
+                    # _close_event before blocking on _conn_lock, so
+                    # it can interrupt the backoff mid-wait.
+                    if self._close_event.wait(
+                            self._reconnect_delay(attempt - 1)):
+                        raise GatewayError("gateway client is closed")
+                if self._close_event.is_set():
+                    raise GatewayError("gateway client is closed")
                 trace.stage("reconnect", attempt=attempt)
                 try:
                     self._dial_locked()
@@ -385,8 +406,11 @@ class GatewayClient:
                     raise pause.error from None
                 rate_budget -= 1
                 TELEMETRY.count("gateway_retry", why="rate_limited")
+                # Honour the daemon's hint up to the dedicated cap —
+                # sleeping less than asked just burns the retry budget
+                # on a request the daemon already said is too early.
                 time.sleep(min(pause.error.retry_after or 0.0,
-                               self._backoff_max))
+                               self._rate_limit_sleep_max))
             except GatewayConnectionLost as exc:
                 safe = retryable or getattr(exc, "unsent", False)
                 if (not safe or self._closed or not self._reconnect

@@ -611,9 +611,14 @@ class GatewayServer:
             elif op == "ping":
                 # Pre-auth on purpose: the liveness probe a supervisor
                 # (which holds no tenant token) health-checks with.
-                self._send(conn, {"id": rid, "pong": True,
-                                  "pid": os.getpid(),
-                                  "version": PROTOCOL_VERSION})
+                # The pong must leak nothing to an unauthenticated TCP
+                # peer, so the daemon's pid travels only over Unix
+                # sockets (where the peer is already on the box).
+                pong = {"id": rid, "pong": True,
+                        "version": PROTOCOL_VERSION}
+                if conn.is_unix:
+                    pong["pid"] = os.getpid()
+                self._send(conn, pong)
             elif conn.tenant is None:
                 raise AuthError("say hello first (tenant + token)")
             elif op == "spawn":

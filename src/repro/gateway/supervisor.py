@@ -48,6 +48,8 @@ def ping_gateway(address, timeout: float = 2.0) -> bool:
     a throwaway socket, so a supervisor can probe without holding a
     tenant credential or disturbing the shared client channel.
     """
+    if address is None:
+        return False
     family = (socket.AF_UNIX if isinstance(address, str)
               else socket.AF_INET)
     try:
@@ -117,10 +119,21 @@ class GatewaySupervisor:
 
     @property
     def address(self):
-        """Where clients dial: stable across daemon restarts."""
+        """Where clients dial: stable across daemon restarts.
+
+        A Unix path when one is configured; otherwise the TCP
+        ``(host, port)`` pair (the *bound* port once the daemon is up,
+        which matters when the config asked for port 0).
+        """
         if self._server is not None and self._server.unix_path:
             return self._server.unix_path
-        return self.config.unix_path
+        if self.config.unix_path is not None:
+            return self.config.unix_path
+        if self._server is not None and self._server.tcp_port is not None:
+            return (self.config.tcp_host, self._server.tcp_port)
+        if self.config.tcp_port is not None:
+            return (self.config.tcp_host, self.config.tcp_port)
+        return None
 
     def start(self) -> "GatewaySupervisor":
         """Boot the daemon and the monitor thread (idempotent)."""
@@ -171,13 +184,19 @@ class GatewaySupervisor:
         while not self._stop_event.wait(self._check_interval):
             if self.gave_up:
                 return
-            if self.healthy():
-                if (self._consecutive_failures
-                        and time.monotonic() - self._healthy_since
-                        >= self._healthy_reset):
-                    self._consecutive_failures = 0
-                continue
-            self._restart()
+            try:
+                if self.healthy():
+                    if (self._consecutive_failures
+                            and time.monotonic() - self._healthy_since
+                            >= self._healthy_reset):
+                        self._consecutive_failures = 0
+                    continue
+                self._restart()
+            except Exception as exc:
+                # An unexpected probe/restart error must not end
+                # supervision silently: report it and keep ticking.
+                TELEMETRY.event("gateway_supervisor_error",
+                                error=f"{type(exc).__name__}: {exc}")
 
     # -- restart ----------------------------------------------------------
 

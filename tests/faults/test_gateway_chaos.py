@@ -11,6 +11,9 @@ healed end to end by the supervisor restarting the daemon and the
 leaked fds, no leaked children, breakers reset.
 """
 
+import socket
+import threading
+
 import pytest
 
 from repro.core import GATEWAY_FALLBACK, SpawnPolicy, run
@@ -174,8 +177,12 @@ class TestStrategyLadder:
         monkeypatch.delenv("REPRO_GATEWAY", raising=False)
         strategy = get_strategy("gateway")
         strategy.shutdown()
+        # /bin/true is idempotent, so this workload opts into retrying
+        # the ambiguous kill_daemon casualty (frame sent, no reply);
+        # without the opt-in the ladder surfaces it typed instead.
         policy = SpawnPolicy(deadline=30.0, retries=2, backoff=0.05,
-                             fallback=GATEWAY_FALLBACK)
+                             fallback=GATEWAY_FALLBACK,
+                             retry_ambiguous=True)
         try:
             assert run("/bin/true", strategy="gateway", timeout=30,
                        policy=policy).returncode == 0
@@ -189,3 +196,91 @@ class TestStrategyLadder:
             assert supervisor is not None and supervisor.restarts >= 1
         finally:
             strategy.shutdown()
+
+
+class _HangupDaemon:
+    """A fake gateway: answers ``hello``, then hangs up on every spawn
+    after the frame fully arrives — the ambiguous-loss shape, where the
+    daemon *may* have acted before the channel died."""
+
+    def __init__(self, path):
+        self.path = path
+        self.spawns_seen = 0
+        self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._listener.bind(path)
+        self._listener.listen(8)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        from repro.gateway.protocol import FrameDecoder, encode_frame
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            decoder = FrameDecoder()
+            try:
+                while not self._stop.is_set():
+                    data = conn.recv(65536)
+                    if not data:
+                        break
+                    hangup = False
+                    for frame in decoder.feed(data):
+                        if frame.get("op") == "hello":
+                            conn.sendall(encode_frame(
+                                {"id": frame.get("id"), "ok": True,
+                                 "version": 1}))
+                        else:
+                            self.spawns_seen += 1
+                            hangup = True
+                    if hangup:
+                        break
+            except Exception:
+                pass
+            finally:
+                conn.close()
+
+    def stop(self):
+        self._stop.set()
+        self._listener.close()
+        self._thread.join(timeout=5.0)
+
+
+class TestAmbiguousLossArbitration:
+    """The ladder's 'spawns are only re-issued when it is safe'
+    invariant: a loss after the frame reached the daemon may mean the
+    child is already running, so by default the ladder surfaces it
+    typed instead of retrying/degrading into a double execution."""
+
+    @pytest.fixture
+    def hangup_gateway(self, tmp_path, monkeypatch):
+        fake = _HangupDaemon(str(tmp_path / "hangup.sock"))
+        monkeypatch.setenv("REPRO_GATEWAY", fake.path)
+        strategy = get_strategy("gateway")
+        strategy.shutdown()
+        try:
+            yield fake
+        finally:
+            strategy.shutdown()
+            fake.stop()
+
+    def test_default_policy_surfaces_the_ambiguity(self, hangup_gateway):
+        with pytest.raises(GatewayConnectionLost):
+            run("/bin/true", strategy="gateway", timeout=30,
+                policy=SpawnPolicy(deadline=10.0, retries=2, backoff=0.01,
+                                   fallback=GATEWAY_FALLBACK))
+        # Exactly one spawn frame ever reached the daemon: nothing was
+        # re-issued and no fallback tier ran the command a second time.
+        assert hangup_gateway.spawns_seen == 1
+
+    def test_retry_ambiguous_opts_into_the_ladder(self, hangup_gateway):
+        result = run("/bin/echo", "idempotent", strategy="gateway",
+                     timeout=30,
+                     policy=SpawnPolicy(deadline=10.0, retries=0,
+                                        backoff=0.01,
+                                        fallback=GATEWAY_FALLBACK,
+                                        retry_ambiguous=True))
+        assert (result.returncode, result.stdout) == (0, b"idempotent\n")
+        assert hangup_gateway.spawns_seen >= 1

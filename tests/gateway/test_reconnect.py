@@ -216,6 +216,117 @@ class _SilentServer:
         self._thread.join(timeout=5.0)
 
 
+class TestCloseInterruptsReconnect:
+    def test_close_does_not_wait_out_the_reconnect_budget(self, tmp_path):
+        """close() must interrupt an in-progress reconnect loop (which
+        holds the connection lock across its backoff waits) instead of
+        blocking for the whole multi-second budget."""
+        server = make_server(tmp_path)
+        client = GatewayClient(server.unix_path, tenant="acme",
+                               token=TOKEN, reconnect=True,
+                               max_reconnects=40,
+                               reconnect_backoff=0.5,
+                               reconnect_backoff_max=0.5,
+                               reconnect_jitter=0.0).connect()
+        server.stop()  # the socket path is gone: every re-dial fails
+        failures = []
+
+        def op():
+            try:
+                client.stats()
+            except GatewayError as exc:
+                failures.append(exc)
+        worker = threading.Thread(target=op)
+        worker.start()
+        time.sleep(0.2)  # let the op enter the reconnect loop's backoff
+        started = time.monotonic()
+        client.close()
+        closed_in = time.monotonic() - started
+        worker.join(timeout=10.0)
+        assert not worker.is_alive()
+        # ~20s of backoff remained in the budget; close() cut through.
+        assert closed_in < 2.0
+        assert failures and isinstance(failures[0], GatewayError)
+
+
+class _RateLimitingServer:
+    """A fake daemon: answers hello, then rate-limits the first request
+    with a Retry-After hint and serves the re-ask."""
+
+    def __init__(self, path, retry_after):
+        self.path = path
+        self.retry_after = retry_after
+        self.refused = 0
+        self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._listener.bind(path)
+        self._listener.listen(4)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            decoder = FrameDecoder()
+            try:
+                while not self._stop.is_set():
+                    data = conn.recv(65536)
+                    if not data:
+                        break
+                    for frame in decoder.feed(data):
+                        rid = frame.get("id")
+                        if frame.get("op") == "hello":
+                            conn.sendall(encode_frame(
+                                {"id": rid, "ok": True, "version": 1}))
+                        elif not self.refused:
+                            self.refused += 1
+                            conn.sendall(encode_frame(
+                                {"id": rid, "error": {
+                                    "code": "rate_limited",
+                                    "message": "one moment",
+                                    "retry_after": self.retry_after}}))
+                        else:
+                            conn.sendall(encode_frame(
+                                {"id": rid, "stats": {"ok": True}}))
+            except Exception:
+                pass
+            finally:
+                conn.close()
+
+    def stop(self):
+        self._stop.set()
+        self._listener.close()
+        self._thread.join(timeout=5.0)
+
+
+class TestRetryAfterHonored:
+    def test_hint_is_slept_out_beyond_the_reconnect_backoff_cap(
+            self, tmp_path):
+        """The honoured Retry-After sleep has its own cap
+        (rate_limit_sleep_max), not the reconnect backoff cap: a hint
+        far above reconnect_backoff_max must still be waited out, so
+        the re-ask lands after the daemon said it would succeed."""
+        fake = _RateLimitingServer(str(tmp_path / "rl.sock"),
+                                   retry_after=0.4)
+        client = GatewayClient(fake.path, tenant="acme", token=TOKEN,
+                               rate_limit_retries=1,
+                               reconnect_backoff_max=0.01).connect()
+        try:
+            started = time.monotonic()
+            assert client.stats() == {"ok": True}
+            elapsed = time.monotonic() - started
+            assert fake.refused == 1
+            # The old behavior capped the sleep at reconnect_backoff_max
+            # (0.01s); honoring the hint means waiting ~0.4s.
+            assert elapsed >= 0.3
+        finally:
+            client.close()
+            fake.stop()
+
+
 class TestCorrelationMapHygiene:
     def test_timeout_pops_the_pending_entry(self, tmp_path):
         fake = _SilentServer(str(tmp_path / "silent.sock"))

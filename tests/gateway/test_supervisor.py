@@ -115,6 +115,61 @@ class TestRestart:
         assert supervisor.server is None
 
 
+class TestTcpOnlySupervision:
+    def make_tcp_supervisor(self, **kwargs):
+        kwargs.setdefault("check_interval", 0.02)
+        kwargs.setdefault("restart_backoff", 0.01)
+        config = GatewayConfig(
+            tcp_port=0,
+            tenants={"acme": TenantConfig(name="acme", token=TOKEN,
+                                          strategy="posix_spawn")},
+            drain_grace=3.0)
+        return GatewaySupervisor(config, **kwargs)
+
+    def test_address_is_the_bound_tcp_endpoint(self):
+        """A TCP-only config must yield a dialable (host, port) address
+        — never None, which used to crash the monitor thread's probe
+        and silently end supervision."""
+        with self.make_tcp_supervisor() as supervisor:
+            host, port = supervisor.address
+            assert host == "127.0.0.1" and port > 0
+            assert ping_gateway(supervisor.address, timeout=2.0) is True
+            assert supervisor.healthy()
+
+    def test_tcp_only_daemon_is_supervised_through_a_crash(self):
+        with self.make_tcp_supervisor() as supervisor:
+            assert supervisor.healthy()
+            supervisor.server.crash()
+            wait_for(lambda: supervisor.restarts >= 1,
+                     message="tcp-only supervised restart")
+            wait_for(lambda: supervisor.healthy(),
+                     message="restarted tcp daemon answering pings")
+            assert not supervisor.gave_up
+
+    def test_monitor_survives_an_unexpected_probe_error(self, tmp_path):
+        """An exception escaping a health probe must not kill the
+        monitor thread: supervision reports it and keeps ticking."""
+        supervisor = make_supervisor(tmp_path).start()
+        try:
+            real_healthy = supervisor.healthy
+            blew_up = {"n": 0}
+
+            def flaky_probe():
+                if blew_up["n"] < 3:
+                    blew_up["n"] += 1
+                    raise TypeError("probe blew up")
+                return real_healthy()
+            supervisor.healthy = flaky_probe
+            wait_for(lambda: blew_up["n"] >= 3,
+                     message="the probe to blow up a few times")
+            assert supervisor._monitor.is_alive()
+            supervisor.server.crash()
+            wait_for(lambda: supervisor.restarts >= 1,
+                     message="supervision to survive the probe error")
+        finally:
+            supervisor.stop()
+
+
 class TestOrphanReconciliation:
     def test_crash_with_a_running_child_reaps_it(self, tmp_path):
         """A long-running child stranded by the crash must be claimed
