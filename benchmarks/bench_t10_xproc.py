@@ -1,0 +1,88 @@
+"""T10 — explicit construction: the bill follows the transfer, not the parent.
+
+pytest-benchmark times a full CrossProcessBuilder construction
+(create -> map -> populate -> grant -> start) driven through the sim
+kernel, and asserts the paper's claim as hard contracts: the virtual
+cost must stay flat across a 512x parent-size spread while fork's
+climbs, and must scale with the bytes the caller chose to transfer.
+``repro-bench run t10-xproc`` prints the full sweep; CI gates the
+summary ratios against ``benchmarks/baselines/t10_baseline.json``.
+"""
+
+import pytest
+
+from repro.bench.simbench import (
+    TRIVIAL,
+    _cleanup_child,
+    _machine,
+    _parent_with_ballast,
+    creation_ns,
+)
+from repro.core.xproc import CrossProcessBuilder
+from repro.sim.params import MIB
+
+SMALL_PARENT_MIB = 1
+LARGE_PARENT_MIB = 512
+PAYLOAD_MIB = 1
+
+
+def construction_ns(parent_mib, payload_mib=PAYLOAD_MIB):
+    """One full explicit construction under a parent of the given size."""
+    kernel = _machine()
+    _, thread = _parent_with_ballast(kernel, parent_mib * MIB)
+    builder = CrossProcessBuilder(kernel, thread).create("bench")
+    if payload_mib:
+        addr = builder.map(payload_mib * MIB)
+        builder.populate(addr, payload_mib * MIB)
+    pid = builder.start(TRIVIAL)
+    _cleanup_child(kernel, pid)
+    return builder.spent_ns
+
+
+def test_xproc_construction_burst(benchmark):
+    """Wall-clock of driving a construction through the sim kernel."""
+    last = {}
+
+    def burst():
+        last["ns"] = construction_ns(LARGE_PARENT_MIB)
+
+    benchmark.pedantic(burst, rounds=3, warmup_rounds=1, iterations=1)
+    assert last["ns"] > 0
+
+
+def test_construction_cost_ignores_parent_size():
+    """The headline: a 512x larger parent must not move the price."""
+    small = construction_ns(SMALL_PARENT_MIB)
+    large = construction_ns(LARGE_PARENT_MIB)
+    assert large <= 1.01 * small
+
+
+def test_fork_still_pays_for_the_parent():
+    """Control: on the same machines, fork's cost must climb steeply."""
+
+    def fork_ns(parent_mib):
+        kernel = _machine()
+        _, thread = _parent_with_ballast(kernel, parent_mib * MIB)
+        return creation_ns(kernel, thread, "fork")
+
+    assert fork_ns(LARGE_PARENT_MIB) >= 10 * fork_ns(SMALL_PARENT_MIB)
+
+
+def test_construction_cost_follows_the_payload():
+    """The cost xproc does pay is the one the caller chose."""
+    base = construction_ns(LARGE_PARENT_MIB, payload_mib=0)
+    heavy = construction_ns(LARGE_PARENT_MIB, payload_mib=16)
+    assert heavy >= 4 * base
+
+
+def test_quick_profile_gates_cleanly():
+    """The exact invocation CI runs must produce the gated summary row."""
+    from repro.bench.experiments import run as run_experiment
+
+    result = run_experiment("t10-xproc", quick=True)
+    summary = [row for row in result.rows if row.get("section") == "summary"]
+    assert len(summary) == 1
+    assert summary[0]["concurrency"] == 0
+    assert summary[0]["xproc_flatness"] == pytest.approx(1.0, rel=0.05)
+    assert summary[0]["fork_growth"] > 5.0
+    assert summary[0]["strategy_ok"] is True

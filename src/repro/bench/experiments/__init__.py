@@ -2,7 +2,7 @@
 
 from . import (exp_autoscale, exp_calibrate, exp_chaos,  # noqa: F401
                exp_compose, exp_fig1, exp_gateway, exp_scaling,
-               exp_tables, exp_templates, exp_throughput)
+               exp_tables, exp_templates, exp_throughput, exp_xproc)
 from .base import (Experiment, ExperimentResult, all_experiments, get,
                    register, run)
 

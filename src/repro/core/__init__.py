@@ -53,6 +53,7 @@ from .strategies import (ForkExecStrategy, ForkServerPoolStrategy,
                          register_strategy, spawn_batch, strategies)
 from .templates import (TemplateMiss, TemplateProfile, TemplateRegistry,
                         TemplateServer)
+from .xproc import CrossProcessBuilder, HostOFD, XProcStrategy
 
 
 def __getattr__(attr: str):
@@ -75,17 +76,17 @@ def __getattr__(attr: str):
 __all__ = [
     "AtForkRegistry", "AutoscaleConfig", "BatchRequest", "BatchResult",
     "ChildProcess", "CircuitBreaker",
-    "CompletedChild",
+    "CompletedChild", "CrossProcessBuilder",
     "DEFAULT_FALLBACK", "FileActions",
     "ForkExecStrategy", "GATEWAY_FALLBACK",
     "ForkServer", "ForkServerPool", "ForkServerPoolStrategy",
-    "ForkServerStrategy", "FrameCache", "Hazard",
+    "ForkServerStrategy", "FrameCache", "Hazard", "HostOFD",
     "Pipeline", "PipelineResult", "PoolAutoscaler",
     "PosixSpawnStrategy", "ProcessBuilder", "STRATEGIES", "SpawnAttributes",
     "SpawnPolicy", "SpawnPool", "SpawnRequest",
     "SpawnedIO", "Strategy", "SubprocessStrategy", "TEMPLATE_FALLBACK",
     "TemplateMiss", "TemplateProfile", "TemplateRegistry", "TemplateServer",
-    "TemplateStrategy", "assess", "breaker_for",
+    "TemplateStrategy", "XProcStrategy", "assess", "breaker_for",
     "fork_with_handlers", "frame_key", "get_strategy", "guarded_fork",
     "is_fork_safe",
     "callable_spec", "pick_default_strategy", "register", "register_strategy",

@@ -11,23 +11,37 @@ sandbox) become ordinary sequences of explicit operations.
 Handles here are plain integers scoped to the creating process's kernel —
 capability transfer and revocation are out of scope for the experiments,
 which only need the construction cost and inheritance behaviour.
+
+Every failure names both the *handle* and the *construction stage* in its
+:class:`~repro.errors.SimOSError` message (``[EINVAL] xproc_map: bad or
+stale process handle 7``), so a failed t10 run is debuggable straight
+from a CI log: the stage says which step of the create→map→grant→start
+program died, the handle says on which embryo.
 """
 
 from __future__ import annotations
 
 from ...errors import SimOSError
 from ..process import Process
-from ..signals import SignalState
+from ..signals import SIG_DFL, SignalState
 from .base import KernelFacet
 
 
 class CrossProcessSyscalls(KernelFacet):
     """process_create / xproc_map / xproc_grant_fd / xproc_start."""
 
-    def _embryo(self, handle: int) -> Process:
+    def _embryo(self, handle: int, stage: str) -> Process:
+        """The embryo behind ``handle``, or a stage-stamped EINVAL.
+
+        ``stage`` is the construction step that needed the handle
+        (``"map"``, ``"grant_fd"``, ``"start"``...); it rides the error
+        message so every ``sys_xproc_*`` failure is self-locating.
+        """
         embryo = self._embryos.get(handle)
         if embryo is None:
-            raise SimOSError("EINVAL", f"bad process handle {handle}")
+            raise SimOSError(
+                "EINVAL",
+                f"xproc_{stage}: bad or stale process handle {handle}")
         return embryo
 
     def sys_xproc_create(self, thread, name: str = "xproc") -> int:
@@ -51,7 +65,7 @@ class CrossProcessSyscalls(KernelFacet):
     def sys_xproc_map(self, thread, handle: int, length: int,
                       prot: str = "rw") -> int:
         """Map anonymous memory into the embryo; returns its base address."""
-        embryo = self._embryo(handle)
+        embryo = self._embryo(handle, "map")
         vma = embryo.addrspace.map(length, prot)
         return vma.start
 
@@ -62,13 +76,14 @@ class CrossProcessSyscalls(KernelFacet):
         over — the explicit, pay-per-page alternative to inheriting the
         whole parent image.
         """
-        self._embryo(handle).addrspace.write(addr, value)
+        self._embryo(handle, "write").addrspace.write(addr, value)
         return 0
 
     def sys_xproc_populate(self, thread, handle: int, addr: int,
                            nbytes: int, value=None) -> int:
         """Bulk-populate embryo memory (the ballast path)."""
-        return self._embryo(handle).addrspace.populate(addr, nbytes, value)
+        embryo = self._embryo(handle, "populate")
+        return embryo.addrspace.populate(addr, nbytes, value)
 
     def sys_xproc_grant_fd(self, thread, handle: int, parent_fd: int,
                            child_fd: int) -> int:
@@ -78,18 +93,39 @@ class CrossProcessSyscalls(KernelFacet):
         descriptor the parent does not grant simply does not exist in the
         child (experiment A2's descriptor-surface comparison).
         """
-        embryo = self._embryo(handle)
+        embryo = self._embryo(handle, "grant_fd")
         ofd = thread.process.fdtable.ofd(parent_fd)
         ofd.incref()
         embryo.fdtable.install(ofd, at=child_fd)
         self.counters.fd_dups += 1
         return child_fd
 
+    def sys_xproc_sigaction(self, thread, handle: int, signum: int,
+                            disposition=SIG_DFL) -> int:
+        """Install one signal disposition into the embryo.
+
+        The explicit counterpart of fork's inherit-all-handlers: the
+        embryo starts with every signal at default, and the parent
+        installs exactly the dispositions it means the child to have
+        (``SIG_DFL``, ``SIG_IGN``, or a callable).  Uncatchable signals
+        are rejected the same way :meth:`sys_sigaction` rejects them.
+        """
+        embryo = self._embryo(handle, "sigaction")
+        embryo.signals.set_handler(signum, disposition)
+        return 0
+
     def sys_xproc_start(self, thread, handle: int, path: str,
                         argv=()) -> int:
-        """Load ``path``'s image and schedule the embryo; returns its pid."""
-        embryo = self._embryos.pop(self._require_handle(handle))
+        """Load ``path``'s image and schedule the embryo; returns its pid.
+
+        The image is resolved *before* the handle is consumed: a start
+        against an unregistered path fails with ``ENOENT`` but leaves
+        the handle valid, so the caller can still abort (or retry) the
+        construction instead of leaking the embryo's resources.
+        """
+        self._require_handle(handle, "start")
         image = self.lookup_program(path)
+        embryo = self._embryos.pop(handle)
         self.charge_fixed(self.cost.fixed_spawn_ns)
         self.build_image(embryo.addrspace, image)
         embryo.argv = [path, *argv]
@@ -101,13 +137,21 @@ class CrossProcessSyscalls(KernelFacet):
         return embryo.pid
 
     def sys_xproc_abort(self, thread, handle: int) -> int:
-        """Destroy an embryo without starting it."""
-        embryo = self._embryos.pop(self._require_handle(handle))
+        """Destroy an embryo without starting it.
+
+        Refcount hygiene lives here: dropping the embryo's descriptor
+        table closes every granted descriptor (decref'ing the shared
+        OFDs), and dropping its address space returns every populated
+        frame — an aborted construction leaks nothing.
+        """
+        embryo = self._embryos.pop(self._require_handle(handle, "abort"))
         self.fdt_release(embryo.fdtable)
         self.as_release(embryo.addrspace)
         return 0
 
-    def _require_handle(self, handle: int) -> int:
+    def _require_handle(self, handle: int, stage: str) -> int:
         if handle not in self._embryos:
-            raise SimOSError("EINVAL", f"bad process handle {handle}")
+            raise SimOSError(
+                "EINVAL",
+                f"xproc_{stage}: bad or stale process handle {handle}")
         return handle

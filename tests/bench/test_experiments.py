@@ -17,7 +17,7 @@ class TestRegistry:
     EXPECTED = {"fig1-real", "fig1-sim", "t1-api", "t2-micro",
                 "t3-overcommit", "t4-compose", "t5-throughput",
                 "t6-autoscale", "t7-templates", "t8-gateway", "t9-chaos",
-                "f2-scaling", "a1-ablation", "a2-aslr", "a3-emulation",
+                "t10-xproc", "f2-scaling", "a1-ablation", "a2-aslr", "a3-emulation",
                 "a4-fdtable", "calibrate"}
 
     def test_every_design_md_experiment_registered(self):

@@ -225,7 +225,8 @@ class TestStrategyPlumbing:
     def test_all_strategies_registered(self):
         assert set(strategies()) == {"posix_spawn", "fork_exec",
                                      "subprocess", "forkserver-pool",
-                                     "forkserver", "template", "gateway"}
+                                     "forkserver", "template", "gateway",
+                                     "xproc"}
 
     def test_get_strategy_resolves(self):
         assert get_strategy("posix_spawn").name == "posix_spawn"

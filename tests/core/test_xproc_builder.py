@@ -1,0 +1,197 @@
+"""The xproc strategy: explicit cross-process construction at the front door.
+
+These tests pin the tentpole contract: ``xproc`` is a registered strategy, an
+unmodified ProcessBuilder program produces a CompletedChild on the sim backend,
+policy machinery (fallback, deadline) applies, and every construction stage is
+visible through repro.obs.
+"""
+
+import pytest
+
+from repro.core import (
+    CrossProcessBuilder,
+    ProcessBuilder,
+    SpawnPolicy,
+    get_strategy,
+    reset_breakers,
+    run,
+    strategies,
+)
+from repro.errors import SpawnError, SpawnTimeout
+from repro.obs import TELEMETRY, RingBufferSink
+from repro.sim.kernel import Kernel
+from repro.sim.params import MIB
+
+
+@pytest.fixture
+def xproc():
+    strategy = get_strategy("xproc")
+    strategy.shutdown()
+    reset_breakers()
+    yield strategy
+    strategy.shutdown()
+    reset_breakers()
+
+
+class TestRegistration:
+    def test_listed_in_the_registry(self):
+        assert "xproc" in strategies()
+
+    def test_always_available(self, xproc):
+        assert xproc.available()
+
+
+class TestProcessBuilderContract:
+    def test_echo_produces_a_completed_child(self, xproc):
+        result = run("/bin/echo", "hello", "world", strategy="xproc")
+        assert result.returncode == 0
+        assert result.stdout == b"hello world\n"
+
+    def test_exit_statuses_survive_the_sim_boundary(self, xproc):
+        assert run("/bin/true", strategy="xproc").returncode == 0
+        assert run("/bin/false", strategy="xproc").returncode == 1
+
+    def test_unknown_program_fails_loudly(self, xproc):
+        with pytest.raises(SpawnError, match="register_program"):
+            run("/bin/no-such-sim-program", strategy="xproc")
+
+    def test_stdout_to_file_lands_on_the_host_filesystem(self, xproc, tmp_path):
+        target = tmp_path / "out.txt"
+        builder = ProcessBuilder("/bin/echo", "to-file").stdout_to_file(str(target))
+        child = builder.strategy("xproc").spawn()
+        assert child.wait() == 0
+        assert target.read_bytes() == b"to-file\n"
+
+    def test_stdin_from_file_feeds_the_child(self, xproc, tmp_path):
+        source = tmp_path / "in.txt"
+        source.write_bytes(b"bytes that exist before start\n")
+        builder = ProcessBuilder("/bin/cat").stdin_from_file(str(source)).stdout_to_pipe()
+        child = builder.strategy("xproc").spawn()
+        assert builder.io.read_stdout() == b"bytes that exist before start\n"
+        assert child.wait() == 0
+        builder.io.close()
+
+    def test_custom_programs_register_through_the_strategy(self, xproc):
+        def fan_out(sys):
+            def worker(sys2):
+                yield sys2.write(1, b"child\n")
+
+            pid = yield sys.fork(worker)
+            _, status = yield sys.waitpid(pid)
+            yield sys.write(1, b"parent\n")
+            return status
+
+        xproc.register_program("/bin/fan-out", fan_out)
+        result = run("/bin/fan-out", strategy="xproc")
+        assert result.returncode == 0
+        assert result.stdout == b"child\nparent\n"
+
+    def test_signals_to_the_handle_are_safe_noops(self, xproc):
+        child = ProcessBuilder("/bin/true").strategy("xproc").spawn()
+        child.kill()  # must never forward a sim pid to os.kill
+        assert child.wait() == 0
+
+
+class TestAttributes:
+    def test_reset_signals_is_accepted_as_inherent(self, xproc):
+        child = ProcessBuilder("/bin/true").reset_signals().strategy("xproc").spawn()
+        assert child.wait() == 0
+
+    def test_replacement_env_is_refused(self, xproc):
+        with pytest.raises(SpawnError, match="env"):
+            ProcessBuilder("/bin/true").env({"KEY": "value"}).strategy("xproc").spawn()
+
+    def test_cwd_is_refused(self, xproc):
+        with pytest.raises(SpawnError, match="cwd"):
+            ProcessBuilder("/bin/true").cwd("/tmp").strategy("xproc").spawn()
+
+
+class TestPolicyCompatibility:
+    def test_refused_request_degrades_down_the_ladder(self, xproc):
+        builder = ProcessBuilder("/bin/echo", "via-fallback").env({"KEY": "value"})
+        builder.strategy("xproc").policy(SpawnPolicy(fallback=("posix_spawn",))).stdout_to_pipe()
+        child = builder.spawn()
+        assert child.strategy == "posix_spawn"
+        assert builder.io.read_stdout() == b"via-fallback\n"
+        assert child.wait() == 0
+        builder.io.close()
+
+    def test_deadline_bounds_a_runaway_child(self, xproc):
+        def spinner(sys):
+            while True:
+                yield sys.clock()
+
+        xproc.register_program("/bin/spinner", spinner)
+        builder = ProcessBuilder("/bin/spinner").strategy("xproc").deadline(0.2)
+        with pytest.raises(SpawnTimeout):
+            builder.spawn()
+
+
+class TestObservability:
+    def test_construction_stages_are_traced_and_counted(self, xproc):
+        sink = RingBufferSink()
+        TELEMETRY.enable(sink, reset_metrics=True)
+        try:
+            run("/bin/echo", "traced", strategy="xproc")
+        finally:
+            TELEMETRY.disable()
+        stages = [event["stage"] for event in sink.events() if event.get("event") == "stage"]
+        assert "xproc_create" in stages
+        assert "xproc_grant_fd" in stages
+        assert "xproc_start" in stages
+        assert stages.index("xproc_create") < stages.index("xproc_start")
+        assert "execed" in stages and "reaped" in stages
+        created = TELEMETRY.metrics.counter("xproc_stage", stage="create")
+        granted = TELEMETRY.metrics.counter("xproc_stage", stage="grant_fd")
+        assert created.value == 1
+        assert granted.value == 3  # the stdio triple
+
+
+class TestCrossProcessBuilderDirect:
+    @pytest.fixture
+    def machine(self):
+        kernel = Kernel()
+        kernel.register_program("/bin/true", lambda sys: iter(()))
+        agent = kernel.spawn_root("/bin/true")
+        return kernel, agent.threads[0]
+
+    def test_construction_is_priced_by_the_virtual_clock(self, machine):
+        kernel, thread = machine
+        builder = CrossProcessBuilder(kernel, thread).create("worker")
+        addr = builder.map(4 * MIB)
+        assert builder.populate(addr, 4 * MIB) > 0
+        pid = builder.start("/bin/true")
+        assert kernel.find_process(pid) is not None
+        assert builder.spent_ns > 0
+
+    def test_stage_before_create_raises(self, machine):
+        kernel, thread = machine
+        builder = CrossProcessBuilder(kernel, thread)
+        with pytest.raises(SpawnError, match="create"):
+            builder.map(MIB)
+
+    def test_stages_after_start_raise(self, machine):
+        kernel, thread = machine
+        builder = CrossProcessBuilder(kernel, thread).create()
+        builder.start("/bin/true")
+        with pytest.raises(SpawnError, match="already started"):
+            builder.map(MIB)
+        with pytest.raises(SpawnError, match="already started"):
+            builder.start("/bin/true")
+
+    def test_double_create_raises(self, machine):
+        kernel, thread = machine
+        builder = CrossProcessBuilder(kernel, thread).create()
+        with pytest.raises(SpawnError, match="already"):
+            builder.create()
+
+    def test_abort_returns_every_transferred_frame(self, machine):
+        kernel, thread = machine
+        baseline = kernel.allocator.used_frames
+        builder = CrossProcessBuilder(kernel, thread).create()
+        addr = builder.map(8 * MIB)
+        builder.populate(addr, 8 * MIB)
+        assert kernel.allocator.used_frames > baseline
+        builder.abort()
+        assert kernel.allocator.used_frames == baseline
+        builder.abort()  # idempotent

@@ -153,3 +153,160 @@ class TestHandleLifecycle:
             yield sys.exit(0)
         run_main(kernel, main)
         assert kernel.allocator.used_frames == 0
+
+    def test_abort_releases_granted_fd_reference(self, kernel):
+        # Refcount hygiene: the embryo's grant took one OFD reference;
+        # abort must give it back, leaving the parent's as the only one.
+        refcounts = {}
+
+        def main(sys):
+            kernel.vfs.write_file("/tmp/log", b"")
+            fd = yield sys.open("/tmp/log", "w")
+            ofd = kernel.processes[1].fdtable.ofd(fd)
+            handle = yield sys.xproc_create()
+            yield sys.xproc_grant_fd(handle, fd, 1)
+            refcounts["granted"] = ofd.refcount
+            yield sys.xproc_abort(handle)
+            refcounts["aborted"] = ofd.refcount
+            yield sys.exit(0)
+        run_main(kernel, main)
+        assert refcounts == {"granted": 2, "aborted": 1}
+
+    def test_every_stale_handle_op_names_stage_and_handle(self, kernel):
+        # Satellite fix: each sys_xproc_* failure is self-locating — the
+        # message carries both the construction stage and the handle, so
+        # a t10 failure in CI is debuggable from the log alone.
+        ops = {
+            "map": lambda sys, h: sys.xproc_map(h, PAGE_SIZE),
+            "write": lambda sys, h: sys.xproc_write(h, 0, "x"),
+            "populate": lambda sys, h: sys.xproc_populate(h, 0, PAGE_SIZE),
+            "grant_fd": lambda sys, h: sys.xproc_grant_fd(h, 0, 0),
+            "sigaction": lambda sys, h: sys.xproc_sigaction(h, 15),
+            "start": lambda sys, h: sys.xproc_start(h, "/bin/true"),
+            "abort": lambda sys, h: sys.xproc_abort(h),
+        }
+        messages = {}
+
+        def main(sys):
+            for stage, op in ops.items():
+                try:
+                    yield op(sys, 424242)
+                except SimOSError as err:
+                    messages[stage] = (err.errno_name, str(err))
+            yield sys.exit(0)
+        run_main(kernel, main)
+        assert set(messages) == set(ops)
+        for stage, (errno_name, message) in messages.items():
+            assert errno_name == "EINVAL"
+            assert f"xproc_{stage}:" in message
+            assert "424242" in message
+
+    def test_construction_after_start_is_stale(self, kernel):
+        # start consumes the handle: every later construction op fails
+        # with the stage-stamped EINVAL, not silent mutation of a child
+        # that is already running.
+        outcomes = {}
+
+        def main(sys):
+            handle = yield sys.xproc_create()
+            pid = yield sys.xproc_start(handle, "/bin/true")
+            for stage, op in (
+                    ("map", lambda: sys.xproc_map(handle, PAGE_SIZE)),
+                    ("grant_fd", lambda: sys.xproc_grant_fd(handle, 0, 0)),
+                    ("populate",
+                     lambda: sys.xproc_populate(handle, 0, PAGE_SIZE)),
+                    ("write", lambda: sys.xproc_write(handle, 0, "x")),
+                    ("sigaction", lambda: sys.xproc_sigaction(handle, 15))):
+                try:
+                    yield op()
+                except SimOSError as err:
+                    outcomes[stage] = str(err)
+            yield sys.waitpid(pid)
+            yield sys.exit(0)
+        run_main(kernel, main)
+        assert len(outcomes) == 5
+        for stage, message in outcomes.items():
+            assert f"xproc_{stage}:" in message
+
+    def test_double_start_identifies_the_stage(self, kernel):
+        errors = {}
+
+        def main(sys):
+            handle = yield sys.xproc_create()
+            pid = yield sys.xproc_start(handle, "/bin/true")
+            yield sys.waitpid(pid)
+            try:
+                yield sys.xproc_start(handle, "/bin/true")
+            except SimOSError as err:
+                errors["msg"] = str(err)
+            yield sys.exit(0)
+        run_main(kernel, main)
+        assert "xproc_start:" in errors["msg"]
+        assert str(2) in errors["msg"] or "handle" in errors["msg"]
+
+    def test_start_unknown_program_keeps_handle_alive(self, kernel):
+        # ENOENT on start must not consume the handle: the caller can
+        # still abort (no leak) or start a program that does exist.
+        def main(sys):
+            handle = yield sys.xproc_create()
+            addr = yield sys.xproc_map(handle, 4 * MIB)
+            yield sys.xproc_populate(handle, addr, 4 * MIB)
+            try:
+                yield sys.xproc_start(handle, "/bin/not-registered")
+            except SimOSError as err:
+                assert err.errno_name == "ENOENT"
+            yield sys.xproc_abort(handle)
+            yield sys.exit(0)
+        run_main(kernel, main)
+        assert kernel.allocator.used_frames == 0
+
+    def test_sigaction_installs_disposition(self, kernel):
+        # "Install signal state" is a construction stage: the embryo
+        # starts all-default and receives exactly what the parent set.
+        from repro.sim.signals import SIG_IGN, SIGTERM
+        seen = {}
+
+        def target(sys):
+            yield sys.kill((yield sys.getpid()), SIGTERM)  # ignored
+            seen["survived"] = True
+            yield sys.exit(0)
+        kernel.register_program("/bin/target", target)
+
+        def main(sys):
+            handle = yield sys.xproc_create()
+            yield sys.xproc_sigaction(handle, SIGTERM, SIG_IGN)
+            pid = yield sys.xproc_start(handle, "/bin/target")
+            _, status = yield sys.waitpid(pid)
+            yield sys.exit(status)
+        assert run_main(kernel, main) == 0
+        assert seen.get("survived") is True
+
+    def test_sigaction_rejects_uncatchable(self, kernel):
+        from repro.sim.signals import SIG_IGN, SIGKILL
+
+        def main(sys):
+            handle = yield sys.xproc_create()
+            try:
+                yield sys.xproc_sigaction(handle, SIGKILL, SIG_IGN)
+            except SimOSError as err:
+                yield sys.xproc_abort(handle)
+                yield sys.exit(5 if err.errno_name == "EINVAL" else 1)
+            yield sys.exit(1)
+        assert run_main(kernel, main) == 5
+
+    def test_leaked_embryo_holds_frames_until_abort(self, kernel):
+        # An embryo left unstarted pins what was transferred into it —
+        # that is the documented cost of the handle model (no implicit
+        # GC); abort is the explicit release.
+        def main(sys):
+            handle = yield sys.xproc_create()
+            addr = yield sys.xproc_map(handle, 8 * MIB)
+            yield sys.xproc_populate(handle, addr, 8 * MIB)
+            kernel._leak = handle  # simulate losing track of the handle
+            yield sys.exit(0)
+        run_main(kernel, main)
+        assert kernel.allocator.used_frames > 0
+        # The handle is still resolvable after the creator exited:
+        agent = kernel.spawn_root("/bin/true")
+        kernel.timed_call(agent.threads[0], "xproc_abort", kernel._leak)
+        assert kernel.allocator.used_frames == 0
